@@ -1,0 +1,57 @@
+"""Ablation benchmark (ours): the design choices DESIGN.md calls out.
+
+Not a figure of the paper, but a record of how GCON's accuracy depends on the
+pieces the paper treats as tunable hyperparameters (Appendix Q):
+
+* the strongly convex loss (MultiLabel Soft Margin vs pseudo-Huber),
+* the budget allocator omega,
+* the encoder output dimension d1,
+* training-set expansion with pseudo-labels (n1 in {n0, n}).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_settings, record
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.evaluation.reporting import render_table
+from repro.graphs.datasets import load_dataset
+
+EPSILON = 4.0
+
+
+def _run(settings):
+    graph = load_dataset("cora_ml", scale=settings.scale, seed=settings.seed)
+    delta = 1.0 / max(graph.num_edges, 1)
+
+    def fit(**overrides):
+        params = dict(
+            epsilon=EPSILON, delta=delta, alpha=0.8, propagation_steps=(2,),
+            lambda_reg=settings.lambda_reg, encoder_dim=settings.encoder_dim,
+            encoder_hidden=settings.encoder_hidden, encoder_epochs=settings.encoder_epochs,
+            use_pseudo_labels=True,
+        )
+        params.update(overrides)
+        model = GCON(GCONConfig(**params)).fit(graph, seed=settings.seed)
+        return model.score()
+
+    rows = [
+        ["loss = soft_margin (default)", fit()],
+        ["loss = pseudo_huber", fit(loss="pseudo_huber", huber_delta=0.2)],
+        ["omega = 0.5", fit(omega=0.5)],
+        ["omega = 0.9 (default)", fit(omega=0.9)],
+        ["encoder_dim = 8", fit(encoder_dim=8)],
+        ["encoder_dim = 32", fit(encoder_dim=32)],
+        ["pseudo-labels off (n1 = n0)", fit(use_pseudo_labels=False)],
+        ["augmented steps (0, 2)", fit(propagation_steps=(0, 2))],
+    ]
+    return rows
+
+
+def test_ablation_design_choices(benchmark):
+    settings = bench_settings()
+    rows = benchmark.pedantic(_run, args=(settings,), rounds=1, iterations=1)
+    record("ablation_design_choices",
+           render_table(["configuration", "micro F1"], rows,
+                        title=f"GCON ablations (eps={EPSILON}, scale={settings.scale:g})"))
+    assert all(0.0 <= row[1] <= 1.0 for row in rows)

@@ -1,0 +1,53 @@
+"""Figure 2: effect of the propagation step m1 under private inference (epsilon = 4).
+
+Sweeps m1 over {1, 2, 5, 10, inf} for several restart probabilities alpha and
+reports GCON's micro-F1 with the privacy-preserving inference rule (Eq. 16).
+
+Expected shape: small alpha (0.2) degrades as m1 grows (sensitivity, hence
+noise, increases per Lemma 2), while large alpha (0.6-0.8) stays flat or
+improves slightly.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from benchmarks.conftest import bench_settings, record
+from repro.evaluation.figures import figure23_propagation_step
+from repro.evaluation.reporting import render_series
+
+STEPS_FULL = (1, 2, 5, 10, 12, 14, 16, 20, math.inf)
+STEPS_QUICK = (1, 2, 5, 10, math.inf)
+ALPHAS_FULL = (0.2, 0.4, 0.6, 0.8)
+ALPHAS_QUICK = (0.2, 0.8)
+
+
+def _grids():
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return STEPS_FULL, ALPHAS_FULL, bench_settings(datasets=("cora_ml", "citeseer", "pubmed"))
+    return STEPS_QUICK, ALPHAS_QUICK, bench_settings(datasets=("cora_ml",))
+
+
+def _run(settings, steps, alphas):
+    return figure23_propagation_step(settings, inference_mode="private", steps=steps,
+                                     alphas=alphas, epsilon=4.0)
+
+
+def test_figure2_propagation_step_private(benchmark):
+    steps, alphas, settings = _grids()
+    series = benchmark.pedantic(_run, args=(settings, steps, alphas), rounds=1, iterations=1)
+    record("figure2_propagation_private",
+           render_series(series, title=f"Figure 2 (private inference, eps=4, "
+                                       f"scale={settings.scale:g})"))
+
+    for dataset, curves in series.items():
+        for label, values in curves.items():
+            assert len(values) == len(steps)
+            assert all(0.0 <= v <= 1.0 for v in values.values())
+        # Larger alpha implies lower sensitivity; at the largest m1 the
+        # high-alpha curve should not fall below the low-alpha one.
+        largest = max(values.keys())
+        low_alpha = curves[f"alpha={min(alphas):g}"][largest]
+        high_alpha = curves[f"alpha={max(alphas):g}"][largest]
+        assert high_alpha >= low_alpha - 0.1

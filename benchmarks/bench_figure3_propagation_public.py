@@ -1,0 +1,47 @@
+"""Figure 3: effect of the propagation step m1 with a public test graph (epsilon = 4).
+
+Identical sweep to Figure 2 but evaluated with non-private inference (the
+test graph's edges are public and full PPR/APPR propagation is used), the
+setting of [46]-[48] referenced by the paper.
+
+Expected shape: utility improves with m1 up to roughly 10 and then saturates,
+and is at least as good as private inference at the same configuration.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from benchmarks.conftest import bench_settings, record
+from repro.evaluation.figures import figure23_propagation_step
+from repro.evaluation.reporting import render_series
+
+STEPS_FULL = (1, 2, 5, 10, 12, 14, 16, 20, math.inf)
+STEPS_QUICK = (1, 2, 5, 10, math.inf)
+ALPHAS_FULL = (0.2, 0.4, 0.6, 0.8)
+ALPHAS_QUICK = (0.2, 0.8)
+
+
+def _grids():
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return STEPS_FULL, ALPHAS_FULL, bench_settings(datasets=("cora_ml", "citeseer", "pubmed"))
+    return STEPS_QUICK, ALPHAS_QUICK, bench_settings(datasets=("cora_ml",))
+
+
+def _run(settings, steps, alphas):
+    return figure23_propagation_step(settings, inference_mode="public", steps=steps,
+                                     alphas=alphas, epsilon=4.0)
+
+
+def test_figure3_propagation_step_public(benchmark):
+    steps, alphas, settings = _grids()
+    series = benchmark.pedantic(_run, args=(settings, steps, alphas), rounds=1, iterations=1)
+    record("figure3_propagation_public",
+           render_series(series, title=f"Figure 3 (public inference, eps=4, "
+                                       f"scale={settings.scale:g})"))
+
+    for curves in series.values():
+        for values in curves.values():
+            assert len(values) == len(steps)
+            assert all(0.0 <= v <= 1.0 for v in values.values())

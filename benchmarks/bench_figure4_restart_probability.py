@@ -1,0 +1,48 @@
+"""Figure 4: effect of the restart probability alpha across privacy budgets (m1 = 2).
+
+Sweeps alpha over {0.2, 0.4, 0.6, 0.8} and epsilon over the Figure-1 budgets.
+
+Expected shape: small alpha (0.2) is the weakest configuration, especially
+under tight budgets, because lower alpha means higher sensitivity (Lemma 2)
+and therefore more injected noise; alpha >= 0.4 is uniformly more robust.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import bench_settings, record
+from repro.evaluation.figures import figure4_restart_probability
+from repro.evaluation.reporting import render_series
+
+ALPHAS_FULL = (0.2, 0.4, 0.6, 0.8)
+ALPHAS_QUICK = (0.2, 0.8)
+
+
+def _grids():
+    if os.environ.get("REPRO_BENCH_FULL", "0") == "1":
+        return ALPHAS_FULL, (0.5, 1.0, 2.0, 3.0, 4.0), \
+            bench_settings(datasets=("cora_ml", "citeseer", "pubmed"))
+    return ALPHAS_QUICK, (0.5, 2.0, 4.0), bench_settings(datasets=("cora_ml",))
+
+
+def _run(settings, alphas, epsilons):
+    return figure4_restart_probability(settings, alphas=alphas, epsilons=epsilons,
+                                       propagation_step=2)
+
+
+def test_figure4_restart_probability(benchmark):
+    alphas, epsilons, settings = _grids()
+    series = benchmark.pedantic(_run, args=(settings, alphas, epsilons), rounds=1, iterations=1)
+    record("figure4_restart_probability",
+           render_series(series, title=f"Figure 4 (m1=2, scale={settings.scale:g})"))
+
+    for curves in series.values():
+        for values in curves.values():
+            assert len(values) == len(epsilons)
+            assert all(0.0 <= v <= 1.0 for v in values.values())
+        # At the tightest budget, the high-alpha (low-sensitivity) configuration
+        # should not be worse than the low-alpha one.
+        tightest = min(epsilons)
+        assert curves[f"alpha={max(alphas):g}"][tightest] \
+            >= curves[f"alpha={min(alphas):g}"][tightest] - 0.1

@@ -1,0 +1,61 @@
+"""Scalability: GCON training time and accuracy versus graph size.
+
+Not a figure of the paper, but a practical record of the claim that the whole
+pipeline is laptop-scale: we grow the Cora-ML preset from 10% to 50% (100% in
+full mode) of its original size and report wall-clock fit time together with
+test accuracy.  Training cost is dominated by the public encoder and the
+convex solve, both (near-)linear in the number of nodes, so the time curve
+should grow roughly linearly while accuracy improves with size (more labelled
+nodes means relatively less objective noise, Theorem 1).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import bench_settings, record
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.evaluation.reporting import render_table
+from repro.graphs.datasets import load_dataset
+
+SCALES_QUICK = (0.1, 0.25, 0.5)
+SCALES_FULL = (0.1, 0.25, 0.5, 1.0)
+EPSILON = 2.0
+
+
+def _run(settings, scales):
+    rows = []
+    for scale in scales:
+        graph = load_dataset("cora_ml", scale=scale, seed=settings.seed)
+        delta = 1.0 / max(graph.num_edges, 1)
+        config = GCONConfig(
+            epsilon=EPSILON, delta=delta, alpha=0.8, propagation_steps=(2,),
+            lambda_reg=settings.lambda_reg, encoder_dim=settings.encoder_dim,
+            encoder_epochs=settings.encoder_epochs, use_pseudo_labels=True,
+        )
+        start = time.perf_counter()
+        model = GCON(config).fit(graph, seed=settings.seed)
+        elapsed = time.perf_counter() - start
+        rows.append([
+            f"{scale:g}", graph.num_nodes, graph.num_edges,
+            f"{elapsed:.2f}", f"{model.score():.4f}",
+        ])
+    return rows
+
+
+def test_scalability(benchmark):
+    full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+    settings = bench_settings(datasets=("cora_ml",))
+    scales = SCALES_FULL if full else SCALES_QUICK
+    rows = benchmark.pedantic(_run, args=(settings, scales), rounds=1, iterations=1)
+    record("scalability",
+           render_table(["scale", "nodes", "edges", "fit seconds", "micro F1"], rows,
+                        title=f"GCON scalability on the Cora-ML preset (eps={EPSILON})"))
+    times = [float(row[3]) for row in rows]
+    scores = [float(row[4]) for row in rows]
+    assert all(t < 600 for t in times)
+    # Accuracy at the largest scale should not be worse than at the smallest:
+    # larger graphs mean more labelled nodes and relatively less noise.
+    assert scores[-1] >= scores[0] - 0.05

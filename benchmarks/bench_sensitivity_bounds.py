@@ -1,0 +1,69 @@
+"""Lemma 2: closed-form sensitivity bounds versus empirical row differences.
+
+Not a figure of the paper, but the quantitative backbone of Theorem 1: for a
+grid of restart probabilities alpha and propagation steps m we sample
+edge-neighbouring graph pairs, measure the empirical metric
+``psi(Z_m) = sum_i ||z'_i - z_i||_2`` (Definition 3) and compare it with the
+closed-form bound ``Psi(Z_m) = 2(1-alpha)/alpha (1 - (1-alpha)^m)``.
+
+Expected shape: the bound always holds; it grows as alpha shrinks and as m
+grows; the empirical values follow the same ordering (the bound is loose on
+sparse graphs because it assumes worst-case degrees, but the monotone trends
+match Lemma 2).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from benchmarks.conftest import bench_settings, record
+from repro.core.theory import empirical_aggregate_sensitivity
+from repro.evaluation.reporting import render_table
+from repro.graphs.datasets import load_dataset
+
+ALPHAS = (0.2, 0.4, 0.6, 0.8)
+STEPS_QUICK = (1, 2, 5, math.inf)
+STEPS_FULL = (1, 2, 5, 10, 20, math.inf)
+
+
+def _run(settings, steps, num_pairs):
+    graph = load_dataset("cora_ml", scale=settings.scale, seed=settings.seed)
+    rows = []
+    violations = 0
+    for alpha in ALPHAS:
+        for m in steps:
+            check = empirical_aggregate_sensitivity(
+                graph, alpha=alpha, steps=m, num_pairs=num_pairs, kind="either",
+                rng=settings.seed,
+            )
+            violations += 0 if check.holds else 1
+            rows.append([
+                f"{alpha:g}",
+                "inf" if math.isinf(m) else str(int(m)),
+                f"{check.theoretical_bound:.4f}",
+                f"{check.empirical_max:.4f}",
+                f"{check.empirical_mean:.4f}",
+                "yes" if check.holds else "NO",
+            ])
+    return rows, violations
+
+
+def test_sensitivity_bounds(benchmark):
+    full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+    settings = bench_settings(datasets=("cora_ml",))
+    steps = STEPS_FULL if full else STEPS_QUICK
+    num_pairs = 20 if full else 6
+    rows, violations = benchmark.pedantic(_run, args=(settings, steps, num_pairs),
+                                          rounds=1, iterations=1)
+    record("sensitivity_bounds",
+           render_table(["alpha", "m", "Psi bound", "psi max", "psi mean", "holds"],
+                        rows,
+                        title=f"Lemma 2 bound vs empirical psi (scale={settings.scale:g}, "
+                              f"{num_pairs} neighbouring pairs per cell)"))
+    # The closed-form bound must never be violated.
+    assert violations == 0
+    # The bound is monotone: for fixed m, smaller alpha gives a larger bound.
+    bounds = {(row[0], row[1]): float(row[2]) for row in rows}
+    for m in ("1", "2"):
+        assert bounds[("0.2", m)] > bounds[("0.8", m)]

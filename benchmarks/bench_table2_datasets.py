@@ -1,0 +1,40 @@
+"""Table II: statistics of the four benchmark datasets (synthetic presets).
+
+Regenerates the node/edge/feature/class counts and homophily ratios of the
+generated graphs next to the paper's reference values.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_settings, record
+from repro.evaluation.figures import table2_dataset_statistics
+from repro.evaluation.reporting import render_table
+
+
+def _run(settings):
+    return table2_dataset_statistics(settings)
+
+
+def test_table2_dataset_statistics(benchmark):
+    settings = bench_settings(datasets=("cora_ml", "citeseer", "pubmed", "actor"))
+    result = benchmark.pedantic(_run, args=(settings,), rounds=1, iterations=1)
+
+    headers = ["dataset", "nodes", "edges", "features", "classes", "homophily",
+               "paper nodes", "paper edges", "paper homophily"]
+    rows = []
+    for stats in result["generated"]:
+        reference = result["reference"][stats["name"]]
+        rows.append([
+            stats["name"], stats["nodes"], stats["edges"], stats["features"],
+            stats["classes"], stats["homophily"],
+            reference["nodes"], reference["edges"], reference["homophily"],
+        ])
+    record("table2_dataset_statistics",
+           render_table(headers, rows, title=f"Table II (scale={settings.scale:g})"))
+
+    generated_names = {stats["name"] for stats in result["generated"]}
+    assert generated_names == {"cora_ml", "citeseer", "pubmed", "actor"}
+    for stats in result["generated"]:
+        reference = result["reference"][stats["name"]]
+        # Homophily of the generated graph tracks the paper's Table II value.
+        assert abs(stats["homophily"] - reference["homophily"]) < 0.15

@@ -1,0 +1,60 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the synthetic
+dataset presets.  The default settings are scaled down so the whole harness
+finishes in minutes on a laptop; set the environment variables
+
+* ``REPRO_BENCH_SCALE``   (default 0.25)  -- graph down-scaling factor,
+* ``REPRO_BENCH_REPEATS`` (default 1)     -- independent runs per setting,
+* ``REPRO_BENCH_FULL=1``                  -- use the full grids of the paper
+  (all four datasets, five privacy budgets, ten repeats); expect hours.
+
+The regenerated series are printed to stdout (run pytest with ``-s`` or look
+at the captured output) and also written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.figures import FigureSettings
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_settings(**overrides) -> FigureSettings:
+    """Build FigureSettings from environment variables plus per-bench overrides."""
+    full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0" if full else "0.25"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "10" if full else "1"))
+    defaults = dict(
+        scale=scale,
+        repeats=repeats,
+        epochs=200 if full else 100,
+        encoder_epochs=300 if full else 150,
+        encoder_dim=16,
+        encoder_hidden=64,
+        lambda_reg=0.2,
+        use_pseudo_labels=True,
+    )
+    if full:
+        defaults["datasets"] = ("cora_ml", "citeseer", "pubmed", "actor")
+        defaults["epsilons"] = (0.5, 1.0, 2.0, 3.0, 4.0)
+    defaults.update(overrides)
+    return FigureSettings(**defaults)
+
+
+def record(name: str, text: str) -> None:
+    """Print a regenerated table/figure and persist it under benchmarks/output/."""
+    print(f"\n===== {name} =====\n{text}\n")
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR

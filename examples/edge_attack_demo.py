@@ -1,0 +1,81 @@
+"""Demonstrate the edge-inference threat model that motivates edge-level DP.
+
+Mounts the similarity-based link-stealing attack (He et al., 2021) and the
+LinkTeller-style influence attack (Wu et al., 2022) against:
+
+* the non-private GCN -- whose smoothed predictions leak edge membership, and
+* GCON -- whose released parameters satisfy (epsilon, delta) edge-DP and whose
+  private inference rule only ever uses the querying node's own edges.
+
+Run with:  python examples/edge_attack_demo.py [--scale 0.2] [--epsilon 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import GCON, GCONConfig, load_dataset
+from repro.attacks import (
+    attack_auc,
+    influence_link_attack,
+    sample_edge_candidates,
+    similarity_link_attack,
+)
+from repro.baselines import GCNClassifier
+from repro.evaluation.reporting import render_table
+from repro.graphs.adjacency import row_stochastic_normalize
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora_ml")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--epsilon", type=float, default=1.0)
+    parser.add_argument("--pairs", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    pairs, labels = sample_edge_candidates(graph, num_pairs=args.pairs, rng=args.seed)
+    print(f"{graph.name}: attacking {labels.sum()} real edges vs "
+          f"{(1 - labels).sum()} non-edges\n")
+
+    # Victim 1: non-private GCN.
+    gcn = GCNClassifier(epochs=150).fit(graph, seed=args.seed)
+    gcn_similarity = attack_auc(similarity_link_attack(gcn.decision_scores(graph), pairs), labels)
+
+    # The influence attack queries the model with perturbed features; for the
+    # GCN this means re-running message passing over the true adjacency.
+    transition = row_stochastic_normalize(graph.adjacency)
+
+    def gcn_predict(features: np.ndarray) -> np.ndarray:
+        return np.asarray(transition @ (transition @ features[:, : graph.num_classes]))
+
+    gcn_influence = attack_auc(
+        influence_link_attack(gcn_predict, graph.features, pairs), labels
+    )
+
+    # Victim 2: GCON with edge-level DP and private inference (Eq. 16).
+    config = GCONConfig(epsilon=args.epsilon, alpha=0.8, propagation_steps=(2,),
+                        lambda_reg=0.2, encoder_dim=16, encoder_hidden=64,
+                        encoder_epochs=150, use_pseudo_labels=True)
+    gcon = GCON(config).fit(graph, seed=args.seed)
+    gcon_similarity = attack_auc(
+        similarity_link_attack(gcon.decision_scores(graph, mode="private"), pairs), labels
+    )
+
+    rows = [
+        ["GCN (non-DP)", "link stealing (similarity)", gcn_similarity],
+        ["GCN-style propagation", "LinkTeller (influence)", gcn_influence],
+        [f"GCON (eps={args.epsilon:g})", "link stealing (similarity)", gcon_similarity],
+    ]
+    print(render_table(["victim model", "attack", "ROC-AUC"], rows,
+                       title="Edge-inference attack success (0.5 = chance)"))
+    print("\nAn AUC close to 0.5 means the adversary learns essentially nothing about"
+          "\nindividual edges; the non-private models sit well above that level.")
+
+
+if __name__ == "__main__":
+    main()

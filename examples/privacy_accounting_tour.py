@@ -1,0 +1,74 @@
+"""A tour of the privacy machinery: Theorem-1 calibration and baseline accountants.
+
+Walks through, without training anything end-to-end:
+
+1. the Theorem-1 parameter chain (Eqs. 17-24) that converts an (epsilon,
+   delta) budget plus Lemma-2 sensitivity into GCON's noise parameters, and
+   how it reacts to the budget, the number of labelled nodes and alpha;
+2. the RDP accounting used by the GAP/ProGAP/DP-SGD baselines, showing how
+   many aggregation hops or SGD steps a fixed budget can afford.
+
+Run with:  python examples/privacy_accounting_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gap import EDGE_AGGREGATION_SENSITIVITY, calibrate_hop_sigma
+from repro.core.losses import MultiLabelSoftMarginLoss
+from repro.core.perturbation import compute_perturbation_parameters
+from repro.core.sensitivity import aggregate_sensitivity
+from repro.evaluation.reporting import render_table
+from repro.privacy.rdp import calibrate_gaussian_noise_rdp
+
+
+def theorem1_tour() -> None:
+    loss = MultiLabelSoftMarginLoss(num_classes=7)
+    rows = []
+    for epsilon in (0.5, 1.0, 4.0):
+        for num_labeled in (140, 1000, 3000):
+            sensitivity = aggregate_sensitivity(alpha=0.8, steps=2)
+            params = compute_perturbation_parameters(
+                epsilon=epsilon, delta=1e-4, omega=0.9, loss=loss,
+                sensitivity=sensitivity, num_labeled=num_labeled, num_classes=7,
+                dimension=16, lambda_reg=0.2,
+            )
+            rows.append([
+                epsilon, num_labeled, round(params.sensitivity, 3),
+                round(params.lambda_bar, 4), round(params.lambda_prime, 4),
+                round(params.beta, 4),
+                round(params.dimension / params.beta, 2),
+            ])
+    print(render_table(
+        ["epsilon", "n1", "Psi(Z)", "lambda_bar", "lambda'", "beta", "E[|B| radius]"],
+        rows,
+        title="Theorem 1: calibration of GCON's objective perturbation",
+    ))
+    print("\nThe expected noise radius shrinks as epsilon or n1 grow; because the noise"
+          "\nenters the objective as B/n1, large labelled sets make the perturbation"
+          "\nnegligible -- the regime the paper's full-size datasets operate in.\n")
+
+
+def baseline_accounting_tour() -> None:
+    rows = []
+    for epsilon in (0.5, 1.0, 4.0):
+        for hops in (1, 2, 4):
+            sigma = calibrate_hop_sigma(epsilon, 1e-4, hops,
+                                        sensitivity=EDGE_AGGREGATION_SENSITIVITY)
+            rows.append(["GAP aggregation", epsilon, f"{hops} hops", round(sigma, 3)])
+    for epsilon in (0.5, 1.0, 4.0):
+        for steps in (50, 200):
+            sigma = calibrate_gaussian_noise_rdp(epsilon, 1e-4, q=0.1, steps=steps)
+            rows.append(["DP-SGD (q=0.1)", epsilon, f"{steps} steps", round(sigma, 3)])
+    print(render_table(
+        ["mechanism", "epsilon", "composition", "noise multiplier"],
+        rows,
+        title="RDP accounting for the aggregation-/gradient-perturbation baselines",
+    ))
+    print("\nEvery extra hop or step must be paid for by composition, which is exactly"
+          "\nthe overhead GCON avoids: its guarantee is independent of the optimizer"
+          "\nand of the number of propagation steps (Remark after Theorem 1).")
+
+
+if __name__ == "__main__":
+    theorem1_tour()
+    baseline_accounting_tour()

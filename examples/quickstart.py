@@ -1,0 +1,60 @@
+"""Quickstart: train GCON with edge-level differential privacy on a citation graph.
+
+Loads the synthetic Cora-ML preset, trains GCON under an (epsilon, delta)
+edge-DP budget, and compares it against a graph-free MLP (trivially private)
+and the non-private GCN upper bound.
+
+Run with:  python examples/quickstart.py [--scale 0.3] [--epsilon 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GCON, GCONConfig, load_dataset
+from repro.baselines import GCNClassifier, MLPClassifier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cora_ml", help="dataset preset name")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="graph down-scaling factor in (0, 1]")
+    parser.add_argument("--epsilon", type=float, default=2.0, help="edge-DP epsilon")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"Loaded {graph.name}: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"{graph.num_features} features, {graph.num_classes} classes")
+
+    # GCON: objective perturbation keeps the graph convolution untouched and
+    # releases model parameters satisfying (epsilon, 1/|E|) edge-level DP.
+    config = GCONConfig(
+        epsilon=args.epsilon,
+        alpha=0.8,                 # PPR restart probability (controls sensitivity)
+        propagation_steps=(2,),    # APPR with m1 = 2 hops
+        lambda_reg=0.2,
+        encoder_dim=16,
+        encoder_hidden=64,
+        encoder_epochs=200,
+        use_pseudo_labels=True,    # expand n1 with encoder pseudo-labels (Appendix Q)
+    )
+    gcon = GCON(config).fit(graph, seed=args.seed)
+    epsilon, delta = gcon.privacy_spent
+    print(f"\nGCON trained under ({epsilon:g}, {delta:.2e}) edge-DP")
+    print(f"  Theorem-1 calibration: beta={gcon.perturbation_.beta:.3f}, "
+          f"lambda_bar={gcon.perturbation_.lambda_bar:.3f}, "
+          f"lambda'={gcon.perturbation_.lambda_prime:.3f}")
+    print(f"  micro-F1 (private inference): {gcon.score(mode='private'):.4f}")
+    print(f"  micro-F1 (public inference):  {gcon.score(mode='public'):.4f}")
+
+    # Reference points: a graph-free MLP and the non-private GCN upper bound.
+    mlp = MLPClassifier(epochs=150).fit(graph, seed=args.seed)
+    gcn = GCNClassifier(epochs=150).fit(graph, seed=args.seed)
+    print(f"\nMLP (no edges, trivially edge-private): {mlp.score(graph):.4f}")
+    print(f"GCN (non-private upper bound):          {gcn.score(graph):.4f}")
+
+
+if __name__ == "__main__":
+    main()

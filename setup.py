@@ -1,0 +1,5 @@
+"""Thin setup.py shim for environments without PEP 517 build isolation/wheel."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: reproduction of GCON (ICDE 2025), differentially private GCNs via objective perturbation.
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.core` -- the GCON algorithm itself (feature encoder, PPR/APPR
+  propagation, sensitivity bounds, Theorem-1 calibration, objective
+  perturbation, convex solver, private/public inference).
+* :mod:`repro.graphs` -- graph dataset container, synthetic citation-graph
+  generators calibrated to the paper's Table II, homophily/split utilities.
+* :mod:`repro.nn` -- a small numpy autograd / neural-network substrate used by
+  the feature encoder and by the non-convex baselines.
+* :mod:`repro.privacy` -- differential-privacy primitives (mechanisms,
+  accountants, Erlang-radius sphere noise).
+* :mod:`repro.baselines` -- the seven competitors evaluated in the paper.
+* :mod:`repro.attacks` -- edge-inference attacks motivating edge DP.
+* :mod:`repro.evaluation` -- metrics and the experiment runner used by the
+  benchmark harness.
+"""
+
+from repro.version import __version__
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.graphs.datasets import load_dataset, list_datasets
+from repro.graphs.graph import GraphDataset
+from repro.evaluation.metrics import micro_f1, macro_f1, accuracy
+
+__all__ = [
+    "__version__",
+    "GCON",
+    "GCONConfig",
+    "GraphDataset",
+    "load_dataset",
+    "list_datasets",
+    "micro_f1",
+    "macro_f1",
+    "accuracy",
+]

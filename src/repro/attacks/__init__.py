@@ -1,0 +1,22 @@
+"""Edge-inference attacks motivating edge-level DP (Section I of the paper)."""
+
+from repro.attacks.linkstealing import similarity_link_attack
+from repro.attacks.linkteller import influence_link_attack
+from repro.attacks.evaluation import sample_edge_candidates, attack_auc
+from repro.attacks.similarity import (
+    SIMILARITY_METRICS,
+    similarity_scores,
+    all_similarity_scores,
+    strongest_attack_auc,
+)
+
+__all__ = [
+    "similarity_link_attack",
+    "influence_link_attack",
+    "sample_edge_candidates",
+    "attack_auc",
+    "SIMILARITY_METRICS",
+    "similarity_scores",
+    "all_similarity_scores",
+    "strongest_attack_auc",
+]

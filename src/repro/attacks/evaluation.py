@@ -1,0 +1,55 @@
+"""Shared utilities for evaluating edge-inference attacks.
+
+An attack produces, for every candidate node pair, a confidence score that an
+edge exists between the pair.  We evaluate attacks with ROC-AUC over a
+balanced set of true edges and non-edges, the standard protocol of the link
+stealing / LinkTeller literature.  A value near 0.5 means the released model
+leaks (almost) nothing about individual edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.metrics import roc_auc
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import GraphDataset
+from repro.utils.random import as_rng
+
+
+def sample_edge_candidates(graph: GraphDataset, num_pairs: int = 200,
+                           rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a balanced set of existing edges and non-edges.
+
+    Returns ``(pairs, labels)`` where ``pairs`` has shape ``(k, 2)`` and
+    ``labels`` marks true edges with 1.
+    """
+    if num_pairs < 2:
+        raise ConfigurationError(f"num_pairs must be >= 2, got {num_pairs}")
+    rng = as_rng(rng)
+    edges = graph.edges()
+    if edges.shape[0] == 0:
+        raise ConfigurationError("graph has no edges to attack")
+    per_side = min(num_pairs // 2, edges.shape[0])
+    chosen = edges[rng.choice(edges.shape[0], size=per_side, replace=False)]
+
+    adjacency = graph.adjacency
+    non_edges: list[tuple[int, int]] = []
+    attempts = 0
+    while len(non_edges) < per_side and attempts < 100 * per_side:
+        attempts += 1
+        u, v = rng.integers(0, graph.num_nodes, size=2)
+        if u == v or adjacency[u, v] != 0:
+            continue
+        non_edges.append((int(u), int(v)))
+    pairs = np.concatenate([chosen, np.array(non_edges, dtype=np.int64).reshape(-1, 2)])
+    labels = np.concatenate([
+        np.ones(chosen.shape[0], dtype=np.int64),
+        np.zeros(len(non_edges), dtype=np.int64),
+    ])
+    return pairs, labels
+
+
+def attack_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """ROC-AUC of an attack's edge-confidence scores."""
+    return roc_auc(labels, scores)

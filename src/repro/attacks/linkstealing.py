@@ -1,0 +1,50 @@
+"""Similarity-based link-stealing attack (He et al., USENIX Security 2021, attack 0).
+
+The attacker queries the released model for the posterior (class-score)
+vectors of two nodes and scores the pair by the similarity of the posteriors:
+GNNs smooth predictions along edges, so connected nodes tend to have more
+similar outputs than unconnected ones.  Only black-box access to predictions
+is required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.math import softmax
+
+
+def similarity_link_attack(scores: np.ndarray, pairs: np.ndarray,
+                           metric: str = "cosine") -> np.ndarray:
+    """Score candidate ``pairs`` by posterior similarity.
+
+    Parameters
+    ----------
+    scores:
+        Model output scores for every node, shape ``(n, c)``.
+    pairs:
+        Candidate node pairs, shape ``(k, 2)``.
+    metric:
+        ``"cosine"`` (cosine similarity of softmax posteriors) or
+        ``"correlation"`` (Pearson correlation).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ConfigurationError(f"pairs must have shape (k, 2), got {pairs.shape}")
+    posteriors = softmax(scores, axis=1)
+    left = posteriors[pairs[:, 0]]
+    right = posteriors[pairs[:, 1]]
+    if metric == "cosine":
+        numerator = np.sum(left * right, axis=1)
+        denominator = np.linalg.norm(left, axis=1) * np.linalg.norm(right, axis=1) + 1e-12
+        return numerator / denominator
+    if metric == "correlation":
+        left_centered = left - left.mean(axis=1, keepdims=True)
+        right_centered = right - right.mean(axis=1, keepdims=True)
+        numerator = np.sum(left_centered * right_centered, axis=1)
+        denominator = (np.linalg.norm(left_centered, axis=1)
+                       * np.linalg.norm(right_centered, axis=1) + 1e-12)
+        return numerator / denominator
+    raise ConfigurationError(f"unknown metric {metric!r}; expected 'cosine' or 'correlation'")

@@ -1,0 +1,142 @@
+"""The eight similarity-based link-stealing scores of He et al. (USENIX Sec. '21).
+
+"Stealing links from graph neural networks" shows that many simple
+similarity measures between two nodes' posterior vectors already recover
+edges from a trained GNN.  GCON's motivation (Section I) is precisely this
+class of attack; this module implements the full metric suite so that the
+attack benchmark can report the strongest attacker rather than a single
+arbitrary score.
+
+Every function maps two posterior matrices (rows aligned with the candidate
+pairs) to a score per pair where *higher means more likely connected*;
+distance-type metrics are therefore negated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _validate(first: np.ndarray, second: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise ConfigurationError(
+            f"posterior blocks must have the same shape, got {first.shape} vs {second.shape}"
+        )
+    if first.ndim != 2:
+        raise ConfigurationError(f"posteriors must be 2-D, got {first.ndim}-D")
+    return first, second
+
+
+def cosine_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    numerator = np.sum(first * second, axis=1)
+    denominator = np.linalg.norm(first, axis=1) * np.linalg.norm(second, axis=1)
+    return numerator / np.maximum(denominator, 1e-12)
+
+
+def euclidean_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    return -np.linalg.norm(first - second, axis=1)
+
+
+def squared_euclidean_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    return -np.sum((first - second) ** 2, axis=1)
+
+
+def correlation_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    first_centered = first - first.mean(axis=1, keepdims=True)
+    second_centered = second - second.mean(axis=1, keepdims=True)
+    numerator = np.sum(first_centered * second_centered, axis=1)
+    denominator = (np.linalg.norm(first_centered, axis=1)
+                   * np.linalg.norm(second_centered, axis=1))
+    return numerator / np.maximum(denominator, 1e-12)
+
+
+def chebyshev_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    return -np.max(np.abs(first - second), axis=1)
+
+
+def manhattan_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    return -np.sum(np.abs(first - second), axis=1)
+
+
+def braycurtis_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    numerator = np.sum(np.abs(first - second), axis=1)
+    denominator = np.sum(np.abs(first + second), axis=1)
+    return -numerator / np.maximum(denominator, 1e-12)
+
+
+def canberra_similarity(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    first, second = _validate(first, second)
+    denominator = np.abs(first) + np.abs(second)
+    terms = np.where(denominator > 1e-12, np.abs(first - second) / np.maximum(denominator, 1e-12), 0.0)
+    return -np.sum(terms, axis=1)
+
+
+SIMILARITY_METRICS = {
+    "cosine": cosine_similarity,
+    "euclidean": euclidean_similarity,
+    "sqeuclidean": squared_euclidean_similarity,
+    "correlation": correlation_similarity,
+    "chebyshev": chebyshev_similarity,
+    "manhattan": manhattan_similarity,
+    "braycurtis": braycurtis_similarity,
+    "canberra": canberra_similarity,
+}
+
+
+def similarity_scores(posteriors: np.ndarray, pairs: np.ndarray,
+                      metric: str = "cosine") -> np.ndarray:
+    """Attack scores for candidate node ``pairs`` using one named metric.
+
+    Parameters
+    ----------
+    posteriors:
+        Model output matrix of shape ``(n, c)`` (logits or probabilities).
+    pairs:
+        Integer array of shape ``(k, 2)`` of candidate node pairs.
+    metric:
+        One of :data:`SIMILARITY_METRICS`.
+    """
+    if metric not in SIMILARITY_METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; available: {sorted(SIMILARITY_METRICS)}"
+        )
+    posteriors = np.asarray(posteriors, dtype=np.float64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ConfigurationError(f"pairs must have shape (k, 2), got {pairs.shape}")
+    first = posteriors[pairs[:, 0]]
+    second = posteriors[pairs[:, 1]]
+    return SIMILARITY_METRICS[metric](first, second)
+
+
+def all_similarity_scores(posteriors: np.ndarray, pairs: np.ndarray) -> dict[str, np.ndarray]:
+    """Scores from every metric in the suite, keyed by metric name."""
+    return {
+        name: similarity_scores(posteriors, pairs, metric=name)
+        for name in SIMILARITY_METRICS
+    }
+
+
+def strongest_attack_auc(posteriors: np.ndarray, pairs: np.ndarray,
+                         labels: np.ndarray) -> tuple[str, float]:
+    """AUC of the best-performing similarity metric (the attacker's free choice)."""
+    from repro.attacks.evaluation import attack_auc
+
+    best_name = ""
+    best_auc = -np.inf
+    for name, scores in all_similarity_scores(posteriors, pairs).items():
+        auc = attack_auc(scores, labels)
+        if auc > best_auc:
+            best_name, best_auc = name, auc
+    return best_name, float(best_auc)

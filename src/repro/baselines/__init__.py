@@ -1,0 +1,40 @@
+"""The seven competitor methods evaluated in the paper's Figure 1.
+
+* :class:`MLPClassifier` -- graph-free MLP (satisfies edge DP trivially).
+* :class:`GCNClassifier` -- non-private two-layer GCN (the utility upper bound).
+* :class:`DPGCN` -- LapGraph-style adjacency perturbation (Wu et al., 2022).
+* :class:`LPGNet` -- link-private GNN via noisy cluster-degree vectors
+  (Kolluri et al., 2022).
+* :class:`GAP` -- aggregation perturbation with per-hop Gaussian noise
+  (Sajadmanesh et al., 2023), edge-level variant.
+* :class:`ProGAP` -- progressive aggregation perturbation (Sajadmanesh &
+  Gatica-Perez, 2024), edge-level variant.
+* :class:`DPSGDGCN` -- DP-SGD applied to a one-hop simplified GCN with the
+  edge-aware sensitivity discussed in the paper's introduction.
+"""
+
+from repro.baselines.base import BaseNodeClassifier
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.gcn import GCNClassifier
+from repro.baselines.dpgcn import DPGCN
+from repro.baselines.lpgnet import LPGNet
+from repro.baselines.gap import GAP
+from repro.baselines.progap import ProGAP
+from repro.baselines.dpsgd import DPSGDGCN
+from repro.baselines.sgc import SGCClassifier, APPNPClassifier
+from repro.baselines.trivial import MajorityClassClassifier, StratifiedRandomClassifier
+
+__all__ = [
+    "BaseNodeClassifier",
+    "MLPClassifier",
+    "GCNClassifier",
+    "DPGCN",
+    "LPGNet",
+    "GAP",
+    "ProGAP",
+    "DPSGDGCN",
+    "SGCClassifier",
+    "APPNPClassifier",
+    "MajorityClassClassifier",
+    "StratifiedRandomClassifier",
+]

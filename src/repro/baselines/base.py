@@ -1,0 +1,96 @@
+"""Shared estimator interface and training helpers for the baseline methods."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+from repro.graphs.graph import GraphDataset
+from repro.nn import Adam, Tensor, softmax_cross_entropy
+from repro.nn.module import Module
+from repro.utils.random import as_rng
+
+
+class BaseNodeClassifier:
+    """Minimal estimator interface shared by GCON and every baseline.
+
+    Sub-classes implement :meth:`fit` (storing whatever state they need) and
+    :meth:`decision_scores`; ``predict`` / ``score`` are derived.  The
+    optional ``mode`` argument of ``predict`` is accepted for interface
+    compatibility with GCON (baselines ignore it).
+    """
+
+    name = "base"
+
+    def fit(self, graph: GraphDataset, seed=None) -> "BaseNodeClassifier":
+        raise NotImplementedError
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, graph: GraphDataset | None = None, mode: str | None = None) -> np.ndarray:
+        """Predicted labels for every node (``mode`` is ignored by baselines)."""
+        return np.argmax(self.decision_scores(graph), axis=1)
+
+    def score(self, graph: GraphDataset, idx: np.ndarray | None = None) -> float:
+        """Micro-F1 on ``idx`` (default: the graph's test split)."""
+        from repro.evaluation.metrics import micro_f1
+
+        idx = graph.test_idx if idx is None else np.asarray(idx, dtype=np.int64)
+        predictions = self.predict(graph)
+        return micro_f1(graph.labels[idx], predictions[idx])
+
+    def _require_fitted(self, attribute: str):
+        value = getattr(self, attribute, None)
+        if value is None:
+            raise NotFittedError(f"{type(self).__name__}.fit must be called first")
+        return value
+
+
+def train_full_batch(model: Module, inputs: np.ndarray | Tensor, labels: np.ndarray,
+                     train_idx: np.ndarray, *, epochs: int, learning_rate: float,
+                     weight_decay: float = 0.0,
+                     forward=None) -> list[float]:
+    """Train ``model`` full-batch with Adam and softmax cross-entropy.
+
+    ``forward`` customises how logits are produced from the model and inputs
+    (e.g. to interleave sparse propagation); by default ``model(inputs)``.
+    Returns the per-epoch loss history.
+    """
+    train_idx = np.asarray(train_idx, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if not isinstance(inputs, Tensor):
+        inputs = Tensor(np.asarray(inputs, dtype=np.float64))
+    optimizer = Adam(model.parameters(), lr=learning_rate, weight_decay=weight_decay)
+    history: list[float] = []
+    model.train()
+    for _ in range(epochs):
+        optimizer.zero_grad()
+        logits = model(inputs) if forward is None else forward(model, inputs)
+        loss = softmax_cross_entropy(logits[train_idx], labels[train_idx])
+        loss.backward()
+        optimizer.step()
+        history.append(float(loss.data))
+    model.eval()
+    return history
+
+
+def predict_logits(model: Module, inputs: np.ndarray | Tensor, forward=None) -> np.ndarray:
+    """Evaluate ``model`` in eval mode and return raw logits as a numpy array."""
+    if not isinstance(inputs, Tensor):
+        inputs = Tensor(np.asarray(inputs, dtype=np.float64))
+    model.eval()
+    logits = model(inputs) if forward is None else forward(model, inputs)
+    return logits.data.copy()
+
+
+def resolve_delta(graph: GraphDataset, delta: float | None) -> float:
+    """The paper's default ``delta = 1 / |E|`` unless an explicit delta is given."""
+    if delta is not None:
+        return delta
+    return 1.0 / max(graph.num_edges, 1)
+
+
+def seeded_rng(seed):
+    """Alias of :func:`repro.utils.random.as_rng` kept for readability in baselines."""
+    return as_rng(seed)

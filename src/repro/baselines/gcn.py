@@ -1,0 +1,78 @@
+"""Non-private two-layer GCN (Kipf & Welling, 2017).
+
+This is the utility upper bound of Figure 1 ("GCN (non-DP)"): it uses the raw
+adjacency matrix with no privacy protection.  The same network is reused by
+the DPGCN baseline, which trains it on a perturbed adjacency matrix instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import BaseNodeClassifier, train_full_batch
+from repro.graphs.adjacency import symmetric_normalize
+from repro.graphs.graph import GraphDataset
+from repro.nn import Dropout, Linear, ReLU, Tensor
+from repro.nn.module import Module
+from repro.utils.random import as_rng
+
+
+class TwoLayerGCN(Module):
+    """logits = Â ReLU(Â X W1) W2 with the symmetric normalisation Â."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int, dropout: float, rng):
+        super().__init__()
+        self.layer1 = Linear(in_dim, hidden_dim, rng=rng)
+        self.layer2 = Linear(hidden_dim, out_dim, rng=rng)
+        self.activation = ReLU()
+        self.dropout = Dropout(dropout, rng=rng)
+        self.propagation: sp.csr_matrix | None = None
+
+    def set_propagation(self, matrix: sp.csr_matrix) -> None:
+        self.propagation = matrix
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.propagation is None:
+            raise RuntimeError("set_propagation must be called before the forward pass")
+        hidden = self.layer1(x).matmul_sparse(self.propagation).relu()
+        hidden = self.dropout(hidden)
+        return self.layer2(hidden).matmul_sparse(self.propagation)
+
+
+class GCNClassifier(BaseNodeClassifier):
+    """Non-private GCN baseline (the target performance for all DP methods)."""
+
+    name = "GCN (non-DP)"
+
+    def __init__(self, hidden_dim: int = 32, epochs: int = 200, learning_rate: float = 0.01,
+                 weight_decay: float = 5e-4, dropout: float = 0.3):
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.dropout = dropout
+        self.model_: TwoLayerGCN | None = None
+        self.history_: list[float] = []
+        self._train_graph: GraphDataset | None = None
+
+    def fit(self, graph: GraphDataset, seed=None) -> "GCNClassifier":
+        rng = as_rng(seed)
+        model = TwoLayerGCN(graph.num_features, self.hidden_dim, graph.num_classes,
+                            self.dropout, rng)
+        model.set_propagation(symmetric_normalize(graph.adjacency))
+        self.history_ = train_full_batch(
+            model, graph.features, graph.labels, graph.train_idx,
+            epochs=self.epochs, learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        self.model_ = model
+        self._train_graph = graph
+        return self
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        model = self._require_fitted("model_")
+        graph = self._train_graph if graph is None else graph
+        model.set_propagation(symmetric_normalize(graph.adjacency))
+        model.eval()
+        return model(Tensor(graph.features)).data.copy()

@@ -1,0 +1,54 @@
+"""Graph-free MLP baseline.
+
+An MLP never touches the edge set, so it satisfies edge-level DP for every
+privacy budget (including epsilon = 0); in the paper's Figure 1 it is the
+flat horizontal reference line that strong DP-GNN methods should beat on
+homophilous graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseNodeClassifier, predict_logits, train_full_batch
+from repro.graphs.graph import GraphDataset
+from repro.nn import Dropout, Linear, ReLU, Sequential
+from repro.utils.random import as_rng
+
+
+class MLPClassifier(BaseNodeClassifier):
+    """Two-layer MLP trained on node features only."""
+
+    name = "MLP"
+
+    def __init__(self, hidden_dim: int = 64, epochs: int = 200, learning_rate: float = 0.01,
+                 weight_decay: float = 1e-5, dropout: float = 0.3):
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.dropout = dropout
+        self.model_ = None
+        self.history_: list[float] = []
+        self._train_graph: GraphDataset | None = None
+
+    def fit(self, graph: GraphDataset, seed=None) -> "MLPClassifier":
+        rng = as_rng(seed)
+        self.model_ = Sequential(
+            Linear(graph.num_features, self.hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(self.dropout, rng=rng),
+            Linear(self.hidden_dim, graph.num_classes, rng=rng),
+        )
+        self.history_ = train_full_batch(
+            self.model_, graph.features, graph.labels, graph.train_idx,
+            epochs=self.epochs, learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        self._train_graph = graph
+        return self
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        model = self._require_fitted("model_")
+        graph = self._train_graph if graph is None else graph
+        return predict_logits(model, graph.features)

@@ -1,0 +1,138 @@
+"""Non-private Simple Graph Convolution (SGC) baseline (Wu et al., ICML 2019).
+
+SGC removes the nonlinearities of a multi-layer GCN so the whole model
+collapses to ``Ŷ = Ã^m X Θ`` (Eq. 3 of the paper).  GCON's convex core is an
+SGC with PPR/APPR propagation; this non-private SGC isolates how much of
+GCON's utility comes from the simplified architecture itself, independent of
+any privacy machinery — the ablation that Section IV-B of the paper argues
+costs little accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.base import BaseNodeClassifier, predict_logits, train_full_batch
+from repro.exceptions import ConfigurationError
+from repro.graphs.adjacency import symmetric_normalize
+from repro.graphs.graph import GraphDataset
+from repro.nn import Linear, Sequential
+from repro.utils.random import as_rng
+
+
+class SGCClassifier(BaseNodeClassifier):
+    """Logistic regression on ``Ã^m X`` (the SGC model of Eq. 3)."""
+
+    name = "SGC"
+
+    def __init__(self, hops: int = 2, epochs: int = 200, learning_rate: float = 0.1,
+                 weight_decay: float = 1e-5):
+        if hops < 0:
+            raise ConfigurationError(f"hops must be >= 0, got {hops}")
+        self.hops = hops
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.model_ = None
+        self.history_: list[float] = []
+        self._train_graph: GraphDataset | None = None
+
+    def _aggregate(self, graph: GraphDataset) -> np.ndarray:
+        """Pre-compute ``Ã^m X`` with the symmetric Kipf-Welling normalisation."""
+        transition = symmetric_normalize(graph.adjacency, add_loops=True)
+        aggregated = np.asarray(graph.features, dtype=np.float64)
+        for _ in range(self.hops):
+            aggregated = transition @ aggregated
+        return np.asarray(aggregated)
+
+    def fit(self, graph: GraphDataset, seed=None) -> "SGCClassifier":
+        rng = as_rng(seed)
+        aggregated = self._aggregate(graph)
+        self.model_ = Sequential(Linear(graph.num_features, graph.num_classes, rng=rng))
+        self.history_ = train_full_batch(
+            self.model_, aggregated, graph.labels, graph.train_idx,
+            epochs=self.epochs, learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay,
+        )
+        self._train_graph = graph
+        return self
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        model = self._require_fitted("model_")
+        graph = self._train_graph if graph is None else graph
+        return predict_logits(model, self._aggregate(graph))
+
+
+class APPNPClassifier(BaseNodeClassifier):
+    """Non-private APPNP (predict-then-propagate, Klicpera et al., ICLR 2019).
+
+    An MLP predicts per-node logits from features alone; the logits are then
+    smoothed with the approximate personalised-PageRank operator
+    ``R_m = (1-α) Ã R_{m-1} + α I`` (Eq. 4).  This is the non-private
+    ancestor of GCON's propagation scheme.
+    """
+
+    name = "APPNP"
+
+    def __init__(self, hidden_dim: int = 64, hops: int = 10, alpha: float = 0.1,
+                 epochs: int = 200, learning_rate: float = 0.01,
+                 weight_decay: float = 1e-5, dropout: float = 0.3):
+        if hops < 0:
+            raise ConfigurationError(f"hops must be >= 0, got {hops}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.hidden_dim = hidden_dim
+        self.hops = hops
+        self.alpha = alpha
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.dropout = dropout
+        self.model_ = None
+        self.history_: list[float] = []
+        self._train_graph: GraphDataset | None = None
+
+    def _build_model(self, in_dim: int, out_dim: int, rng) -> Sequential:
+        from repro.nn import Dropout, ReLU
+
+        return Sequential(
+            Linear(in_dim, self.hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(self.dropout, rng=rng),
+            Linear(self.hidden_dim, out_dim, rng=rng),
+        )
+
+    def _propagate(self, logits, transition: sp.csr_matrix):
+        """APPNP power iteration on a :class:`Tensor` of logits."""
+        propagated = logits
+        for _ in range(self.hops):
+            propagated = propagated.matmul_sparse(transition) * (1.0 - self.alpha) \
+                + logits * self.alpha
+        return propagated
+
+    def fit(self, graph: GraphDataset, seed=None) -> "APPNPClassifier":
+        rng = as_rng(seed)
+        transition = symmetric_normalize(graph.adjacency, add_loops=True)
+        self.model_ = self._build_model(graph.num_features, graph.num_classes, rng)
+
+        def forward(model, inputs):
+            return self._propagate(model(inputs), transition)
+
+        self.history_ = train_full_batch(
+            self.model_, graph.features, graph.labels, graph.train_idx,
+            epochs=self.epochs, learning_rate=self.learning_rate,
+            weight_decay=self.weight_decay, forward=forward,
+        )
+        self._train_graph = graph
+        return self
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        model = self._require_fitted("model_")
+        graph = self._train_graph if graph is None else graph
+        transition = symmetric_normalize(graph.adjacency, add_loops=True)
+
+        def forward(mdl, inputs):
+            return self._propagate(mdl(inputs), transition)
+
+        return predict_logits(model, graph.features, forward=forward)

@@ -1,0 +1,73 @@
+"""Trivial reference classifiers: majority class and stratified random guessing.
+
+Both ignore features and edges entirely, so they satisfy edge DP (and node
+DP) for free.  They serve as the utility floor in the experiment harness: any
+DP-GNN whose accuracy falls to these floors has had its signal destroyed by
+the privacy noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseNodeClassifier
+from repro.exceptions import NotFittedError
+from repro.graphs.graph import GraphDataset
+from repro.utils.math import one_hot
+from repro.utils.random import as_rng
+
+
+class MajorityClassClassifier(BaseNodeClassifier):
+    """Predicts the most frequent class of the training split for every node."""
+
+    name = "Majority"
+
+    def __init__(self):
+        self.majority_class_: int | None = None
+        self.class_counts_: np.ndarray | None = None
+        self._train_graph: GraphDataset | None = None
+
+    def fit(self, graph: GraphDataset, seed=None) -> "MajorityClassClassifier":
+        if graph.train_idx.size == 0:
+            raise NotFittedError("the training split is empty")
+        counts = np.bincount(graph.labels[graph.train_idx], minlength=graph.num_classes)
+        self.class_counts_ = counts
+        self.majority_class_ = int(np.argmax(counts))
+        self._train_graph = graph
+        return self
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        majority = self._require_fitted("majority_class_")
+        graph = self._train_graph if graph is None else graph
+        scores = np.zeros((graph.num_nodes, graph.num_classes))
+        scores[:, majority] = 1.0
+        return scores
+
+
+class StratifiedRandomClassifier(BaseNodeClassifier):
+    """Samples labels from the training-split class distribution."""
+
+    name = "Random"
+
+    def __init__(self, seed: int | None = 0):
+        self.seed = seed
+        self.class_probabilities_: np.ndarray | None = None
+        self._train_graph: GraphDataset | None = None
+
+    def fit(self, graph: GraphDataset, seed=None) -> "StratifiedRandomClassifier":
+        if graph.train_idx.size == 0:
+            raise NotFittedError("the training split is empty")
+        counts = np.bincount(graph.labels[graph.train_idx],
+                             minlength=graph.num_classes).astype(np.float64)
+        self.class_probabilities_ = counts / counts.sum()
+        if seed is not None:
+            self.seed = seed
+        self._train_graph = graph
+        return self
+
+    def decision_scores(self, graph: GraphDataset | None = None) -> np.ndarray:
+        probabilities = self._require_fitted("class_probabilities_")
+        graph = self._train_graph if graph is None else graph
+        rng = as_rng(self.seed)
+        sampled = rng.choice(probabilities.size, size=graph.num_nodes, p=probabilities)
+        return one_hot(sampled, probabilities.size)

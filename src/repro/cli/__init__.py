@@ -1,0 +1,11 @@
+"""Command-line interface for the GCON reproduction.
+
+``python -m repro.cli --help`` (or the ``gcon-repro`` console script) exposes
+the library's main workflows without writing any Python: dataset statistics,
+single GCON/baseline training runs, regeneration of each paper figure,
+hyperparameter search, sensitivity inspection and the link-stealing attack.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.cli``."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

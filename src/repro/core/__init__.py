@@ -1,0 +1,52 @@
+"""GCON: training GCNs with edge differential privacy via objective perturbation."""
+
+from repro.core.config import GCONConfig
+from repro.core.losses import MultiLabelSoftMarginLoss, PseudoHuberLoss, get_loss
+from repro.core.propagation import Propagator
+from repro.core.sensitivity import aggregate_sensitivity, concatenated_sensitivity
+from repro.core.perturbation import PerturbationParameters, compute_perturbation_parameters
+from repro.core.objective import PerturbedObjective
+from repro.core.solver import minimize_objective, SolverResult
+from repro.core.encoder import MLPEncoder
+from repro.core.model import GCON
+from repro.core.clipping import ClippedPropagator, clipped_transition_matrix, \
+    verify_lemma1_properties
+from repro.core.persistence import save_gcon, load_gcon
+from repro.core.theory import (
+    SensitivityCheck,
+    empirical_aggregate_sensitivity,
+    check_convexity,
+    check_gradient,
+    implied_noise_matrix,
+    noise_log_density_ratio,
+    column_norm_cap_violations,
+)
+
+__all__ = [
+    "GCON",
+    "GCONConfig",
+    "MultiLabelSoftMarginLoss",
+    "PseudoHuberLoss",
+    "get_loss",
+    "Propagator",
+    "aggregate_sensitivity",
+    "concatenated_sensitivity",
+    "PerturbationParameters",
+    "compute_perturbation_parameters",
+    "PerturbedObjective",
+    "minimize_objective",
+    "SolverResult",
+    "MLPEncoder",
+    "ClippedPropagator",
+    "clipped_transition_matrix",
+    "verify_lemma1_properties",
+    "SensitivityCheck",
+    "empirical_aggregate_sensitivity",
+    "check_convexity",
+    "check_gradient",
+    "implied_noise_matrix",
+    "noise_log_density_ratio",
+    "column_norm_cap_violations",
+    "save_gcon",
+    "load_gcon",
+]

@@ -1,0 +1,122 @@
+"""MLP feature encoder (Section IV-C1 / Algorithm 3).
+
+The encoder reduces the raw feature dimension d0 to d1 before propagation,
+addressing the dimensionality issue of objective perturbation: the noise
+magnitude grows with d, so a compact representation preserves utility.  It is
+trained only on the (public) node features and labels of the training set and
+therefore consumes no privacy budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.nn import Adam, Dropout, Linear, ReLU, Sequential, Tensor, softmax_cross_entropy
+from repro.nn.module import Module
+from repro.utils.random import as_rng
+
+
+class _EncoderNetwork(Module):
+    """Two-stage network: feature transform (W1) followed by a classifier head (W2)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int, num_classes: int,
+                 dropout: float, rng):
+        super().__init__()
+        self.body = Sequential(
+            Linear(in_dim, hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, out_dim, rng=rng),
+            ReLU(),
+        )
+        self.head = Linear(out_dim, num_classes, rng=rng)
+
+    def encode(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.encode(x))
+
+
+class MLPEncoder:
+    """Trainable MLP encoder with a scikit-learn-like fit/encode interface."""
+
+    def __init__(self, output_dim: int = 16, hidden_dim: int = 64, epochs: int = 200,
+                 learning_rate: float = 0.01, weight_decay: float = 1e-5,
+                 dropout: float = 0.1, seed=None):
+        if output_dim < 1 or hidden_dim < 1:
+            raise ConfigurationError("output_dim and hidden_dim must be >= 1")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.output_dim = output_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.dropout = dropout
+        self.seed = seed
+        self._network: _EncoderNetwork | None = None
+        self.history_: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, labels: np.ndarray, train_idx: np.ndarray,
+            num_classes: int | None = None) -> "MLPEncoder":
+        """Train the encoder on the labelled nodes only (public information)."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        train_idx = np.asarray(train_idx, dtype=np.int64)
+        if train_idx.size == 0:
+            raise ConfigurationError("train_idx must not be empty")
+        num_classes = int(labels.max()) + 1 if num_classes is None else int(num_classes)
+        rng = as_rng(self.seed)
+        self._network = _EncoderNetwork(
+            in_dim=features.shape[1],
+            hidden_dim=self.hidden_dim,
+            out_dim=self.output_dim,
+            num_classes=num_classes,
+            dropout=self.dropout,
+            rng=rng,
+        )
+        optimizer = Adam(self._network.parameters(), lr=self.learning_rate,
+                         weight_decay=self.weight_decay)
+        x_train = Tensor(features[train_idx])
+        y_train = labels[train_idx]
+        self.history_ = []
+        self._network.train()
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            logits = self._network(x_train)
+            loss = softmax_cross_entropy(logits, y_train)
+            loss.backward()
+            optimizer.step()
+            self.history_.append(float(loss.data))
+        self._network.eval()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Map raw features to the learned d1-dimensional representation."""
+        network = self._require_fitted()
+        return network.encode(Tensor(np.asarray(features, dtype=np.float64))).data.copy()
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities from the encoder's classification head."""
+        network = self._require_fitted()
+        logits = network(Tensor(np.asarray(features, dtype=np.float64))).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard label predictions (used for pseudo-labelling unlabeled nodes)."""
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def _require_fitted(self) -> _EncoderNetwork:
+        if self._network is None:
+            raise NotFittedError("MLPEncoder.fit must be called before encoding")
+        return self._network

@@ -1,0 +1,41 @@
+"""Inference procedures for a trained GCON model (Section IV-C6 / Algorithm 4).
+
+Two modes are supported:
+
+* **private** (Eq. 16): the querying node only uses its own direct edges; the
+  propagation operator is the single-hop ``R̂ = (1 - α_I) Ã + α_I I`` for
+  every branch with m_i > 0, so no other node's private edges are revealed.
+* **public**: the test graph's edges are considered public, Z is computed with
+  the full PPR/APPR propagation (Eq. 11) and predictions are ``Z Θ_priv``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.propagation import Propagator
+
+
+def private_inference_scores(propagator: Propagator, features: np.ndarray, theta: np.ndarray,
+                             steps_list, inference_alpha: float) -> np.ndarray:
+    """Class scores under the privacy-preserving inference rule of Eq. (16)."""
+    aggregated = propagator.inference_concat(features, steps_list, inference_alpha)
+    return _scores(aggregated, theta)
+
+
+def public_inference_scores(propagator: Propagator, features: np.ndarray, theta: np.ndarray,
+                            steps_list) -> np.ndarray:
+    """Class scores when the test graph's edges are public (full propagation)."""
+    aggregated = propagator.propagate_concat(features, steps_list)
+    return _scores(aggregated, theta)
+
+
+def _scores(aggregated: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    aggregated = np.asarray(aggregated, dtype=np.float64)
+    theta = np.asarray(theta, dtype=np.float64)
+    if aggregated.shape[1] != theta.shape[0]:
+        raise ConfigurationError(
+            f"feature dimension {aggregated.shape[1]} does not match theta rows {theta.shape[0]}"
+        )
+    return aggregated @ theta

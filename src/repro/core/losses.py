@@ -1,0 +1,154 @@
+"""Strongly convex per-coordinate losses with bounded derivatives (Section IV-C4).
+
+GCON requires the scalar loss ``l(x; y)`` applied to each class coordinate to
+be convex in ``x`` with bounded first, second and third derivatives (the
+supremum bounds c1, c2, c3 feed Theorem 1).  The paper proposes two choices:
+
+* the MultiLabel Soft Margin loss (Eq. 27), the per-class binary logistic
+  loss scaled by ``1/c``;
+* the pseudo-Huber loss (Eq. 28) with weight ``delta_l``.
+
+Both classes expose vectorised ``value`` / ``derivative`` / ``second_derivative``
+/ ``third_derivative`` methods and the closed-form bounds from Appendix F.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.math import log1pexp, sigmoid
+
+
+class ConvexPointwiseLoss:
+    """Interface of a convex scalar loss ``l(x; y)`` with derivative bounds."""
+
+    #: number of classes c (the losses are scaled by 1/c as in the paper).
+    num_classes: int
+
+    def value(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def second_derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def third_derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def c1(self) -> float:
+        """Supremum of ``|l'|`` over all x, y."""
+        raise NotImplementedError
+
+    @property
+    def c2(self) -> float:
+        """Supremum of ``|l''|`` over all x, y."""
+        raise NotImplementedError
+
+    @property
+    def c3(self) -> float:
+        """Supremum of ``|l'''|``; also a Lipschitz constant of ``l''``."""
+        raise NotImplementedError
+
+
+class MultiLabelSoftMarginLoss(ConvexPointwiseLoss):
+    """MultiLabel Soft Margin loss (Eq. 27): per-class logistic loss scaled by 1/c.
+
+    ``l(x; y) = -(1/c) [ y log sigmoid(x) + (1 - y) log(1 - sigmoid(x)) ]``
+    with ``y`` in ``{0, 1}``.
+    """
+
+    def __init__(self, num_classes: int):
+        if num_classes < 1:
+            raise ConfigurationError(f"num_classes must be >= 1, got {num_classes}")
+        self.num_classes = int(num_classes)
+
+    def value(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        # -[y log σ(x) + (1-y) log(1-σ(x))] = log(1+e^x) - y x  (stable form)
+        return (log1pexp(x) - y * x) / self.num_classes
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return (sigmoid(np.asarray(x, dtype=np.float64)) - np.asarray(y, dtype=np.float64)) \
+            / self.num_classes
+
+    def second_derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        s = sigmoid(np.asarray(x, dtype=np.float64))
+        return s * (1.0 - s) / self.num_classes + 0.0 * np.asarray(y, dtype=np.float64)
+
+    def third_derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        s = sigmoid(np.asarray(x, dtype=np.float64))
+        return s * (1.0 - s) * (1.0 - 2.0 * s) / self.num_classes \
+            + 0.0 * np.asarray(y, dtype=np.float64)
+
+    @property
+    def c1(self) -> float:
+        return 1.0 / self.num_classes
+
+    @property
+    def c2(self) -> float:
+        return 1.0 / (4.0 * self.num_classes)
+
+    @property
+    def c3(self) -> float:
+        return 1.0 / (6.0 * np.sqrt(3.0) * self.num_classes)
+
+
+class PseudoHuberLoss(ConvexPointwiseLoss):
+    """Pseudo-Huber loss (Eq. 28) with weight ``delta_l``, scaled by 1/c.
+
+    ``l(x; y) = (delta_l^2 / c) * ( sqrt(1 + (x - y)^2 / delta_l^2) - 1 )``.
+    """
+
+    def __init__(self, num_classes: int, huber_delta: float = 0.2):
+        if num_classes < 1:
+            raise ConfigurationError(f"num_classes must be >= 1, got {num_classes}")
+        if huber_delta <= 0:
+            raise ConfigurationError(f"huber_delta must be > 0, got {huber_delta}")
+        self.num_classes = int(num_classes)
+        self.huber_delta = float(huber_delta)
+
+    def _ratio(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        diff = np.asarray(x, dtype=np.float64) - np.asarray(y, dtype=np.float64)
+        return diff, (diff / self.huber_delta) ** 2 + 1.0
+
+    def value(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        _, ratio = self._ratio(x, y)
+        return self.huber_delta ** 2 / self.num_classes * (np.sqrt(ratio) - 1.0)
+
+    def derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        diff, ratio = self._ratio(x, y)
+        return diff / (self.num_classes * np.sqrt(ratio))
+
+    def second_derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        _, ratio = self._ratio(x, y)
+        return 1.0 / (self.num_classes * ratio ** 1.5)
+
+    def third_derivative(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        diff, ratio = self._ratio(x, y)
+        return -3.0 * diff / (self.num_classes * self.huber_delta ** 2 * ratio ** 2.5)
+
+    @property
+    def c1(self) -> float:
+        return self.huber_delta / self.num_classes
+
+    @property
+    def c2(self) -> float:
+        return 1.0 / self.num_classes
+
+    @property
+    def c3(self) -> float:
+        return 48.0 * np.sqrt(5.0) / (125.0 * self.num_classes * self.huber_delta)
+
+
+def get_loss(name: str, num_classes: int, huber_delta: float = 0.2) -> ConvexPointwiseLoss:
+    """Factory mapping the config's loss name to a loss instance."""
+    if name == "soft_margin":
+        return MultiLabelSoftMarginLoss(num_classes)
+    if name == "pseudo_huber":
+        return PseudoHuberLoss(num_classes, huber_delta)
+    raise ConfigurationError(f"unknown loss {name!r}; expected 'soft_margin' or 'pseudo_huber'")

@@ -1,0 +1,255 @@
+"""The GCON estimator: Algorithm 1 (training) and Algorithm 4 (inference).
+
+Training pipeline (Algorithm 1):
+
+1. train the public MLP feature encoder and map all node features to d1
+   dimensions (Line 1);
+2. L2-normalise each encoded feature row (Line 2);
+3. build the row-stochastic propagation and the aggregate features
+   Z = (1/s)(Z_{m_1} ⊕ ... ⊕ Z_{m_s}) (Lines 4-7);
+4. evaluate the Theorem-1 parameter chain and sample the Erlang-radius
+   spherical noise B (Lines 8-9);
+5. minimise the perturbed, strongly convex objective (Lines 10-11).
+
+The released parameters Θ_priv satisfy (ε, δ) edge-DP; inference follows
+Algorithm 4 in either the private (Eq. 16) or public mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.core.config import GCONConfig
+from repro.core.encoder import MLPEncoder
+from repro.core.inference import private_inference_scores, public_inference_scores
+from repro.core.losses import get_loss
+from repro.core.objective import PerturbedObjective
+from repro.core.perturbation import (
+    PerturbationParameters,
+    compute_perturbation_parameters,
+    sample_noise_matrix,
+)
+from repro.core.propagation import Propagator
+from repro.core.sensitivity import concatenated_sensitivity
+from repro.core.solver import SolverResult, minimize_objective
+from repro.graphs.graph import GraphDataset
+from repro.utils.math import one_hot, row_normalize_l2
+from repro.utils.random import as_rng, spawn_rngs
+
+
+class GCON:
+    """Differentially private graph convolutional network via objective perturbation.
+
+    Parameters
+    ----------
+    config:
+        A :class:`GCONConfig`; if omitted the defaults are used and keyword
+        overrides may be supplied directly (``GCON(epsilon=2.0, alpha=0.8)``).
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    theta_:
+        The released model parameters Θ_priv of shape ``(s * d1, c)``.
+    perturbation_:
+        The :class:`PerturbationParameters` evaluated by Theorem 1.
+    solver_result_:
+        Convergence diagnostics of the convex solve.
+    encoder_:
+        The fitted public feature encoder.
+    """
+
+    def __init__(self, config: GCONConfig | None = None, **overrides):
+        if config is None:
+            config = GCONConfig(**overrides)
+        elif overrides:
+            raise ConfigurationError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self.theta_: np.ndarray | None = None
+        self.perturbation_: PerturbationParameters | None = None
+        self.solver_result_: SolverResult | None = None
+        self.encoder_: MLPEncoder | None = None
+        self.num_classes_: int | None = None
+        self._train_graph: GraphDataset | None = None
+
+    # ------------------------------------------------------------------ #
+    # training (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def fit(self, graph: GraphDataset, seed: int | np.random.Generator | None = None) -> "GCON":
+        """Train GCON on ``graph`` under the configured (ε, δ) edge-DP budget."""
+        config = self.config
+        rng = as_rng(seed)
+        encoder_rng, noise_rng, pseudo_rng = spawn_rngs(rng, 3)
+
+        if graph.train_idx.size == 0:
+            raise ConfigurationError("the training graph must provide a non-empty train_idx")
+        num_classes = graph.num_classes
+        delta = config.delta if config.delta is not None else 1.0 / max(graph.num_edges, 1)
+
+        # Line 1: public feature encoder.
+        encoder = MLPEncoder(
+            output_dim=config.encoder_dim,
+            hidden_dim=config.encoder_hidden,
+            epochs=config.encoder_epochs,
+            learning_rate=config.encoder_lr,
+            weight_decay=config.encoder_weight_decay,
+            dropout=config.encoder_dropout,
+            seed=encoder_rng,
+        )
+        encoder.fit(graph.features, graph.labels, graph.train_idx, num_classes=num_classes)
+        encoded = encoder.encode(graph.features)
+
+        # Line 2: row-wise L2 normalisation so that max_i ||x_i||_2 <= 1.
+        encoded = row_normalize_l2(encoded)
+
+        # Lines 4-7: propagation and concatenation.
+        propagator = Propagator(graph.adjacency, config.alpha)
+        aggregated = propagator.propagate_concat(encoded, config.normalized_steps)
+
+        # Training set: labelled nodes, optionally expanded with pseudo-labels.
+        # The paper tunes n1 in {n0, n} (Appendix Q); when expanding we keep a
+        # class-balanced, confidence-ranked subset because the per-class
+        # one-vs-rest losses have no bias term and an imbalanced pseudo-label
+        # pool would bias the arg-max towards frequent classes.
+        train_idx = graph.train_idx
+        labels = graph.labels.copy()
+        if config.use_pseudo_labels:
+            train_idx, labels = self._pseudo_label_selection(
+                graph, encoder, num_classes, mode=config.pseudo_label_mode,
+            )
+            _ = pseudo_rng  # reserved for stochastic pseudo-label selection strategies
+        labels_one_hot = one_hot(labels[train_idx], num_classes)
+        features_train = aggregated[train_idx]
+        num_labeled = train_idx.size
+
+        # Lines 8-9: Theorem-1 calibration and noise sampling.
+        loss = get_loss(config.loss, num_classes, config.huber_delta)
+        sensitivity = concatenated_sensitivity(config.alpha, config.normalized_steps)
+        dimension = aggregated.shape[1]
+        if config.non_private:
+            perturbation = compute_perturbation_parameters(
+                epsilon=config.epsilon, delta=max(delta, 1e-12), omega=config.omega,
+                loss=loss, sensitivity=0.0, num_labeled=num_labeled,
+                num_classes=num_classes, dimension=dimension,
+                lambda_reg=config.lambda_reg, xi=config.xi,
+            )
+        else:
+            perturbation = compute_perturbation_parameters(
+                epsilon=config.epsilon, delta=delta, omega=config.omega,
+                loss=loss, sensitivity=sensitivity, num_labeled=num_labeled,
+                num_classes=num_classes, dimension=dimension,
+                lambda_reg=config.lambda_reg, xi=config.xi,
+            )
+        noise = sample_noise_matrix(perturbation, rng=noise_rng)
+
+        # Lines 10-11: minimise the perturbed strongly convex objective.
+        objective = PerturbedObjective(
+            features=features_train,
+            labels_one_hot=labels_one_hot,
+            loss=loss,
+            quadratic_coefficient=perturbation.total_quadratic_coefficient,
+            noise=noise,
+        )
+        result = minimize_objective(
+            objective,
+            max_iterations=config.max_iterations,
+            gtol=config.gtol,
+        )
+
+        self.theta_ = result.theta
+        self.perturbation_ = perturbation
+        self.solver_result_ = result
+        self.encoder_ = encoder
+        self.num_classes_ = num_classes
+        self._train_graph = graph
+        return self
+
+    @staticmethod
+    def _pseudo_label_selection(graph: GraphDataset, encoder: MLPEncoder,
+                                num_classes: int, mode: str = "balanced",
+                                ) -> tuple[np.ndarray, np.ndarray]:
+        """Expand the training set with encoder pseudo-labels (the paper's n1 = n knob).
+
+        ``mode="all"`` uses every node; ``mode="balanced"`` keeps a
+        class-balanced, confidence-ranked subset, which trades a smaller n1
+        (hence relatively more objective noise) for class balance.
+        """
+        probabilities = encoder.predict_proba(graph.features)
+        labels = np.argmax(probabilities, axis=1)
+        confidence = probabilities.max(axis=1)
+        labels[graph.train_idx] = graph.labels[graph.train_idx]
+        confidence[graph.train_idx] = np.inf  # true-labelled nodes are always kept
+        if mode == "all":
+            return np.arange(graph.num_nodes, dtype=np.int64), labels
+        counts = np.bincount(labels, minlength=num_classes)
+        positive = counts[counts > 0]
+        per_class = int(positive.min()) if positive.size else 0
+        selected: list[np.ndarray] = []
+        for cls in range(num_classes):
+            members = np.flatnonzero(labels == cls)
+            if members.size == 0:
+                continue
+            ranked = members[np.argsort(-confidence[members])]
+            selected.append(ranked[:per_class] if per_class else ranked)
+        train_idx = np.sort(np.concatenate(selected)) if selected else graph.train_idx
+        return train_idx, labels
+
+    # ------------------------------------------------------------------ #
+    # inference (Algorithm 4)
+    # ------------------------------------------------------------------ #
+    def decision_scores(self, graph: GraphDataset | None = None,
+                        mode: str = "private") -> np.ndarray:
+        """Raw class scores ``Ŷ`` for every node of ``graph`` (default: training graph)."""
+        theta, encoder = self._require_fitted()
+        graph = self._train_graph if graph is None else graph
+        if graph is None:  # pragma: no cover - defensive
+            raise NotFittedError("no graph available for inference")
+        encoded = row_normalize_l2(encoder.encode(graph.features))
+        propagator = Propagator(graph.adjacency, self.config.alpha)
+        if mode == "private":
+            return private_inference_scores(
+                propagator, encoded, theta, self.config.normalized_steps,
+                self.config.effective_inference_alpha,
+            )
+        if mode == "public":
+            return public_inference_scores(
+                propagator, encoded, theta, self.config.normalized_steps,
+            )
+        raise ConfigurationError(f"mode must be 'private' or 'public', got {mode!r}")
+
+    def predict(self, graph: GraphDataset | None = None, mode: str = "private") -> np.ndarray:
+        """Predicted class labels for every node of ``graph``."""
+        return np.argmax(self.decision_scores(graph, mode=mode), axis=1)
+
+    def score(self, graph: GraphDataset | None = None, idx: np.ndarray | None = None,
+              mode: str = "private") -> float:
+        """Micro-F1 score on ``idx`` (default: the graph's test split)."""
+        from repro.evaluation.metrics import micro_f1
+
+        graph = self._train_graph if graph is None else graph
+        if graph is None:  # pragma: no cover - defensive
+            raise NotFittedError("no graph available for scoring")
+        idx = graph.test_idx if idx is None else np.asarray(idx, dtype=np.int64)
+        predictions = self.predict(graph, mode=mode)
+        return micro_f1(graph.labels[idx], predictions[idx])
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def privacy_spent(self) -> tuple[float, float]:
+        """The (ε, δ) budget guaranteed by Theorem 1 for the released Θ_priv."""
+        if self.perturbation_ is None:
+            raise NotFittedError("GCON.fit must be called before querying the privacy budget")
+        if not self.perturbation_.requires_noise and self.config.non_private:
+            return (0.0, 0.0)
+        return (self.perturbation_.epsilon, self.perturbation_.delta)
+
+    def _require_fitted(self) -> tuple[np.ndarray, MLPEncoder]:
+        if self.theta_ is None or self.encoder_ is None:
+            raise NotFittedError("GCON.fit must be called before inference")
+        return self.theta_, self.encoder_
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        fitted = self.theta_ is not None
+        return f"GCON(epsilon={self.config.epsilon}, alpha={self.config.alpha}, fitted={fitted})"

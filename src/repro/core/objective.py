@@ -1,0 +1,118 @@
+"""The perturbed training objective L_priv (Eq. 13) and its analytic gradient.
+
+    L_priv(Θ; Z, Y) = (1/n1) Σ_i Σ_j l(z_i^T θ_j; Y_ij)
+                      + (Λ̄/2) ||Θ||_F²
+                      + (1/n1) B ⊙ Θ
+                      + (Λ'/2) ||Θ||_F²
+
+where the sum runs over the n1 labelled nodes, B is the sampled noise matrix
+and ⊙ denotes the element-wise product followed by a sum (a Frobenius inner
+product).  The objective is strongly convex in Θ (Lemma 4 + Fact 1), so any
+first-order method converges to its unique minimiser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.core.losses import ConvexPointwiseLoss
+
+
+class PerturbedObjective:
+    """Value/gradient oracle for the perturbed GCON objective."""
+
+    def __init__(self, features: np.ndarray, labels_one_hot: np.ndarray,
+                 loss: ConvexPointwiseLoss, quadratic_coefficient: float,
+                 noise: np.ndarray | None = None):
+        """Build the objective.
+
+        Parameters
+        ----------
+        features:
+            Aggregate features ``Z`` of the labelled nodes, shape ``(n1, d)``.
+        labels_one_hot:
+            One-hot labels ``Y`` of the labelled nodes, shape ``(n1, c)``.
+        loss:
+            The convex scalar loss applied per class coordinate.
+        quadratic_coefficient:
+            The total coefficient ``Λ̄ + Λ'`` multiplying ``(1/2)||Θ||_F²``.
+        noise:
+            The noise matrix ``B`` of shape ``(d, c)``; ``None`` means zero
+            noise (non-private training / the Ψ = 0 case).
+        """
+        self.features = np.asarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels_one_hot, dtype=np.float64)
+        if self.features.ndim != 2 or self.labels.ndim != 2:
+            raise ConfigurationError("features and labels must be 2-D")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ConfigurationError("features and labels disagree on the number of nodes")
+        if quadratic_coefficient < 0:
+            raise ConfigurationError(
+                f"quadratic_coefficient must be >= 0, got {quadratic_coefficient}"
+            )
+        self.loss = loss
+        self.quadratic_coefficient = float(quadratic_coefficient)
+        self.num_labeled, self.dimension = self.features.shape
+        self.num_classes = self.labels.shape[1]
+        if noise is None:
+            noise = np.zeros((self.dimension, self.num_classes))
+        self.noise = np.asarray(noise, dtype=np.float64)
+        if self.noise.shape != (self.dimension, self.num_classes):
+            raise ConfigurationError(
+                f"noise must have shape ({self.dimension}, {self.num_classes}), "
+                f"got {self.noise.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # oracles
+    # ------------------------------------------------------------------ #
+    def value(self, theta: np.ndarray) -> float:
+        """Evaluate L_priv at ``theta`` of shape ``(d, c)``."""
+        theta = self._check_theta(theta)
+        margins = self.features @ theta
+        data_term = self.loss.value(margins, self.labels).sum() / self.num_labeled
+        quad_term = 0.5 * self.quadratic_coefficient * float(np.sum(theta ** 2))
+        noise_term = float(np.sum(self.noise * theta)) / self.num_labeled
+        return float(data_term + quad_term + noise_term)
+
+    def gradient(self, theta: np.ndarray) -> np.ndarray:
+        """Analytic gradient of L_priv with respect to Θ (same shape as Θ)."""
+        theta = self._check_theta(theta)
+        margins = self.features @ theta
+        residuals = self.loss.derivative(margins, self.labels)
+        grad = self.features.T @ residuals / self.num_labeled
+        grad = grad + self.quadratic_coefficient * theta
+        grad = grad + self.noise / self.num_labeled
+        return grad
+
+    def value_and_gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
+        """Evaluate value and gradient with a single matrix multiplication pass."""
+        theta = self._check_theta(theta)
+        margins = self.features @ theta
+        data_term = self.loss.value(margins, self.labels).sum() / self.num_labeled
+        residuals = self.loss.derivative(margins, self.labels)
+        grad = self.features.T @ residuals / self.num_labeled
+        grad = grad + self.quadratic_coefficient * theta + self.noise / self.num_labeled
+        value = (
+            data_term
+            + 0.5 * self.quadratic_coefficient * float(np.sum(theta ** 2))
+            + float(np.sum(self.noise * theta)) / self.num_labeled
+        )
+        return float(value), grad
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _check_theta(self, theta: np.ndarray) -> np.ndarray:
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (self.dimension, self.num_classes):
+            raise ConfigurationError(
+                f"theta must have shape ({self.dimension}, {self.num_classes}), "
+                f"got {theta.shape}"
+            )
+        return theta
+
+    def initial_theta(self) -> np.ndarray:
+        """A reasonable starting point (zeros) for the convex solver."""
+        return np.zeros((self.dimension, self.num_classes))

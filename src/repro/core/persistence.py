@@ -1,0 +1,159 @@
+"""Saving and loading trained GCON releases.
+
+The whole point of the paper is to *release* the trained parameters Θ_priv:
+once Theorem 1 has been paid for, the release is just data and can be
+post-processed, shipped and reloaded freely without touching the privacy
+budget.  This module serialises everything a downstream user needs to run
+Algorithm-4 inference — the configuration, the released Θ_priv, the public
+feature encoder and the Theorem-1 calibration record — into a single
+``.npz`` archive, and restores it into a ready-to-predict :class:`GCON`.
+
+The training graph is deliberately *not* stored: the saved artefact contains
+only the DP-protected release plus public quantities, so the file itself is
+safe to publish under the same (ε, δ) guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GCONConfig
+from repro.core.encoder import MLPEncoder, _EncoderNetwork
+from repro.core.model import GCON
+from repro.core.perturbation import PerturbationParameters
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.utils.random import as_rng
+
+_FORMAT_VERSION = 1
+_ENCODER_PREFIX = "encoder_param::"
+
+
+def _config_to_json(config: GCONConfig) -> str:
+    payload = dataclasses.asdict(config)
+    payload.pop("normalized_steps", None)
+    payload["propagation_steps"] = [
+        "inf" if value == float("inf") else value for value in config.propagation_steps
+    ]
+    return json.dumps(payload, sort_keys=True)
+
+
+def _config_from_json(text: str) -> GCONConfig:
+    payload = json.loads(text)
+    payload["propagation_steps"] = tuple(payload.get("propagation_steps", (2,)))
+    return GCONConfig(**payload)
+
+
+def save_gcon(model: GCON, path: str | Path) -> Path:
+    """Serialise a fitted :class:`GCON` (release + public encoder) to ``path``.
+
+    The file is a numpy ``.npz`` archive; the ``.npz`` suffix is appended if
+    missing.  Raises :class:`NotFittedError` if the model has not been fitted.
+    """
+    if model.theta_ is None or model.encoder_ is None or model.perturbation_ is None:
+        raise NotFittedError("GCON.fit must be called before saving the model")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    encoder = model.encoder_
+    network = encoder._require_fitted()
+
+    arrays: dict[str, np.ndarray] = {
+        "theta": model.theta_,
+        "format_version": np.array([_FORMAT_VERSION]),
+        "num_classes": np.array([model.num_classes_]),
+        "config_json": np.array(_config_to_json(model.config)),
+        "perturbation_json": np.array(
+            json.dumps(dataclasses.asdict(model.perturbation_), sort_keys=True)
+        ),
+        "encoder_settings_json": np.array(json.dumps({
+            "output_dim": encoder.output_dim,
+            "hidden_dim": encoder.hidden_dim,
+            "epochs": encoder.epochs,
+            "learning_rate": encoder.learning_rate,
+            "weight_decay": encoder.weight_decay,
+            "dropout": encoder.dropout,
+        }, sort_keys=True)),
+    }
+    for name, value in network.state_dict().items():
+        arrays[f"{_ENCODER_PREFIX}{name}"] = value
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_gcon(path: str | Path) -> GCON:
+    """Restore a :class:`GCON` previously written by :func:`save_gcon`.
+
+    The returned model is ready for Algorithm-4 inference via
+    ``predict(graph, mode=...)``; a graph must be supplied explicitly because
+    the (private) training graph is never stored in the release file.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"model file {path} does not exist")
+    with np.load(path, allow_pickle=False) as archive:
+        if "format_version" not in archive or "theta" not in archive:
+            raise ConfigurationError(f"{path} is not a saved GCON release")
+        version = int(archive["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported GCON release format {version} (expected {_FORMAT_VERSION})"
+            )
+        config = _config_from_json(str(archive["config_json"]))
+        perturbation = PerturbationParameters(**json.loads(str(archive["perturbation_json"])))
+        encoder_settings = json.loads(str(archive["encoder_settings_json"]))
+        theta = np.asarray(archive["theta"], dtype=np.float64)
+        num_classes = int(archive["num_classes"][0])
+        encoder_state = {
+            key[len(_ENCODER_PREFIX):]: np.asarray(archive[key], dtype=np.float64)
+            for key in archive.files if key.startswith(_ENCODER_PREFIX)
+        }
+
+    encoder = MLPEncoder(
+        output_dim=int(encoder_settings["output_dim"]),
+        hidden_dim=int(encoder_settings["hidden_dim"]),
+        epochs=int(encoder_settings["epochs"]),
+        learning_rate=float(encoder_settings["learning_rate"]),
+        weight_decay=float(encoder_settings["weight_decay"]),
+        dropout=float(encoder_settings["dropout"]),
+        seed=0,
+    )
+    encoder._network = _rebuild_encoder_network(encoder, encoder_state, num_classes)
+
+    model = GCON(config)
+    model.theta_ = theta
+    model.perturbation_ = perturbation
+    model.encoder_ = encoder
+    model.num_classes_ = num_classes
+    return model
+
+
+def _rebuild_encoder_network(encoder: MLPEncoder, state: dict[str, np.ndarray],
+                             num_classes: int) -> _EncoderNetwork:
+    """Reconstruct the encoder network from its saved parameter arrays."""
+    if not state:
+        raise ConfigurationError("the saved release contains no encoder parameters")
+    # The first Linear layer's weight has shape (in_dim, hidden_dim); locate it
+    # by matching the hidden width so the input dimension never has to be stored.
+    in_dim = None
+    for value in state.values():
+        if value.ndim == 2 and value.shape[1] == encoder.hidden_dim:
+            in_dim = int(value.shape[0])
+            break
+    if in_dim is None:
+        raise ConfigurationError("could not infer the encoder input dimension from the release")
+    network = _EncoderNetwork(
+        in_dim=in_dim,
+        hidden_dim=encoder.hidden_dim,
+        out_dim=encoder.output_dim,
+        num_classes=num_classes,
+        dropout=encoder.dropout,
+        rng=as_rng(0),
+    )
+    network.load_state_dict(state)
+    network.eval()
+    return network

@@ -1,0 +1,189 @@
+"""Theorem-1 calibration: the parameter chain producing Λ' and β (Eqs. 17-24).
+
+Given the privacy budget (ε, δ), the loss-derivative bounds (c1, c2, c3), the
+aggregate-feature sensitivity Ψ(Z), the number of labelled nodes n1, the
+number of classes c, the feature dimension d and the budget allocator ω,
+Theorem 1 prescribes
+
+* ``c_sf`` (Eq. 21): the (1 - δ/c) quantile of the unit-rate Erlang
+  distribution with shape d, i.e. the inverse regularised lower incomplete
+  gamma function at d;
+* ``Λ̄`` (Eq. 22): a lower bound on the regulariser guaranteeing a positive
+  denominator in ``c_θ``;
+* ``c_θ`` (Eq. 23): a high-probability bound on the column norms of the
+  optimised parameters;
+* ``ε_Λ`` (Eq. 24): the privacy cost of the Jacobian-determinant ratio;
+* ``Λ'`` (Eq. 17): the additional quadratic perturbation coefficient;
+* ``β`` (Eq. 18): the rate of the Erlang radius of the linear noise term B.
+
+The special case Ψ(Z) = 0 (propagation that never uses edges: every m_i = 0
+or α = 1) requires no perturbation at all — the mechanism releases a function
+of public data only — and is handled explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+from repro.exceptions import ConfigurationError, PrivacyBudgetError
+from repro.core.losses import ConvexPointwiseLoss
+from repro.privacy.erlang import sample_sphere_noise
+from repro.utils.random import as_rng
+
+
+@dataclass(frozen=True)
+class PerturbationParameters:
+    """All quantities computed by Theorem 1, kept for introspection and tests."""
+
+    epsilon: float
+    delta: float
+    omega: float
+    num_labeled: int
+    num_classes: int
+    dimension: int
+    sensitivity: float
+    c1: float
+    c2: float
+    c3: float
+    c_sf: float
+    lambda_input: float
+    lambda_bar: float
+    c_theta: float
+    epsilon_lambda: float
+    lambda_prime: float
+    beta: float
+
+    @property
+    def total_quadratic_coefficient(self) -> float:
+        """Coefficient ``Λ̄ + Λ'`` multiplying ``(1/2)||Θ||_F^2`` in Eq. (13)."""
+        return self.lambda_bar + self.lambda_prime
+
+    @property
+    def requires_noise(self) -> bool:
+        """Whether a non-degenerate linear noise term B is required (Ψ > 0)."""
+        return self.sensitivity > 0.0
+
+
+def erlang_quantile(dimension: int, probability: float) -> float:
+    """``c_sf`` of Eq. (21): the smallest u with P(d, u) >= probability.
+
+    ``P`` is the regularised lower incomplete gamma function, i.e. the CDF of
+    the unit-rate Erlang distribution with integer shape ``dimension``.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if not 0.0 < probability < 1.0:
+        raise ConfigurationError(f"probability must be in (0, 1), got {probability}")
+    return float(special.gammaincinv(dimension, probability))
+
+
+def compute_perturbation_parameters(*, epsilon: float, delta: float, omega: float,
+                                    loss: ConvexPointwiseLoss, sensitivity: float,
+                                    num_labeled: int, num_classes: int, dimension: int,
+                                    lambda_reg: float, xi: float = 1e-6,
+                                    ) -> PerturbationParameters:
+    """Evaluate the Theorem-1 parameter chain (Eqs. 17-24).
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Edge-DP privacy budget of Algorithm 1.
+    omega:
+        Budget allocator ω ∈ (0, 1) dividing ε between the linear term B ⊙ Θ
+        and the quadratic term Λ'||Θ||²_F.
+    loss:
+        The convex scalar loss; supplies the derivative bounds c1, c2, c3.
+    sensitivity:
+        Ψ(Z) from Lemma 2 for the configured propagation.
+    num_labeled:
+        Number of labelled training nodes n1.
+    num_classes, dimension:
+        Number of classes c and feature dimension d (= s·d1).
+    lambda_reg:
+        The user-chosen regulariser Λ of Eq. (2).
+    xi:
+        The strictly positive slack ξ of Eq. (22).
+    """
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be > 0, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise PrivacyBudgetError(f"delta must be in (0, 1), got {delta}")
+    if not 0.0 < omega < 1.0:
+        raise ConfigurationError(f"omega must be in (0, 1), got {omega}")
+    if num_labeled < 1:
+        raise ConfigurationError(f"num_labeled must be >= 1, got {num_labeled}")
+    if num_classes < 1 or dimension < 1:
+        raise ConfigurationError("num_classes and dimension must be >= 1")
+    if sensitivity < 0:
+        raise ConfigurationError(f"sensitivity must be >= 0, got {sensitivity}")
+    if lambda_reg <= 0:
+        raise ConfigurationError(f"lambda_reg must be > 0, got {lambda_reg}")
+    if xi <= 0:
+        raise ConfigurationError(f"xi must be > 0, got {xi}")
+
+    c1, c2, c3 = loss.c1, loss.c2, loss.c3
+
+    if sensitivity == 0.0:
+        # No edge information flows into Z; the released parameters are a
+        # function of public data only and need no perturbation.
+        return PerturbationParameters(
+            epsilon=epsilon, delta=delta, omega=omega, num_labeled=num_labeled,
+            num_classes=num_classes, dimension=dimension, sensitivity=0.0,
+            c1=c1, c2=c2, c3=c3, c_sf=0.0, lambda_input=lambda_reg,
+            lambda_bar=lambda_reg, c_theta=float("inf"), epsilon_lambda=0.0,
+            lambda_prime=0.0, beta=float("inf"),
+        )
+
+    # Eq. (21): c_sf from the Erlang CDF at probability 1 - delta / c.
+    c_sf = erlang_quantile(dimension, 1.0 - delta / num_classes)
+
+    # Eq. (22): effective regulariser Λ̄ ensuring a positive denominator below.
+    lambda_floor = num_classes * c2 * sensitivity * c_sf / (num_labeled * omega * epsilon) + xi
+    lambda_bar = max(lambda_reg, lambda_floor)
+
+    # Eq. (23): high-probability bound c_θ on the column norms of Θ_priv.
+    numerator = num_labeled * omega * epsilon * c1 + num_classes * c1 * sensitivity * c_sf
+    denominator = num_labeled * omega * epsilon * lambda_bar \
+        - num_classes * c2 * sensitivity * c_sf
+    if denominator <= 0:  # pragma: no cover - prevented by the Λ̄ floor
+        raise PrivacyBudgetError("internal error: non-positive denominator for c_theta")
+    c_theta = numerator / denominator
+
+    # Eq. (24): privacy cost of the Jacobian determinant ratio at Λ' = 0.
+    epsilon_lambda = num_classes * dimension * np.log(
+        1.0 + (2.0 * c2 + c3 * c_theta) * sensitivity / (dimension * num_labeled * lambda_bar)
+    )
+
+    # Eq. (17): additional quadratic coefficient Λ'.
+    if epsilon_lambda <= (1.0 - omega) * epsilon:
+        lambda_prime = 0.0
+    else:
+        lambda_prime = num_classes * (2.0 * c2 + c3 * c_theta) * sensitivity \
+            / (num_labeled * (1.0 - omega) * epsilon) - lambda_bar
+        lambda_prime = max(lambda_prime, 0.0)
+
+    # Eq. (18): Erlang rate β of the linear noise term.
+    beta = max(epsilon - epsilon_lambda, omega * epsilon) \
+        / (num_classes * (c1 + c2 * c_theta) * sensitivity)
+
+    return PerturbationParameters(
+        epsilon=epsilon, delta=delta, omega=omega, num_labeled=num_labeled,
+        num_classes=num_classes, dimension=dimension, sensitivity=sensitivity,
+        c1=c1, c2=c2, c3=c3, c_sf=c_sf, lambda_input=lambda_reg, lambda_bar=lambda_bar,
+        c_theta=c_theta, epsilon_lambda=epsilon_lambda, lambda_prime=lambda_prime, beta=beta,
+    )
+
+
+def sample_noise_matrix(params: PerturbationParameters, rng=None) -> np.ndarray:
+    """Sample the noise matrix B of Eq. (13) / Algorithm 2 for the given parameters.
+
+    Returns a ``(dimension, num_classes)`` array.  When no noise is required
+    (Ψ(Z) = 0) the zero matrix is returned.
+    """
+    rng = as_rng(rng)
+    if not params.requires_noise:
+        return np.zeros((params.dimension, params.num_classes))
+    return sample_sphere_noise(params.dimension, params.beta, params.num_classes, rng=rng)

@@ -1,0 +1,102 @@
+"""Convex solvers for the perturbed objective (Eq. 15).
+
+The privacy guarantee of GCON is independent of the optimisation algorithm
+(Remark after Theorem 1), so any minimiser of the strongly convex objective
+works.  The default is L-BFGS-B from scipy with the analytic gradient; a
+plain gradient-descent fallback is provided for environments where scipy's
+optimiser is undesirable and for cross-checking in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.exceptions import OptimizationError
+from repro.core.objective import PerturbedObjective
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of a convex solve: the minimiser and convergence diagnostics."""
+
+    theta: np.ndarray
+    objective_value: float
+    gradient_norm: float
+    iterations: int
+    converged: bool
+    method: str
+
+
+def minimize_objective(objective: PerturbedObjective, *, method: str = "lbfgs",
+                       max_iterations: int = 500, gtol: float = 1e-6,
+                       initial_theta: np.ndarray | None = None) -> SolverResult:
+    """Minimise a :class:`PerturbedObjective` and return a :class:`SolverResult`."""
+    if method == "lbfgs":
+        return _minimize_lbfgs(objective, max_iterations, gtol, initial_theta)
+    if method == "gradient_descent":
+        return _minimize_gradient_descent(objective, max_iterations, gtol, initial_theta)
+    raise OptimizationError(f"unknown solver method {method!r}")
+
+
+def _minimize_lbfgs(objective: PerturbedObjective, max_iterations: int, gtol: float,
+                    initial_theta: np.ndarray | None) -> SolverResult:
+    shape = (objective.dimension, objective.num_classes)
+    theta0 = objective.initial_theta() if initial_theta is None else np.asarray(initial_theta)
+
+    def fun(flat: np.ndarray) -> tuple[float, np.ndarray]:
+        value, grad = objective.value_and_gradient(flat.reshape(shape))
+        return value, grad.ravel()
+
+    result = optimize.minimize(
+        fun,
+        theta0.ravel(),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations, "gtol": gtol, "ftol": 1e-12},
+    )
+    theta = result.x.reshape(shape)
+    grad_norm = float(np.linalg.norm(objective.gradient(theta)))
+    return SolverResult(
+        theta=theta,
+        objective_value=float(result.fun),
+        gradient_norm=grad_norm,
+        iterations=int(result.nit),
+        converged=bool(result.success) or grad_norm <= 10 * gtol,
+        method="lbfgs",
+    )
+
+
+def _minimize_gradient_descent(objective: PerturbedObjective, max_iterations: int,
+                               gtol: float, initial_theta: np.ndarray | None) -> SolverResult:
+    """Gradient descent with backtracking line search on the convex objective."""
+    theta = objective.initial_theta() if initial_theta is None else np.asarray(initial_theta,
+                                                                                dtype=np.float64)
+    step = 1.0
+    value, grad = objective.value_and_gradient(theta)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        grad_norm = float(np.linalg.norm(grad))
+        if grad_norm <= gtol:
+            break
+        # Backtracking Armijo line search.
+        step = min(step * 2.0, 1e3)
+        while step > 1e-12:
+            candidate = theta - step * grad
+            candidate_value = objective.value(candidate)
+            if candidate_value <= value - 0.5 * step * grad_norm ** 2:
+                break
+            step *= 0.5
+        theta = theta - step * grad
+        value, grad = objective.value_and_gradient(theta)
+    grad_norm = float(np.linalg.norm(grad))
+    return SolverResult(
+        theta=theta,
+        objective_value=float(value),
+        gradient_norm=grad_norm,
+        iterations=iterations,
+        converged=grad_norm <= max(gtol, 1e-4),
+        method="gradient_descent",
+    )

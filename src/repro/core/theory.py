@@ -1,0 +1,196 @@
+"""Empirical verification utilities for the paper's theoretical claims.
+
+These helpers do not participate in training; they exist so that the claims
+underpinning Theorem 1 can be *measured* on concrete graphs:
+
+* Lemma 2 — the closed-form sensitivity Ψ(Z_m) upper-bounds the empirical
+  row-difference metric ψ(Z_m) over sampled edge-neighbouring graph pairs;
+* Lemma 4 — the (perturbed) objective is convex / strongly convex in Θ;
+* Lemma 8 — the implied-noise log-density ratio between neighbouring graphs
+  stays within the calibrated budget;
+* Lemma 9 — the released parameter columns respect the ``c_θ`` norm cap with
+  probability at least ``1 - δ``.
+
+They are exercised by the property-based test-suite and by
+``benchmarks/bench_sensitivity_bounds.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objective import PerturbedObjective
+from repro.core.propagation import Propagator
+from repro.core.sensitivity import aggregate_sensitivity, empirical_row_difference
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import GraphDataset
+from repro.graphs.perturbations import iter_neighboring_pairs
+from repro.utils.math import row_normalize_l2
+from repro.utils.random import as_rng
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2: empirical versus closed-form sensitivity
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SensitivityCheck:
+    """Outcome of an empirical Lemma-2 check for one (alpha, m) setting."""
+
+    alpha: float
+    steps: float
+    theoretical_bound: float
+    empirical_max: float
+    empirical_mean: float
+    num_pairs: int
+
+    @property
+    def holds(self) -> bool:
+        """True when no sampled neighbouring pair exceeded the closed-form bound."""
+        return self.empirical_max <= self.theoretical_bound + 1e-9
+
+    @property
+    def tightness(self) -> float:
+        """Ratio empirical-max / bound; close to 1 means the bound is tight."""
+        if self.theoretical_bound == 0.0:
+            return 0.0 if self.empirical_max == 0.0 else np.inf
+        return self.empirical_max / self.theoretical_bound
+
+
+def empirical_aggregate_sensitivity(graph: GraphDataset, alpha: float, steps: float,
+                                    num_pairs: int = 20, kind: str = "remove",
+                                    features: np.ndarray | None = None,
+                                    rng: int | np.random.Generator | None = 0,
+                                    ) -> SensitivityCheck:
+    """Measure ψ(Z_m) over sampled neighbouring pairs and compare with Ψ(Z_m).
+
+    ``features`` defaults to the graph's features, row-normalised to unit L2
+    norm as required by the lemma; pass a custom matrix to stress the bound
+    with adversarial features.
+    """
+    if num_pairs < 1:
+        raise ConfigurationError(f"num_pairs must be >= 1, got {num_pairs}")
+    rng = as_rng(rng)
+    if features is None:
+        features = graph.features
+    features = row_normalize_l2(np.asarray(features, dtype=np.float64))
+    base = Propagator(graph.adjacency, alpha).propagate(features, steps)
+    differences = []
+    for pair in iter_neighboring_pairs(graph, num_pairs, kind=kind, rng=rng):
+        neighbor = Propagator(pair.neighbor.adjacency, alpha).propagate(features, steps)
+        differences.append(empirical_row_difference(base, neighbor))
+    differences = np.asarray(differences)
+    return SensitivityCheck(
+        alpha=float(alpha),
+        steps=float(steps),
+        theoretical_bound=aggregate_sensitivity(alpha, steps),
+        empirical_max=float(differences.max()),
+        empirical_mean=float(differences.mean()),
+        num_pairs=num_pairs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 4: convexity of the (perturbed) objective
+# --------------------------------------------------------------------------- #
+def check_convexity(objective: PerturbedObjective, num_probes: int = 20,
+                    scale: float = 1.0, strong_modulus: float = 0.0,
+                    rng: int | np.random.Generator | None = 0) -> bool:
+    """Midpoint convexity check of the objective on random parameter pairs.
+
+    For each probe we draw Θ₁, Θ₂ and verify
+
+    ``L(½Θ₁ + ½Θ₂) <= ½ L(Θ₁) + ½ L(Θ₂) - (strong_modulus / 8) ||Θ₁ - Θ₂||_F²``
+
+    which holds for every ``strong_modulus``-strongly-convex function.  Pass
+    ``strong_modulus = 0`` for plain convexity.
+    """
+    if num_probes < 1:
+        raise ConfigurationError(f"num_probes must be >= 1, got {num_probes}")
+    if strong_modulus < 0:
+        raise ConfigurationError(f"strong_modulus must be >= 0, got {strong_modulus}")
+    rng = as_rng(rng)
+    shape = objective.initial_theta().shape
+    for _ in range(num_probes):
+        theta_a = rng.normal(0.0, scale, size=shape)
+        theta_b = rng.normal(0.0, scale, size=shape)
+        midpoint = 0.5 * (theta_a + theta_b)
+        lhs = objective.value(midpoint)
+        gap = strong_modulus / 8.0 * float(np.linalg.norm(theta_a - theta_b) ** 2)
+        rhs = 0.5 * objective.value(theta_a) + 0.5 * objective.value(theta_b) - gap
+        if lhs > rhs + 1e-8:
+            return False
+    return True
+
+
+def check_gradient(objective: PerturbedObjective, num_probes: int = 5,
+                   step: float = 1e-6, tolerance: float = 1e-4,
+                   rng: int | np.random.Generator | None = 0) -> bool:
+    """Finite-difference check of the analytic gradient at random points."""
+    if num_probes < 1:
+        raise ConfigurationError(f"num_probes must be >= 1, got {num_probes}")
+    rng = as_rng(rng)
+    shape = objective.initial_theta().shape
+    for _ in range(num_probes):
+        theta = rng.normal(0.0, 0.5, size=shape)
+        analytic = objective.gradient(theta)
+        for _ in range(3):
+            i = int(rng.integers(0, shape[0]))
+            j = int(rng.integers(0, shape[1]))
+            perturbed = theta.copy()
+            perturbed[i, j] += step
+            numeric = (objective.value(perturbed) - objective.value(theta)) / step
+            if abs(numeric - analytic[i, j]) > tolerance * max(1.0, abs(numeric)):
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Lemmas 8 & 9: implied noise and the parameter-norm cap
+# --------------------------------------------------------------------------- #
+def implied_noise_matrix(theta: np.ndarray, features: np.ndarray,
+                         labels_one_hot: np.ndarray, loss,
+                         quadratic_coefficient: float) -> np.ndarray:
+    """The noise matrix ``B`` for which ``theta`` minimises the perturbed objective.
+
+    This is Eq. (40) of the paper: at the optimum the gradient of the
+    perturbed objective vanishes, hence
+
+    ``B = -Σ_i z_i ℓ'(z_i^T θ_j; y_ij) - n1 (Λ + Λ') θ``  (column-wise).
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    features = np.asarray(features, dtype=np.float64)
+    labels_one_hot = np.asarray(labels_one_hot, dtype=np.float64)
+    num_labeled = features.shape[0]
+    margins = features @ theta
+    derivatives = loss.derivative(margins, labels_one_hot)
+    data_term = features.T @ derivatives
+    return -data_term - num_labeled * quadratic_coefficient * theta
+
+
+def noise_log_density_ratio(noise_first: np.ndarray, noise_second: np.ndarray,
+                            beta: float) -> float:
+    """Log of the Erlang-sphere density ratio ``µ(B|D) / µ(B'|D')`` (Lemma 8).
+
+    For the radius-Erlang spherical density the ratio of column densities is
+    ``exp(β (||b'_j||_2 - ||b_j||_2))``; the total log-ratio sums over
+    columns.
+    """
+    if beta < 0:
+        raise ConfigurationError(f"beta must be >= 0, got {beta}")
+    noise_first = np.asarray(noise_first, dtype=np.float64)
+    noise_second = np.asarray(noise_second, dtype=np.float64)
+    if noise_first.shape != noise_second.shape:
+        raise ConfigurationError("noise matrices must have the same shape")
+    norms_first = np.linalg.norm(noise_first, axis=0)
+    norms_second = np.linalg.norm(noise_second, axis=0)
+    return float(beta * np.sum(norms_second - norms_first))
+
+
+def column_norm_cap_violations(theta: np.ndarray, cap: float) -> int:
+    """Number of columns of Θ whose L2 norm exceeds the Lemma-9 cap ``c_θ``."""
+    if cap <= 0:
+        raise ConfigurationError(f"cap must be > 0, got {cap}")
+    norms = np.linalg.norm(np.asarray(theta, dtype=np.float64), axis=0)
+    return int(np.sum(norms > cap))

@@ -1,0 +1,45 @@
+"""Evaluation utilities: metrics, the experiment runner and report rendering."""
+
+from repro.evaluation.metrics import micro_f1, macro_f1, accuracy, confusion_matrix
+from repro.evaluation.runner import ExperimentRunner, ExperimentResult, aggregate_results
+from repro.evaluation.reporting import render_table, render_series
+from repro.evaluation.plots import ascii_line_chart, ascii_bar_chart, sparkline, \
+    render_figure_charts
+from repro.evaluation.significance import (
+    bootstrap_mean_interval,
+    paired_permutation_test,
+    win_matrix,
+    summarize_comparison,
+)
+from repro.evaluation.export import (
+    series_to_json,
+    series_from_json,
+    series_to_csv,
+    series_from_csv,
+    export_figure,
+)
+
+__all__ = [
+    "micro_f1",
+    "macro_f1",
+    "accuracy",
+    "confusion_matrix",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "aggregate_results",
+    "render_table",
+    "render_series",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+    "sparkline",
+    "render_figure_charts",
+    "series_to_json",
+    "series_from_json",
+    "series_to_csv",
+    "series_from_csv",
+    "export_figure",
+    "bootstrap_mean_interval",
+    "paired_permutation_test",
+    "win_matrix",
+    "summarize_comparison",
+]

@@ -1,0 +1,104 @@
+"""Classification metrics used throughout the evaluation (micro/macro F1, accuracy).
+
+The paper reports the micro-averaged F1 score, which for single-label
+multi-class classification equals plain accuracy; both are provided, along
+with macro-F1 and a confusion matrix for finer-grained analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _check_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.int64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ConfigurationError(
+            f"y_true and y_pred must have the same shape, got {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ConfigurationError("cannot compute a metric on empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int | None = None) -> np.ndarray:
+    """Confusion matrix ``C`` with ``C[i, j]`` = count of true class i predicted as j."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Micro-averaged F1 score.
+
+    Micro-averaging pools true positives, false positives and false negatives
+    over classes; for single-label classification this equals accuracy, which
+    is the quantity Figure 1 of the paper reports.
+    """
+    matrix = confusion_matrix(y_true, y_pred)
+    true_positive = float(np.trace(matrix))
+    false_positive = float(matrix.sum() - np.trace(matrix))
+    false_negative = false_positive
+    denominator = 2.0 * true_positive + false_positive + false_negative
+    if denominator == 0:
+        return 0.0
+    return 2.0 * true_positive / denominator
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Macro-averaged F1: the unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred)
+    num_classes = matrix.shape[0]
+    scores = []
+    for cls in range(num_classes):
+        tp = float(matrix[cls, cls])
+        fp = float(matrix[:, cls].sum() - tp)
+        fn = float(matrix[cls, :].sum() - tp)
+        denominator = 2.0 * tp + fp + fn
+        if denominator == 0:
+            continue
+        scores.append(2.0 * tp / denominator)
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve for binary labels via the rank statistic.
+
+    Used by the edge-inference attacks: ``y_true`` marks real edges (1) versus
+    non-edges (0) and ``scores`` are the attack's confidence values.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ConfigurationError("y_true and scores must have the same shape")
+    positives = scores[y_true == 1]
+    negatives = scores[y_true == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ConfigurationError("roc_auc requires at least one positive and one negative")
+    order = np.argsort(np.concatenate([positives, negatives]), kind="mergesort")
+    ranks = np.empty(order.size, dtype=np.float64)
+    sorted_scores = np.concatenate([positives, negatives])[order]
+    # Average ranks for ties.
+    ranks[order] = np.arange(1, order.size + 1)
+    unique, inverse, counts = np.unique(sorted_scores, return_inverse=True, return_counts=True)
+    if unique.size != sorted_scores.size:
+        cumulative = np.cumsum(counts)
+        average_rank = cumulative - (counts - 1) / 2.0
+        ranks[order] = average_rank[inverse]
+    rank_sum = ranks[: positives.size].sum()
+    auc = (rank_sum - positives.size * (positives.size + 1) / 2.0) \
+        / (positives.size * negatives.size)
+    return float(auc)

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (paper-style tables and series).
+
+The benchmark harness prints its regenerated tables/figures through these
+helpers so that the output of ``pytest benchmarks/ --benchmark-only`` contains
+the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def render_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for column, cell in zip(columns, row):
+            if isinstance(cell, float):
+                column.append(f"{cell:.4f}")
+            else:
+                column.append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row_index in range(1, len(columns[0])):
+        lines.append(
+            " | ".join(column[row_index].ljust(w) for column, w in zip(columns, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_series(series: dict[str, dict[str, dict[float, float]]],
+                  title: str | None = None) -> str:
+    """Render ``{dataset: {method: {x: y}}}`` series as per-dataset tables.
+
+    The x-axis values (privacy budgets, propagation steps, ...) become the
+    columns, matching the layout of the paper's figure panels.
+    """
+    blocks = []
+    if title:
+        blocks.append(title)
+    for dataset, methods in series.items():
+        xs = sorted({x for values in methods.values() for x in values})
+        headers = ["method"] + [_format_x(x) for x in xs]
+        rows = []
+        for method, values in methods.items():
+            row = [method] + [values.get(x, float("nan")) for x in xs]
+            rows.append(row)
+        blocks.append(render_table(headers, rows, title=f"[{dataset}]"))
+    return "\n\n".join(blocks)
+
+
+def _format_x(x) -> str:
+    if isinstance(x, float) and np.isinf(x):
+        return "inf"
+    if isinstance(x, float) and x.is_integer():
+        return str(int(x))
+    return str(x)

@@ -1,0 +1,138 @@
+"""Experiment runner: method x dataset x privacy-budget sweeps with repeats.
+
+This is the machinery behind the benchmark harness.  A *method factory* is a
+callable ``(epsilon, delta, seed) -> estimator`` returning an object with the
+``fit(graph, seed)`` / ``predict(graph, mode)`` interface shared by GCON and
+all baselines; the runner takes care of repeated runs, seeding, scoring and
+aggregation into the series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.evaluation.metrics import micro_f1
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import GraphDataset
+from repro.utils.random import as_rng, spawn_rngs
+
+
+@dataclass
+class ExperimentResult:
+    """One (method, dataset, epsilon, repeat) measurement."""
+
+    method: str
+    dataset: str
+    epsilon: float
+    repeat: int
+    micro_f1: float
+    extra: dict = field(default_factory=dict)
+
+
+def aggregate_results(results: list[ExperimentResult]) -> dict[tuple[str, str, float], dict]:
+    """Group results by (method, dataset, epsilon) and compute mean/std/count."""
+    groups: dict[tuple[str, str, float], list[float]] = {}
+    for result in results:
+        key = (result.method, result.dataset, result.epsilon)
+        groups.setdefault(key, []).append(result.micro_f1)
+    return {
+        key: {
+            "mean": float(np.mean(values)),
+            "std": float(np.std(values)),
+            "count": len(values),
+        }
+        for key, values in groups.items()
+    }
+
+
+MethodFactory = Callable[[float, float, int], object]
+
+
+class ExperimentRunner:
+    """Runs utility-versus-privacy sweeps over registered methods and datasets."""
+
+    def __init__(self, repeats: int = 3, inference_mode: str = "private", seed: int = 0):
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        if inference_mode not in ("private", "public"):
+            raise ConfigurationError(
+                f"inference_mode must be 'private' or 'public', got {inference_mode!r}"
+            )
+        self.repeats = repeats
+        self.inference_mode = inference_mode
+        self.seed = seed
+        self._methods: dict[str, MethodFactory] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, factory: MethodFactory) -> "ExperimentRunner":
+        """Register a method factory under ``name`` (chainable)."""
+        if name in self._methods:
+            raise ConfigurationError(f"method {name!r} is already registered")
+        self._methods[name] = factory
+        return self
+
+    @property
+    def methods(self) -> list[str]:
+        return list(self._methods)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, graphs: dict[str, GraphDataset], epsilons: list[float],
+            delta: float | None = None) -> list[ExperimentResult]:
+        """Run every registered method on every graph for every epsilon.
+
+        ``delta=None`` uses the paper's convention of ``1/|E|`` per graph.
+        """
+        if not self._methods:
+            raise ConfigurationError("no methods registered")
+        if not graphs:
+            raise ConfigurationError("no graphs supplied")
+        if not epsilons:
+            raise ConfigurationError("no epsilon values supplied")
+        results: list[ExperimentResult] = []
+        master_rng = as_rng(self.seed)
+        for dataset_name, graph in graphs.items():
+            graph_delta = delta if delta is not None else 1.0 / max(graph.num_edges, 1)
+            for method_name, factory in self._methods.items():
+                for epsilon in epsilons:
+                    repeat_rngs = spawn_rngs(master_rng, self.repeats)
+                    for repeat, rng in enumerate(repeat_rngs):
+                        seed = int(rng.integers(0, 2**31 - 1))
+                        estimator = factory(epsilon, graph_delta, seed)
+                        estimator.fit(graph, seed=seed)
+                        predictions = self._predict(estimator, graph)
+                        score = micro_f1(
+                            graph.labels[graph.test_idx], predictions[graph.test_idx]
+                        )
+                        results.append(
+                            ExperimentResult(
+                                method=method_name,
+                                dataset=dataset_name,
+                                epsilon=epsilon,
+                                repeat=repeat,
+                                micro_f1=score,
+                            )
+                        )
+        return results
+
+    def _predict(self, estimator, graph: GraphDataset) -> np.ndarray:
+        """Call the estimator's predict, passing the inference mode when supported."""
+        try:
+            return np.asarray(estimator.predict(graph, mode=self.inference_mode))
+        except TypeError:
+            return np.asarray(estimator.predict(graph))
+
+
+def series_from_results(results: list[ExperimentResult]) -> dict[str, dict[str, dict[float, float]]]:
+    """Reshape results into ``{dataset: {method: {epsilon: mean_f1}}}`` (figure series)."""
+    aggregated = aggregate_results(results)
+    series: dict[str, dict[str, dict[float, float]]] = {}
+    for (method, dataset, epsilon), stats in aggregated.items():
+        series.setdefault(dataset, {}).setdefault(method, {})[epsilon] = stats["mean"]
+    return series

@@ -1,0 +1,151 @@
+"""Statistical significance helpers for method comparisons.
+
+The paper averages 10 independent runs per configuration; when two methods'
+means are close, the experiment harness needs to know whether the gap is
+real.  This module provides the standard toolkit for that question at
+repeated-runs scale: bootstrap confidence intervals for a single method's
+mean score, a paired permutation test for the difference between two methods
+evaluated on the same seeds, and a pairwise win matrix across many methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.random import as_rng
+
+
+def _as_scores(values, name: str) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64).ravel()
+    if array.size < 2:
+        raise ConfigurationError(f"{name} needs at least two scores, got {array.size}")
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError(f"{name} contains non-finite scores")
+    return array
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A bootstrap estimate of a mean with its confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    num_resamples: int
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def bootstrap_mean_interval(scores, confidence: float = 0.95, num_resamples: int = 2000,
+                            rng: int | np.random.Generator | None = 0) -> BootstrapInterval:
+    """Percentile-bootstrap confidence interval for the mean of repeated-run scores."""
+    scores = _as_scores(scores, "scores")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples < 100:
+        raise ConfigurationError(f"num_resamples must be >= 100, got {num_resamples}")
+    rng = as_rng(rng)
+    resample_means = np.empty(num_resamples)
+    for index in range(num_resamples):
+        resample = rng.choice(scores, size=scores.size, replace=True)
+        resample_means[index] = resample.mean()
+    alpha = 1.0 - confidence
+    lower, upper = np.quantile(resample_means, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapInterval(
+        mean=float(scores.mean()), lower=float(lower), upper=float(upper),
+        confidence=confidence, num_resamples=num_resamples,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired permutation test between two methods."""
+
+    mean_difference: float
+    p_value: float
+    num_pairs: int
+    num_permutations: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the two methods differ at significance level ``alpha``."""
+        return self.p_value < alpha
+
+
+def paired_permutation_test(first, second, num_permutations: int = 5000,
+                            rng: int | np.random.Generator | None = 0) -> PairedComparison:
+    """Two-sided paired permutation (sign-flip) test on per-seed score differences.
+
+    ``first`` and ``second`` must contain scores from the *same* seeds/runs in
+    the same order (the pairing is what gives the test its power at 10 runs).
+    """
+    first = _as_scores(first, "first")
+    second = _as_scores(second, "second")
+    if first.size != second.size:
+        raise ConfigurationError(
+            f"paired scores must have equal length, got {first.size} vs {second.size}"
+        )
+    if num_permutations < 100:
+        raise ConfigurationError(f"num_permutations must be >= 100, got {num_permutations}")
+    rng = as_rng(rng)
+    differences = first - second
+    observed = abs(differences.mean())
+    count_extreme = 0
+    for _ in range(num_permutations):
+        signs = rng.choice([-1.0, 1.0], size=differences.size)
+        if abs((differences * signs).mean()) >= observed - 1e-15:
+            count_extreme += 1
+    # Add-one smoothing keeps the p-value strictly positive (permutation convention).
+    p_value = (count_extreme + 1) / (num_permutations + 1)
+    return PairedComparison(
+        mean_difference=float(differences.mean()), p_value=float(p_value),
+        num_pairs=int(first.size), num_permutations=num_permutations,
+    )
+
+
+def win_matrix(results: dict[str, list[float]], alpha: float = 0.05,
+               num_permutations: int = 2000,
+               rng: int | np.random.Generator | None = 0) -> tuple[list[str], np.ndarray]:
+    """Pairwise significant-win matrix over several methods' paired scores.
+
+    Returns ``(names, matrix)`` where ``matrix[i, j] = 1`` if method ``i``
+    significantly beats method ``j`` (positive mean difference and
+    ``p < alpha``), ``-1`` if it significantly loses, and ``0`` otherwise.
+    """
+    if len(results) < 2:
+        raise ConfigurationError("win_matrix needs at least two methods")
+    names = list(results)
+    rng = as_rng(rng)
+    matrix = np.zeros((len(names), len(names)), dtype=np.int64)
+    for i, name_i in enumerate(names):
+        for j, name_j in enumerate(names):
+            if i >= j:
+                continue
+            comparison = paired_permutation_test(
+                results[name_i], results[name_j],
+                num_permutations=num_permutations, rng=rng,
+            )
+            if comparison.significant(alpha):
+                sign = 1 if comparison.mean_difference > 0 else -1
+                matrix[i, j] = sign
+                matrix[j, i] = -sign
+    return names, matrix
+
+
+def summarize_comparison(name_first: str, scores_first, name_second: str, scores_second,
+                         alpha: float = 0.05) -> str:
+    """One-line human-readable verdict used by the benchmark harness."""
+    comparison = paired_permutation_test(scores_first, scores_second)
+    direction = ">" if comparison.mean_difference > 0 else "<"
+    verdict = "significant" if comparison.significant(alpha) else "not significant"
+    return (f"{name_first} {direction} {name_second}: "
+            f"mean diff {comparison.mean_difference:+.4f}, "
+            f"p = {comparison.p_value:.4f} ({verdict} at alpha = {alpha:g})")

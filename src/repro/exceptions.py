@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming from this package with a single ``except`` clause
+while still being able to distinguish configuration problems from privacy
+accounting problems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid hyperparameter or configuration value was supplied."""
+
+
+class PrivacyBudgetError(ReproError, ValueError):
+    """A privacy budget is invalid or has been exhausted."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class GraphDataError(ReproError, ValueError):
+    """A graph dataset is malformed (shape mismatch, bad labels, ...)."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """The convex solver failed to produce a usable minimiser."""

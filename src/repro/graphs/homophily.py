@@ -1,0 +1,49 @@
+"""Homophily ratio (Definition 7 of the paper).
+
+The homophily ratio is the average, over nodes with at least one neighbour, of
+the fraction of a node's neighbours that share its label.  Homophilous
+citation graphs (Cora-ML, CiteSeer, PubMed) have ratios around 0.7-0.8 while
+the heterophilous Actor graph sits near 0.22.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def homophily_ratio(graph) -> float:
+    """Compute the node-averaged homophily ratio of a :class:`GraphDataset`.
+
+    Nodes without neighbours are excluded from the average (they contribute
+    no edges and Definition 7's inner average is undefined for them).
+    """
+    adjacency = sp.csr_matrix(graph.adjacency)
+    labels = np.asarray(graph.labels)
+    n = adjacency.shape[0]
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    indptr, indices = adjacency.indptr, adjacency.indices
+    ratios = []
+    for node in range(n):
+        neighbours = indices[indptr[node]:indptr[node + 1]]
+        if neighbours.size == 0:
+            continue
+        same = np.count_nonzero(labels[neighbours] == labels[node])
+        ratios.append(same / neighbours.size)
+    if not ratios:
+        return 0.0
+    # Definition 7 normalises by |V|; we follow the common convention of
+    # averaging over nodes that actually have neighbours, which matches the
+    # reported Table II values for connected benchmark graphs.
+    _ = degrees  # degrees retained for clarity of the definition
+    return float(np.mean(ratios))
+
+
+def edge_homophily_ratio(graph) -> float:
+    """Fraction of edges whose endpoints share a label (edge-level homophily)."""
+    edges = graph.edges()
+    if edges.shape[0] == 0:
+        return 0.0
+    labels = np.asarray(graph.labels)
+    same = labels[edges[:, 0]] == labels[edges[:, 1]]
+    return float(np.mean(same))

@@ -1,0 +1,49 @@
+"""Persistence for :class:`GraphDataset` objects (compressed ``.npz``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import GraphDataset
+
+
+def save_graph(graph: GraphDataset, path: str | Path) -> Path:
+    """Serialise ``graph`` to a compressed ``.npz`` file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    adjacency = sp.csr_matrix(graph.adjacency)
+    np.savez_compressed(
+        path,
+        adj_data=adjacency.data,
+        adj_indices=adjacency.indices,
+        adj_indptr=adjacency.indptr,
+        adj_shape=np.array(adjacency.shape),
+        features=graph.features,
+        labels=graph.labels,
+        train_idx=graph.train_idx,
+        val_idx=graph.val_idx,
+        test_idx=graph.test_idx,
+        name=np.array(graph.name),
+    )
+    return path
+
+
+def load_graph(path: str | Path) -> GraphDataset:
+    """Load a :class:`GraphDataset` previously written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        adjacency = sp.csr_matrix(
+            (data["adj_data"], data["adj_indices"], data["adj_indptr"]),
+            shape=tuple(data["adj_shape"]),
+        )
+        return GraphDataset(
+            adjacency=adjacency,
+            features=data["features"],
+            labels=data["labels"],
+            train_idx=data["train_idx"],
+            val_idx=data["val_idx"],
+            test_idx=data["test_idx"],
+            name=str(data["name"]),
+        )

@@ -1,0 +1,63 @@
+"""Train/validation/test split strategies.
+
+The paper follows the standard citation-graph protocol (Appendix P): a fixed
+split with 20 labelled nodes per class for training, 500 validation nodes and
+1000 test nodes on Cora-ML / CiteSeer / PubMed, and random 60/20/20 splits on
+Actor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.random import as_rng
+
+
+def per_class_split(labels: np.ndarray, train_per_class: int = 20, num_val: int = 500,
+                    num_test: int = 1000, rng=None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Planetoid-style split: ``train_per_class`` per class, then val, then test.
+
+    Returns ``(train_idx, val_idx, test_idx)``.  If the graph is too small to
+    honour ``num_val``/``num_test`` the remaining nodes are shared between
+    validation and test proportionally.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    rng = as_rng(rng)
+    n = labels.shape[0]
+    classes = np.unique(labels)
+    train: list[int] = []
+    for cls in classes:
+        members = np.flatnonzero(labels == cls)
+        if members.size == 0:
+            continue
+        chosen = rng.permutation(members)[:min(train_per_class, members.size)]
+        train.extend(chosen.tolist())
+    train_idx = np.array(sorted(train), dtype=np.int64)
+    remaining = np.setdiff1d(np.arange(n), train_idx)
+    remaining = rng.permutation(remaining)
+    if remaining.size < num_val + num_test:
+        num_val_eff = int(remaining.size * num_val / max(num_val + num_test, 1))
+        num_test_eff = remaining.size - num_val_eff
+    else:
+        num_val_eff, num_test_eff = num_val, num_test
+    val_idx = np.sort(remaining[:num_val_eff]).astype(np.int64)
+    test_idx = np.sort(remaining[num_val_eff:num_val_eff + num_test_eff]).astype(np.int64)
+    return train_idx, val_idx, test_idx
+
+
+def fractional_split(num_nodes: int, fractions: tuple[float, float, float] = (0.6, 0.2, 0.2),
+                     rng=None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random split by fractions (the paper's Actor protocol: 60/20/20)."""
+    if len(fractions) != 3:
+        raise ConfigurationError("fractions must have exactly three entries")
+    if any(f < 0 for f in fractions) or abs(sum(fractions) - 1.0) > 1e-8:
+        raise ConfigurationError(f"fractions must be non-negative and sum to 1, got {fractions}")
+    rng = as_rng(rng)
+    order = rng.permutation(num_nodes)
+    n_train = int(round(fractions[0] * num_nodes))
+    n_val = int(round(fractions[1] * num_nodes))
+    train_idx = np.sort(order[:n_train]).astype(np.int64)
+    val_idx = np.sort(order[n_train:n_train + n_val]).astype(np.int64)
+    test_idx = np.sort(order[n_train + n_val:]).astype(np.int64)
+    return train_idx, val_idx, test_idx

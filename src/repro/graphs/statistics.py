@@ -1,0 +1,172 @@
+"""Structural statistics of :class:`~repro.graphs.graph.GraphDataset` objects.
+
+These utilities back the Table-II regeneration, the DESIGN.md calibration of
+the synthetic presets and several diagnostics in the examples: degree
+statistics, sparsity, connected components, clustering coefficients and both
+the node-averaged homophily ratio of Definition 7 (provided by
+:mod:`repro.graphs.homophily`) and its edge-averaged variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
+
+from repro.exceptions import GraphDataError
+from repro.graphs.graph import GraphDataset
+from repro.graphs.homophily import homophily_ratio
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Headline structural statistics of an attributed graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_features: int
+    num_classes: int
+    density: float
+    average_degree: float
+    max_degree: int
+    min_degree: int
+    degree_std: float
+    num_isolated_nodes: int
+    num_connected_components: int
+    largest_component_fraction: float
+    average_clustering: float
+    node_homophily: float
+    edge_homophily: float
+    label_entropy: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def degree_histogram(graph: GraphDataset) -> np.ndarray:
+    """Counts of nodes per degree: ``hist[k]`` is the number of nodes with degree ``k``."""
+    degrees = graph.degrees.astype(np.int64)
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees, minlength=int(degrees.max()) + 1)
+
+
+def edge_homophily_ratio(graph: GraphDataset) -> float:
+    """Fraction of edges whose endpoints share a label (edge-averaged homophily)."""
+    edges = graph.edges()
+    if edges.shape[0] == 0:
+        return 0.0
+    same = graph.labels[edges[:, 0]] == graph.labels[edges[:, 1]]
+    return float(np.mean(same))
+
+
+def label_entropy(graph: GraphDataset) -> float:
+    """Shannon entropy (nats) of the empirical label distribution."""
+    if graph.labels.size == 0:
+        return 0.0
+    counts = np.bincount(graph.labels, minlength=graph.num_classes).astype(np.float64)
+    probabilities = counts / counts.sum()
+    nonzero = probabilities[probabilities > 0]
+    return float(-(nonzero * np.log(nonzero)).sum())
+
+
+def clustering_coefficients(graph: GraphDataset) -> np.ndarray:
+    """Local clustering coefficient of every node.
+
+    For node ``i`` with degree ``k_i``, the coefficient is the number of
+    triangles through ``i`` divided by ``k_i (k_i - 1) / 2``; nodes with
+    degree < 2 have coefficient 0.  Computed from the diagonal of ``A^3``.
+    """
+    adjacency = graph.adjacency.astype(np.float64)
+    if adjacency.shape[0] == 0:
+        return np.zeros(0)
+    triangles = (adjacency @ adjacency @ adjacency).diagonal() / 2.0
+    degrees = graph.degrees
+    possible = degrees * (degrees - 1) / 2.0
+    coefficients = np.zeros_like(triangles)
+    mask = possible > 0
+    coefficients[mask] = triangles[mask] / possible[mask]
+    return coefficients
+
+
+def average_clustering(graph: GraphDataset) -> float:
+    """Mean local clustering coefficient over all nodes."""
+    coefficients = clustering_coefficients(graph)
+    return float(coefficients.mean()) if coefficients.size else 0.0
+
+
+def component_sizes(graph: GraphDataset) -> np.ndarray:
+    """Sizes of the connected components, sorted descending."""
+    if graph.num_nodes == 0:
+        return np.zeros(0, dtype=np.int64)
+    count, labels = connected_components(graph.adjacency, directed=False)
+    sizes = np.bincount(labels, minlength=count)
+    return np.sort(sizes)[::-1].astype(np.int64)
+
+
+def graph_density(graph: GraphDataset) -> float:
+    """Edge density ``2m / (n (n - 1))`` of the undirected simple graph."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return float(2.0 * graph.num_edges / (n * (n - 1)))
+
+
+def compute_statistics(graph: GraphDataset) -> GraphStatistics:
+    """Compute the full :class:`GraphStatistics` record for ``graph``."""
+    if graph.num_nodes == 0:
+        raise GraphDataError("cannot compute statistics of an empty graph")
+    degrees = graph.degrees
+    sizes = component_sizes(graph)
+    return GraphStatistics(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_features=graph.num_features,
+        num_classes=graph.num_classes,
+        density=graph_density(graph),
+        average_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        min_degree=int(degrees.min()),
+        degree_std=float(degrees.std()),
+        num_isolated_nodes=int(np.sum(degrees == 0)),
+        num_connected_components=int(sizes.size),
+        largest_component_fraction=float(sizes[0] / graph.num_nodes) if sizes.size else 0.0,
+        average_clustering=average_clustering(graph),
+        node_homophily=homophily_ratio(graph),
+        edge_homophily=edge_homophily_ratio(graph),
+        label_entropy=label_entropy(graph),
+    )
+
+
+def statistics_table(graphs: list[GraphDataset]) -> tuple[list[str], list[list]]:
+    """Headers and rows summarising several graphs (for text-table rendering)."""
+    headers = ["dataset", "nodes", "edges", "avg deg", "density",
+               "components", "clustering", "homophily"]
+    rows = []
+    for graph in graphs:
+        statistics = compute_statistics(graph)
+        rows.append([
+            statistics.name,
+            statistics.num_nodes,
+            statistics.num_edges,
+            f"{statistics.average_degree:.2f}",
+            f"{statistics.density:.4f}",
+            statistics.num_connected_components,
+            f"{statistics.average_clustering:.3f}",
+            f"{statistics.node_homophily:.3f}",
+        ])
+    return headers, rows
+
+
+def to_networkx(graph: GraphDataset):
+    """Convert to a ``networkx.Graph`` with ``label`` node attributes (for interop)."""
+    import networkx as nx
+
+    nx_graph = nx.from_scipy_sparse_array(sp.csr_matrix(graph.adjacency))
+    labels = {int(i): int(label) for i, label in enumerate(graph.labels)}
+    nx.set_node_attributes(nx_graph, labels, name="label")
+    return nx_graph

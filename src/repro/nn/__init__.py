@@ -1,0 +1,48 @@
+"""A small reverse-mode autograd / neural-network substrate built on numpy.
+
+The paper's reference implementation relies on PyTorch; this subpackage
+provides the minimal equivalent needed by the GCON feature encoder and by the
+non-convex baselines (MLP, GCN, DP-SGD, GAP, ProGAP, LPGNet): a ``Tensor``
+with reverse-mode autodiff, ``Module``-style layers, common losses, Glorot
+initialisation, and SGD/Adam optimizers.
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, ReLU, Tanh, Sigmoid, Dropout, Sequential
+from repro.nn.losses import (
+    softmax_cross_entropy,
+    binary_cross_entropy_with_logits,
+    mean_squared_error,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.init import glorot_uniform, zeros_init
+from repro.nn.schedulers import StepLR, ExponentialLR, CosineAnnealingLR, LinearWarmupLR
+from repro.nn.training import EarlyStopping, TrainingHistory, fit_full_batch
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "Sequential",
+    "softmax_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mean_squared_error",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "glorot_uniform",
+    "zeros_init",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "LinearWarmupLR",
+    "EarlyStopping",
+    "TrainingHistory",
+    "fit_full_batch",
+]

@@ -1,0 +1,24 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import as_rng
+
+
+def glorot_uniform(shape: tuple[int, int], rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a dense weight matrix.
+
+    Samples uniformly from ``[-a, a]`` with ``a = sqrt(6 / (fan_in + fan_out))``,
+    the standard initialisation for GCN/MLP layers.
+    """
+    rng = as_rng(rng)
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,60 @@
+"""Training losses for the neural-network substrate.
+
+These are the losses used by the MLP encoder and by the non-convex baselines;
+GCON's strongly convex losses with closed-form derivative bounds live in
+:mod:`repro.core.losses`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy between ``logits`` and integer ``labels``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(n, c)``.
+    labels:
+        Integer array of shape ``(n,)`` with values in ``[0, c)``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("labels and logits disagree on the number of examples")
+    n, c = logits.shape
+    one_hot = np.zeros((n, c), dtype=np.float64)
+    one_hot[np.arange(n), labels] = 1.0
+    log_probs = logits.log_softmax(axis=1)
+    return -(log_probs * Tensor(one_hot)).sum() * (1.0 / n)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean element-wise binary cross-entropy on raw logits.
+
+    Computed as ``softplus(x) - x * y`` averaged over all elements, which is
+    numerically stable for large-magnitude logits.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise ValueError("targets must have the same shape as logits")
+    # softplus(x) = max(x, 0) + log1p(exp(-|x|)) computed with autograd-safe ops:
+    # use the identity softplus(x) = log(1 + exp(x)) via sigmoid: log(sigmoid(x)) = -softplus(-x).
+    probs_log = logits.sigmoid().log()
+    neg_probs_log = (Tensor(np.ones_like(targets)) - logits.sigmoid() + 1e-12).log()
+    loss = -(Tensor(targets) * probs_log + Tensor(1.0 - targets) * neg_probs_log)
+    return loss.mean()
+
+
+def mean_squared_error(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error between ``predictions`` and a constant target array."""
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != predictions.shape:
+        raise ValueError("targets must have the same shape as predictions")
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()

@@ -1,0 +1,122 @@
+"""Module / Parameter abstractions mirroring the familiar torch.nn API surface."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model parameter."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network modules.
+
+    Sub-modules and parameters assigned as attributes are discovered
+    automatically by :meth:`parameters`, in a stable order, so optimizers see
+    a deterministic parameter list.
+    """
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # ------------------------------------------------------------------ #
+    # parameter / submodule discovery
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                params.append(value)
+                seen.add(id(value))
+            elif isinstance(value, Module):
+                for param in value.parameters():
+                    if id(param) not in seen:
+                        params.append(param)
+                        seen.add(id(param))
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        for param in item.parameters():
+                            if id(param) not in seen:
+                                params.append(param)
+                                seen.add(id(param))
+                    elif isinstance(item, Parameter) and id(item) not in seen:
+                        params.append(item)
+                        seen.add(id(item))
+        return params
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs; names are made unique by position."""
+        for index, param in enumerate(self.parameters()):
+            base = param.name or "param"
+            yield (f"{base}_{index}", param)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # train / eval mode
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        """Put the module (and children) in training mode (enables dropout)."""
+        self._set_training(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (and children) in evaluation mode (disables dropout)."""
+        self._set_training(False)
+        return self
+
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def _set_training(self, mode: bool) -> None:
+        self._training = mode
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_training(mode)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_training(mode)
+
+    # ------------------------------------------------------------------ #
+    # state dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of all parameter arrays keyed by name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`."""
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

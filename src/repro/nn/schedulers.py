@@ -1,0 +1,100 @@
+"""Learning-rate schedulers for the numpy optimizers.
+
+The reference implementations of several baselines anneal their learning
+rate; these schedulers mirror the PyTorch API at the scale this library
+needs: construct with an optimizer, call :meth:`step` once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: tracks the epoch count and rescales ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer):
+        if not hasattr(optimizer, "lr"):
+            raise ConfigurationError("optimizer must expose a mutable 'lr' attribute")
+        self.optimizer = optimizer
+        self.base_lr = float(optimizer.lr)
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        """Learning rate to use at the current epoch (override in subclasses)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        new_lr = float(self.get_lr())
+        self.optimizer.lr = new_lr
+        return new_lr
+
+    @property
+    def current_lr(self) -> float:
+        return float(self.optimizer.lr)
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 50, gamma: float = 0.5):
+        if step_size < 1:
+            raise ConfigurationError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.99):
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError(f"gamma must be in (0, 1], got {gamma}")
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** self.epoch
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base learning rate down to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int = 200, min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ConfigurationError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_lr < 0:
+            raise ConfigurationError(f"min_lr must be >= 0, got {min_lr}")
+        super().__init__(optimizer)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+class LinearWarmupLR(LRScheduler):
+    """Ramp the learning rate linearly from 0 over ``warmup_epochs``, then hold it."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int = 10):
+        if warmup_epochs < 1:
+            raise ConfigurationError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+
+    def get_lr(self) -> float:
+        if self.epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * self.epoch / self.warmup_epochs

@@ -1,0 +1,143 @@
+"""Training-loop helpers: early stopping and a generic full-batch fit loop.
+
+The baselines repeat the same pattern (forward, loss, backward, step, track
+validation accuracy); :func:`fit_full_batch` factors that loop out and adds
+optional early stopping and learning-rate scheduling, mirroring the protocol
+the paper's competitors use (train with Adam, monitor validation accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import LRScheduler
+from repro.nn.tensor import Tensor
+
+
+class EarlyStopping:
+    """Stop training when a monitored metric has not improved for ``patience`` epochs.
+
+    ``mode="max"`` treats larger metric values as better (e.g. validation
+    accuracy); ``mode="min"`` treats smaller values as better (e.g. loss).
+    The best parameter state is snapshotted and can be restored afterwards.
+    """
+
+    def __init__(self, patience: int = 20, min_delta: float = 0.0, mode: str = "max"):
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise ConfigurationError(f"min_delta must be >= 0, got {min_delta}")
+        if mode not in ("max", "min"):
+            raise ConfigurationError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self.best_value: float | None = None
+        self.best_state: dict[str, np.ndarray] | None = None
+        self.best_epoch: int = -1
+        self.counter = 0
+        self.stopped = False
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value + self.min_delta
+        return value < self.best_value - self.min_delta
+
+    def update(self, value: float, model: Module | None = None, epoch: int = -1) -> bool:
+        """Record a metric value; returns True when training should stop."""
+        if self._improved(value):
+            self.best_value = float(value)
+            self.best_epoch = epoch
+            self.counter = 0
+            if model is not None:
+                self.best_state = {k: v.copy() for k, v in model.state_dict().items()}
+        else:
+            self.counter += 1
+            if self.counter >= self.patience:
+                self.stopped = True
+        return self.stopped
+
+    def restore(self, model: Module) -> None:
+        """Load the best snapshotted parameters back into ``model`` (if any)."""
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of the fit loop."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_metric: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+    stopped_epoch: int | None = None
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_metric(self) -> float | None:
+        return max(self.val_metric) if self.val_metric else None
+
+
+def fit_full_batch(model: Module, optimizer: Optimizer,
+                   loss_fn: Callable[[Module], Tensor],
+                   epochs: int,
+                   val_fn: Callable[[Module], float] | None = None,
+                   early_stopping: EarlyStopping | None = None,
+                   scheduler: LRScheduler | None = None,
+                   grad_clip: float | None = None) -> TrainingHistory:
+    """Generic full-batch training loop.
+
+    Parameters
+    ----------
+    loss_fn:
+        Callable receiving the model (in training mode) and returning the
+        scalar loss :class:`Tensor` for the current epoch.
+    val_fn:
+        Optional callable receiving the model (in eval mode) and returning a
+        scalar validation metric; required when ``early_stopping`` is given.
+    grad_clip:
+        Optional global gradient-norm clip applied before each step.
+    """
+    if epochs < 1:
+        raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+    if early_stopping is not None and val_fn is None:
+        raise ConfigurationError("early_stopping requires a val_fn")
+    from repro.nn.optim import clip_gradients
+
+    history = TrainingHistory()
+    for epoch in range(epochs):
+        model.train()
+        optimizer.zero_grad()
+        loss = loss_fn(model)
+        loss.backward()
+        if grad_clip is not None:
+            clip_gradients(model.parameters(), grad_clip)
+        optimizer.step()
+        history.train_loss.append(float(loss.numpy()))
+        history.learning_rate.append(float(getattr(optimizer, "lr", np.nan)))
+
+        if val_fn is not None:
+            model.eval()
+            metric = float(val_fn(model))
+            history.val_metric.append(metric)
+            if early_stopping is not None and early_stopping.update(metric, model, epoch):
+                history.stopped_epoch = epoch
+                break
+        if scheduler is not None:
+            scheduler.step()
+
+    if early_stopping is not None:
+        early_stopping.restore(model)
+    model.eval()
+    return history

@@ -1,0 +1,72 @@
+"""Differential-privacy primitives: mechanisms, accountants, noise samplers."""
+
+from repro.privacy.definitions import PrivacySpec
+from repro.privacy.mechanisms import (
+    laplace_mechanism,
+    gaussian_mechanism,
+    gaussian_sigma,
+    analytic_gaussian_sigma,
+    randomized_response_matrix,
+)
+from repro.privacy.erlang import sample_erlang_radius, sample_sphere_noise, erlang_pdf
+from repro.privacy.rdp import (
+    rdp_gaussian,
+    rdp_subsampled_gaussian,
+    rdp_to_dp,
+    DEFAULT_ORDERS,
+)
+from repro.privacy.accountant import RdpAccountant, BudgetLedger
+from repro.privacy.composition import (
+    basic_composition,
+    parallel_composition,
+    advanced_composition,
+    optimal_homogeneous_composition,
+    heterogeneous_advanced_composition,
+    CompositionPlan,
+)
+from repro.privacy.pdp import (
+    pdp_implies_dp,
+    log_ratio_violation_fraction,
+    empirical_pdp_epsilon,
+    check_pdp,
+)
+from repro.privacy.audit import (
+    PrivacyAuditor,
+    AuditResult,
+    audit_laplace_mechanism,
+    clopper_pearson_interval,
+    epsilon_lower_bound,
+)
+
+__all__ = [
+    "PrivacySpec",
+    "laplace_mechanism",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "analytic_gaussian_sigma",
+    "randomized_response_matrix",
+    "sample_erlang_radius",
+    "sample_sphere_noise",
+    "erlang_pdf",
+    "rdp_gaussian",
+    "rdp_subsampled_gaussian",
+    "rdp_to_dp",
+    "DEFAULT_ORDERS",
+    "RdpAccountant",
+    "BudgetLedger",
+    "basic_composition",
+    "parallel_composition",
+    "advanced_composition",
+    "optimal_homogeneous_composition",
+    "heterogeneous_advanced_composition",
+    "CompositionPlan",
+    "pdp_implies_dp",
+    "log_ratio_violation_fraction",
+    "empirical_pdp_epsilon",
+    "check_pdp",
+    "PrivacyAuditor",
+    "AuditResult",
+    "audit_laplace_mechanism",
+    "clopper_pearson_interval",
+    "epsilon_lower_bound",
+]

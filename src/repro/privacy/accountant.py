@@ -1,0 +1,93 @@
+"""Privacy accountants: an RDP accountant and a simple sequential-composition ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy.rdp import DEFAULT_ORDERS, rdp_gaussian, rdp_subsampled_gaussian, rdp_to_dp
+
+
+class RdpAccountant:
+    """Accumulates RDP over a sequence of (subsampled) Gaussian mechanism events."""
+
+    def __init__(self, orders=DEFAULT_ORDERS):
+        self.orders = np.asarray(orders, dtype=np.float64)
+        self._rdp = np.zeros_like(self.orders)
+        self._events: list[dict] = []
+
+    def add_gaussian(self, sigma: float, sensitivity: float = 1.0, count: int = 1) -> None:
+        """Record ``count`` releases of a Gaussian mechanism with scale ``sigma``."""
+        if count < 0:
+            raise PrivacyBudgetError(f"count must be >= 0, got {count}")
+        self._rdp = self._rdp + count * rdp_gaussian(sigma, self.orders, sensitivity)
+        self._events.append({"kind": "gaussian", "sigma": sigma, "sensitivity": sensitivity,
+                             "count": count})
+
+    def add_subsampled_gaussian(self, q: float, sigma: float, steps: int) -> None:
+        """Record ``steps`` Poisson-subsampled Gaussian steps (e.g. DP-SGD iterations)."""
+        self._rdp = self._rdp + rdp_subsampled_gaussian(q, sigma, steps, self.orders)
+        self._events.append({"kind": "subsampled_gaussian", "q": q, "sigma": sigma,
+                             "steps": steps})
+
+    def get_epsilon(self, delta: float) -> float:
+        """Return the tightest epsilon achievable at the given delta."""
+        if not self._events:
+            return 0.0
+        epsilon, _ = rdp_to_dp(self._rdp, delta, self.orders)
+        return epsilon
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+
+@dataclass
+class BudgetLedger:
+    """A sequential-composition ledger for pure/approximate DP spending.
+
+    Mechanisms register their (epsilon, delta) costs; the ledger refuses to
+    exceed the total budget.  Used by the multi-stage baselines (DPGCN and
+    LPGNet split their budget across sub-mechanisms).
+    """
+
+    total_epsilon: float
+    total_delta: float
+    spent_epsilon: float = 0.0
+    spent_delta: float = 0.0
+    entries: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise PrivacyBudgetError(f"total_epsilon must be > 0, got {self.total_epsilon}")
+        if not 0.0 <= self.total_delta < 1.0:
+            raise PrivacyBudgetError(f"total_delta must be in [0, 1), got {self.total_delta}")
+
+    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> None:
+        """Record a spend; raises if it would exceed the total budget."""
+        if epsilon < 0 or delta < 0:
+            raise PrivacyBudgetError("spends must be non-negative")
+        tol = 1e-9
+        if self.spent_epsilon + epsilon > self.total_epsilon + tol:
+            raise PrivacyBudgetError(
+                f"epsilon budget exceeded: spent {self.spent_epsilon:g} + {epsilon:g} "
+                f"> total {self.total_epsilon:g}"
+            )
+        if self.spent_delta + delta > self.total_delta + tol:
+            raise PrivacyBudgetError(
+                f"delta budget exceeded: spent {self.spent_delta:g} + {delta:g} "
+                f"> total {self.total_delta:g}"
+            )
+        self.spent_epsilon += epsilon
+        self.spent_delta += delta
+        self.entries.append({"label": label, "epsilon": epsilon, "delta": delta})
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return max(0.0, self.total_epsilon - self.spent_epsilon)
+
+    @property
+    def remaining_delta(self) -> float:
+        return max(0.0, self.total_delta - self.spent_delta)

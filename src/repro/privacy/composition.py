@@ -1,0 +1,174 @@
+"""Composition theorems for (ε, δ)-differential privacy.
+
+GCON itself needs no composition: Theorem 1 charges the entire budget to a
+single objective-perturbation release.  The baselines, however, compose many
+noisy releases (per-hop aggregation noise in GAP/ProGAP, per-step gradient
+noise in DP-SGD), and the experiment harness occasionally needs to reason
+about the total budget of a pipeline.  This module provides the standard
+composition bounds:
+
+* sequential (basic) composition -- budgets add up;
+* advanced composition (Dwork, Rothblum, Vadhan 2010) -- sub-linear growth in
+  the number of mechanisms at the price of an extra ``delta_prime``;
+* the optimal homogeneous bound of Kairouz, Oh and Viswanath (2015);
+* parallel composition -- disjoint inputs cost only the maximum budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import PrivacyBudgetError
+
+
+def _validate_budget(epsilon: float, delta: float) -> None:
+    if epsilon < 0:
+        raise PrivacyBudgetError(f"epsilon must be >= 0, got {epsilon}")
+    if not 0.0 <= delta <= 1.0:
+        raise PrivacyBudgetError(f"delta must be in [0, 1], got {delta}")
+
+
+def basic_composition(budgets: Iterable[tuple[float, float]]) -> tuple[float, float]:
+    """Sequential composition: ``(sum eps_i, sum delta_i)``.
+
+    Parameters
+    ----------
+    budgets:
+        Iterable of ``(epsilon, delta)`` pairs, one per mechanism.
+    """
+    total_epsilon = 0.0
+    total_delta = 0.0
+    for epsilon, delta in budgets:
+        _validate_budget(epsilon, delta)
+        total_epsilon += epsilon
+        total_delta += delta
+    return total_epsilon, min(total_delta, 1.0)
+
+
+def parallel_composition(budgets: Iterable[tuple[float, float]]) -> tuple[float, float]:
+    """Parallel composition over disjoint data partitions: the maximum budget."""
+    max_epsilon = 0.0
+    max_delta = 0.0
+    empty = True
+    for epsilon, delta in budgets:
+        _validate_budget(epsilon, delta)
+        max_epsilon = max(max_epsilon, epsilon)
+        max_delta = max(max_delta, delta)
+        empty = False
+    if empty:
+        return 0.0, 0.0
+    return max_epsilon, max_delta
+
+
+def advanced_composition(epsilon: float, delta: float, num_mechanisms: int,
+                         delta_prime: float) -> tuple[float, float]:
+    """Advanced composition of ``k`` identical (ε, δ)-DP mechanisms.
+
+    Returns the (ε', kδ + δ') guarantee of Dwork-Rothblum-Vadhan:
+
+    ``eps' = sqrt(2 k ln(1/δ')) ε + k ε (e^ε - 1)``.
+    """
+    _validate_budget(epsilon, delta)
+    if num_mechanisms < 1:
+        raise PrivacyBudgetError(f"num_mechanisms must be >= 1, got {num_mechanisms}")
+    if not 0.0 < delta_prime < 1.0:
+        raise PrivacyBudgetError(f"delta_prime must be in (0, 1), got {delta_prime}")
+    epsilon_total = (
+        math.sqrt(2.0 * num_mechanisms * math.log(1.0 / delta_prime)) * epsilon
+        + num_mechanisms * epsilon * (math.exp(epsilon) - 1.0)
+    )
+    delta_total = num_mechanisms * delta + delta_prime
+    return epsilon_total, min(delta_total, 1.0)
+
+
+def optimal_homogeneous_composition(epsilon: float, delta: float, num_mechanisms: int,
+                                    delta_slack: float) -> tuple[float, float]:
+    """Kairouz-Oh-Viswanath optimal composition of ``k`` identical (ε, δ)-DP mechanisms.
+
+    Evaluates the three candidate bounds of Theorem 3.3 in KOV'15 (the naive
+    ``k ε`` bound and the two concentration bounds) and returns the smallest.
+    The resulting guarantee is ``(eps', 1 - (1 - delta)^k (1 - delta_slack))``;
+    for simplicity we report the slightly looser ``k delta + delta_slack``.
+    """
+    _validate_budget(epsilon, delta)
+    if num_mechanisms < 1:
+        raise PrivacyBudgetError(f"num_mechanisms must be >= 1, got {num_mechanisms}")
+    if not 0.0 < delta_slack < 1.0:
+        raise PrivacyBudgetError(f"delta_slack must be in (0, 1), got {delta_slack}")
+    k = num_mechanisms
+    naive = k * epsilon
+    expm1 = math.expm1(epsilon)
+    mean_shift = k * epsilon * expm1 / (math.exp(epsilon) + 1.0)
+    candidate_a = mean_shift + epsilon * math.sqrt(2.0 * k * math.log(1.0 / delta_slack))
+    candidate_b = mean_shift + epsilon * math.sqrt(
+        2.0 * k * math.log(math.e + epsilon * math.sqrt(k) / delta_slack)
+    )
+    epsilon_total = min(naive, candidate_a, candidate_b)
+    delta_total = min(k * delta + delta_slack, 1.0)
+    return epsilon_total, delta_total
+
+
+def heterogeneous_advanced_composition(budgets: Sequence[tuple[float, float]],
+                                       delta_prime: float) -> tuple[float, float]:
+    """Advanced composition for mechanisms with different budgets.
+
+    Uses the heterogeneous form
+    ``eps' = sqrt(2 ln(1/δ') Σ eps_i²) + Σ eps_i (e^{eps_i} - 1)``.
+    """
+    if not 0.0 < delta_prime < 1.0:
+        raise PrivacyBudgetError(f"delta_prime must be in (0, 1), got {delta_prime}")
+    sum_sq = 0.0
+    drift = 0.0
+    total_delta = 0.0
+    for epsilon, delta in budgets:
+        _validate_budget(epsilon, delta)
+        sum_sq += epsilon * epsilon
+        drift += epsilon * (math.exp(epsilon) - 1.0)
+        total_delta += delta
+    epsilon_total = math.sqrt(2.0 * math.log(1.0 / delta_prime) * sum_sq) + drift
+    return epsilon_total, min(total_delta + delta_prime, 1.0)
+
+
+@dataclass
+class CompositionPlan:
+    """Convenience wrapper comparing composition bounds for a sequence of releases.
+
+    Example
+    -------
+    >>> plan = CompositionPlan()
+    >>> plan.add(0.1, 1e-6, count=50)
+    >>> eps, delta = plan.best(delta_prime=1e-6)
+    """
+
+    budgets: list[tuple[float, float]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.budgets is None:
+            self.budgets = []
+
+    def add(self, epsilon: float, delta: float = 0.0, count: int = 1) -> "CompositionPlan":
+        """Record ``count`` identical (ε, δ)-DP releases (chainable)."""
+        _validate_budget(epsilon, delta)
+        if count < 1:
+            raise PrivacyBudgetError(f"count must be >= 1, got {count}")
+        self.budgets.extend([(epsilon, delta)] * count)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.budgets)
+
+    def basic(self) -> tuple[float, float]:
+        return basic_composition(self.budgets)
+
+    def advanced(self, delta_prime: float) -> tuple[float, float]:
+        return heterogeneous_advanced_composition(self.budgets, delta_prime)
+
+    def best(self, delta_prime: float) -> tuple[float, float]:
+        """The tighter of basic and advanced composition (matching deltas are reported)."""
+        basic_eps, basic_delta = self.basic()
+        adv_eps, adv_delta = self.advanced(delta_prime)
+        if adv_eps < basic_eps:
+            return adv_eps, adv_delta
+        return basic_eps, basic_delta

@@ -1,0 +1,71 @@
+"""Erlang-radius spherical noise (Algorithm 2 of the paper).
+
+GCON's linear perturbation term ``B ⊙ Θ`` uses a noise matrix whose columns
+are sampled uniformly on a d-dimensional sphere with a random radius following
+the Erlang distribution with shape ``d`` and rate ``beta`` (Eq. 14):
+
+    gamma(x) = x^{d-1} e^{-beta x} beta^d / (d-1)!
+
+Sampling (Algorithm 2): draw the radius from the Erlang distribution, draw a
+standard normal vector, and scale it to that radius — by the rotational
+symmetry of the normal distribution the direction is uniform on the sphere
+(Lemma 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro.exceptions import ConfigurationError
+from repro.utils.random import as_rng
+
+
+def erlang_pdf(x: np.ndarray, dimension: int, beta: float) -> np.ndarray:
+    """Probability density of the Erlang(shape=dimension, rate=beta) distribution."""
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if beta <= 0:
+        raise ConfigurationError(f"beta must be > 0, got {beta}")
+    x = np.asarray(x, dtype=np.float64)
+    log_pdf = (
+        (dimension - 1) * np.log(np.where(x > 0, x, 1.0))
+        - beta * x
+        + dimension * np.log(beta)
+        - special.gammaln(dimension)
+    )
+    pdf = np.where(x > 0, np.exp(log_pdf), 0.0)
+    return pdf
+
+
+def sample_erlang_radius(dimension: int, beta: float, rng=None, size: int | None = None):
+    """Sample radii from the Erlang distribution of Eq. (14).
+
+    The Erlang distribution with integer shape ``d`` and rate ``beta`` is the
+    Gamma distribution with shape ``d`` and scale ``1/beta``.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    if beta <= 0:
+        raise ConfigurationError(f"beta must be > 0, got {beta}")
+    rng = as_rng(rng)
+    return rng.gamma(shape=dimension, scale=1.0 / beta, size=size)
+
+
+def sample_sphere_noise(dimension: int, beta: float, num_columns: int = 1,
+                        rng=None) -> np.ndarray:
+    """Sample the noise matrix ``B`` of Algorithm 2.
+
+    Returns an array of shape ``(dimension, num_columns)`` whose columns are
+    independent, each uniformly distributed on the sphere of a radius drawn
+    from Erlang(dimension, beta).
+    """
+    if num_columns < 1:
+        raise ConfigurationError(f"num_columns must be >= 1, got {num_columns}")
+    rng = as_rng(rng)
+    radii = sample_erlang_radius(dimension, beta, rng=rng, size=num_columns)
+    directions = rng.normal(0.0, 1.0, size=(dimension, num_columns))
+    norms = np.linalg.norm(directions, axis=0, keepdims=True)
+    # A zero draw has probability zero; guard anyway for numerical safety.
+    norms = np.where(norms > 0, norms, 1.0)
+    return directions / norms * radii[np.newaxis, :]

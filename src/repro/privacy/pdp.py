@@ -1,0 +1,68 @@
+"""Probabilistic differential privacy (pDP) helpers.
+
+Theorem 1 of the paper is proved via (ε, δ)-*probabilistic* DP (Definition 6
+in Appendix M): with probability at least ``1 - δ`` over the output, the
+log-density ratio between neighbouring inputs lies in ``[-ε, ε]``; Lemma 10
+then converts pDP to ordinary (ε, δ)-DP.  This module captures that argument
+so tests (and the empirical audit in :mod:`repro.privacy.audit`) can exercise
+it directly on log-density-ratio samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PrivacyBudgetError
+
+
+def pdp_implies_dp(epsilon: float, delta: float) -> tuple[float, float]:
+    """Lemma 10: an (ε, δ)-pDP mechanism is (ε, δ)-DP with the same parameters."""
+    if epsilon < 0:
+        raise PrivacyBudgetError(f"epsilon must be >= 0, got {epsilon}")
+    if not 0.0 <= delta <= 1.0:
+        raise PrivacyBudgetError(f"delta must be in [0, 1], got {delta}")
+    return epsilon, delta
+
+
+def log_ratio_violation_fraction(log_density_ratios: np.ndarray, epsilon: float) -> float:
+    """Fraction of outputs whose absolute log-density ratio exceeds ``epsilon``.
+
+    ``log_density_ratios`` are samples of ``log g(o | D) - log g(o | D')`` drawn
+    with ``o ~ A(D)``.  For an (ε, δ)-pDP mechanism the returned fraction is a
+    consistent estimator of a quantity that is at most δ.
+    """
+    if epsilon < 0:
+        raise PrivacyBudgetError(f"epsilon must be >= 0, got {epsilon}")
+    ratios = np.asarray(log_density_ratios, dtype=np.float64)
+    if ratios.size == 0:
+        raise PrivacyBudgetError("log_density_ratios must be non-empty")
+    return float(np.mean(np.abs(ratios) > epsilon))
+
+
+def empirical_pdp_epsilon(log_density_ratios: np.ndarray, delta: float) -> float:
+    """Smallest ε such that the observed samples satisfy the pDP inequality at level δ.
+
+    This is the empirical ``(1 - delta)``-quantile of the absolute log-density
+    ratios: a diagnostic (not a certified bound) that should sit below the
+    analytical ε of Theorem 1 when the mechanism is implemented correctly.
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise PrivacyBudgetError(f"delta must be in [0, 1], got {delta}")
+    ratios = np.abs(np.asarray(log_density_ratios, dtype=np.float64))
+    if ratios.size == 0:
+        raise PrivacyBudgetError("log_density_ratios must be non-empty")
+    if delta <= 0.0:
+        return float(ratios.max())
+    return float(np.quantile(ratios, 1.0 - delta))
+
+
+def check_pdp(log_density_ratios: np.ndarray, epsilon: float, delta: float,
+              slack: float = 0.0) -> bool:
+    """True if the sampled log-density ratios are consistent with (ε, δ)-pDP.
+
+    ``slack`` loosens the δ comparison to account for Monte-Carlo error; a
+    typical choice is two binomial standard deviations,
+    ``2 * sqrt(delta * (1 - delta) / n)``.
+    """
+    violation = log_ratio_violation_fraction(log_density_ratios, epsilon)
+    return violation <= delta + slack

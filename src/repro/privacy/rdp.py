@@ -1,0 +1,149 @@
+"""Rényi differential privacy (RDP) accounting.
+
+Used by the DP-SGD and GAP/ProGAP baselines, which compose many Gaussian
+mechanism invocations.  We implement:
+
+* the RDP curve of the Gaussian mechanism, ``alpha / (2 sigma^2)``;
+* an upper bound on the RDP of the Poisson-subsampled Gaussian mechanism at
+  integer orders (Mironov, Talwar & Zhang 2019, Eq. (8) binomial expansion);
+* the standard RDP -> (epsilon, delta)-DP conversion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro.exceptions import PrivacyBudgetError
+
+#: Default Rényi orders used for accounting (integer orders for the
+#: subsampled-Gaussian bound plus a few fractional low orders for the pure
+#: Gaussian curve).
+DEFAULT_ORDERS: tuple[float, ...] = tuple(
+    [1.25, 1.5, 1.75, 2.0, 2.5, 3.0] + list(range(4, 64)) + [128.0, 256.0, 512.0]
+)
+
+
+def rdp_gaussian(sigma: float, orders=DEFAULT_ORDERS, sensitivity: float = 1.0) -> np.ndarray:
+    """RDP of the Gaussian mechanism with noise multiplier ``sigma / sensitivity``."""
+    if sigma <= 0:
+        raise PrivacyBudgetError(f"sigma must be > 0, got {sigma}")
+    orders = np.asarray(orders, dtype=np.float64)
+    noise_multiplier = sigma / sensitivity
+    return orders / (2.0 * noise_multiplier ** 2)
+
+
+def _log_add(a: float, b: float) -> float:
+    """Stable log(exp(a) + exp(b))."""
+    if a == -np.inf:
+        return b
+    if b == -np.inf:
+        return a
+    return max(a, b) + np.log1p(np.exp(-abs(a - b)))
+
+
+def _rdp_subsampled_gaussian_int(q: float, sigma: float, alpha: int) -> float:
+    """RDP at integer order ``alpha`` of the Poisson-subsampled Gaussian mechanism.
+
+    Implements the binomial-expansion upper bound of Mironov et al. (2019):
+
+        RDP(alpha) = 1/(alpha-1) * log( sum_{k=0}^{alpha} C(alpha,k) (1-q)^{alpha-k} q^k
+                                        * exp(k(k-1) / (2 sigma^2)) )
+    """
+    log_terms = []
+    for k in range(alpha + 1):
+        log_coef = (
+            special.gammaln(alpha + 1)
+            - special.gammaln(k + 1)
+            - special.gammaln(alpha - k + 1)
+        )
+        log_term = (
+            log_coef
+            + k * np.log(q)
+            + (alpha - k) * np.log1p(-q)
+            + k * (k - 1) / (2.0 * sigma ** 2)
+        )
+        log_terms.append(log_term)
+    total = -np.inf
+    for term in log_terms:
+        total = _log_add(total, term)
+    return float(total / (alpha - 1))
+
+
+def rdp_subsampled_gaussian(q: float, sigma: float, steps: int,
+                            orders=DEFAULT_ORDERS) -> np.ndarray:
+    """Total RDP over ``steps`` iterations of the Poisson-subsampled Gaussian.
+
+    Non-integer orders are handled by rounding up to the next integer, which
+    only makes the bound more conservative at that order.
+    ``q`` is the sampling probability per step, ``sigma`` the noise multiplier
+    relative to the per-example clipping norm.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise PrivacyBudgetError(f"sampling probability must be in [0, 1], got {q}")
+    if sigma <= 0:
+        raise PrivacyBudgetError(f"sigma must be > 0, got {sigma}")
+    if steps < 0:
+        raise PrivacyBudgetError(f"steps must be >= 0, got {steps}")
+    orders = np.asarray(orders, dtype=np.float64)
+    if q == 0.0 or steps == 0:
+        return np.zeros_like(orders)
+    if q == 1.0:
+        return steps * rdp_gaussian(sigma, orders)
+    per_step = np.array(
+        [
+            _rdp_subsampled_gaussian_int(q, sigma, max(2, int(np.ceil(alpha))))
+            for alpha in orders
+        ]
+    )
+    return steps * per_step
+
+
+def rdp_to_dp(rdp_values: np.ndarray, delta: float,
+              orders=DEFAULT_ORDERS) -> tuple[float, float]:
+    """Convert an RDP curve to an (epsilon, delta)-DP guarantee.
+
+    Uses the standard conversion ``epsilon = min_alpha RDP(alpha) +
+    log(1/delta)/(alpha - 1)`` and returns ``(epsilon, best_alpha)``.
+    """
+    if not 0 < delta < 1:
+        raise PrivacyBudgetError(f"delta must be in (0, 1), got {delta}")
+    orders = np.asarray(orders, dtype=np.float64)
+    rdp_values = np.asarray(rdp_values, dtype=np.float64)
+    if orders.shape != rdp_values.shape:
+        raise PrivacyBudgetError("orders and rdp_values must have matching shapes")
+    epsilons = rdp_values + np.log(1.0 / delta) / (orders - 1.0)
+    best = int(np.argmin(epsilons))
+    return float(epsilons[best]), float(orders[best])
+
+
+def calibrate_gaussian_noise_rdp(target_epsilon: float, target_delta: float, q: float,
+                                 steps: int, orders=DEFAULT_ORDERS,
+                                 sigma_bounds: tuple[float, float] = (0.3, 200.0)) -> float:
+    """Find the smallest noise multiplier meeting a target (epsilon, delta) budget.
+
+    Performs a bisection over ``sigma`` for ``steps`` compositions of the
+    Poisson-subsampled Gaussian mechanism with sampling rate ``q``.
+    """
+    if target_epsilon <= 0:
+        raise PrivacyBudgetError(f"target_epsilon must be > 0, got {target_epsilon}")
+
+    def epsilon_of(sigma: float) -> float:
+        rdp = rdp_subsampled_gaussian(q, sigma, steps, orders)
+        return rdp_to_dp(rdp, target_delta, orders)[0]
+
+    low, high = sigma_bounds
+    if epsilon_of(high) > target_epsilon:
+        raise PrivacyBudgetError(
+            "cannot meet the requested budget within the sigma search range; "
+            "reduce the number of steps or the sampling rate"
+        )
+    if epsilon_of(low) <= target_epsilon:
+        return low
+    for _ in range(80):
+        mid = 0.5 * (low + high)
+        if epsilon_of(mid) > target_epsilon:
+            low = mid
+        else:
+            high = mid
+    return high

@@ -1,0 +1,32 @@
+"""Hyperparameter search utilities (the paper's Appendix-Q tuning protocol).
+
+The paper tunes GCON and every baseline on the validation split over explicit
+grids (restart probability, propagation steps, loss, regularisation, encoder
+width, pseudo-label expansion).  This subpackage provides:
+
+* :mod:`repro.tuning.space` -- declarative search-space definitions;
+* :mod:`repro.tuning.search` -- grid and random search drivers that evaluate
+  any estimator with the shared ``fit``/``predict`` interface;
+* :mod:`repro.tuning.results` -- trial bookkeeping and leaderboards;
+* :mod:`repro.tuning.presets` -- the Appendix-Q grids for GCON.
+"""
+
+from repro.tuning.space import Categorical, UniformFloat, UniformInt, SearchSpace
+from repro.tuning.results import TrialResult, TuningResult
+from repro.tuning.search import GridSearch, RandomSearch, evaluate_trial
+from repro.tuning.presets import gcon_search_space, gcon_quick_space, make_gcon_factory
+
+__all__ = [
+    "Categorical",
+    "UniformFloat",
+    "UniformInt",
+    "SearchSpace",
+    "TrialResult",
+    "TuningResult",
+    "GridSearch",
+    "RandomSearch",
+    "evaluate_trial",
+    "gcon_search_space",
+    "gcon_quick_space",
+    "make_gcon_factory",
+]

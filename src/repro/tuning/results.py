@@ -1,0 +1,87 @@
+"""Trial bookkeeping for the hyperparameter search drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The outcome of evaluating one hyperparameter configuration."""
+
+    params: dict
+    scores: tuple
+    trial_id: int = 0
+
+    @property
+    def mean_score(self) -> float:
+        return float(np.mean(self.scores))
+
+    @property
+    def std_score(self) -> float:
+        return float(np.std(self.scores))
+
+    @property
+    def num_repeats(self) -> int:
+        return len(self.scores)
+
+
+@dataclass
+class TuningResult:
+    """An ordered collection of :class:`TrialResult` objects."""
+
+    trials: list[TrialResult] = field(default_factory=list)
+    metric: str = "val_micro_f1"
+
+    def add(self, trial: TrialResult) -> None:
+        self.trials.append(trial)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    @property
+    def best_trial(self) -> TrialResult:
+        if not self.trials:
+            raise ConfigurationError("no trials have been recorded")
+        return max(self.trials, key=lambda trial: trial.mean_score)
+
+    @property
+    def best_params(self) -> dict:
+        return dict(self.best_trial.params)
+
+    @property
+    def best_score(self) -> float:
+        return self.best_trial.mean_score
+
+    def leaderboard(self, top_k: int | None = None) -> list[TrialResult]:
+        """Trials sorted by mean score, best first."""
+        ranked = sorted(self.trials, key=lambda trial: trial.mean_score, reverse=True)
+        return ranked if top_k is None else ranked[:top_k]
+
+    def to_rows(self, top_k: int | None = None) -> tuple[list[str], list[list]]:
+        """Headers and rows for :func:`repro.evaluation.reporting.render_table`."""
+        if not self.trials:
+            return ([], [])
+        param_names = sorted({name for trial in self.trials for name in trial.params})
+        headers = ["rank", "mean", "std"] + param_names
+        rows = []
+        for rank, trial in enumerate(self.leaderboard(top_k), start=1):
+            row = [rank, f"{trial.mean_score:.4f}", f"{trial.std_score:.4f}"]
+            row += [self._format(trial.params.get(name)) for name in param_names]
+            rows.append(row)
+        return headers, rows
+
+    @staticmethod
+    def _format(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)

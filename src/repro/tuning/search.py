@@ -1,0 +1,110 @@
+"""Grid and random hyperparameter search drivers.
+
+Both drivers evaluate an *estimator factory* — a callable mapping a parameter
+dict to a fresh estimator exposing ``fit(graph, seed)`` and
+``predict(graph, mode=...)`` — on the validation split of a graph, with an
+arbitrary number of repeated fits per configuration (the paper averages over
+10 runs).  Test-split scores are never consulted during the search, matching
+the tuning protocol of Appendix Q.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.evaluation.metrics import micro_f1
+from repro.exceptions import ConfigurationError
+from repro.graphs.graph import GraphDataset
+from repro.tuning.results import TrialResult, TuningResult
+from repro.tuning.space import SearchSpace
+from repro.utils.random import as_rng, spawn_rngs
+
+EstimatorFactory = Callable[[dict], object]
+
+
+def evaluate_trial(factory: EstimatorFactory, params: dict, graph: GraphDataset, *,
+                   repeats: int = 1, inference_mode: str = "private",
+                   seed: int | np.random.Generator | None = 0,
+                   trial_id: int = 0) -> TrialResult:
+    """Fit ``repeats`` estimators with ``params`` and score them on the validation split."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if graph.val_idx.size == 0:
+        raise ConfigurationError("the graph must provide a non-empty validation split")
+    rng = as_rng(seed)
+    scores = []
+    for repeat_rng in spawn_rngs(rng, repeats):
+        fit_seed = int(repeat_rng.integers(0, 2**31 - 1))
+        estimator = factory(dict(params))
+        estimator.fit(graph, seed=fit_seed)
+        try:
+            predictions = np.asarray(estimator.predict(graph, mode=inference_mode))
+        except TypeError:
+            predictions = np.asarray(estimator.predict(graph))
+        scores.append(micro_f1(graph.labels[graph.val_idx], predictions[graph.val_idx]))
+    return TrialResult(params=dict(params), scores=tuple(scores), trial_id=trial_id)
+
+
+class _BaseSearch:
+    """Shared constructor/validation of the two search drivers."""
+
+    def __init__(self, factory: EstimatorFactory, space: SearchSpace, *,
+                 repeats: int = 1, inference_mode: str = "private", seed: int = 0,
+                 verbose: bool = False):
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        if inference_mode not in ("private", "public"):
+            raise ConfigurationError(
+                f"inference_mode must be 'private' or 'public', got {inference_mode!r}"
+            )
+        self.factory = factory
+        self.space = space
+        self.repeats = repeats
+        self.inference_mode = inference_mode
+        self.seed = seed
+        self.verbose = verbose
+
+    def _evaluate_all(self, graph: GraphDataset, configurations) -> TuningResult:
+        result = TuningResult()
+        rng = as_rng(self.seed)
+        for trial_id, params in enumerate(configurations):
+            trial = evaluate_trial(
+                self.factory, params, graph,
+                repeats=self.repeats, inference_mode=self.inference_mode,
+                seed=rng, trial_id=trial_id,
+            )
+            result.add(trial)
+            if self.verbose:  # pragma: no cover - logging side effect only
+                from repro.utils.logging import get_logger
+
+                get_logger("repro.tuning").info(
+                    "trial %d: mean=%.4f params=%s", trial_id, trial.mean_score, params
+                )
+        return result
+
+
+class GridSearch(_BaseSearch):
+    """Exhaustive search over ``space.grid()``."""
+
+    def run(self, graph: GraphDataset) -> TuningResult:
+        return self._evaluate_all(graph, self.space.grid())
+
+
+class RandomSearch(_BaseSearch):
+    """Random search drawing ``num_trials`` configurations from the space."""
+
+    def __init__(self, factory: EstimatorFactory, space: SearchSpace, *,
+                 num_trials: int = 20, repeats: int = 1,
+                 inference_mode: str = "private", seed: int = 0, verbose: bool = False):
+        super().__init__(factory, space, repeats=repeats,
+                         inference_mode=inference_mode, seed=seed, verbose=verbose)
+        if num_trials < 1:
+            raise ConfigurationError(f"num_trials must be >= 1, got {num_trials}")
+        self.num_trials = num_trials
+
+    def run(self, graph: GraphDataset) -> TuningResult:
+        rng = as_rng(self.seed)
+        configurations = [self.space.sample(rng) for _ in range(self.num_trials)]
+        return self._evaluate_all(graph, configurations)

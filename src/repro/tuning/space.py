@@ -1,0 +1,145 @@
+"""Declarative hyperparameter search-space definitions.
+
+A :class:`SearchSpace` is an ordered collection of named parameters, each of
+which can enumerate grid points (for :class:`~repro.tuning.search.GridSearch`)
+and draw random samples (for :class:`~repro.tuning.search.RandomSearch`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.random import as_rng
+
+
+class Parameter:
+    """Base class of a named hyperparameter."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ConfigurationError("parameter name must be non-empty")
+        self.name = name
+
+    def grid(self) -> list:
+        """Finite list of grid points for exhaustive search."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator):
+        """One random draw from the parameter's domain."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Categorical(Parameter):
+    """A parameter taking one of an explicit list of values."""
+
+    def __init__(self, name: str, choices: Sequence):
+        super().__init__(name)
+        choices = list(choices)
+        if not choices:
+            raise ConfigurationError(f"parameter {name!r} needs at least one choice")
+        self.choices = choices
+
+    def grid(self) -> list:
+        return list(self.choices)
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+
+class UniformFloat(Parameter):
+    """A float drawn uniformly (optionally log-uniformly) from ``[low, high]``."""
+
+    def __init__(self, name: str, low: float, high: float, log: bool = False,
+                 grid_points: int = 5):
+        super().__init__(name)
+        if not low < high:
+            raise ConfigurationError(f"{name!r}: low must be < high, got [{low}, {high}]")
+        if log and low <= 0:
+            raise ConfigurationError(f"{name!r}: log-uniform requires low > 0, got {low}")
+        if grid_points < 2:
+            raise ConfigurationError(f"{name!r}: grid_points must be >= 2, got {grid_points}")
+        self.low = float(low)
+        self.high = float(high)
+        self.log = log
+        self.grid_points = grid_points
+
+    def grid(self) -> list:
+        if self.log:
+            return list(np.geomspace(self.low, self.high, self.grid_points))
+        return list(np.linspace(self.low, self.high, self.grid_points))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(math.exp(rng.uniform(math.log(self.low), math.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+
+class UniformInt(Parameter):
+    """An integer drawn uniformly from ``[low, high]`` (inclusive)."""
+
+    def __init__(self, name: str, low: int, high: int):
+        super().__init__(name)
+        if not low <= high:
+            raise ConfigurationError(f"{name!r}: low must be <= high, got [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def grid(self) -> list:
+        return list(range(self.low, self.high + 1))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+
+class SearchSpace:
+    """An ordered collection of :class:`Parameter` objects."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        parameters = list(parameters)
+        if not parameters:
+            raise ConfigurationError("a search space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate parameter names in search space: {names}")
+        self.parameters = parameters
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.parameters]
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def grid_size(self) -> int:
+        """Number of configurations enumerated by :meth:`grid`."""
+        size = 1
+        for parameter in self.parameters:
+            size *= len(parameter.grid())
+        return size
+
+    def grid(self) -> Iterator[dict]:
+        """Iterate over the Cartesian product of all parameter grids."""
+        grids = [parameter.grid() for parameter in self.parameters]
+        for combination in itertools.product(*grids):
+            yield dict(zip(self.names, combination))
+
+    def sample(self, rng: int | np.random.Generator | None = None) -> dict:
+        """Draw one random configuration."""
+        rng = as_rng(rng)
+        return {parameter.name: parameter.sample(rng) for parameter in self.parameters}
+
+    def subspace(self, names: Sequence[str]) -> "SearchSpace":
+        """Restrict the space to the named parameters (preserving order)."""
+        wanted = set(names)
+        missing = wanted - set(self.names)
+        if missing:
+            raise ConfigurationError(f"unknown parameter(s) {sorted(missing)}")
+        return SearchSpace([p for p in self.parameters if p.name in wanted])

@@ -1,0 +1,23 @@
+"""Shared utilities: RNG handling, validation helpers and stable math."""
+
+from repro.utils.random import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_array_2d,
+)
+from repro.utils.math import log1pexp, sigmoid, softmax, row_normalize_l2
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_array_2d",
+    "log1pexp",
+    "sigmoid",
+    "softmax",
+    "row_normalize_l2",
+]

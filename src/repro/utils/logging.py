@@ -1,0 +1,16 @@
+"""Lightweight logging configuration for the repro package.
+
+The library never configures the root logger; it only exposes a helper to get
+namespaced loggers so applications keep full control of handlers/levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

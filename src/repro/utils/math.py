@@ -1,0 +1,66 @@
+"""Numerically stable math helpers used across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log1pexp(x: np.ndarray) -> np.ndarray:
+    """Compute ``log(1 + exp(x))`` element-wise without overflow.
+
+    Uses the standard branching identity ``log1p(exp(x))`` for negative values
+    and ``x + log1p(exp(-x))`` for positive ones.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x > 0
+    out[pos] = x[pos] + np.log1p(np.exp(-x[pos]))
+    out[~pos] = np.log1p(np.exp(x[~pos]))
+    return out
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    exp_x = np.exp(x[~pos])
+    out[~pos] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def row_normalize_l2(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Normalise each row of ``matrix`` to unit L2 norm.
+
+    Rows whose norm is (numerically) zero are left as zero rows rather than
+    being divided by ``eps``-sized values, matching the paper's requirement
+    that ``max_i ||x_i||_2 <= 1`` (Section IV-C3).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = np.where(norms > eps, norms, 1.0)
+    return matrix / safe
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` as a one-hot matrix of shape ``(n, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must be in [0, {num_classes - 1}], got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

@@ -1,0 +1,88 @@
+"""Tests for the edge-inference attacks and their evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    attack_auc,
+    influence_link_attack,
+    sample_edge_candidates,
+    similarity_link_attack,
+)
+from repro.baselines import GCNClassifier
+from repro.exceptions import ConfigurationError
+
+
+class TestCandidateSampling:
+    def test_balanced_labels(self, tiny_graph):
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=100, rng=0)
+        assert pairs.shape[0] == labels.shape[0]
+        assert abs(labels.mean() - 0.5) < 0.1
+
+    def test_positives_are_real_edges(self, tiny_graph):
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=60, rng=0)
+        for (u, v), label in zip(pairs, labels):
+            assert (tiny_graph.adjacency[u, v] != 0) == bool(label)
+
+    def test_too_few_pairs_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            sample_edge_candidates(tiny_graph, num_pairs=1)
+
+
+class TestSimilarityAttack:
+    def test_score_shape_and_metrics(self, rng):
+        scores = rng.normal(size=(20, 4))
+        pairs = np.array([[0, 1], [2, 3]])
+        for metric in ("cosine", "correlation"):
+            out = similarity_link_attack(scores, pairs, metric=metric)
+            assert out.shape == (2,)
+
+    def test_unknown_metric(self, rng):
+        with pytest.raises(ConfigurationError):
+            similarity_link_attack(rng.normal(size=(5, 3)), np.array([[0, 1]]), metric="jaccard")
+
+    def test_attack_succeeds_against_non_private_gcn(self, tiny_graph):
+        """A GCN smooths predictions along edges, so the attack AUC should exceed chance."""
+        model = GCNClassifier(hidden_dim=16, epochs=120).fit(tiny_graph, seed=0)
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=200, rng=1)
+        scores = similarity_link_attack(model.decision_scores(tiny_graph), pairs)
+        assert attack_auc(scores, labels) > 0.6
+
+    def test_attack_fails_against_graph_free_model(self, tiny_graph):
+        """Scores that ignore the graph should give an AUC near one half."""
+        rng = np.random.default_rng(0)
+        random_scores = rng.normal(size=(tiny_graph.num_nodes, tiny_graph.num_classes))
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=300, rng=2)
+        scores = similarity_link_attack(random_scores, pairs)
+        assert abs(attack_auc(scores, labels) - 0.5) < 0.15
+
+
+class TestInfluenceAttack:
+    def test_detects_edges_of_a_propagation_model(self, tiny_graph):
+        """Influence flows only along edges of a one-hop propagation model."""
+        from repro.graphs.adjacency import row_stochastic_normalize
+
+        transition = row_stochastic_normalize(tiny_graph.adjacency)
+
+        def predict_fn(features):
+            return np.asarray(transition @ features[:, :4])
+
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=120, rng=3)
+        scores = influence_link_attack(predict_fn, tiny_graph.features, pairs)
+        assert attack_auc(scores, labels) > 0.9
+
+    def test_no_influence_for_feature_only_model(self, tiny_graph):
+        def predict_fn(features):
+            return features[:, :3]
+
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=60, rng=4)
+        scores = influence_link_attack(predict_fn, tiny_graph.features, pairs)
+        # Influence of node u on a different node v is exactly zero.
+        assert np.allclose(scores, 0.0)
+
+    def test_invalid_arguments(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            influence_link_attack(lambda f: f, tiny_graph.features, np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            influence_link_attack(lambda f: f, tiny_graph.features, np.zeros((2, 2), dtype=int),
+                                  perturbation=0.0)

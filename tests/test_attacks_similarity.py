@@ -1,0 +1,132 @@
+"""Tests for the He et al. similarity-metric link-stealing attack suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks.evaluation import attack_auc, sample_edge_candidates
+from repro.attacks.similarity import (
+    SIMILARITY_METRICS,
+    all_similarity_scores,
+    braycurtis_similarity,
+    canberra_similarity,
+    chebyshev_similarity,
+    correlation_similarity,
+    cosine_similarity,
+    euclidean_similarity,
+    manhattan_similarity,
+    similarity_scores,
+    squared_euclidean_similarity,
+    strongest_attack_auc,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestIndividualMetrics:
+    def setup_method(self):
+        self.a = np.array([[1.0, 0.0, 0.0], [0.5, 0.5, 0.0]])
+        self.b = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+
+    def test_cosine_identical_rows_score_one(self):
+        scores = cosine_similarity(self.a, self.b)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] < scores[0]
+
+    def test_euclidean_zero_distance_is_best(self):
+        scores = euclidean_similarity(self.a, self.b)
+        assert scores[0] == pytest.approx(0.0)
+        assert scores[1] < 0.0
+
+    def test_squared_euclidean_matches_square(self):
+        euclid = euclidean_similarity(self.a, self.b)
+        squared = squared_euclidean_similarity(self.a, self.b)
+        assert squared == pytest.approx(-((-euclid) ** 2))
+
+    def test_chebyshev_and_manhattan_relationship(self):
+        chebyshev = -chebyshev_similarity(self.a, self.b)
+        manhattan = -manhattan_similarity(self.a, self.b)
+        assert np.all(chebyshev <= manhattan + 1e-12)
+
+    def test_correlation_is_shift_invariant(self):
+        shifted = self.a + 5.0
+        assert correlation_similarity(self.a, self.b) == pytest.approx(
+            correlation_similarity(shifted, self.b)
+        )
+
+    def test_braycurtis_and_canberra_finite(self):
+        for metric in (braycurtis_similarity, canberra_similarity):
+            scores = metric(self.a, self.b)
+            assert np.all(np.isfinite(scores))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cosine_similarity(self.a, self.b[:1])
+
+
+class TestSimilarityScores:
+    def _posteriors(self):
+        rng = np.random.default_rng(0)
+        return rng.random((10, 4))
+
+    def test_named_metric_dispatch(self):
+        posteriors = self._posteriors()
+        pairs = np.array([[0, 1], [2, 3]])
+        for name in SIMILARITY_METRICS:
+            scores = similarity_scores(posteriors, pairs, metric=name)
+            assert scores.shape == (2,)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            similarity_scores(self._posteriors(), np.array([[0, 1]]), metric="hamming")
+
+    def test_bad_pairs_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            similarity_scores(self._posteriors(), np.array([0, 1, 2]))
+
+    def test_all_scores_returns_every_metric(self):
+        scores = all_similarity_scores(self._posteriors(), np.array([[0, 1], [1, 2]]))
+        assert set(scores) == set(SIMILARITY_METRICS)
+
+    @given(hnp.arrays(np.float64, (6, 3), elements=st.floats(-5, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_identical_nodes_always_maximal_cosine(self, posteriors):
+        posteriors = posteriors + 1e-3  # avoid all-zero rows
+        pairs = np.array([[0, 0], [0, 1]])
+        scores = similarity_scores(posteriors, pairs, metric="euclidean")
+        assert scores[0] >= scores[1] - 1e-12
+
+
+class TestStrongestAttack:
+    def test_attack_succeeds_on_smoothed_posteriors(self, tiny_graph):
+        """Posteriors aggregated over neighbours make connected pairs similar."""
+        from repro.core.propagation import Propagator
+
+        rng = np.random.default_rng(0)
+        noisy_labels = np.eye(tiny_graph.num_classes)[tiny_graph.labels]
+        noisy_labels = noisy_labels + 0.1 * rng.random(noisy_labels.shape)
+        propagator = Propagator(tiny_graph.adjacency, alpha=0.1)
+        posteriors = propagator.propagate(noisy_labels, 2)
+
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=200, rng=0)
+        name, auc = strongest_attack_auc(posteriors, pairs, labels)
+        assert name in SIMILARITY_METRICS
+        assert auc > 0.6
+
+    def test_attack_fails_on_random_posteriors(self, tiny_graph):
+        rng = np.random.default_rng(1)
+        posteriors = rng.random((tiny_graph.num_nodes, tiny_graph.num_classes))
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=200, rng=0)
+        _, auc = strongest_attack_auc(posteriors, pairs, labels)
+        assert auc < 0.65
+
+    def test_strongest_at_least_as_good_as_cosine(self, tiny_graph):
+        rng = np.random.default_rng(2)
+        posteriors = rng.random((tiny_graph.num_nodes, 4))
+        pairs, labels = sample_edge_candidates(tiny_graph, num_pairs=100, rng=3)
+        _, best = strongest_attack_auc(posteriors, pairs, labels)
+        cosine_auc = attack_auc(similarity_scores(posteriors, pairs, "cosine"), labels)
+        assert best >= cosine_auc - 1e-12

@@ -1,0 +1,116 @@
+"""Tests for the additional baselines: SGC, APPNP and the trivial classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    APPNPClassifier,
+    MajorityClassClassifier,
+    MLPClassifier,
+    SGCClassifier,
+    StratifiedRandomClassifier,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.graphs.graph import GraphDataset
+
+
+class TestSGC:
+    def test_beats_majority_on_homophilous_graph(self, tiny_graph):
+        sgc = SGCClassifier(hops=2, epochs=120).fit(tiny_graph, seed=0)
+        majority = MajorityClassClassifier().fit(tiny_graph)
+        assert sgc.score(tiny_graph) > majority.score(tiny_graph) + 0.1
+
+    def test_zero_hops_equals_logistic_regression_on_features(self, tiny_graph):
+        sgc = SGCClassifier(hops=0, epochs=60).fit(tiny_graph, seed=0)
+        aggregated = sgc._aggregate(tiny_graph)
+        assert np.allclose(aggregated, tiny_graph.features)
+
+    def test_scores_have_class_dimension(self, tiny_graph):
+        sgc = SGCClassifier(hops=1, epochs=30).fit(tiny_graph, seed=0)
+        scores = sgc.decision_scores(tiny_graph)
+        assert scores.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_requires_fit(self, tiny_graph):
+        with pytest.raises(NotFittedError):
+            SGCClassifier().decision_scores(tiny_graph)
+
+    def test_rejects_negative_hops(self):
+        with pytest.raises(ConfigurationError):
+            SGCClassifier(hops=-1)
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        first = SGCClassifier(hops=2, epochs=40).fit(tiny_graph, seed=5)
+        second = SGCClassifier(hops=2, epochs=40).fit(tiny_graph, seed=5)
+        assert np.allclose(first.decision_scores(tiny_graph),
+                           second.decision_scores(tiny_graph))
+
+
+class TestAPPNP:
+    def test_beats_majority_on_homophilous_graph(self, tiny_graph):
+        appnp = APPNPClassifier(hops=5, alpha=0.2, epochs=80).fit(tiny_graph, seed=0)
+        majority = MajorityClassClassifier().fit(tiny_graph)
+        assert appnp.score(tiny_graph) > majority.score(tiny_graph) + 0.1
+
+    def test_alpha_one_ignores_graph(self, tiny_graph):
+        """With restart probability 1 the propagation is the identity (pure MLP)."""
+        appnp = APPNPClassifier(hops=3, alpha=1.0, epochs=40).fit(tiny_graph, seed=0)
+        mlp_like_scores = appnp.decision_scores(tiny_graph)
+        assert mlp_like_scores.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            APPNPClassifier(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            APPNPClassifier(hops=-2)
+
+    def test_requires_fit(self, tiny_graph):
+        with pytest.raises(NotFittedError):
+            APPNPClassifier().decision_scores(tiny_graph)
+
+
+class TestTrivialClassifiers:
+    def test_majority_predicts_single_class(self, tiny_graph):
+        majority = MajorityClassClassifier().fit(tiny_graph)
+        predictions = majority.predict(tiny_graph)
+        assert np.unique(predictions).size == 1
+        train_labels = tiny_graph.labels[tiny_graph.train_idx]
+        assert predictions[0] == np.argmax(np.bincount(train_labels))
+
+    def test_majority_matches_empirical_frequency(self, tiny_graph):
+        majority = MajorityClassClassifier().fit(tiny_graph)
+        counts = np.bincount(tiny_graph.labels[tiny_graph.train_idx],
+                             minlength=tiny_graph.num_classes)
+        expected = counts.max() / counts.sum()
+        test_labels = tiny_graph.labels[tiny_graph.test_idx]
+        observed = np.mean(test_labels == majority.majority_class_)
+        # Both estimate the frequency of the same class; loose agreement only.
+        assert abs(observed - expected) < 0.4
+
+    def test_majority_requires_training_split(self, path_graph):
+        empty = GraphDataset(
+            adjacency=path_graph.adjacency, features=path_graph.features,
+            labels=path_graph.labels, name="no_train",
+        )
+        with pytest.raises(NotFittedError):
+            MajorityClassClassifier().fit(empty)
+
+    def test_random_classifier_uses_class_distribution(self, tiny_graph):
+        random_clf = StratifiedRandomClassifier(seed=0).fit(tiny_graph)
+        predictions = random_clf.predict(tiny_graph)
+        assert predictions.shape == (tiny_graph.num_nodes,)
+        assert set(np.unique(predictions)).issubset(set(range(tiny_graph.num_classes)))
+
+    def test_random_classifier_is_reproducible(self, tiny_graph):
+        first = StratifiedRandomClassifier(seed=3).fit(tiny_graph).predict(tiny_graph)
+        second = StratifiedRandomClassifier(seed=3).fit(tiny_graph).predict(tiny_graph)
+        assert np.array_equal(first, second)
+
+    def test_trivial_floor_below_learning_methods(self, tiny_graph):
+        """Sanity ordering: MLP > majority on a graph with informative features."""
+        mlp = MLPClassifier(epochs=80).fit(tiny_graph, seed=0)
+        majority = MajorityClassClassifier().fit(tiny_graph)
+        random_clf = StratifiedRandomClassifier(seed=0).fit(tiny_graph)
+        assert mlp.score(tiny_graph) > majority.score(tiny_graph)
+        assert mlp.score(tiny_graph) > random_clf.score(tiny_graph)

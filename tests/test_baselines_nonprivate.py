@@ -1,0 +1,69 @@
+"""Tests for the non-private baselines (MLP and GCN) and the shared interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GCNClassifier, MLPClassifier
+from repro.baselines.base import BaseNodeClassifier, resolve_delta
+from repro.exceptions import NotFittedError
+
+
+class TestBaseInterface:
+    def test_resolve_delta_defaults_to_inverse_edges(self, tiny_graph):
+        assert resolve_delta(tiny_graph, None) == pytest.approx(1.0 / tiny_graph.num_edges)
+        assert resolve_delta(tiny_graph, 1e-3) == 1e-3
+
+    def test_base_class_is_abstract(self, tiny_graph):
+        with pytest.raises(NotImplementedError):
+            BaseNodeClassifier().fit(tiny_graph)
+
+
+class TestMLPClassifier:
+    def test_fit_predict_shapes(self, tiny_graph):
+        model = MLPClassifier(hidden_dim=16, epochs=60).fit(tiny_graph, seed=0)
+        predictions = model.predict(tiny_graph)
+        assert predictions.shape == (tiny_graph.num_nodes,)
+
+    def test_beats_chance(self, tiny_graph):
+        model = MLPClassifier(hidden_dim=32, epochs=120).fit(tiny_graph, seed=0)
+        assert model.score(tiny_graph) > 1.5 / tiny_graph.num_classes
+
+    def test_mode_argument_ignored(self, tiny_graph):
+        model = MLPClassifier(hidden_dim=16, epochs=30).fit(tiny_graph, seed=0)
+        np.testing.assert_array_equal(model.predict(tiny_graph, mode="private"),
+                                      model.predict(tiny_graph))
+
+    def test_training_loss_decreases(self, tiny_graph):
+        model = MLPClassifier(hidden_dim=16, epochs=60).fit(tiny_graph, seed=0)
+        assert model.history_[-1] < model.history_[0]
+
+    def test_unfitted_raises(self, tiny_graph):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().decision_scores(tiny_graph)
+
+
+class TestGCNClassifier:
+    def test_fit_predict_shapes(self, tiny_graph):
+        model = GCNClassifier(hidden_dim=16, epochs=60).fit(tiny_graph, seed=0)
+        scores = model.decision_scores(tiny_graph)
+        assert scores.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_beats_chance_on_homophilous_graph(self, tiny_graph):
+        model = GCNClassifier(hidden_dim=16, epochs=120).fit(tiny_graph, seed=0)
+        assert model.score(tiny_graph) > 1.5 / tiny_graph.num_classes
+
+    def test_gcn_uses_graph_structure(self, tiny_graph):
+        """Predictions must change when the graph's edges change."""
+        model = GCNClassifier(hidden_dim=16, epochs=60).fit(tiny_graph, seed=0)
+        edges = tiny_graph.edges()
+        pruned = tiny_graph
+        for u, v in edges[:30]:
+            pruned = pruned.without_edge(int(u), int(v))
+        assert not np.allclose(model.decision_scores(tiny_graph),
+                               model.decision_scores(pruned))
+
+    def test_graph_helps_over_mlp_on_homophilous_data(self, tiny_graph):
+        """On a homophilous graph with weak features, the GCN should not be worse."""
+        gcn = GCNClassifier(hidden_dim=16, epochs=120).fit(tiny_graph, seed=0)
+        mlp = MLPClassifier(hidden_dim=16, epochs=120).fit(tiny_graph, seed=0)
+        assert gcn.score(tiny_graph) >= mlp.score(tiny_graph) - 0.1

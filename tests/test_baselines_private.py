@@ -1,0 +1,142 @@
+"""Tests for the differentially private baselines (DPGCN, LPGNet, GAP, ProGAP, DP-SGD)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DPGCN, DPSGDGCN, GAP, LPGNet, ProGAP
+from repro.baselines.dpgcn import lapgraph_perturb
+from repro.baselines.gap import EDGE_AGGREGATION_SENSITIVITY, calibrate_hop_sigma
+from repro.baselines.lpgnet import cluster_degree_vectors
+from repro.exceptions import ConfigurationError
+from repro.privacy.rdp import rdp_gaussian, rdp_to_dp
+
+
+class TestLapGraph:
+    def test_output_is_symmetric_binary(self, tiny_graph):
+        perturbed = lapgraph_perturb(tiny_graph.adjacency, epsilon=1.0, rng=0)
+        dense = perturbed.toarray()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+
+    def test_edge_count_roughly_preserved(self, tiny_graph):
+        perturbed = lapgraph_perturb(tiny_graph.adjacency, epsilon=4.0, rng=0)
+        assert perturbed.nnz / 2 == pytest.approx(tiny_graph.num_edges, rel=0.15)
+
+    def test_high_budget_recovers_graph(self, tiny_graph):
+        perturbed = lapgraph_perturb(tiny_graph.adjacency, epsilon=200.0, rng=0)
+        overlap = (perturbed.multiply(tiny_graph.adjacency)).nnz / tiny_graph.adjacency.nnz
+        assert overlap > 0.9
+
+    def test_low_budget_destroys_graph(self, tiny_graph):
+        perturbed = lapgraph_perturb(tiny_graph.adjacency, epsilon=0.1, rng=0)
+        overlap = (perturbed.multiply(tiny_graph.adjacency)).nnz / tiny_graph.adjacency.nnz
+        assert overlap < 0.5
+
+    def test_invalid_parameters(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            lapgraph_perturb(tiny_graph.adjacency, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            lapgraph_perturb(tiny_graph.adjacency, epsilon=1.0, count_fraction=1.5)
+
+
+class TestDPGCN:
+    def test_fit_predict_and_budget(self, tiny_graph):
+        model = DPGCN(epsilon=1.0, hidden_dim=16, epochs=40).fit(tiny_graph, seed=0)
+        assert model.predict(tiny_graph).shape == (tiny_graph.num_nodes,)
+        assert model.ledger_.spent_epsilon == pytest.approx(1.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            DPGCN(epsilon=0.0)
+
+
+class TestLPGNet:
+    def test_cluster_degree_vectors(self, path_graph):
+        vectors = cluster_degree_vectors(path_graph.adjacency, path_graph.labels, 2)
+        # Node 2 has neighbours 1 (class 0) and 3 (class 1).
+        np.testing.assert_array_equal(vectors[2], [1.0, 1.0])
+        np.testing.assert_array_equal(vectors[0], [1.0, 0.0])
+
+    def test_fit_predict_and_budget(self, tiny_graph):
+        model = LPGNet(epsilon=1.0, stages=2, hidden_dim=16, epochs=40).fit(tiny_graph, seed=0)
+        assert model.predict(tiny_graph).shape == (tiny_graph.num_nodes,)
+        assert model.ledger_.spent_epsilon <= 1.0 + 1e-9
+        assert len(model.models_) == 2
+
+    def test_single_stage_is_edge_free(self, tiny_graph):
+        model = LPGNet(epsilon=1.0, stages=1, hidden_dim=16, epochs=40).fit(tiny_graph, seed=0)
+        assert model.ledger_.spent_epsilon == 0.0
+
+    def test_invalid_stages(self):
+        with pytest.raises(ConfigurationError):
+            LPGNet(stages=0)
+
+
+class TestGAPCalibration:
+    def test_calibrated_sigma_meets_budget(self):
+        epsilon, delta, hops = 1.0, 1e-4, 3
+        sigma = calibrate_hop_sigma(epsilon, delta, hops)
+        rdp = hops * rdp_gaussian(sigma, sensitivity=EDGE_AGGREGATION_SENSITIVITY)
+        achieved, _ = rdp_to_dp(rdp, delta)
+        assert achieved <= epsilon + 1e-6
+
+    def test_more_hops_need_more_noise(self):
+        assert calibrate_hop_sigma(1.0, 1e-4, 4) > calibrate_hop_sigma(1.0, 1e-4, 1)
+
+    def test_larger_epsilon_needs_less_noise(self):
+        assert calibrate_hop_sigma(0.5, 1e-4, 2) > calibrate_hop_sigma(4.0, 1e-4, 2)
+
+
+class TestGAPAndProGAP:
+    def test_gap_fit_predict_and_accounting(self, tiny_graph):
+        model = GAP(epsilon=1.0, hops=2, hidden_dim=16, epochs=40).fit(tiny_graph, seed=0)
+        assert model.predict(tiny_graph).shape == (tiny_graph.num_nodes,)
+        spent, delta = model.privacy_spent
+        assert spent <= 1.0 + 1e-6
+        assert delta == pytest.approx(1.0 / tiny_graph.num_edges)
+
+    def test_gap_accuracy_improves_with_budget(self, tiny_graph):
+        tight = GAP(epsilon=0.1, hops=2, hidden_dim=16, epochs=60).fit(tiny_graph, seed=0)
+        loose = GAP(epsilon=8.0, hops=2, hidden_dim=16, epochs=60).fit(tiny_graph, seed=0)
+        assert loose.sigma_ < tight.sigma_
+
+    def test_progap_fit_predict_and_accounting(self, tiny_graph):
+        model = ProGAP(epsilon=1.0, stages=2, hidden_dim=16, epochs=30).fit(tiny_graph, seed=0)
+        assert model.predict(tiny_graph).shape == (tiny_graph.num_nodes,)
+        spent, _ = model.privacy_spent
+        assert spent <= 1.0 + 1e-6
+        assert len(model.heads_) == 2
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ConfigurationError):
+            GAP(epsilon=1.0, hops=0)
+        with pytest.raises(ConfigurationError):
+            ProGAP(epsilon=1.0, stages=1)
+
+
+class TestDPSGD:
+    def test_fit_predict_and_accounting(self, tiny_graph):
+        model = DPSGDGCN(epsilon=1.0, steps=30, batch_size=32).fit(tiny_graph, seed=0)
+        assert model.predict(tiny_graph).shape == (tiny_graph.num_nodes,)
+        spent, _ = model.privacy_spent
+        assert spent <= 1.0 + 1e-6
+
+    def test_edge_sensitivity_multiplier(self, tiny_graph):
+        one_hop = DPSGDGCN(hops=1)
+        assert one_hop._edge_sensitivity_multiplier(tiny_graph) == 2.0
+        two_hop = DPSGDGCN(hops=2)
+        assert two_hop._edge_sensitivity_multiplier(tiny_graph) \
+            == pytest.approx(2.0 * tiny_graph.degrees.max())
+
+    def test_tighter_budget_means_more_noise(self, tiny_graph):
+        tight = DPSGDGCN(epsilon=0.5, steps=30).fit(tiny_graph, seed=0)
+        loose = DPSGDGCN(epsilon=4.0, steps=30).fit(tiny_graph, seed=0)
+        assert tight.sigma_ > loose.sigma_
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DPSGDGCN(epsilon=-1.0)
+        with pytest.raises(ConfigurationError):
+            DPSGDGCN(clipping_norm=0.0)
+        with pytest.raises(ConfigurationError):
+            DPSGDGCN(steps=0)

@@ -1,0 +1,126 @@
+"""Tests for the ``gcon-repro`` command-line interface.
+
+The CLI is exercised end-to-end through ``main(argv)`` with scaled-down
+settings so every sub-command runs in seconds; output is captured via capsys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+SMALL = ["--scale", "0.06", "--seed", "0"]
+
+
+class TestParser:
+    def test_help_lists_all_subcommands(self, capsys):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in ("datasets", "train", "baselines", "figure", "tune",
+                        "sensitivity", "attack"):
+            assert command in help_text
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "gcon-repro" in capsys.readouterr().out
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "figure9"])
+
+    def test_step_parser_accepts_inf(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "--steps", "1,2,inf"])
+        assert args.steps == (1, 2, float("inf"))
+
+    def test_step_parser_rejects_empty(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "--steps", ","])
+
+
+class TestDatasetsCommand:
+    def test_prints_all_presets_with_reference(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        for name in ("cora_ml", "citeseer", "pubmed", "actor"):
+            assert name in output
+        assert "paper nodes" in output
+
+
+class TestSensitivityCommand:
+    def test_prints_lemma2_table(self, capsys):
+        assert main(["sensitivity", "--alphas", "0.5", "--m-values", "1,inf"]) == 0
+        output = capsys.readouterr().out
+        # Psi(Z_1) = 2*(0.5)/0.5*(1-0.5) = 1.0, Psi(Z_inf) = 2.0
+        assert "1.0000" in output
+        assert "2.0000" in output
+
+    def test_sensitivity_decreases_with_alpha(self, capsys):
+        main(["sensitivity", "--alphas", "0.2,0.8", "--m-values", "inf"])
+        lines = [line for line in capsys.readouterr().out.splitlines() if "|" in line]
+        low_alpha = float(lines[-2].split("|")[1])
+        high_alpha = float(lines[-1].split("|")[1])
+        assert low_alpha > high_alpha
+
+
+class TestTrainCommand:
+    def test_trains_and_reports_scores(self, capsys):
+        exit_code = main([
+            "train", *SMALL, "--dataset", "cora_ml", "--epsilon", "4",
+            "--alpha", "0.8", "--steps", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "privacy: epsilon=4" in output
+        assert "test micro-F1" in output
+
+    def test_public_inference_mode(self, capsys):
+        exit_code = main([
+            "train", *SMALL, "--epsilon", "2", "--steps", "1",
+            "--inference-mode", "public",
+        ])
+        assert exit_code == 0
+        assert "public inference" in capsys.readouterr().out
+
+
+class TestTuneCommand:
+    def test_random_search_reports_leaderboard(self, capsys):
+        exit_code = main([
+            "tune", *SMALL, "--epsilon", "4", "--trials", "2", "--strategy", "random",
+            "--encoder-epochs", "15",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Validation leaderboard" in output
+        assert "best params" in output
+
+
+class TestFigureCommand:
+    def test_table2_writes_text_file(self, capsys, tmp_path):
+        exit_code = main([
+            "figure", "table2", "--scale", "0.05", "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert "Table II" in capsys.readouterr().out
+
+    def test_attack_figure_exports_text_csv_json(self, capsys, tmp_path):
+        exit_code = main([
+            "figure", "attack", "--scale", "0.06", "--repeats", "1",
+            "--datasets", "cora_ml", "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        for suffix in (".txt", ".csv", ".json"):
+            assert (tmp_path / f"attack{suffix}").exists()
+        output = capsys.readouterr().out
+        assert "GCON" in output
+        assert "GCN (non-DP)" in output

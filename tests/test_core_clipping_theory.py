@@ -1,0 +1,217 @@
+"""Tests for Lemma-1 clipping and the empirical theory-verification helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clipping import (
+    ClippedPropagator,
+    clipped_transition_matrix,
+    verify_lemma1_properties,
+)
+from repro.core.losses import get_loss
+from repro.core.objective import PerturbedObjective
+from repro.core.propagation import Propagator
+from repro.core.sensitivity import aggregate_sensitivity
+from repro.core.theory import (
+    check_convexity,
+    check_gradient,
+    column_norm_cap_violations,
+    empirical_aggregate_sensitivity,
+    implied_noise_matrix,
+    noise_log_density_ratio,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs.adjacency import row_stochastic_normalize
+from repro.utils.math import one_hot, row_normalize_l2
+
+
+# --------------------------------------------------------------------------- #
+# clipping
+# --------------------------------------------------------------------------- #
+class TestClippedTransition:
+    def test_default_clip_matches_row_stochastic(self, tiny_graph):
+        clipped = clipped_transition_matrix(tiny_graph.adjacency, clip=0.5)
+        reference = row_stochastic_normalize(tiny_graph.adjacency, add_loops=True)
+        assert np.allclose(clipped.toarray(), reference.toarray())
+
+    def test_rows_sum_to_one_for_any_clip(self, tiny_graph):
+        for clip in (0.05, 0.2, 0.5):
+            clipped = clipped_transition_matrix(tiny_graph.adjacency, clip=clip)
+            assert np.allclose(np.asarray(clipped.sum(axis=1)).ravel(), 1.0)
+
+    def test_off_diagonal_entries_bounded_by_clip(self, tiny_graph):
+        clip = 0.1
+        clipped = clipped_transition_matrix(tiny_graph.adjacency, clip=clip).toarray()
+        off_diagonal = clipped - np.diag(np.diag(clipped))
+        assert off_diagonal.max() <= clip + 1e-12
+
+    def test_invalid_clip_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            clipped_transition_matrix(tiny_graph.adjacency, clip=0.0)
+        with pytest.raises(ConfigurationError):
+            clipped_transition_matrix(tiny_graph.adjacency, clip=0.6)
+
+    def test_lemma1_properties_hold(self, tiny_graph):
+        for clip in (0.1, 0.3, 0.5):
+            transition = clipped_transition_matrix(tiny_graph.adjacency, clip=clip)
+            result = verify_lemma1_properties(transition, tiny_graph.degrees,
+                                              clip=clip, max_power=3)
+            assert all(result.values()), result
+
+    def test_lemma1_properties_on_path_graph(self, path_graph):
+        transition = clipped_transition_matrix(path_graph.adjacency, clip=0.5)
+        result = verify_lemma1_properties(transition, path_graph.degrees, max_power=4)
+        assert all(result.values())
+
+    def test_clipped_propagator_propagates(self, tiny_graph, rng):
+        features = rng.normal(size=(tiny_graph.num_nodes, 8))
+        propagator = ClippedPropagator(tiny_graph.adjacency, alpha=0.5, clip=0.2)
+        for steps in (0, 1, 3, math.inf):
+            aggregated = propagator.propagate(features, steps)
+            assert aggregated.shape == features.shape
+            assert np.all(np.isfinite(aggregated))
+
+    def test_clipped_propagator_equals_default_at_half(self, tiny_graph, rng):
+        features = rng.normal(size=(tiny_graph.num_nodes, 4))
+        default = Propagator(tiny_graph.adjacency, alpha=0.6).propagate(features, 2)
+        clipped = ClippedPropagator(tiny_graph.adjacency, alpha=0.6, clip=0.5).propagate(
+            features, 2,
+        )
+        assert np.allclose(default, clipped)
+
+
+# --------------------------------------------------------------------------- #
+# Lemma 2: empirical sensitivity
+# --------------------------------------------------------------------------- #
+class TestEmpiricalSensitivity:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("steps", [1, 2, 5, math.inf])
+    def test_bound_holds_on_tiny_graph(self, tiny_graph, alpha, steps):
+        check = empirical_aggregate_sensitivity(tiny_graph, alpha, steps,
+                                                num_pairs=6, rng=0)
+        assert check.holds
+        assert check.empirical_max <= check.theoretical_bound + 1e-9
+        assert check.theoretical_bound == pytest.approx(aggregate_sensitivity(alpha, steps))
+
+    def test_bound_holds_for_edge_additions(self, tiny_graph):
+        check = empirical_aggregate_sensitivity(tiny_graph, alpha=0.4, steps=3,
+                                                num_pairs=6, kind="add", rng=1)
+        assert check.holds
+
+    def test_zero_steps_gives_zero_difference(self, tiny_graph):
+        check = empirical_aggregate_sensitivity(tiny_graph, alpha=0.5, steps=0,
+                                                num_pairs=3, rng=0)
+        assert check.empirical_max == 0.0
+        assert check.theoretical_bound == 0.0
+
+    def test_tightness_reported(self, tiny_graph):
+        check = empirical_aggregate_sensitivity(tiny_graph, alpha=0.5, steps=2,
+                                                num_pairs=5, rng=0)
+        assert 0.0 <= check.tightness <= 1.0
+
+    def test_rejects_bad_pair_count(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            empirical_aggregate_sensitivity(tiny_graph, 0.5, 1, num_pairs=0)
+
+    @given(alpha=st.sampled_from([0.3, 0.6, 0.9]), steps=st.integers(1, 4),
+           seed=st.integers(0, 20))
+    @settings(max_examples=12, deadline=None)
+    def test_property_bound_never_violated(self, tiny_graph, alpha, steps, seed):
+        check = empirical_aggregate_sensitivity(tiny_graph, alpha, steps,
+                                                num_pairs=2, kind="either", rng=seed)
+        assert check.holds
+
+
+# --------------------------------------------------------------------------- #
+# convexity, gradients and implied noise
+# --------------------------------------------------------------------------- #
+def _small_objective(rng, num_classes=3, dimension=6, num_samples=40,
+                     quadratic=0.5, noise_scale=0.1):
+    features = row_normalize_l2(rng.normal(size=(num_samples, dimension)))
+    labels = one_hot(rng.integers(0, num_classes, size=num_samples), num_classes)
+    loss = get_loss("soft_margin", num_classes)
+    noise = noise_scale * rng.normal(size=(dimension, num_classes))
+    return PerturbedObjective(
+        features=features, labels_one_hot=labels, loss=loss,
+        quadratic_coefficient=quadratic, noise=noise,
+    ), loss, features, labels, quadratic
+
+
+class TestObjectiveChecks:
+    def test_convexity_holds(self, rng):
+        objective, *_ = _small_objective(rng)
+        assert check_convexity(objective, num_probes=15, rng=1)
+
+    def test_strong_convexity_with_modulus(self, rng):
+        objective, _, _, _, quadratic = _small_objective(rng)
+        assert check_convexity(objective, num_probes=10, strong_modulus=quadratic, rng=2)
+
+    def test_too_large_modulus_fails(self, rng):
+        objective, *_ = _small_objective(rng, quadratic=0.01)
+        assert not check_convexity(objective, num_probes=30, strong_modulus=50.0, rng=3)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        objective, *_ = _small_objective(rng)
+        assert check_gradient(objective, num_probes=4, rng=4)
+
+    def test_validation(self, rng):
+        objective, *_ = _small_objective(rng)
+        with pytest.raises(ConfigurationError):
+            check_convexity(objective, num_probes=0)
+        with pytest.raises(ConfigurationError):
+            check_gradient(objective, num_probes=0)
+
+
+class TestImpliedNoise:
+    def test_minimizer_recovers_injected_noise(self, rng):
+        """At the exact minimiser of L_priv, Eq. (40) recovers the injected B."""
+        from repro.core.solver import minimize_objective
+
+        objective, loss, features, labels, quadratic = _small_objective(rng, noise_scale=0.2)
+        result = minimize_objective(objective, max_iterations=800, gtol=1e-10)
+        implied = implied_noise_matrix(result.theta, features, labels, loss, quadratic)
+        assert np.allclose(implied, objective.noise, atol=5e-3)
+
+    def test_log_ratio_zero_for_identical_noise(self, rng):
+        noise = rng.normal(size=(5, 3))
+        assert noise_log_density_ratio(noise, noise, beta=2.0) == 0.0
+
+    def test_log_ratio_sign(self, rng):
+        small = np.zeros((5, 3))
+        large = np.ones((5, 3))
+        assert noise_log_density_ratio(small, large, beta=1.0) > 0.0
+        assert noise_log_density_ratio(large, small, beta=1.0) < 0.0
+
+    def test_log_ratio_validates(self, rng):
+        with pytest.raises(ConfigurationError):
+            noise_log_density_ratio(np.zeros((2, 2)), np.zeros((3, 2)), beta=1.0)
+        with pytest.raises(ConfigurationError):
+            noise_log_density_ratio(np.zeros((2, 2)), np.zeros((2, 2)), beta=-1.0)
+
+    def test_column_norm_cap_violations(self):
+        theta = np.zeros((4, 3))
+        theta[:, 2] = 10.0
+        assert column_norm_cap_violations(theta, cap=1.0) == 1
+        assert column_norm_cap_violations(theta, cap=100.0) == 0
+        with pytest.raises(ConfigurationError):
+            column_norm_cap_violations(theta, cap=0.0)
+
+
+class TestGconReleaseRespectsTheory:
+    """End-to-end: the released GCON parameters satisfy the Lemma-9 norm cap."""
+
+    def test_theta_columns_within_cap(self, tiny_graph):
+        from repro.core.config import GCONConfig
+        from repro.core.model import GCON
+
+        config = GCONConfig(epsilon=2.0, alpha=0.8, propagation_steps=(2,),
+                            encoder_epochs=30, max_iterations=200)
+        model = GCON(config).fit(tiny_graph, seed=0)
+        cap = model.perturbation_.c_theta
+        assert column_norm_cap_violations(model.theta_, cap) == 0

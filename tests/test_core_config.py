@@ -1,0 +1,61 @@
+"""Tests for GCONConfig validation and normalisation."""
+
+import math
+
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestGCONConfig:
+    def test_defaults_are_valid(self):
+        config = GCONConfig()
+        assert config.num_hops == 1
+        assert config.effective_inference_alpha == config.alpha
+
+    def test_step_normalisation(self):
+        config = GCONConfig(propagation_steps=(0, 2, "inf", None, math.inf))
+        assert config.normalized_steps == (0, 2, math.inf, math.inf, math.inf)
+        assert config.num_hops == 5
+
+    def test_invalid_step_string(self):
+        with pytest.raises(ConfigurationError):
+            GCONConfig(propagation_steps=("two",))
+
+    def test_negative_step(self):
+        with pytest.raises(ConfigurationError):
+            GCONConfig(propagation_steps=(-1,))
+
+    def test_fractional_step(self):
+        with pytest.raises(ConfigurationError):
+            GCONConfig(propagation_steps=(1.5,))
+
+    def test_empty_steps(self):
+        with pytest.raises(ConfigurationError):
+            GCONConfig(propagation_steps=())
+
+    @pytest.mark.parametrize("field,value", [
+        ("epsilon", 0.0),
+        ("delta", 1.0),
+        ("alpha", 0.0),
+        ("alpha", 1.5),
+        ("loss", "hinge"),
+        ("huber_delta", 0.0),
+        ("lambda_reg", -1.0),
+        ("omega", 1.0),
+        ("encoder_dim", 0),
+        ("inference_alpha", 2.0),
+        ("xi", 0.0),
+        ("max_iterations", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            GCONConfig(**{field: value})
+
+    def test_inference_alpha_override(self):
+        config = GCONConfig(alpha=0.6, inference_alpha=0.1)
+        assert config.effective_inference_alpha == 0.1
+
+    def test_delta_none_allowed(self):
+        assert GCONConfig(delta=None).delta is None

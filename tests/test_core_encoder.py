@@ -1,0 +1,70 @@
+"""Tests for the public MLP feature encoder (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoder import MLPEncoder
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestMLPEncoder:
+    def test_requires_fit_before_encode(self):
+        encoder = MLPEncoder(output_dim=4)
+        with pytest.raises(NotFittedError):
+            encoder.encode(np.zeros((3, 5)))
+
+    def test_encode_shape(self, tiny_graph):
+        encoder = MLPEncoder(output_dim=8, hidden_dim=16, epochs=30, seed=0)
+        encoder.fit(tiny_graph.features, tiny_graph.labels, tiny_graph.train_idx)
+        encoded = encoder.encode(tiny_graph.features)
+        assert encoded.shape == (tiny_graph.num_nodes, 8)
+
+    def test_predict_proba_rows_sum_to_one(self, tiny_graph):
+        encoder = MLPEncoder(output_dim=8, hidden_dim=16, epochs=30, seed=0)
+        encoder.fit(tiny_graph.features, tiny_graph.labels, tiny_graph.train_idx)
+        proba = encoder.predict_proba(tiny_graph.features)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(tiny_graph.num_nodes), atol=1e-9)
+
+    def test_training_loss_decreases(self, tiny_graph):
+        encoder = MLPEncoder(output_dim=8, hidden_dim=32, epochs=80, seed=0)
+        encoder.fit(tiny_graph.features, tiny_graph.labels, tiny_graph.train_idx)
+        assert encoder.history_[-1] < encoder.history_[0]
+
+    def test_learns_separable_problem(self):
+        """On trivially separable features the encoder should fit the training set."""
+        rng = np.random.default_rng(0)
+        labels = np.repeat(np.arange(3), 30)
+        features = np.zeros((90, 6))
+        features[np.arange(90), labels] = 1.0
+        features += 0.05 * rng.normal(size=features.shape)
+        encoder = MLPEncoder(output_dim=4, hidden_dim=16, epochs=150, dropout=0.0, seed=0)
+        encoder.fit(features, labels, np.arange(90))
+        accuracy = np.mean(encoder.predict(features) == labels)
+        assert accuracy > 0.95
+
+    def test_beats_chance_on_tiny_graph(self, tiny_graph):
+        encoder = MLPEncoder(output_dim=8, hidden_dim=32, epochs=120, seed=0)
+        encoder.fit(tiny_graph.features, tiny_graph.labels, tiny_graph.train_idx)
+        predictions = encoder.predict(tiny_graph.features)
+        test_accuracy = np.mean(predictions[tiny_graph.test_idx]
+                                == tiny_graph.labels[tiny_graph.test_idx])
+        assert test_accuracy > 1.5 / tiny_graph.num_classes
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        def run():
+            encoder = MLPEncoder(output_dim=4, hidden_dim=8, epochs=20, dropout=0.0, seed=3)
+            encoder.fit(tiny_graph.features, tiny_graph.labels, tiny_graph.train_idx)
+            return encoder.encode(tiny_graph.features)
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_empty_train_idx_rejected(self, tiny_graph):
+        encoder = MLPEncoder(output_dim=4, epochs=5)
+        with pytest.raises(ConfigurationError):
+            encoder.fit(tiny_graph.features, tiny_graph.labels, np.array([], dtype=int))
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ConfigurationError):
+            MLPEncoder(output_dim=0)
+        with pytest.raises(ConfigurationError):
+            MLPEncoder(epochs=0)

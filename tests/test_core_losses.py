@@ -1,0 +1,118 @@
+"""Tests for the strongly convex losses: derivatives, bounds, convexity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import MultiLabelSoftMarginLoss, PseudoHuberLoss, get_loss
+from repro.exceptions import ConfigurationError
+
+
+def finite_difference(function, x, eps=1e-6):
+    return (function(x + eps) - function(x - eps)) / (2 * eps)
+
+
+LOSSES = [
+    MultiLabelSoftMarginLoss(num_classes=5),
+    PseudoHuberLoss(num_classes=5, huber_delta=0.2),
+    PseudoHuberLoss(num_classes=3, huber_delta=0.5),
+]
+
+
+@pytest.mark.parametrize("loss", LOSSES, ids=lambda l: type(l).__name__ + str(l.num_classes))
+class TestDerivativeConsistency:
+    def test_first_derivative_matches_finite_difference(self, loss):
+        xs = np.linspace(-4, 4, 33)
+        for y in (0.0, 1.0):
+            numeric = finite_difference(lambda x: loss.value(x, np.full_like(x, y)), xs)
+            np.testing.assert_allclose(loss.derivative(xs, np.full_like(xs, y)), numeric,
+                                       rtol=1e-5, atol=1e-7)
+
+    def test_second_derivative_matches_finite_difference(self, loss):
+        xs = np.linspace(-4, 4, 33)
+        for y in (0.0, 1.0):
+            numeric = finite_difference(lambda x: loss.derivative(x, np.full_like(x, y)), xs)
+            np.testing.assert_allclose(loss.second_derivative(xs, np.full_like(xs, y)), numeric,
+                                       rtol=1e-5, atol=1e-7)
+
+    def test_third_derivative_matches_finite_difference(self, loss):
+        xs = np.linspace(-4, 4, 33)
+        for y in (0.0, 1.0):
+            numeric = finite_difference(lambda x: loss.second_derivative(x, np.full_like(x, y)), xs)
+            np.testing.assert_allclose(loss.third_derivative(xs, np.full_like(xs, y)), numeric,
+                                       rtol=1e-4, atol=1e-6)
+
+    def test_convexity_second_derivative_nonnegative(self, loss):
+        xs = np.linspace(-30, 30, 301)
+        for y in (0.0, 1.0):
+            assert np.all(loss.second_derivative(xs, np.full_like(xs, y)) >= 0.0)
+
+    def test_loss_is_nonnegative(self, loss):
+        xs = np.linspace(-30, 30, 301)
+        for y in (0.0, 1.0):
+            assert np.all(loss.value(xs, np.full_like(xs, y)) >= -1e-12)
+
+
+@pytest.mark.parametrize("loss", LOSSES, ids=lambda l: type(l).__name__ + str(l.num_classes))
+class TestSupremumBounds:
+    @given(x=st.floats(min_value=-50, max_value=50), y=st.sampled_from([0.0, 1.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_hold_everywhere(self, loss, x, y):
+        xs = np.array([x])
+        ys = np.array([y])
+        assert abs(loss.derivative(xs, ys)[0]) <= loss.c1 + 1e-12
+        assert abs(loss.second_derivative(xs, ys)[0]) <= loss.c2 + 1e-12
+        assert abs(loss.third_derivative(xs, ys)[0]) <= loss.c3 + 1e-12
+
+    def test_bounds_are_achievable(self, loss):
+        """The supremum bounds should be tight (approached somewhere)."""
+        xs = np.linspace(-60, 60, 20001)
+        for y in (0.0, 1.0):
+            ys = np.full_like(xs, y)
+            assert np.max(np.abs(loss.derivative(xs, ys))) >= 0.95 * loss.c1
+            assert np.max(np.abs(loss.second_derivative(xs, ys))) >= 0.95 * loss.c2
+            assert np.max(np.abs(loss.third_derivative(xs, ys))) >= 0.95 * loss.c3
+
+
+class TestClosedFormBounds:
+    def test_soft_margin_bounds_match_appendix_f(self):
+        loss = MultiLabelSoftMarginLoss(num_classes=7)
+        assert loss.c1 == pytest.approx(1 / 7)
+        assert loss.c2 == pytest.approx(1 / 28)
+        assert loss.c3 == pytest.approx(1 / (6 * np.sqrt(3) * 7))
+
+    def test_pseudo_huber_bounds_match_appendix_f(self):
+        loss = PseudoHuberLoss(num_classes=4, huber_delta=0.3)
+        assert loss.c1 == pytest.approx(0.3 / 4)
+        assert loss.c2 == pytest.approx(1 / 4)
+        assert loss.c3 == pytest.approx(48 * np.sqrt(5) / (125 * 4 * 0.3))
+
+    def test_lipschitz_constant_of_second_derivative(self):
+        """c3 bounds the Lipschitz constant of l'' (used in Lemma 7)."""
+        loss = MultiLabelSoftMarginLoss(num_classes=3)
+        xs = np.linspace(-10, 10, 2001)
+        ys = np.zeros_like(xs)
+        second = loss.second_derivative(xs, ys)
+        slopes = np.abs(np.diff(second) / np.diff(xs))
+        assert slopes.max() <= loss.c3 + 1e-6
+
+
+class TestFactory:
+    def test_get_loss_soft_margin(self):
+        assert isinstance(get_loss("soft_margin", 4), MultiLabelSoftMarginLoss)
+
+    def test_get_loss_pseudo_huber_passes_delta(self):
+        loss = get_loss("pseudo_huber", 4, huber_delta=0.7)
+        assert isinstance(loss, PseudoHuberLoss)
+        assert loss.huber_delta == 0.7
+
+    def test_unknown_loss(self):
+        with pytest.raises(ConfigurationError):
+            get_loss("cross_entropy", 4)
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ConfigurationError):
+            MultiLabelSoftMarginLoss(0)
+        with pytest.raises(ConfigurationError):
+            PseudoHuberLoss(3, huber_delta=-1.0)

@@ -1,0 +1,172 @@
+"""Integration tests for the GCON estimator (Algorithm 1 + Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def fast_config(**overrides):
+    params = dict(
+        epsilon=4.0,
+        alpha=0.8,
+        propagation_steps=(2,),
+        encoder_dim=8,
+        encoder_hidden=24,
+        encoder_epochs=60,
+        lambda_reg=0.2,
+        max_iterations=300,
+    )
+    params.update(overrides)
+    return GCONConfig(**params)
+
+
+class TestFitPredict:
+    def test_end_to_end_shapes(self, tiny_graph):
+        model = GCON(fast_config()).fit(tiny_graph, seed=0)
+        assert model.theta_.shape == (8, tiny_graph.num_classes)
+        scores = model.decision_scores(tiny_graph, mode="private")
+        assert scores.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+        predictions = model.predict(tiny_graph)
+        assert predictions.shape == (tiny_graph.num_nodes,)
+        assert predictions.min() >= 0 and predictions.max() < tiny_graph.num_classes
+
+    def test_beats_majority_class_on_homophilous_graph(self, tiny_graph):
+        model = GCON(fast_config(epsilon=8.0, use_pseudo_labels=True)).fit(tiny_graph, seed=0)
+        score = model.score(tiny_graph)
+        majority = np.bincount(tiny_graph.labels[tiny_graph.test_idx]).max() \
+            / tiny_graph.test_idx.size
+        assert score > majority
+
+    def test_non_private_mode_has_no_noise(self, tiny_graph):
+        model = GCON(fast_config(non_private=True)).fit(tiny_graph, seed=0)
+        assert not model.perturbation_.requires_noise
+        assert model.perturbation_.lambda_prime == 0.0
+
+    def test_non_private_usually_beats_private_at_tight_budget(self, tiny_graph):
+        non_private = GCON(fast_config(non_private=True)).fit(tiny_graph, seed=1)
+        private = GCON(fast_config(epsilon=0.5)).fit(tiny_graph, seed=1)
+        assert non_private.score(tiny_graph) >= private.score(tiny_graph) - 0.05
+
+    def test_concatenated_steps_dimension(self, tiny_graph):
+        model = GCON(fast_config(propagation_steps=(0, 2))).fit(tiny_graph, seed=0)
+        assert model.theta_.shape == (16, tiny_graph.num_classes)
+
+    def test_delta_defaults_to_inverse_edge_count(self, tiny_graph):
+        model = GCON(fast_config(delta=None)).fit(tiny_graph, seed=0)
+        assert model.perturbation_.delta == pytest.approx(1.0 / tiny_graph.num_edges)
+
+    def test_explicit_delta_respected(self, tiny_graph):
+        model = GCON(fast_config(delta=1e-3)).fit(tiny_graph, seed=0)
+        assert model.perturbation_.delta == 1e-3
+
+    def test_privacy_spent_property(self, tiny_graph):
+        model = GCON(fast_config(epsilon=2.0)).fit(tiny_graph, seed=0)
+        epsilon, delta = model.privacy_spent
+        assert epsilon == 2.0 and 0 < delta < 1
+
+    def test_pseudo_labels_expand_training_set(self, tiny_graph):
+        without = GCON(fast_config()).fit(tiny_graph, seed=0)
+        with_pseudo = GCON(fast_config(use_pseudo_labels=True)).fit(tiny_graph, seed=0)
+        assert with_pseudo.perturbation_.num_labeled > without.perturbation_.num_labeled
+
+    def test_pseudo_label_selection_is_class_balanced(self, tiny_graph):
+        model = GCON(fast_config(use_pseudo_labels=True))
+        model.fit(tiny_graph, seed=0)
+        # Re-run the selection to inspect the label histogram.
+        train_idx, labels = model._pseudo_label_selection(
+            tiny_graph, model.encoder_, tiny_graph.num_classes
+        )
+        counts = np.bincount(labels[train_idx], minlength=tiny_graph.num_classes)
+        assert counts.max() - counts.min() <= 0
+
+
+class TestInferenceModes:
+    def test_private_and_public_modes_differ_in_general(self, tiny_graph):
+        model = GCON(fast_config(propagation_steps=(5,), non_private=True)).fit(tiny_graph, seed=0)
+        private = model.decision_scores(tiny_graph, mode="private")
+        public = model.decision_scores(tiny_graph, mode="public")
+        assert not np.allclose(private, public)
+
+    def test_invalid_mode_raises(self, tiny_graph):
+        model = GCON(fast_config()).fit(tiny_graph, seed=0)
+        with pytest.raises(ConfigurationError):
+            model.decision_scores(tiny_graph, mode="leaky")
+
+    def test_default_graph_is_training_graph(self, tiny_graph):
+        model = GCON(fast_config()).fit(tiny_graph, seed=0)
+        np.testing.assert_allclose(model.decision_scores(),
+                                   model.decision_scores(tiny_graph))
+
+    def test_score_on_explicit_index(self, tiny_graph):
+        model = GCON(fast_config()).fit(tiny_graph, seed=0)
+        value = model.score(tiny_graph, idx=tiny_graph.val_idx)
+        assert 0.0 <= value <= 1.0
+
+
+class TestGuards:
+    def test_unfitted_model_raises(self, tiny_graph):
+        model = GCON(fast_config())
+        with pytest.raises(NotFittedError):
+            model.predict(tiny_graph)
+        with pytest.raises(NotFittedError):
+            _ = model.privacy_spent
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            GCON(fast_config(), epsilon=2.0)
+
+    def test_keyword_construction(self):
+        model = GCON(epsilon=2.0, alpha=0.5)
+        assert model.config.epsilon == 2.0
+        assert model.config.alpha == 0.5
+
+    def test_requires_train_split(self, tiny_graph):
+        from dataclasses import replace
+
+        graph = replace(tiny_graph, train_idx=np.array([], dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            GCON(fast_config()).fit(graph, seed=0)
+
+
+class TestReproducibility:
+    def test_same_seed_same_model(self, tiny_graph):
+        first = GCON(fast_config()).fit(tiny_graph, seed=11)
+        second = GCON(fast_config()).fit(tiny_graph, seed=11)
+        np.testing.assert_allclose(first.theta_, second.theta_)
+
+    def test_different_seed_different_noise(self, tiny_graph):
+        first = GCON(fast_config(epsilon=1.0)).fit(tiny_graph, seed=1)
+        second = GCON(fast_config(epsilon=1.0)).fit(tiny_graph, seed=2)
+        assert not np.allclose(first.theta_, second.theta_)
+
+
+class TestPseudoLabelModes:
+    """The paper's n1 = n knob: 'all' uses every node, 'balanced' a class-balanced subset."""
+
+    def test_all_mode_uses_every_node(self, tiny_graph):
+        model = GCON(fast_config(use_pseudo_labels=True, pseudo_label_mode="all"))
+        model.fit(tiny_graph, seed=0)
+        assert model.perturbation_.num_labeled == tiny_graph.num_nodes
+
+    def test_balanced_mode_uses_fewer_nodes_than_all(self, tiny_graph):
+        balanced = GCON(fast_config(use_pseudo_labels=True, pseudo_label_mode="balanced"))
+        balanced.fit(tiny_graph, seed=0)
+        assert balanced.perturbation_.num_labeled <= tiny_graph.num_nodes
+        assert balanced.perturbation_.num_labeled >= tiny_graph.train_idx.size
+
+    def test_all_mode_keeps_true_labels_on_training_nodes(self, tiny_graph):
+        model = GCON(fast_config(use_pseudo_labels=True, pseudo_label_mode="all"))
+        model.fit(tiny_graph, seed=0)
+        train_idx, labels = model._pseudo_label_selection(
+            tiny_graph, model.encoder_, tiny_graph.num_classes, mode="all"
+        )
+        assert np.array_equal(train_idx, np.arange(tiny_graph.num_nodes))
+        assert np.array_equal(labels[tiny_graph.train_idx],
+                              tiny_graph.labels[tiny_graph.train_idx])
+
+    def test_invalid_mode_rejected_by_config(self):
+        with pytest.raises(ConfigurationError):
+            fast_config(pseudo_label_mode="everything")

@@ -1,0 +1,135 @@
+"""Tests for the perturbed objective (Eq. 13) and the convex solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import MultiLabelSoftMarginLoss, PseudoHuberLoss
+from repro.core.objective import PerturbedObjective
+from repro.core.solver import minimize_objective
+from repro.exceptions import ConfigurationError, OptimizationError
+from repro.utils.math import one_hot, row_normalize_l2
+
+
+def make_objective(seed=0, n=60, d=8, c=3, lam=0.1, loss=None, with_noise=True):
+    rng = np.random.default_rng(seed)
+    features = row_normalize_l2(rng.normal(size=(n, d)))
+    labels = one_hot(rng.integers(0, c, size=n), c)
+    noise = rng.normal(scale=0.5, size=(d, c)) if with_noise else None
+    loss = loss or MultiLabelSoftMarginLoss(num_classes=c)
+    return PerturbedObjective(features, labels, loss, lam, noise)
+
+
+class TestObjectiveOracles:
+    def test_gradient_matches_finite_differences(self):
+        objective = make_objective()
+        theta = np.random.default_rng(1).normal(size=(8, 3)) * 0.3
+        analytic = objective.gradient(theta)
+        eps = 1e-6
+        numeric = np.zeros_like(theta)
+        for i in range(theta.shape[0]):
+            for j in range(theta.shape[1]):
+                plus = theta.copy()
+                plus[i, j] += eps
+                minus = theta.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (objective.value(plus) - objective.value(minus)) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_gradient_matches_for_pseudo_huber(self):
+        objective = make_objective(loss=PseudoHuberLoss(num_classes=3, huber_delta=0.3))
+        theta = np.random.default_rng(2).normal(size=(8, 3)) * 0.3
+        value, grad = objective.value_and_gradient(theta)
+        assert value == pytest.approx(objective.value(theta))
+        np.testing.assert_allclose(grad, objective.gradient(theta), atol=1e-12)
+
+    @given(t=st.floats(min_value=0.0, max_value=1.0), seed=st.integers(0, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_convexity_along_random_segments(self, t, seed):
+        objective = make_objective(seed=3)
+        rng = np.random.default_rng(seed)
+        theta_a = rng.normal(size=(8, 3))
+        theta_b = rng.normal(size=(8, 3))
+        blended = t * theta_a + (1 - t) * theta_b
+        upper = t * objective.value(theta_a) + (1 - t) * objective.value(theta_b)
+        assert objective.value(blended) <= upper + 1e-9
+
+    def test_strong_convexity_via_gradient_monotonicity(self):
+        """<grad(a) - grad(b), a - b> >= lambda * ||a - b||^2 for a strongly convex objective."""
+        lam = 0.3
+        objective = make_objective(lam=lam)
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            theta_a = rng.normal(size=(8, 3))
+            theta_b = rng.normal(size=(8, 3))
+            inner = np.sum((objective.gradient(theta_a) - objective.gradient(theta_b))
+                           * (theta_a - theta_b))
+            assert inner >= lam * np.sum((theta_a - theta_b) ** 2) - 1e-9
+
+    def test_noise_term_shifts_value_linearly(self):
+        base = make_objective(with_noise=False)
+        noise = np.ones((8, 3))
+        noisy = PerturbedObjective(base.features, base.labels, base.loss,
+                                   base.quadratic_coefficient, noise)
+        theta = np.full((8, 3), 0.2)
+        expected_shift = np.sum(noise * theta) / base.num_labeled
+        assert noisy.value(theta) - base.value(theta) == pytest.approx(expected_shift)
+
+    def test_shape_validation(self):
+        objective = make_objective()
+        with pytest.raises(ConfigurationError):
+            objective.value(np.zeros((3, 8)))
+        with pytest.raises(ConfigurationError):
+            PerturbedObjective(np.zeros((4, 2)), np.zeros((5, 3)),
+                               MultiLabelSoftMarginLoss(3), 0.1)
+        with pytest.raises(ConfigurationError):
+            PerturbedObjective(np.zeros((4, 2)), np.zeros((4, 3)),
+                               MultiLabelSoftMarginLoss(3), -0.1)
+        with pytest.raises(ConfigurationError):
+            PerturbedObjective(np.zeros((4, 2)), np.zeros((4, 3)),
+                               MultiLabelSoftMarginLoss(3), 0.1, noise=np.zeros((3, 3)))
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("method", ["lbfgs", "gradient_descent"])
+    def test_reaches_stationary_point(self, method):
+        objective = make_objective()
+        result = minimize_objective(objective, method=method, max_iterations=2000, gtol=1e-7)
+        assert result.gradient_norm < 1e-4
+        assert result.converged
+
+    def test_both_solvers_agree_on_the_unique_minimiser(self):
+        objective = make_objective(lam=0.2)
+        lbfgs = minimize_objective(objective, method="lbfgs", gtol=1e-9, max_iterations=3000)
+        descent = minimize_objective(objective, method="gradient_descent", gtol=1e-7,
+                                     max_iterations=5000)
+        np.testing.assert_allclose(lbfgs.theta, descent.theta, atol=1e-3)
+
+    def test_minimum_beats_random_points(self):
+        objective = make_objective()
+        result = minimize_objective(objective)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert objective.value(result.theta) <= objective.value(rng.normal(size=(8, 3)))
+
+    def test_optimality_condition_links_noise_and_gradient(self):
+        """At the optimum, Eq. (40) holds: the data+reg gradient equals -B/n1."""
+        objective = make_objective(lam=0.2)
+        result = minimize_objective(objective, gtol=1e-10, max_iterations=3000)
+        margins = objective.features @ result.theta
+        residuals = objective.loss.derivative(margins, objective.labels)
+        data_reg_grad = (objective.features.T @ residuals / objective.num_labeled
+                         + objective.quadratic_coefficient * result.theta)
+        np.testing.assert_allclose(data_reg_grad, -objective.noise / objective.num_labeled,
+                                   atol=1e-5)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(OptimizationError):
+            minimize_objective(make_objective(), method="newton")
+
+    def test_initial_theta_is_respected(self):
+        objective = make_objective()
+        start = np.ones((8, 3))
+        result = minimize_objective(objective, initial_theta=start)
+        assert result.objective_value <= objective.value(start)

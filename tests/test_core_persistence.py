@@ -1,0 +1,100 @@
+"""Tests for saving/loading GCON releases (the model-publication workflow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.core.persistence import load_gcon, save_gcon
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+def _fitted_model(tiny_graph, **overrides):
+    params = dict(epsilon=4.0, alpha=0.8, propagation_steps=(1,), encoder_dim=8,
+                  encoder_epochs=20, max_iterations=100)
+    params.update(overrides)
+    return GCON(GCONConfig(**params)).fit(tiny_graph, seed=0)
+
+
+class TestSave:
+    def test_requires_fitted_model(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_gcon(GCON(GCONConfig(epsilon=1.0)), tmp_path / "model")
+
+    def test_appends_npz_suffix(self, tiny_graph, tmp_path):
+        model = _fitted_model(tiny_graph)
+        path = save_gcon(model, tmp_path / "release")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_archive_contains_no_graph_data(self, tiny_graph, tmp_path):
+        """The release file must hold only the DP release and public quantities."""
+        model = _fitted_model(tiny_graph)
+        path = save_gcon(model, tmp_path / "release.npz")
+        with np.load(path) as archive:
+            keys = set(archive.files)
+        assert not any("adjacency" in key or "labels" in key for key in keys)
+        assert "theta" in keys
+
+
+class TestLoadRoundTrip:
+    def test_theta_and_budget_preserved(self, tiny_graph, tmp_path):
+        model = _fitted_model(tiny_graph, epsilon=2.0)
+        path = save_gcon(model, tmp_path / "release.npz")
+        loaded = load_gcon(path)
+        assert np.allclose(loaded.theta_, model.theta_)
+        assert loaded.privacy_spent == model.privacy_spent
+        assert loaded.config.epsilon == 2.0
+        assert loaded.config.propagation_steps == model.config.propagation_steps
+
+    def test_predictions_identical_after_reload(self, tiny_graph, tmp_path):
+        model = _fitted_model(tiny_graph)
+        path = save_gcon(model, tmp_path / "release.npz")
+        loaded = load_gcon(path)
+        for mode in ("private", "public"):
+            original = model.decision_scores(tiny_graph, mode=mode)
+            restored = loaded.decision_scores(tiny_graph, mode=mode)
+            assert np.allclose(original, restored, atol=1e-10)
+
+    def test_infinite_propagation_step_round_trips(self, tiny_graph, tmp_path):
+        model = _fitted_model(tiny_graph, propagation_steps=("inf",))
+        loaded = load_gcon(save_gcon(model, tmp_path / "ppr.npz"))
+        assert loaded.config.normalized_steps == (float("inf"),)
+        predictions = loaded.predict(tiny_graph, mode="private")
+        assert predictions.shape == (tiny_graph.num_nodes,)
+
+    def test_loaded_model_scores_like_original(self, tiny_graph, tmp_path):
+        model = _fitted_model(tiny_graph)
+        loaded = load_gcon(save_gcon(model, tmp_path / "score.npz"))
+        assert loaded.score(tiny_graph) == pytest.approx(model.score(tiny_graph))
+
+    def test_loaded_model_requires_explicit_graph(self, tiny_graph, tmp_path):
+        from repro.exceptions import NotFittedError as NotFitted
+
+        loaded = load_gcon(save_gcon(_fitted_model(tiny_graph), tmp_path / "g.npz"))
+        with pytest.raises(NotFitted):
+            loaded.decision_scores(None)
+
+
+class TestLoadValidation:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_gcon(tmp_path / "missing.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_gcon(path)
+
+    def test_wrong_format_version_rejected(self, tiny_graph, tmp_path):
+        model = _fitted_model(tiny_graph)
+        path = save_gcon(model, tmp_path / "versioned.npz")
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["format_version"] = np.array([999])
+        np.savez(path, **arrays)
+        with pytest.raises(ConfigurationError):
+            load_gcon(path)

@@ -1,0 +1,154 @@
+"""Tests for the Theorem-1 parameter chain (Eqs. 17-24) and noise sampling."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.core.losses import MultiLabelSoftMarginLoss, PseudoHuberLoss
+from repro.core.perturbation import (
+    compute_perturbation_parameters,
+    erlang_quantile,
+    sample_noise_matrix,
+)
+from repro.exceptions import ConfigurationError, PrivacyBudgetError
+
+
+def make_params(**overrides):
+    defaults = dict(
+        epsilon=1.0,
+        delta=1e-4,
+        omega=0.9,
+        loss=MultiLabelSoftMarginLoss(num_classes=5),
+        sensitivity=0.5,
+        num_labeled=500,
+        num_classes=5,
+        dimension=16,
+        lambda_reg=0.2,
+    )
+    defaults.update(overrides)
+    return compute_perturbation_parameters(**defaults)
+
+
+class TestErlangQuantile:
+    def test_matches_scipy_inverse_gamma(self):
+        value = erlang_quantile(10, 0.999)
+        assert special.gammainc(10, value) == pytest.approx(0.999, rel=1e-9)
+
+    def test_monotone_in_probability(self):
+        assert erlang_quantile(8, 0.999) > erlang_quantile(8, 0.9)
+
+    def test_monotone_in_dimension(self):
+        assert erlang_quantile(32, 0.99) > erlang_quantile(8, 0.99)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            erlang_quantile(0, 0.9)
+        with pytest.raises(ConfigurationError):
+            erlang_quantile(4, 1.0)
+
+
+class TestParameterChain:
+    def test_equation_21_csf(self):
+        params = make_params()
+        expected = special.gammaincinv(params.dimension, 1.0 - params.delta / params.num_classes)
+        assert params.c_sf == pytest.approx(expected)
+
+    def test_equation_22_lambda_bar_floor(self):
+        params = make_params(lambda_reg=1e-6)
+        floor = (params.num_classes * params.c2 * params.sensitivity * params.c_sf
+                 / (params.num_labeled * params.omega * params.epsilon))
+        assert params.lambda_bar >= floor
+        assert params.lambda_bar > params.lambda_input
+
+    def test_lambda_bar_keeps_user_value_when_large_enough(self):
+        params = make_params(lambda_reg=5.0)
+        assert params.lambda_bar == 5.0
+
+    def test_equation_23_c_theta_positive(self):
+        params = make_params()
+        assert params.c_theta > 0
+
+    def test_equation_24_epsilon_lambda(self):
+        params = make_params()
+        expected = params.num_classes * params.dimension * np.log(
+            1.0 + (2 * params.c2 + params.c3 * params.c_theta) * params.sensitivity
+            / (params.dimension * params.num_labeled * params.lambda_bar)
+        )
+        assert params.epsilon_lambda == pytest.approx(expected)
+
+    def test_equation_17_lambda_prime_zero_when_budget_suffices(self):
+        params = make_params(num_labeled=5000, epsilon=4.0)
+        assert params.epsilon_lambda <= (1 - params.omega) * params.epsilon
+        assert params.lambda_prime == 0.0
+
+    def test_equation_18_beta_positive_and_monotone_in_epsilon(self):
+        loose = make_params(epsilon=4.0)
+        tight = make_params(epsilon=0.5)
+        assert loose.beta > tight.beta > 0
+
+    def test_beta_decreases_with_sensitivity(self):
+        low = make_params(sensitivity=0.2)
+        high = make_params(sensitivity=2.0)
+        assert low.beta > high.beta
+
+    def test_more_labeled_nodes_reduce_required_regularisation(self):
+        small = make_params(num_labeled=100, lambda_reg=1e-6)
+        large = make_params(num_labeled=10_000, lambda_reg=1e-6)
+        assert large.lambda_bar <= small.lambda_bar
+
+    def test_total_quadratic_coefficient(self):
+        params = make_params()
+        assert params.total_quadratic_coefficient == pytest.approx(
+            params.lambda_bar + params.lambda_prime
+        )
+
+    def test_zero_sensitivity_means_no_noise(self):
+        params = make_params(sensitivity=0.0)
+        assert not params.requires_noise
+        assert params.lambda_prime == 0.0
+        assert params.lambda_bar == params.lambda_input
+        assert params.beta == float("inf")
+
+    def test_pseudo_huber_loss_supported(self):
+        params = make_params(loss=PseudoHuberLoss(num_classes=5, huber_delta=0.2))
+        assert params.beta > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyBudgetError):
+            make_params(epsilon=0.0)
+        with pytest.raises(PrivacyBudgetError):
+            make_params(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            make_params(omega=1.0)
+        with pytest.raises(ConfigurationError):
+            make_params(num_labeled=0)
+        with pytest.raises(ConfigurationError):
+            make_params(sensitivity=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_params(lambda_reg=0.0)
+
+
+class TestNoiseSampling:
+    def test_shape_matches_dimension_and_classes(self):
+        params = make_params(dimension=12, num_classes=4)
+        noise = sample_noise_matrix(params, rng=0)
+        assert noise.shape == (12, 4)
+
+    def test_zero_noise_when_not_required(self):
+        params = make_params(sensitivity=0.0)
+        noise = sample_noise_matrix(params, rng=0)
+        assert np.all(noise == 0.0)
+
+    def test_column_radii_follow_erlang_mean(self):
+        params = make_params(dimension=24, num_classes=3, epsilon=2.0)
+        radii = []
+        for seed in range(300):
+            noise = sample_noise_matrix(params, rng=seed)
+            radii.extend(np.linalg.norm(noise, axis=0).tolist())
+        assert np.mean(radii) == pytest.approx(params.dimension / params.beta, rel=0.1)
+
+    def test_deterministic_given_rng(self):
+        params = make_params()
+        first = sample_noise_matrix(params, rng=5)
+        second = sample_noise_matrix(params, rng=5)
+        np.testing.assert_array_equal(first, second)

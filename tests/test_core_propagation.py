@@ -1,0 +1,147 @@
+"""Tests for PPR/APPR propagation (Eq. 9-11) including Lemma-1 invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.propagation import Propagator
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators import CitationGraphSpec, generate_citation_graph
+
+
+def random_graph(seed: int, nodes: int = 40, edges: int = 90):
+    spec = CitationGraphSpec(name="rand", num_nodes=nodes, num_edges=edges, num_features=8,
+                             num_classes=3, homophily=0.6, train_per_class=2, num_val=5,
+                             num_test=10)
+    return generate_citation_graph(spec, seed=seed)
+
+
+class TestPropagationMatrices:
+    def test_r0_is_identity(self, tiny_graph):
+        propagator = Propagator(tiny_graph.adjacency, alpha=0.5)
+        np.testing.assert_allclose(propagator.propagation_matrix(0), np.eye(tiny_graph.num_nodes))
+
+    def test_recursion_matches_closed_form(self, triangle_adjacency):
+        """R_m from the iterative recursion equals Eq. (6)'s explicit polynomial."""
+        alpha = 0.3
+        propagator = Propagator(triangle_adjacency, alpha=alpha)
+        transition = propagator.transition.toarray()
+        for m in (1, 2, 3, 5):
+            explicit = alpha * sum(
+                (1 - alpha) ** i * np.linalg.matrix_power(transition, i) for i in range(m)
+            ) + (1 - alpha) ** m * np.linalg.matrix_power(transition, m)
+            np.testing.assert_allclose(propagator.propagation_matrix(m), explicit, atol=1e-12)
+
+    def test_ppr_limit_matches_matrix_inverse(self, triangle_adjacency):
+        alpha = 0.4
+        propagator = Propagator(triangle_adjacency, alpha=alpha)
+        transition = propagator.transition.toarray()
+        expected = alpha * np.linalg.inv(np.eye(4) - (1 - alpha) * transition)
+        np.testing.assert_allclose(propagator.propagation_matrix(math.inf), expected, atol=1e-10)
+
+    def test_finite_m_converges_to_ppr(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=0.4)
+        far = propagator.propagation_matrix(200)
+        limit = propagator.propagation_matrix(math.inf)
+        np.testing.assert_allclose(far, limit, atol=1e-8)
+
+    def test_alpha_one_is_identity_for_all_steps(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=1.0)
+        for m in (1, 5, math.inf):
+            np.testing.assert_allclose(propagator.propagation_matrix(m), np.eye(4), atol=1e-12)
+
+
+class TestLemma1Invariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("steps", [1, 2, 4, math.inf])
+    def test_rows_sum_to_one(self, seed, steps):
+        graph = random_graph(seed)
+        propagator = Propagator(graph.adjacency, alpha=0.4)
+        matrix = propagator.propagation_matrix(steps)
+        np.testing.assert_allclose(matrix.sum(axis=1), np.ones(graph.num_nodes), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("steps", [1, 2, 4, math.inf])
+    def test_entries_nonnegative(self, seed, steps):
+        graph = random_graph(seed)
+        propagator = Propagator(graph.adjacency, alpha=0.4)
+        assert propagator.propagation_matrix(steps).min() >= -1e-12
+
+    @pytest.mark.parametrize("steps", [1, 2, 4, math.inf])
+    def test_column_sums_bounded_by_lemma1(self, steps):
+        """Column i of R_m sums to at most max((k_i + 1)/2, 1) (Lemma 1, p = 1/2)."""
+        graph = random_graph(3)
+        propagator = Propagator(graph.adjacency, alpha=0.3)
+        matrix = propagator.propagation_matrix(steps)
+        degrees = graph.degrees
+        bounds = np.maximum((degrees + 1) / 2.0, 1.0)
+        assert np.all(matrix.sum(axis=0) <= bounds + 1e-9)
+
+
+class TestFeaturePropagation:
+    def test_propagate_matches_matrix_product(self, triangle_adjacency, rng):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        features = rng.normal(size=(4, 3))
+        for m in (0, 1, 3, math.inf):
+            expected = propagator.propagation_matrix(m) @ features
+            np.testing.assert_allclose(propagator.propagate(features, m), expected, atol=1e-10)
+
+    def test_concat_scaling(self, triangle_adjacency, rng):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        features = rng.normal(size=(4, 2))
+        concat = propagator.propagate_concat(features, [0, 2])
+        assert concat.shape == (4, 4)
+        np.testing.assert_allclose(concat[:, :2], features / 2.0)
+
+    def test_concat_preserves_row_norm_bound(self, tiny_graph):
+        """Rows of Z keep L2 norm <= 1 when input rows have norm <= 1."""
+        from repro.utils.math import row_normalize_l2
+
+        features = row_normalize_l2(np.random.default_rng(0).normal(size=(tiny_graph.num_nodes, 8)))
+        propagator = Propagator(tiny_graph.adjacency, alpha=0.4)
+        concat = propagator.propagate_concat(features, [1, 2, math.inf])
+        assert np.linalg.norm(concat, axis=1).max() <= 1.0 + 1e-9
+
+    def test_wrong_feature_rows_raise(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        with pytest.raises(ConfigurationError):
+            propagator.propagate(np.zeros((7, 2)), 1)
+
+    def test_invalid_steps_raise(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        with pytest.raises(ConfigurationError):
+            propagator.propagate(np.zeros((4, 2)), -1)
+        with pytest.raises(ConfigurationError):
+            propagator.propagate(np.zeros((4, 2)), 1.5)
+
+    def test_invalid_alpha(self, triangle_adjacency):
+        with pytest.raises(ConfigurationError):
+            Propagator(triangle_adjacency, alpha=0.0)
+
+
+class TestInferenceOperator:
+    def test_zero_steps_is_identity(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        operator = propagator.inference_matrix(0, 0.3)
+        np.testing.assert_allclose(operator.toarray(), np.eye(4))
+
+    def test_single_hop_mixture(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        operator = propagator.inference_matrix(2, 0.25).toarray()
+        expected = 0.75 * propagator.transition.toarray() + 0.25 * np.eye(4)
+        np.testing.assert_allclose(operator, expected)
+
+    def test_inference_concat_shape_and_scaling(self, triangle_adjacency, rng):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        features = rng.normal(size=(4, 3))
+        out = propagator.inference_concat(features, [0, 2], 0.5)
+        assert out.shape == (4, 6)
+        np.testing.assert_allclose(out[:, :3], features / 2.0)
+
+    def test_invalid_inference_alpha(self, triangle_adjacency):
+        propagator = Propagator(triangle_adjacency, alpha=0.5)
+        with pytest.raises(ConfigurationError):
+            propagator.inference_matrix(1, 1.5)

@@ -1,0 +1,151 @@
+"""Tests for Lemma 2: the closed-form sensitivity bounds on the aggregate features.
+
+The key property test verifies that the *empirical* row-difference metric
+ψ(Z) between edge-neighbouring graphs never exceeds the closed-form Ψ(Z)
+bound, for random graphs, random removed edges, and a range of (alpha, m).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.propagation import Propagator
+from repro.core.sensitivity import (
+    aggregate_sensitivity,
+    column_sum_bound,
+    concatenated_sensitivity,
+    empirical_row_difference,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs.generators import CitationGraphSpec, generate_citation_graph
+from repro.utils.math import row_normalize_l2
+
+
+def build_graph(seed: int, nodes: int = 40):
+    spec = CitationGraphSpec(name="sens", num_nodes=nodes, num_edges=int(2.2 * nodes),
+                             num_features=6, num_classes=3, homophily=0.7,
+                             train_per_class=2, num_val=5, num_test=10)
+    return generate_citation_graph(spec, seed=seed)
+
+
+def empirical_psi(graph, alpha: float, steps) -> float:
+    """ψ(Z) between the graph and a neighbour missing one random edge."""
+    edges = graph.edges()
+    rng = np.random.default_rng(0)
+    u, v = edges[rng.integers(0, edges.shape[0])]
+    neighbour = graph.without_edge(int(u), int(v))
+    features = row_normalize_l2(
+        np.random.default_rng(1).normal(size=(graph.num_nodes, 6))
+    )
+    z_original = Propagator(graph.adjacency, alpha).propagate_concat(features, steps)
+    z_neighbour = Propagator(neighbour.adjacency, alpha).propagate_concat(features, steps)
+    return empirical_row_difference(z_original, z_neighbour)
+
+
+class TestClosedForm:
+    def test_zero_steps_has_zero_sensitivity(self):
+        assert aggregate_sensitivity(0.5, 0) == 0.0
+
+    def test_alpha_one_has_zero_sensitivity(self):
+        assert aggregate_sensitivity(1.0, 5) == 0.0
+        assert aggregate_sensitivity(1.0, math.inf) == 0.0
+
+    def test_infinite_steps_limit(self):
+        alpha = 0.3
+        assert aggregate_sensitivity(alpha, math.inf) == pytest.approx(2 * (1 - alpha) / alpha)
+
+    def test_monotone_increasing_in_steps(self):
+        values = [aggregate_sensitivity(0.4, m) for m in (0, 1, 2, 5, 10, math.inf)]
+        assert values == sorted(values)
+
+    def test_monotone_decreasing_in_alpha(self):
+        values = [aggregate_sensitivity(a, 5) for a in (0.2, 0.4, 0.6, 0.8, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_closed_form_expression(self):
+        alpha, m = 0.25, 3
+        expected = 2 * (1 - alpha) / alpha * (1 - (1 - alpha) ** m)
+        assert aggregate_sensitivity(alpha, m) == pytest.approx(expected)
+
+    def test_concatenated_is_average(self):
+        alpha = 0.5
+        steps = [0, 2, math.inf]
+        expected = np.mean([aggregate_sensitivity(alpha, s) for s in steps])
+        assert concatenated_sensitivity(alpha, steps) == pytest.approx(expected)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_sensitivity(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            aggregate_sensitivity(0.5, -1)
+        with pytest.raises(ConfigurationError):
+            concatenated_sensitivity(0.5, [])
+
+
+class TestLemma2BoundHolds:
+    """Property: empirical ψ(Z) never exceeds the closed-form Ψ(Z)."""
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("steps", [[1], [2], [5], [math.inf], [0, 2], [1, 2, 5]])
+    def test_bound_on_random_graphs(self, alpha, steps):
+        graph = build_graph(seed=11)
+        bound = concatenated_sensitivity(alpha, steps)
+        assert empirical_psi(graph, alpha, steps) <= bound + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=40),
+           alpha=st.sampled_from([0.25, 0.5, 0.75]),
+           steps=st.sampled_from([1, 2, 4, math.inf]))
+    @settings(max_examples=20, deadline=None)
+    def test_bound_property_random_edges(self, seed, alpha, steps):
+        graph = build_graph(seed=seed % 5, nodes=30)
+        edges = graph.edges()
+        rng = np.random.default_rng(seed)
+        u, v = edges[rng.integers(0, edges.shape[0])]
+        neighbour = graph.without_edge(int(u), int(v))
+        features = row_normalize_l2(rng.normal(size=(graph.num_nodes, 4)))
+        z_original = Propagator(graph.adjacency, alpha).propagate_concat(features, [steps])
+        z_neighbour = Propagator(neighbour.adjacency, alpha).propagate_concat(features, [steps])
+        psi = empirical_row_difference(z_original, z_neighbour)
+        assert psi <= concatenated_sensitivity(alpha, [steps]) + 1e-9
+
+    def test_adding_an_edge_is_also_covered(self):
+        """Neighbouring graphs can differ by an added edge as well."""
+        graph = build_graph(seed=2, nodes=30)
+        rng = np.random.default_rng(3)
+        while True:
+            u, v = rng.integers(0, graph.num_nodes, size=2)
+            if u != v and graph.adjacency[u, v] == 0:
+                break
+        neighbour = graph.with_edge(int(u), int(v))
+        features = row_normalize_l2(rng.normal(size=(graph.num_nodes, 5)))
+        alpha, steps = 0.4, [2]
+        z_original = Propagator(graph.adjacency, alpha).propagate_concat(features, steps)
+        z_neighbour = Propagator(neighbour.adjacency, alpha).propagate_concat(features, steps)
+        psi = empirical_row_difference(z_original, z_neighbour)
+        assert psi <= concatenated_sensitivity(alpha, steps) + 1e-9
+
+
+class TestColumnSumBound:
+    def test_matches_lemma1_formula(self):
+        assert column_sum_bound(5) == 3.0
+        assert column_sum_bound(0) == 1.0
+        assert column_sum_bound(3, clip=0.25) == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            column_sum_bound(-1)
+        with pytest.raises(ConfigurationError):
+            column_sum_bound(3, clip=0.9)
+
+
+class TestEmpiricalMetric:
+    def test_zero_for_identical_matrices(self, rng):
+        matrix = rng.normal(size=(5, 3))
+        assert empirical_row_difference(matrix, matrix) == 0.0
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            empirical_row_difference(rng.normal(size=(4, 2)), rng.normal(size=(5, 2)))

@@ -1,0 +1,78 @@
+"""Tests for the classification metrics and the ROC-AUC helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import accuracy, confusion_matrix, macro_f1, micro_f1, roc_auc
+from repro.exceptions import ConfigurationError
+
+
+class TestAccuracyAndConfusion:
+    def test_perfect_prediction(self):
+        labels = np.array([0, 1, 2, 1])
+        assert accuracy(labels, labels) == 1.0
+        assert micro_f1(labels, labels) == 1.0
+        assert macro_f1(labels, labels) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy([0, 0], [1, 1]) == 0.0
+        assert micro_f1([0, 0], [1, 1]) == 0.0
+
+    def test_confusion_matrix_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 1])
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 1 and matrix[2, 1] == 1
+        assert matrix.sum() == 4
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accuracy([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            micro_f1([0, 1], [0])
+
+
+class TestF1Scores:
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_micro_f1_equals_accuracy_for_single_label(self, labels):
+        rng = np.random.default_rng(0)
+        y_true = np.array(labels)
+        y_pred = rng.integers(0, 4, size=len(labels))
+        assert micro_f1(y_true, y_pred) == pytest.approx(accuracy(y_true, y_pred))
+
+    def test_macro_f1_penalises_minority_class_errors(self):
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)  # always predicts the majority class
+        assert micro_f1(y_true, y_pred) == pytest.approx(0.9)
+        assert macro_f1(y_true, y_pred) < 0.5
+
+    def test_macro_f1_known_value(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        # class 0: precision 1, recall 0.5 -> F1 = 2/3; class 1: precision 2/3, recall 1 -> 0.8.
+        assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 0.8) / 2)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reverse_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.normal(size=4000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_handled(self):
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ConfigurationError):
+            roc_auc([1, 1], [0.3, 0.4])

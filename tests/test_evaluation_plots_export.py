@@ -1,0 +1,181 @@
+"""Tests for ASCII plotting helpers and result export/import round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.export import (
+    export_figure,
+    series_from_csv,
+    series_from_json,
+    series_to_csv,
+    series_to_json,
+)
+from repro.evaluation.plots import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    render_figure_charts,
+    sparkline,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _example_series():
+    return {
+        "cora_ml": {
+            "GCON": {0.5: 0.72, 1.0: 0.75, 2.0: 0.78, 4.0: 0.80},
+            "MLP": {0.5: 0.60, 1.0: 0.61, 2.0: 0.60, 4.0: 0.62},
+        },
+        "citeseer": {
+            "GCON": {0.5: 0.64, 1.0: 0.66, 2.0: 0.67, 4.0: 0.68},
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# plots
+# --------------------------------------------------------------------------- #
+class TestSparkline:
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_values(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_input(self):
+        assert sparkline([]) == ""
+
+    def test_width_compression(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = ascii_bar_chart({"GCON": 0.8, "MLP": 0.6}, width=20, title="scores")
+        assert "GCON" in chart and "MLP" in chart and "scores" in chart
+        assert "0.8000" in chart
+
+    def test_longest_bar_belongs_to_maximum(self):
+        chart = ascii_bar_chart({"small": 0.1, "large": 1.0}, width=10)
+        lines = {line.split()[0]: line.count("█") for line in chart.splitlines()}
+        assert lines["large"] > lines["small"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart({}, width=10)
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart(_example_series()["cora_ml"], width=40, height=10,
+                                 title="figure 1", x_label="epsilon")
+        assert "figure 1" in chart
+        assert "legend:" in chart
+        assert "o = GCON" in chart
+        assert "epsilon" in chart
+
+    def test_handles_infinite_x_values(self):
+        series = {"GCON": {1.0: 0.7, 2.0: 0.72, math.inf: 0.74}}
+        chart = ascii_line_chart(series, width=30, height=8)
+        assert "inf" in chart
+
+    def test_single_point_series(self):
+        chart = ascii_line_chart({"GCON": {1.0: 0.5}}, width=20, height=6)
+        assert "o" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_line_chart({"flat": {1.0: 0.5, 2.0: 0.5}}, width=20, height=6)
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart({}, width=30, height=10)
+        with pytest.raises(ConfigurationError):
+            ascii_line_chart({"a": {1.0: 1.0}}, width=5, height=3)
+
+    def test_render_figure_charts_one_block_per_dataset(self):
+        text = render_figure_charts(_example_series(), title="demo")
+        assert text.count("[cora_ml]") == 1
+        assert text.count("[citeseer]") == 1
+
+    @given(values=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_chart_never_crashes_on_valid_series(self, values):
+        series = {"m": {float(i): float(v) for i, v in enumerate(values)}}
+        chart = ascii_line_chart(series, width=30, height=8)
+        assert isinstance(chart, str) and chart
+
+
+# --------------------------------------------------------------------------- #
+# export / import
+# --------------------------------------------------------------------------- #
+class TestExport:
+    def test_json_roundtrip(self, tmp_path):
+        series = _example_series()
+        path = series_to_json(series, tmp_path / "fig.json", metadata={"scale": 0.25})
+        loaded, metadata = series_from_json(path)
+        assert loaded == series
+        assert metadata == {"scale": 0.25}
+
+    def test_json_preserves_infinity(self, tmp_path):
+        series = {"d": {"m": {math.inf: 0.5, 1.0: 0.4}}}
+        loaded, _ = series_from_json(series_to_json(series, tmp_path / "inf.json"))
+        assert loaded == series
+
+    def test_json_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"not_series": 1}))
+        with pytest.raises(ConfigurationError):
+            series_from_json(path)
+
+    def test_csv_roundtrip(self, tmp_path):
+        series = _example_series()
+        path = series_to_csv(series, tmp_path / "fig.csv")
+        assert series_from_csv(path) == series
+
+    def test_csv_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            series_from_csv(path)
+
+    def test_export_figure_writes_three_files(self, tmp_path):
+        paths = export_figure(_example_series(), tmp_path, "figure1",
+                              title="Figure 1", metadata={"repeats": 1})
+        assert set(paths) == {"text", "csv", "json"}
+        for path in paths.values():
+            assert path.exists()
+        text = paths["text"].read_text()
+        assert "Figure 1" in text
+        assert "legend:" in text  # the ASCII chart is appended
+
+    def test_export_figure_without_charts(self, tmp_path):
+        paths = export_figure(_example_series(), tmp_path, "plain", charts=False)
+        assert "legend:" not in paths["text"].read_text()
+
+    def test_export_figure_requires_name(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_figure(_example_series(), tmp_path, "")
+
+    @given(
+        values=st.dictionaries(
+            st.sampled_from([0.5, 1.0, 2.0, 3.0, 4.0]),
+            st.floats(0.0, 1.0), min_size=1, max_size=5,
+        )
+    )
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_roundtrip_property(self, tmp_path, values):
+        series = {"dataset": {"method": {float(k): float(v) for k, v in values.items()}}}
+        loaded, _ = series_from_json(series_to_json(series, tmp_path / "prop.json"))
+        for x, y in series["dataset"]["method"].items():
+            assert loaded["dataset"]["method"][x] == pytest.approx(y)

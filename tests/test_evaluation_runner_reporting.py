@@ -1,0 +1,125 @@
+"""Tests for the experiment runner, aggregation and text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import micro_f1
+from repro.evaluation.reporting import render_series, render_table
+from repro.evaluation.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    aggregate_results,
+    series_from_results,
+)
+from repro.exceptions import ConfigurationError
+
+
+class _ConstantEstimator:
+    """A stub estimator predicting a constant class; records fit calls."""
+
+    def __init__(self, constant: int = 0):
+        self.constant = constant
+        self.fitted_with_seed = None
+
+    def fit(self, graph, seed=None):
+        self.fitted_with_seed = seed
+        return self
+
+    def predict(self, graph, mode=None):
+        return np.full(graph.num_nodes, self.constant, dtype=np.int64)
+
+
+class _OracleEstimator:
+    """A stub estimator that predicts the true labels."""
+
+    def fit(self, graph, seed=None):
+        self._labels = graph.labels
+        return self
+
+    def predict(self, graph):  # no ``mode`` argument on purpose
+        return self._labels
+
+
+class TestRunner:
+    def test_runs_all_combinations(self, tiny_graph):
+        runner = ExperimentRunner(repeats=2, seed=0)
+        runner.register("constant", lambda eps, delta, seed: _ConstantEstimator())
+        runner.register("oracle", lambda eps, delta, seed: _OracleEstimator())
+        results = runner.run({"tiny": tiny_graph}, epsilons=[0.5, 1.0])
+        assert len(results) == 2 * 2 * 2  # methods x epsilons x repeats
+
+    def test_oracle_scores_one(self, tiny_graph):
+        runner = ExperimentRunner(repeats=1, seed=0)
+        runner.register("oracle", lambda eps, delta, seed: _OracleEstimator())
+        results = runner.run({"tiny": tiny_graph}, epsilons=[1.0])
+        assert results[0].micro_f1 == 1.0
+
+    def test_constant_estimator_matches_majority_rate(self, tiny_graph):
+        majority_class = np.bincount(tiny_graph.labels[tiny_graph.test_idx]).argmax()
+        runner = ExperimentRunner(repeats=1, seed=0)
+        runner.register("constant", lambda eps, delta, seed: _ConstantEstimator(majority_class))
+        results = runner.run({"tiny": tiny_graph}, epsilons=[1.0])
+        expected = micro_f1(tiny_graph.labels[tiny_graph.test_idx],
+                            np.full(tiny_graph.test_idx.size, majority_class))
+        assert results[0].micro_f1 == pytest.approx(expected)
+
+    def test_duplicate_registration_rejected(self):
+        runner = ExperimentRunner()
+        runner.register("a", lambda e, d, s: _ConstantEstimator())
+        with pytest.raises(ConfigurationError):
+            runner.register("a", lambda e, d, s: _ConstantEstimator())
+
+    def test_empty_inputs_rejected(self, tiny_graph):
+        runner = ExperimentRunner()
+        with pytest.raises(ConfigurationError):
+            runner.run({"tiny": tiny_graph}, epsilons=[1.0])
+        runner.register("a", lambda e, d, s: _ConstantEstimator())
+        with pytest.raises(ConfigurationError):
+            runner.run({}, epsilons=[1.0])
+        with pytest.raises(ConfigurationError):
+            runner.run({"tiny": tiny_graph}, epsilons=[])
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(repeats=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(inference_mode="hybrid")
+
+
+class TestAggregation:
+    def _results(self):
+        return [
+            ExperimentResult("m", "d", 1.0, 0, 0.5),
+            ExperimentResult("m", "d", 1.0, 1, 0.7),
+            ExperimentResult("m", "d", 2.0, 0, 0.9),
+        ]
+
+    def test_aggregate_mean_std(self):
+        aggregated = aggregate_results(self._results())
+        stats = aggregated[("m", "d", 1.0)]
+        assert stats["mean"] == pytest.approx(0.6)
+        assert stats["std"] == pytest.approx(0.1)
+        assert stats["count"] == 2
+
+    def test_series_reshaping(self):
+        series = series_from_results(self._results())
+        assert series["d"]["m"][1.0] == pytest.approx(0.6)
+        assert series["d"]["m"][2.0] == pytest.approx(0.9)
+
+
+class TestReporting:
+    def test_render_table_contains_cells(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text and "2.5000" in text and "x" in text
+
+    def test_render_series_layout(self):
+        series = {"cora": {"GCON": {0.5: 0.7, 1.0: 0.8}, "MLP": {0.5: 0.6, 1.0: 0.6}}}
+        text = render_series(series, title="Figure 1")
+        assert "Figure 1" in text
+        assert "[cora]" in text
+        assert "GCON" in text and "MLP" in text
+        assert "0.8000" in text
+
+    def test_render_series_handles_infinite_x(self):
+        series = {"cora": {"GCON": {float("inf"): 0.7, 1.0: 0.8}}}
+        assert "inf" in render_series(series)

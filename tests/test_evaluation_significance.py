@@ -1,0 +1,118 @@
+"""Tests for bootstrap intervals, paired permutation tests and win matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.significance import (
+    BootstrapInterval,
+    bootstrap_mean_interval,
+    paired_permutation_test,
+    summarize_comparison,
+    win_matrix,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBootstrapInterval:
+    def test_interval_contains_sample_mean(self):
+        scores = [0.70, 0.72, 0.71, 0.69, 0.73, 0.70, 0.74, 0.68, 0.71, 0.72]
+        interval = bootstrap_mean_interval(scores, rng=0)
+        assert isinstance(interval, BootstrapInterval)
+        assert interval.lower <= interval.mean <= interval.upper
+        assert interval.contains(np.mean(scores))
+
+    def test_higher_confidence_widens_interval(self):
+        scores = np.random.default_rng(0).normal(0.7, 0.05, size=10)
+        narrow = bootstrap_mean_interval(scores, confidence=0.80, rng=1)
+        wide = bootstrap_mean_interval(scores, confidence=0.99, rng=1)
+        assert wide.width >= narrow.width
+
+    def test_low_variance_gives_tight_interval(self):
+        tight = bootstrap_mean_interval([0.7, 0.7001, 0.6999, 0.7], rng=0)
+        loose = bootstrap_mean_interval([0.4, 0.9, 0.5, 0.95], rng=0)
+        assert tight.width < loose.width
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_interval([0.5])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_interval([0.5, np.nan])
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_interval([0.5, 0.6], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_interval([0.5, 0.6], num_resamples=10)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=3, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_interval_always_ordered(self, scores):
+        interval = bootstrap_mean_interval(scores, num_resamples=200, rng=0)
+        assert interval.lower <= interval.upper
+
+
+class TestPairedPermutationTest:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(0)
+        strong = 0.80 + 0.01 * rng.normal(size=10)
+        weak = 0.60 + 0.01 * rng.normal(size=10)
+        comparison = paired_permutation_test(strong, weak, rng=0)
+        assert comparison.mean_difference > 0.15
+        assert comparison.significant(alpha=0.05)
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        base = 0.7 + 0.02 * rng.normal(size=10)
+        other = base + 0.001 * rng.normal(size=10)
+        comparison = paired_permutation_test(base, other, rng=0)
+        assert not comparison.significant(alpha=0.01)
+
+    def test_p_value_in_unit_interval(self):
+        comparison = paired_permutation_test([0.5, 0.6, 0.7], [0.4, 0.5, 0.6],
+                                             num_permutations=500, rng=0)
+        assert 0.0 < comparison.p_value <= 1.0
+
+    def test_symmetry_of_mean_difference(self):
+        first = [0.8, 0.82, 0.81]
+        second = [0.7, 0.71, 0.72]
+        forward = paired_permutation_test(first, second, rng=0)
+        backward = paired_permutation_test(second, first, rng=0)
+        assert forward.mean_difference == pytest.approx(-backward.mean_difference)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([0.5, 0.6], [0.5])
+        with pytest.raises(ConfigurationError):
+            paired_permutation_test([0.5, 0.6], [0.5, 0.6], num_permutations=10)
+
+
+class TestWinMatrix:
+    def test_dominant_method_wins_everywhere(self):
+        rng = np.random.default_rng(0)
+        results = {
+            "GCON": list(0.80 + 0.01 * rng.normal(size=8)),
+            "GAP": list(0.60 + 0.01 * rng.normal(size=8)),
+            "DPGCN": list(0.30 + 0.01 * rng.normal(size=8)),
+        }
+        names, matrix = win_matrix(results, rng=0)
+        gcon = names.index("GCON")
+        assert np.all(matrix[gcon, [i for i in range(3) if i != gcon]] == 1)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_matrix_is_antisymmetric(self):
+        rng = np.random.default_rng(1)
+        results = {name: list(rng.normal(0.7, 0.05, size=6)) for name in "abc"}
+        _, matrix = win_matrix(results, rng=0)
+        assert np.array_equal(matrix, -matrix.T)
+
+    def test_requires_two_methods(self):
+        with pytest.raises(ConfigurationError):
+            win_matrix({"only": [0.5, 0.6]})
+
+    def test_summary_line_mentions_significance(self):
+        line = summarize_comparison("GCON", [0.8, 0.81, 0.82, 0.8],
+                                    "GAP", [0.6, 0.61, 0.6, 0.62])
+        assert "GCON" in line and "GAP" in line
+        assert "p =" in line

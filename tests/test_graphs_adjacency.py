@@ -1,0 +1,101 @@
+"""Tests for adjacency construction and normalisation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphDataError
+from repro.graphs.adjacency import (
+    add_edge,
+    add_self_loops,
+    build_adjacency,
+    general_normalize,
+    remove_edge,
+    row_stochastic_normalize,
+    symmetric_normalize,
+)
+
+
+class TestBuildAdjacency:
+    def test_symmetric_binary(self):
+        adjacency = build_adjacency(np.array([[0, 1], [1, 2]]), 4)
+        dense = adjacency.toarray()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+        assert dense[0, 1] == 1 and dense[2, 1] == 1 and dense[0, 3] == 0
+
+    def test_duplicates_and_reverse_orientation_collapse(self):
+        adjacency = build_adjacency(np.array([[0, 1], [1, 0], [0, 1]]), 3)
+        assert adjacency.nnz == 2
+        assert adjacency[0, 1] == 1.0
+
+    def test_empty_edge_list(self):
+        adjacency = build_adjacency(np.empty((0, 2)), 5)
+        assert adjacency.shape == (5, 5)
+        assert adjacency.nnz == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphDataError):
+            build_adjacency(np.array([[1, 1]]), 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphDataError):
+            build_adjacency(np.array([[0, 9]]), 3)
+
+
+class TestNormalisations:
+    def test_row_stochastic_rows_sum_to_one(self, triangle_adjacency):
+        normalized = row_stochastic_normalize(triangle_adjacency)
+        np.testing.assert_allclose(np.asarray(normalized.sum(axis=1)).ravel(), np.ones(4))
+
+    def test_row_stochastic_matches_paper_definition(self, triangle_adjacency):
+        with_loops = add_self_loops(triangle_adjacency).toarray()
+        degrees = with_loops.sum(axis=1)
+        expected = with_loops / degrees[:, None]
+        np.testing.assert_allclose(row_stochastic_normalize(triangle_adjacency).toarray(), expected)
+
+    def test_symmetric_normalization_is_symmetric(self, triangle_adjacency):
+        normalized = symmetric_normalize(triangle_adjacency).toarray()
+        np.testing.assert_allclose(normalized, normalized.T)
+
+    def test_general_normalize_special_cases(self, triangle_adjacency):
+        np.testing.assert_allclose(
+            general_normalize(triangle_adjacency, 0.0).toarray(),
+            row_stochastic_normalize(triangle_adjacency).toarray(),
+        )
+        np.testing.assert_allclose(
+            general_normalize(triangle_adjacency, 0.5).toarray(),
+            symmetric_normalize(triangle_adjacency).toarray(),
+        )
+
+    def test_general_normalize_rejects_bad_r(self, triangle_adjacency):
+        with pytest.raises(GraphDataError):
+            general_normalize(triangle_adjacency, 1.5)
+
+    def test_isolated_node_handled(self):
+        adjacency = sp.csr_matrix((3, 3))
+        normalized = row_stochastic_normalize(adjacency)
+        # With self-loops every node has degree 1.
+        np.testing.assert_allclose(normalized.toarray(), np.eye(3))
+
+
+class TestEdgeEdits:
+    def test_remove_then_add_round_trip(self, triangle_adjacency):
+        removed = remove_edge(triangle_adjacency, 0, 1)
+        assert removed[0, 1] == 0 and removed[1, 0] == 0
+        restored = add_edge(removed, 0, 1)
+        np.testing.assert_array_equal(restored.toarray(), triangle_adjacency.toarray())
+
+    def test_remove_missing_edge_raises(self, triangle_adjacency):
+        with pytest.raises(GraphDataError):
+            remove_edge(triangle_adjacency, 0, 3)
+
+    def test_add_existing_edge_raises(self, triangle_adjacency):
+        with pytest.raises(GraphDataError):
+            add_edge(triangle_adjacency, 0, 1)
+
+    def test_self_loop_edits_rejected(self, triangle_adjacency):
+        with pytest.raises(GraphDataError):
+            remove_edge(triangle_adjacency, 2, 2)
+        with pytest.raises(GraphDataError):
+            add_edge(triangle_adjacency, 2, 2)

@@ -1,0 +1,160 @@
+"""Tests for synthetic generators, named dataset presets, splits, homophily and IO."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.datasets import (
+    dataset_statistics,
+    get_spec,
+    list_datasets,
+    load_dataset,
+    reference_statistics,
+)
+from repro.graphs.generators import CitationGraphSpec, generate_citation_graph
+from repro.graphs.homophily import edge_homophily_ratio, homophily_ratio
+from repro.graphs.io import load_graph, save_graph
+from repro.graphs.splits import fractional_split, per_class_split
+
+
+class TestCitationGraphSpec:
+    def test_invalid_homophily(self):
+        with pytest.raises(ConfigurationError):
+            CitationGraphSpec(name="x", num_nodes=50, num_edges=100, num_features=10,
+                              num_classes=3, homophily=1.5)
+
+    def test_scaled_preserves_classes_and_ratio(self):
+        spec = get_spec("cora_ml")
+        scaled = spec.scaled(0.2)
+        assert scaled.num_classes == spec.num_classes
+        assert scaled.homophily == spec.homophily
+        assert scaled.num_nodes < spec.num_nodes
+
+    def test_scale_one_is_identity(self):
+        spec = get_spec("citeseer")
+        assert spec.scaled(1.0) is spec
+
+    def test_scale_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            get_spec("cora_ml").scaled(0.0)
+
+
+class TestGenerator:
+    def test_shapes_and_counts(self, tiny_spec, tiny_graph):
+        assert tiny_graph.num_nodes == tiny_spec.num_nodes
+        assert tiny_graph.num_features == tiny_spec.num_features
+        assert tiny_graph.num_classes == tiny_spec.num_classes
+        # Edge count is approximate (rejection sampling) but close.
+        assert tiny_graph.num_edges >= 0.8 * tiny_spec.num_edges
+
+    def test_homophily_close_to_target(self, tiny_spec, tiny_graph):
+        assert abs(edge_homophily_ratio(tiny_graph) - tiny_spec.homophily) < 0.12
+
+    def test_heterophilous_target(self, heterophilous_graph):
+        assert edge_homophily_ratio(heterophilous_graph) < 0.4
+
+    def test_deterministic_given_seed(self, tiny_spec):
+        first = generate_citation_graph(tiny_spec, seed=5)
+        second = generate_citation_graph(tiny_spec, seed=5)
+        np.testing.assert_array_equal(first.labels, second.labels)
+        np.testing.assert_array_equal(first.adjacency.toarray(), second.adjacency.toarray())
+
+    def test_different_seeds_differ(self, tiny_spec):
+        first = generate_citation_graph(tiny_spec, seed=1)
+        second = generate_citation_graph(tiny_spec, seed=2)
+        assert not np.array_equal(first.adjacency.toarray(), second.adjacency.toarray())
+
+    def test_features_are_binary_and_nonempty(self, tiny_graph):
+        values = np.unique(tiny_graph.features)
+        assert set(values) <= {0.0, 1.0}
+        assert tiny_graph.features.sum(axis=1).min() >= 1
+
+    def test_every_class_has_enough_training_nodes(self, tiny_spec, tiny_graph):
+        for cls in range(tiny_spec.num_classes):
+            members = np.count_nonzero(tiny_graph.labels[tiny_graph.train_idx] == cls)
+            assert members == tiny_spec.train_per_class
+
+
+class TestDatasetRegistry:
+    def test_list_datasets(self):
+        assert set(list_datasets()) == {"cora_ml", "citeseer", "pubmed", "actor"}
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("not-a-dataset")
+
+    def test_name_normalisation(self):
+        assert get_spec("Cora-ML").name == "cora_ml"
+
+    def test_scaled_load_has_expected_size(self):
+        graph = load_dataset("citeseer", scale=0.1, seed=0)
+        spec = get_spec("citeseer")
+        assert graph.num_nodes == pytest.approx(spec.num_nodes * 0.1, rel=0.2)
+
+    def test_reference_statistics_match_table2(self):
+        reference = reference_statistics()
+        assert reference["cora_ml"]["nodes"] == 2995
+        assert reference["pubmed"]["features"] == 500
+        assert reference["actor"]["classes"] == 5
+        assert reference["citeseer"]["homophily"] == pytest.approx(0.71)
+
+    def test_dataset_statistics_contains_all(self):
+        stats = dataset_statistics(["cora_ml", "actor"], scale=0.05, seed=0)
+        assert [s["name"] for s in stats] == ["cora_ml", "actor"]
+
+
+class TestHomophily:
+    def test_path_graph_homophily(self, path_graph):
+        # path 0-0-0-1-1-1: only the middle edge (2,3) crosses classes.
+        assert homophily_ratio(path_graph) == pytest.approx(1.0 - (0.5 + 0.5) / 6)
+        assert edge_homophily_ratio(path_graph) == pytest.approx(4 / 5)
+
+    def test_bounds(self, tiny_graph):
+        value = homophily_ratio(tiny_graph)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSplits:
+    def test_per_class_split_counts(self):
+        labels = np.repeat(np.arange(4), 50)
+        train, val, test = per_class_split(labels, train_per_class=5, num_val=20, num_test=30,
+                                           rng=0)
+        assert train.size == 20
+        assert val.size == 20 and test.size == 30
+        assert len(np.intersect1d(train, val)) == 0
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(np.intersect1d(val, test)) == 0
+
+    def test_per_class_split_small_graph_degrades_gracefully(self):
+        labels = np.repeat(np.arange(2), 10)
+        train, val, test = per_class_split(labels, train_per_class=3, num_val=500, num_test=1000,
+                                           rng=0)
+        assert train.size == 6
+        assert val.size + test.size == 14
+
+    def test_fractional_split_partitions_everything(self):
+        train, val, test = fractional_split(100, rng=0)
+        together = np.concatenate([train, val, test])
+        assert np.array_equal(np.sort(together), np.arange(100))
+
+    def test_fractional_split_rejects_bad_fractions(self):
+        with pytest.raises(ConfigurationError):
+            fractional_split(10, fractions=(0.5, 0.2, 0.2))
+
+
+class TestGraphIO:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = save_graph(tiny_graph, tmp_path / "graph.npz")
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.adjacency.toarray(), tiny_graph.adjacency.toarray())
+        np.testing.assert_array_equal(loaded.features, tiny_graph.features)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        np.testing.assert_array_equal(loaded.train_idx, tiny_graph.train_idx)
+        assert loaded.name == tiny_graph.name
+
+    def test_creates_parent_directories(self, path_graph, tmp_path):
+        target = tmp_path / "nested" / "dir" / "graph.npz"
+        save_graph(path_graph, target)
+        assert target.exists()

@@ -1,0 +1,85 @@
+"""Tests for the GraphDataset container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphDataError
+from repro.graphs.adjacency import build_adjacency
+from repro.graphs.graph import GraphDataset
+
+
+class TestValidation:
+    def test_valid_graph(self, path_graph):
+        assert path_graph.num_nodes == 6
+        assert path_graph.num_edges == 5
+        assert path_graph.num_classes == 2
+
+    def test_rejects_feature_shape_mismatch(self):
+        adjacency = build_adjacency(np.array([[0, 1]]), 3)
+        with pytest.raises(GraphDataError):
+            GraphDataset(adjacency=adjacency, features=np.zeros((2, 4)), labels=np.zeros(3, int))
+
+    def test_rejects_self_loops(self):
+        adjacency = sp.identity(3, format="csr")
+        with pytest.raises(GraphDataError):
+            GraphDataset(adjacency=adjacency, features=np.zeros((3, 2)), labels=np.zeros(3, int))
+
+    def test_rejects_asymmetric_adjacency(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1, 0], [0, 0, 0], [0, 0, 0]], dtype=float))
+        with pytest.raises(GraphDataError):
+            GraphDataset(adjacency=adjacency, features=np.zeros((3, 2)), labels=np.zeros(3, int))
+
+    def test_rejects_out_of_range_split(self):
+        adjacency = build_adjacency(np.array([[0, 1]]), 3)
+        with pytest.raises(GraphDataError):
+            GraphDataset(adjacency=adjacency, features=np.zeros((3, 2)),
+                         labels=np.zeros(3, int), train_idx=np.array([7]))
+
+
+class TestAccessors:
+    def test_degrees(self, path_graph):
+        np.testing.assert_array_equal(path_graph.degrees, [1, 2, 2, 2, 2, 1])
+
+    def test_label_matrix_one_hot(self, path_graph):
+        matrix = path_graph.label_matrix()
+        assert matrix.shape == (6, 2)
+        np.testing.assert_array_equal(np.argmax(matrix, axis=1), path_graph.labels)
+
+    def test_edges_are_upper_triangular(self, path_graph):
+        edges = path_graph.edges()
+        assert edges.shape == (5, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_summary_keys(self, tiny_graph):
+        summary = tiny_graph.summary()
+        assert {"name", "nodes", "edges", "features", "classes", "homophily"} <= set(summary)
+
+
+class TestNeighbouringDatasets:
+    def test_without_edge(self, path_graph):
+        neighbour = path_graph.without_edge(0, 1)
+        assert neighbour.num_edges == path_graph.num_edges - 1
+        assert path_graph.num_edges == 5  # original untouched
+
+    def test_with_edge(self, path_graph):
+        neighbour = path_graph.with_edge(0, 5)
+        assert neighbour.num_edges == path_graph.num_edges + 1
+
+    def test_neighbouring_preserves_features_and_labels(self, path_graph):
+        neighbour = path_graph.without_edge(2, 3)
+        np.testing.assert_array_equal(neighbour.features, path_graph.features)
+        np.testing.assert_array_equal(neighbour.labels, path_graph.labels)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, path_graph):
+        subgraph = path_graph.subgraph(np.array([0, 1, 2]))
+        assert subgraph.num_nodes == 3
+        assert subgraph.num_edges == 2
+        assert subgraph.train_idx.tolist() == [0]
+
+    def test_subgraph_relabels_splits(self, path_graph):
+        subgraph = path_graph.subgraph(np.array([3, 4, 5]))
+        assert subgraph.train_idx.tolist() == [0]
+        assert subgraph.test_idx.tolist() == [2]

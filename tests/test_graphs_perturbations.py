@@ -1,0 +1,137 @@
+"""Tests for neighbouring-graph sampling and bulk edge perturbations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphDataError
+from repro.graphs.adjacency import build_adjacency
+from repro.graphs.graph import GraphDataset
+from repro.graphs.perturbations import (
+    add_random_edges,
+    edge_flip_distance,
+    iter_neighboring_pairs,
+    remove_random_edges,
+    rewire_edges,
+    sample_absent_edge,
+    sample_neighboring_pair,
+    sample_present_edge,
+)
+
+
+class TestEdgeSampling:
+    def test_present_edge_exists(self, tiny_graph, rng):
+        u, v = sample_present_edge(tiny_graph, rng)
+        assert u < v
+        assert tiny_graph.adjacency[u, v] == 1
+
+    def test_absent_edge_does_not_exist(self, tiny_graph, rng):
+        u, v = sample_absent_edge(tiny_graph, rng)
+        assert u < v
+        assert tiny_graph.adjacency[u, v] == 0
+
+    def test_absent_edge_rejects_complete_graph(self):
+        edges = np.array([[0, 1], [0, 2], [1, 2]])
+        graph = GraphDataset(adjacency=build_adjacency(edges, 3), features=np.eye(3),
+                             labels=np.zeros(3, dtype=int))
+        with pytest.raises(GraphDataError):
+            sample_absent_edge(graph, rng=0)
+
+    def test_present_edge_rejects_empty_graph(self):
+        graph = GraphDataset(adjacency=np.zeros((4, 4)), features=np.eye(4),
+                             labels=np.zeros(4, dtype=int))
+        with pytest.raises(GraphDataError):
+            sample_present_edge(graph, rng=0)
+
+
+class TestNeighboringPairs:
+    def test_remove_pair_differs_by_one_edge(self, tiny_graph):
+        pair = sample_neighboring_pair(tiny_graph, kind="remove", rng=0)
+        assert pair.kind == "remove"
+        assert pair.neighbor.num_edges == tiny_graph.num_edges - 1
+        assert edge_flip_distance(tiny_graph, pair.neighbor) == 1
+
+    def test_add_pair_differs_by_one_edge(self, tiny_graph):
+        pair = sample_neighboring_pair(tiny_graph, kind="add", rng=0)
+        assert pair.kind == "add"
+        assert pair.neighbor.num_edges == tiny_graph.num_edges + 1
+        assert edge_flip_distance(tiny_graph, pair.neighbor) == 1
+
+    def test_either_kind_produces_valid_pair(self, tiny_graph):
+        pair = sample_neighboring_pair(tiny_graph, kind="either", rng=5)
+        assert pair.kind in ("remove", "add")
+        assert edge_flip_distance(tiny_graph, pair.neighbor) == 1
+
+    def test_invalid_kind_rejected(self, tiny_graph):
+        with pytest.raises(GraphDataError):
+            sample_neighboring_pair(tiny_graph, kind="swap", rng=0)
+
+    def test_iterator_yields_requested_count(self, tiny_graph):
+        pairs = list(iter_neighboring_pairs(tiny_graph, count=5, rng=0))
+        assert len(pairs) == 5
+        assert all(edge_flip_distance(tiny_graph, pair.neighbor) == 1 for pair in pairs)
+
+    def test_iterator_rejects_negative_count(self, tiny_graph):
+        with pytest.raises(GraphDataError):
+            list(iter_neighboring_pairs(tiny_graph, count=-1))
+
+    def test_original_graph_is_not_mutated(self, tiny_graph):
+        before = tiny_graph.num_edges
+        sample_neighboring_pair(tiny_graph, kind="remove", rng=1)
+        sample_neighboring_pair(tiny_graph, kind="add", rng=1)
+        assert tiny_graph.num_edges == before
+
+
+class TestBulkPerturbations:
+    def test_remove_fraction_of_edges(self, tiny_graph):
+        perturbed = remove_random_edges(tiny_graph, fraction=0.2, rng=0)
+        expected = tiny_graph.num_edges - int(round(0.2 * tiny_graph.num_edges))
+        assert perturbed.num_edges == expected
+
+    def test_remove_zero_fraction_is_identity(self, tiny_graph):
+        assert remove_random_edges(tiny_graph, fraction=0.0, rng=0) is tiny_graph
+
+    def test_remove_rejects_bad_fraction(self, tiny_graph):
+        with pytest.raises(GraphDataError):
+            remove_random_edges(tiny_graph, fraction=1.5)
+
+    def test_add_random_edges_increases_count(self, tiny_graph):
+        perturbed = add_random_edges(tiny_graph, count=7, rng=0)
+        assert perturbed.num_edges == tiny_graph.num_edges + 7
+
+    def test_rewire_preserves_edge_count(self, tiny_graph):
+        perturbed = rewire_edges(tiny_graph, fraction=0.3, rng=0)
+        assert perturbed.num_edges == tiny_graph.num_edges
+        assert edge_flip_distance(tiny_graph, perturbed) > 0
+
+    def test_rewiring_reduces_homophily(self):
+        from repro.graphs.random_graphs import planted_partition_graph
+        from repro.graphs.statistics import edge_homophily_ratio
+
+        graph = planted_partition_graph(200, num_classes=4, intra_probability=0.1,
+                                        inter_probability=0.002, seed=0)
+        rewired = rewire_edges(graph, fraction=0.8, rng=0)
+        assert edge_homophily_ratio(rewired) < edge_homophily_ratio(graph)
+
+    def test_edge_flip_distance_requires_same_node_count(self, tiny_graph, path_graph):
+        with pytest.raises(GraphDataError):
+            edge_flip_distance(tiny_graph, path_graph)
+
+
+class TestPerturbationProperties:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_pairs_always_valid_datasets(self, tiny_graph, seed):
+        pair = sample_neighboring_pair(tiny_graph, kind="either", rng=seed)
+        pair.neighbor.validate()
+        assert pair.neighbor.adjacency.diagonal().sum() == 0
+
+    @given(fraction=st.floats(0.0, 1.0), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_remove_never_negative_edges(self, path_graph, fraction, seed):
+        perturbed = remove_random_edges(path_graph, fraction=fraction, rng=seed)
+        assert 0 <= perturbed.num_edges <= path_graph.num_edges

@@ -1,0 +1,148 @@
+"""Tests for the Planetoid content/cites loader (real-data entry point)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphDataError
+from repro.graphs.planetoid import (
+    PlanetoidLoadReport,
+    load_planetoid,
+    parse_cites_file,
+    parse_content_file,
+    write_planetoid,
+)
+
+
+def _write_tiny_dataset(directory, include_noise=True):
+    """Write a 5-node content/cites pair with one unknown id, one dup and one self-loop."""
+    content = directory / "tiny.content"
+    cites = directory / "tiny.cites"
+    content.write_text(
+        "paper_a 1 0 0 1 genetics\n"
+        "paper_b 0 1 0 1 genetics\n"
+        "paper_c 0 0 1 0 theory\n"
+        "paper_d 1 1 0 0 theory\n"
+        "paper_e 0 1 1 0 systems\n"
+    )
+    lines = [
+        "paper_a paper_b",
+        "paper_b paper_c",
+        "paper_c paper_d",
+        "paper_d paper_e",
+        "paper_b paper_a",      # duplicate (reverse orientation)
+    ]
+    if include_noise:
+        lines += [
+            "paper_a paper_unknown",   # unknown id -> skipped
+            "paper_c paper_c",         # self-loop -> dropped
+        ]
+    cites.write_text("\n".join(lines) + "\n")
+    return content, cites
+
+
+class TestParsing:
+    def test_content_file_parsed(self, tmp_path):
+        content, _ = _write_tiny_dataset(tmp_path)
+        node_ids, features, labels, label_names = parse_content_file(content)
+        assert node_ids == ["paper_a", "paper_b", "paper_c", "paper_d", "paper_e"]
+        assert features.shape == (5, 4)
+        assert label_names == ("genetics", "systems", "theory")
+        assert labels.tolist() == [0, 0, 2, 2, 1]
+
+    def test_content_rejects_missing_file(self, tmp_path):
+        with pytest.raises(GraphDataError):
+            parse_content_file(tmp_path / "missing.content")
+
+    def test_content_rejects_inconsistent_columns(self, tmp_path):
+        path = tmp_path / "bad.content"
+        path.write_text("a 1 0 x\nb 1 y\n")
+        with pytest.raises(GraphDataError):
+            parse_content_file(path)
+
+    def test_content_rejects_duplicate_ids(self, tmp_path):
+        path = tmp_path / "dup.content"
+        path.write_text("a 1 0 x\na 0 1 y\n")
+        with pytest.raises(GraphDataError):
+            parse_content_file(path)
+
+    def test_cites_file_skips_unknown_and_self_loops(self, tmp_path):
+        content, cites = _write_tiny_dataset(tmp_path)
+        node_ids, *_ = parse_content_file(content)
+        edges, skipped, self_loops, duplicates = parse_cites_file(cites, node_ids)
+        assert edges.shape == (4, 2)
+        assert skipped == 1
+        assert self_loops == 1
+        assert duplicates == 1
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_cites_rejects_malformed_lines(self, tmp_path):
+        content, _ = _write_tiny_dataset(tmp_path)
+        node_ids, *_ = parse_content_file(content)
+        bad = tmp_path / "bad.cites"
+        bad.write_text("only_one_token\n")
+        with pytest.raises(GraphDataError):
+            parse_cites_file(bad, node_ids)
+
+
+class TestLoadPlanetoid:
+    def test_load_builds_valid_dataset_and_report(self, tmp_path):
+        content, cites = _write_tiny_dataset(tmp_path)
+        graph, report = load_planetoid(content, cites, name="tiny", train_per_class=1,
+                                       num_val=1, num_test=1, seed=0)
+        assert isinstance(report, PlanetoidLoadReport)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert graph.num_classes == 3
+        assert report.num_skipped_edges == 1
+        assert report.num_self_loops_dropped == 1
+        graph.validate()
+
+    def test_feature_normalisation_rows_sum_to_one(self, tmp_path):
+        content, cites = _write_tiny_dataset(tmp_path)
+        graph, _ = load_planetoid(content, cites, train_per_class=1, num_val=1,
+                                  num_test=1, normalize_features=True, seed=0)
+        assert np.allclose(graph.features.sum(axis=1), 1.0)
+
+    def test_unnormalised_features_preserved(self, tmp_path):
+        content, cites = _write_tiny_dataset(tmp_path)
+        graph, _ = load_planetoid(content, cites, train_per_class=1, num_val=1,
+                                  num_test=1, normalize_features=False, seed=0)
+        assert graph.features.max() == 1.0
+
+    def test_fractional_split_mode(self, tmp_path):
+        content, cites = _write_tiny_dataset(tmp_path)
+        graph, _ = load_planetoid(content, cites, split="fractional", seed=0)
+        total = graph.train_idx.size + graph.val_idx.size + graph.test_idx.size
+        assert total == graph.num_nodes
+
+    def test_invalid_split_rejected(self, tmp_path):
+        content, cites = _write_tiny_dataset(tmp_path)
+        with pytest.raises(GraphDataError):
+            load_planetoid(content, cites, split="random_walk")
+
+
+class TestRoundTrip:
+    def test_write_then_load_preserves_structure(self, tmp_path, tiny_graph):
+        content, cites = write_planetoid(tiny_graph, tmp_path, name="roundtrip")
+        loaded, report = load_planetoid(content, cites, name="roundtrip",
+                                        train_per_class=5, num_val=20, num_test=40,
+                                        normalize_features=False, seed=0)
+        assert loaded.num_nodes == tiny_graph.num_nodes
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert loaded.num_classes == tiny_graph.num_classes
+        assert report.num_skipped_edges == 0
+
+    def test_gcon_trains_on_loaded_graph(self, tmp_path, tiny_graph):
+        """End-to-end: the real-data entry point feeds straight into GCON."""
+        from repro.core.config import GCONConfig
+        from repro.core.model import GCON
+
+        content, cites = write_planetoid(tiny_graph, tmp_path, name="e2e")
+        loaded, _ = load_planetoid(content, cites, train_per_class=10, num_val=20,
+                                   num_test=50, normalize_features=False, seed=0)
+        config = GCONConfig(epsilon=4.0, alpha=0.8, propagation_steps=(1,),
+                            encoder_dim=8, encoder_epochs=20, max_iterations=100)
+        model = GCON(config).fit(loaded, seed=0)
+        assert 0.0 <= model.score(loaded) <= 1.0

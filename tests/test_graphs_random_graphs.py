@@ -1,0 +1,134 @@
+"""Tests for the classic random-graph dataset factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphDataError
+from repro.graphs.random_graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+)
+from repro.graphs.statistics import compute_statistics, edge_homophily_ratio
+
+
+class TestErdosRenyi:
+    def test_basic_shape_and_splits(self):
+        graph = erdos_renyi_graph(120, edge_probability=0.05, num_classes=3,
+                                  num_features=10, seed=0)
+        assert graph.num_nodes == 120
+        assert graph.num_features == 10
+        assert graph.num_classes <= 3
+        splits = np.concatenate([graph.train_idx, graph.val_idx, graph.test_idx])
+        assert np.array_equal(np.sort(splits), np.arange(120))
+
+    def test_edge_count_close_to_expectation(self):
+        n, p = 200, 0.05
+        graph = erdos_renyi_graph(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_zero_probability_gives_empty_graph(self):
+        graph = erdos_renyi_graph(30, 0.0, seed=0)
+        assert graph.num_edges == 0
+
+    def test_probability_one_gives_complete_graph(self):
+        graph = erdos_renyi_graph(15, 1.0, seed=0)
+        assert graph.num_edges == 15 * 14 // 2
+
+    def test_determinism_with_seed(self):
+        first = erdos_renyi_graph(60, 0.08, seed=42)
+        second = erdos_renyi_graph(60, 0.08, seed=42)
+        assert (first.adjacency != second.adjacency).nnz == 0
+        assert np.array_equal(first.labels, second.labels)
+
+    def test_validation(self):
+        with pytest.raises(GraphDataError):
+            erdos_renyi_graph(0, 0.5)
+        with pytest.raises(GraphDataError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        graph = barabasi_albert_graph(150, attachment=2, seed=0)
+        assert graph.num_nodes == 150
+        # Each of the (n - attachment) added nodes brings `attachment` edges.
+        assert graph.num_edges <= (150 - 2) * 2
+        assert graph.num_edges >= 150 - 2
+
+    def test_heavy_tail_degrees(self):
+        graph = barabasi_albert_graph(400, attachment=2, seed=3)
+        statistics = compute_statistics(graph)
+        assert statistics.max_degree > 4 * statistics.average_degree
+
+    def test_validation(self):
+        with pytest.raises(GraphDataError):
+            barabasi_albert_graph(1, attachment=1)
+        with pytest.raises(GraphDataError):
+            barabasi_albert_graph(10, attachment=10)
+
+
+class TestPlantedPartition:
+    def test_homophilous_regime(self):
+        graph = planted_partition_graph(250, num_classes=4, intra_probability=0.08,
+                                        inter_probability=0.005, seed=0)
+        assert edge_homophily_ratio(graph) > 0.6
+
+    def test_heterophilous_regime(self):
+        graph = planted_partition_graph(250, num_classes=4, intra_probability=0.004,
+                                        inter_probability=0.05, seed=0)
+        assert edge_homophily_ratio(graph) < 0.4
+
+    def test_validation(self):
+        with pytest.raises(GraphDataError):
+            planted_partition_graph(3, num_classes=5)
+        with pytest.raises(GraphDataError):
+            planted_partition_graph(50, intra_probability=2.0)
+
+    def test_labels_sorted_into_blocks(self):
+        graph = planted_partition_graph(100, num_classes=3, seed=0)
+        assert np.all(np.diff(graph.labels) >= 0)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        graph = ring_of_cliques(num_cliques=4, clique_size=5, seed=0)
+        assert graph.num_nodes == 20
+        assert graph.num_classes == 4
+        # 4 cliques of C(5,2)=10 edges plus 4 bridges.
+        assert graph.num_edges == 4 * 10 + 4
+
+    def test_high_homophily(self):
+        graph = ring_of_cliques(num_cliques=5, clique_size=6, seed=0)
+        assert edge_homophily_ratio(graph) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(GraphDataError):
+            ring_of_cliques(1, 5)
+        with pytest.raises(GraphDataError):
+            ring_of_cliques(3, 1)
+
+
+class TestRandomGraphProperties:
+    @given(seed=st.integers(0, 50), p=st.floats(0.01, 0.2))
+    @settings(max_examples=15, deadline=None)
+    def test_erdos_renyi_always_valid(self, seed, p):
+        graph = erdos_renyi_graph(50, p, seed=seed)
+        graph.validate()
+        assert graph.adjacency.diagonal().sum() == 0
+        difference = graph.adjacency - graph.adjacency.T
+        assert difference.nnz == 0
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_barabasi_albert_connected_core(self, seed):
+        graph = barabasi_albert_graph(80, attachment=2, seed=seed)
+        degrees = graph.degrees
+        # Preferential attachment never produces isolated added nodes.
+        assert np.all(degrees[2:] >= 1)

@@ -1,0 +1,168 @@
+"""Tests for structural graph statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphDataError
+from repro.graphs.adjacency import build_adjacency
+from repro.graphs.graph import GraphDataset
+from repro.graphs.random_graphs import planted_partition_graph, ring_of_cliques
+from repro.graphs.statistics import (
+    average_clustering,
+    clustering_coefficients,
+    component_sizes,
+    compute_statistics,
+    degree_histogram,
+    edge_homophily_ratio,
+    graph_density,
+    label_entropy,
+    statistics_table,
+    to_networkx,
+)
+
+
+def _triangle_with_pendant() -> GraphDataset:
+    edges = np.array([[0, 1], [1, 2], [0, 2], [2, 3]])
+    return GraphDataset(
+        adjacency=build_adjacency(edges, 4),
+        features=np.eye(4),
+        labels=np.array([0, 0, 1, 1]),
+        name="triangle_pendant",
+    )
+
+
+class TestDegreeAndDensity:
+    def test_degree_histogram_path_graph(self, path_graph):
+        histogram = degree_histogram(path_graph)
+        # A 6-node path has two degree-1 endpoints and four degree-2 nodes.
+        assert histogram[1] == 2
+        assert histogram[2] == 4
+
+    def test_density_of_complete_triangle(self):
+        graph = _triangle_with_pendant()
+        # 4 nodes, 4 edges -> density 4 / 6
+        assert graph_density(graph) == pytest.approx(4.0 / 6.0)
+
+    def test_density_of_single_node(self):
+        graph = GraphDataset(
+            adjacency=np.zeros((1, 1)), features=np.ones((1, 2)), labels=np.array([0]),
+        )
+        assert graph_density(graph) == 0.0
+
+
+class TestClustering:
+    def test_triangle_nodes_have_coefficient_one(self):
+        graph = _triangle_with_pendant()
+        coefficients = clustering_coefficients(graph)
+        assert coefficients[0] == pytest.approx(1.0)
+        assert coefficients[1] == pytest.approx(1.0)
+        # Node 2 has degree 3 and one triangle out of three possible pairs.
+        assert coefficients[2] == pytest.approx(1.0 / 3.0)
+        # The pendant node has degree 1 -> coefficient 0.
+        assert coefficients[3] == 0.0
+
+    def test_average_clustering_of_path_is_zero(self, path_graph):
+        assert average_clustering(path_graph) == 0.0
+
+    def test_cliques_have_high_clustering(self):
+        graph = ring_of_cliques(num_cliques=3, clique_size=5, seed=0)
+        assert average_clustering(graph) > 0.7
+
+
+class TestComponentsAndLabels:
+    def test_connected_path_is_one_component(self, path_graph):
+        sizes = component_sizes(path_graph)
+        assert sizes.tolist() == [6]
+
+    def test_disconnected_graph_components(self):
+        edges = np.array([[0, 1], [2, 3]])
+        graph = GraphDataset(
+            adjacency=build_adjacency(edges, 5),
+            features=np.eye(5),
+            labels=np.zeros(5, dtype=int),
+        )
+        sizes = component_sizes(graph)
+        assert sizes.tolist() == [2, 2, 1]
+
+    def test_edge_homophily_matches_manual_count(self):
+        graph = _triangle_with_pendant()
+        # Edges: (0,1) same, (1,2) diff, (0,2) diff, (2,3) same -> 0.5
+        assert edge_homophily_ratio(graph) == pytest.approx(0.5)
+
+    def test_label_entropy_uniform_labels(self):
+        graph = _triangle_with_pendant()
+        assert label_entropy(graph) == pytest.approx(np.log(2.0))
+
+    def test_label_entropy_single_class_is_zero(self, path_graph):
+        graph = GraphDataset(
+            adjacency=path_graph.adjacency,
+            features=path_graph.features,
+            labels=np.zeros(6, dtype=int),
+        )
+        assert label_entropy(graph) == 0.0
+
+
+class TestComputeStatistics:
+    def test_full_record_on_tiny_graph(self, tiny_graph):
+        statistics = compute_statistics(tiny_graph)
+        assert statistics.num_nodes == tiny_graph.num_nodes
+        assert statistics.num_edges == tiny_graph.num_edges
+        assert 0.0 <= statistics.node_homophily <= 1.0
+        assert 0.0 <= statistics.edge_homophily <= 1.0
+        assert statistics.max_degree >= statistics.min_degree
+        assert statistics.largest_component_fraction <= 1.0
+        assert set(statistics.as_dict()) >= {"name", "density", "label_entropy"}
+
+    def test_homophilous_sbm_is_detected(self):
+        graph = planted_partition_graph(300, num_classes=3, intra_probability=0.08,
+                                        inter_probability=0.005, seed=0)
+        statistics = compute_statistics(graph)
+        assert statistics.edge_homophily > 0.7
+
+    def test_heterophilous_sbm_is_detected(self):
+        graph = planted_partition_graph(300, num_classes=3, intra_probability=0.005,
+                                        inter_probability=0.05, seed=0)
+        statistics = compute_statistics(graph)
+        assert statistics.edge_homophily < 0.4
+
+    def test_empty_graph_rejected(self):
+        graph = GraphDataset(
+            adjacency=np.zeros((0, 0)), features=np.zeros((0, 3)),
+            labels=np.zeros(0, dtype=int),
+        )
+        with pytest.raises(GraphDataError):
+            compute_statistics(graph)
+
+    def test_statistics_table_shape(self, tiny_graph, path_graph):
+        headers, rows = statistics_table([tiny_graph, path_graph])
+        assert len(rows) == 2
+        assert all(len(row) == len(headers) for row in rows)
+
+    def test_networkx_roundtrip_preserves_counts(self, tiny_graph):
+        nx_graph = to_networkx(tiny_graph)
+        assert nx_graph.number_of_nodes() == tiny_graph.num_nodes
+        assert nx_graph.number_of_edges() == tiny_graph.num_edges
+        assert nx_graph.nodes[0]["label"] == int(tiny_graph.labels[0])
+
+
+class TestStatisticsProperties:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_density_and_homophily_in_unit_interval(self, seed):
+        graph = planted_partition_graph(80, num_classes=3, intra_probability=0.1,
+                                        inter_probability=0.02, seed=seed)
+        statistics = compute_statistics(graph)
+        assert 0.0 <= statistics.density <= 1.0
+        assert 0.0 <= statistics.edge_homophily <= 1.0
+        assert 0.0 <= statistics.average_clustering <= 1.0
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_degree_histogram_sums_to_node_count(self, seed):
+        graph = planted_partition_graph(60, num_classes=2, intra_probability=0.1,
+                                        inter_probability=0.05, seed=seed)
+        assert int(degree_histogram(graph).sum()) == graph.num_nodes

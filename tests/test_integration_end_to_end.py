@@ -1,0 +1,106 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the same pipelines the examples and benchmarks use, on tiny
+graphs, and assert the qualitative relationships the paper's evaluation is
+built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GCON, GCONConfig, load_dataset, micro_f1
+from repro.baselines import DPGCN, GCNClassifier, MLPClassifier
+from repro.core.sensitivity import concatenated_sensitivity
+from repro.evaluation.runner import ExperimentRunner, series_from_results
+
+
+@pytest.fixture(scope="module")
+def small_cora():
+    return load_dataset("cora_ml", scale=0.08, seed=0)
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in ("GCON", "GCONConfig", "GraphDataset", "load_dataset", "micro_f1"):
+            assert hasattr(repro, name)
+        assert repro.__version__
+
+    def test_load_dataset_round_trip(self, small_cora):
+        assert small_cora.num_classes == 7
+        assert small_cora.train_idx.size > 0
+
+
+class TestGCONPipeline:
+    def test_gcon_learns_at_generous_budget(self, small_cora):
+        config = GCONConfig(epsilon=8.0, alpha=0.8, propagation_steps=(2,), encoder_dim=8,
+                            encoder_hidden=32, encoder_epochs=80, lambda_reg=0.2,
+                            use_pseudo_labels=True)
+        model = GCON(config).fit(small_cora, seed=0)
+        majority = np.bincount(small_cora.labels[small_cora.test_idx]).max() \
+            / small_cora.test_idx.size
+        assert model.score() > majority
+
+    def test_noise_grows_as_budget_shrinks(self, small_cora):
+        def beta_for(epsilon):
+            config = GCONConfig(epsilon=epsilon, alpha=0.8, propagation_steps=(2,),
+                                encoder_dim=8, encoder_hidden=16, encoder_epochs=20)
+            return GCON(config).fit(small_cora, seed=0).perturbation_.beta
+
+        assert beta_for(0.5) < beta_for(2.0) < beta_for(8.0)
+
+    def test_sensitivity_driven_noise_tradeoff(self):
+        """Larger alpha means lower sensitivity, hence less perturbation (Lemma 2)."""
+        low_alpha = concatenated_sensitivity(0.2, [2])
+        high_alpha = concatenated_sensitivity(0.8, [2])
+        assert high_alpha < low_alpha
+
+
+class TestRunnerIntegration:
+    def test_miniature_figure1_row(self, small_cora):
+        runner = ExperimentRunner(repeats=1, seed=0)
+        runner.register(
+            "GCON",
+            lambda eps, delta, seed: GCON(GCONConfig(
+                epsilon=eps, delta=delta, alpha=0.8, propagation_steps=(2,), encoder_dim=8,
+                encoder_hidden=16, encoder_epochs=40, lambda_reg=0.2, use_pseudo_labels=True,
+            )),
+        )
+        runner.register("MLP", lambda eps, delta, seed: MLPClassifier(hidden_dim=16, epochs=40))
+        runner.register("GCN (non-DP)",
+                        lambda eps, delta, seed: GCNClassifier(hidden_dim=16, epochs=40))
+        runner.register("DPGCN",
+                        lambda eps, delta, seed: DPGCN(epsilon=eps, hidden_dim=16, epochs=40))
+        results = runner.run({"cora": small_cora}, epsilons=[4.0])
+        series = series_from_results(results)["cora"]
+        # Structure: one value per method, all valid micro-F1 scores, and the
+        # non-private GCN upper bound dominates the adjacency-perturbation
+        # baseline (the robust part of Figure 1's ordering at this tiny scale).
+        assert set(series) == {"GCON", "MLP", "GCN (non-DP)", "DPGCN"}
+        assert all(0.0 <= v[4.0] <= 1.0 for v in series.values())
+        assert series["GCN (non-DP)"][4.0] >= series["DPGCN"][4.0]
+        majority = np.bincount(small_cora.labels[small_cora.test_idx]).max() \
+            / small_cora.test_idx.size
+        assert series["GCON"][4.0] > majority
+
+
+class TestPrivacyIsEndToEnd:
+    def test_released_parameters_differ_across_noise_draws_only(self, small_cora):
+        """With the same seed the pipeline is deterministic; the DP noise is the
+        only stochastic component distinguishing two releases with different seeds."""
+        config = GCONConfig(epsilon=1.0, alpha=0.8, propagation_steps=(2,), encoder_dim=8,
+                            encoder_hidden=16, encoder_epochs=20)
+        same_a = GCON(config).fit(small_cora, seed=5).theta_
+        same_b = GCON(config).fit(small_cora, seed=5).theta_
+        other = GCON(config).fit(small_cora, seed=6).theta_
+        np.testing.assert_allclose(same_a, same_b)
+        assert not np.allclose(same_a, other)
+
+    def test_gcon_score_uses_micro_f1(self, small_cora):
+        config = GCONConfig(epsilon=4.0, alpha=0.8, propagation_steps=(2,), encoder_dim=8,
+                            encoder_hidden=16, encoder_epochs=30)
+        model = GCON(config).fit(small_cora, seed=0)
+        manual = micro_f1(small_cora.labels[small_cora.test_idx],
+                          model.predict(small_cora)[small_cora.test_idx])
+        assert model.score() == pytest.approx(manual)

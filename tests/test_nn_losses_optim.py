@@ -1,0 +1,147 @@
+"""Tests for nn losses and optimizers (convergence on simple problems)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Linear,
+    SGD,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    mean_squared_error,
+    softmax_cross_entropy,
+)
+from repro.nn.module import Parameter
+from repro.nn.optim import clip_gradients
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((4, 5)), requires_grad=True)
+        loss = softmax_cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert float(loss.data) == pytest.approx(np.log(5))
+
+    def test_perfect_prediction_gives_small_loss(self):
+        logits = np.full((3, 3), -50.0)
+        logits[np.arange(3), np.arange(3)] = 50.0
+        loss = softmax_cross_entropy(Tensor(logits, requires_grad=True), np.arange(3))
+        assert float(loss.data) < 1e-6
+
+    def test_gradient_matches_softmax_minus_onehot(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        labels = np.array([0, 1, 2, 3, 0, 1])
+        loss = softmax_cross_entropy(logits, labels)
+        loss.backward()
+        exp = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(6), labels] = 1.0
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 6, atol=1e-10)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((3, 2))), np.array([0, 1]))
+
+
+class TestOtherLosses:
+    def test_mse_zero_for_exact_match(self):
+        predictions = Tensor(np.ones((2, 2)), requires_grad=True)
+        assert float(mean_squared_error(predictions, np.ones((2, 2))).data) == 0.0
+
+    def test_bce_positive(self):
+        logits = Tensor(np.zeros((3, 2)), requires_grad=True)
+        loss = binary_cross_entropy_with_logits(logits, np.ones((3, 2)))
+        assert float(loss.data) == pytest.approx(np.log(2), rel=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([[1.0, -2.0], [0.5, 3.0]])
+        param = Parameter(np.zeros((2, 2)))
+        return target, param
+
+    def test_sgd_converges_on_quadratic(self):
+        target, param = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        target, param = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        target, param = self._quadratic_problem()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(400):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        target = np.array([[5.0]])
+        plain = Parameter(np.zeros((1, 1)))
+        decayed = Parameter(np.zeros((1, 1)))
+        for param, wd in ((plain, 0.0), (decayed, 1.0)):
+            optimizer = SGD([param], lr=0.1, weight_decay=wd)
+            for _ in range(300):
+                optimizer.zero_grad()
+                loss = ((param - Tensor(target)) ** 2).sum()
+                loss.backward()
+                optimizer.step()
+        assert abs(decayed.data[0, 0]) < abs(plain.data[0, 0])
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=-1.0)
+
+    def test_linear_regression_end_to_end(self):
+        rng = np.random.default_rng(0)
+        true_weight = rng.normal(size=(3, 1))
+        inputs = rng.normal(size=(100, 3))
+        targets = inputs @ true_weight
+        layer = Linear(3, 1, rng=0)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = mean_squared_error(layer(Tensor(inputs)), targets)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_weight, atol=0.05)
+
+
+class TestClipGradients:
+    def test_norm_is_clipped(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.ones(4) * 10.0
+        pre_norm = clip_gradients([param], max_norm=1.0)
+        assert pre_norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_gradients_untouched(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.01)
+        clip_gradients([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, np.full(4, 0.01))
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients([Parameter(np.zeros(2))], max_norm=0.0)

@@ -1,0 +1,111 @@
+"""Tests for Module/Linear/Dropout/Sequential and parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, ReLU, Sequential, Sigmoid, Tanh, Tensor
+from repro.nn.init import glorot_uniform
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=0)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_bias_optional(self):
+        layer = Linear(5, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestActivations:
+    def test_relu_clamps_negative(self):
+        out = ReLU()(Tensor(np.array([[-1.0, 2.0]])))
+        np.testing.assert_array_equal(out.data, [[0.0, 2.0]])
+
+    def test_sigmoid_range(self):
+        out = Sigmoid()(Tensor(np.linspace(-5, 5, 11)))
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_tanh_range(self):
+        out = Tanh()(Tensor(np.linspace(-5, 5, 11)))
+        assert np.all(np.abs(out.data) < 1)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        data = np.random.default_rng(0).normal(size=(10, 10))
+        np.testing.assert_array_equal(layer(Tensor(data)).data, data)
+
+    def test_train_mode_zeroes_some_entries(self):
+        layer = Dropout(0.5, rng=0)
+        layer.train()
+        out = layer(Tensor(np.ones((50, 50))))
+        dropped = np.mean(out.data == 0.0)
+        assert 0.3 < dropped < 0.7
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = Dropout(0.3, rng=0)
+        layer.train()
+        out = layer(Tensor(np.ones((200, 200))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestSequentialAndModule:
+    def _network(self):
+        return Sequential(Linear(4, 8, rng=0), ReLU(), Dropout(0.2, rng=0), Linear(8, 3, rng=1))
+
+    def test_parameter_discovery(self):
+        network = self._network()
+        assert len(network.parameters()) == 4  # two weights + two biases
+
+    def test_train_eval_propagates(self):
+        network = self._network()
+        network.eval()
+        assert all(not m.training for m in network if isinstance(m, Dropout))
+        network.train()
+        assert all(m.training for m in network if isinstance(m, Dropout))
+
+    def test_state_dict_round_trip(self):
+        network = self._network()
+        state = network.state_dict()
+        for param in network.parameters():
+            param.data = param.data + 1.0
+        network.load_state_dict(state)
+        for name, param in network.named_parameters():
+            np.testing.assert_array_equal(param.data, state[name])
+
+    def test_load_state_dict_shape_mismatch(self):
+        network = self._network()
+        state = network.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            network.load_state_dict(state)
+
+    def test_zero_grad_clears_gradients(self):
+        network = self._network()
+        out = network(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in network.parameters())
+        network.zero_grad()
+        assert all(p.grad is None for p in network.parameters())
+
+
+class TestInit:
+    def test_glorot_limit(self):
+        weights = glorot_uniform((100, 50), rng=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(weights) <= limit)
+        assert weights.std() > 0

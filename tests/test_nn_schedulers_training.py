@@ -1,0 +1,185 @@
+"""Tests for learning-rate schedulers, early stopping and the generic fit loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import Adam, Linear, ReLU, SGD, Sequential, Tensor, softmax_cross_entropy
+from repro.nn.schedulers import CosineAnnealingLR, ExponentialLR, LinearWarmupLR, StepLR
+from repro.nn.training import EarlyStopping, TrainingHistory, fit_full_batch
+
+
+def _tiny_model(rng=None):
+    rng = np.random.default_rng(0) if rng is None else rng
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+
+
+def _toy_data(rng=None):
+    rng = np.random.default_rng(1) if rng is None else rng
+    inputs = rng.normal(size=(30, 4))
+    labels = rng.integers(0, 3, size=30)
+    return inputs, labels
+
+
+# --------------------------------------------------------------------------- #
+# schedulers
+# --------------------------------------------------------------------------- #
+class TestSchedulers:
+    def test_step_lr_halves_at_boundaries(self):
+        optimizer = SGD(_tiny_model().parameters(), lr=0.1)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        rates = [scheduler.step() for _ in range(5)]
+        assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025, 0.025])
+
+    def test_exponential_lr_decays_geometrically(self):
+        optimizer = SGD(_tiny_model().parameters(), lr=1.0)
+        scheduler = ExponentialLR(optimizer, gamma=0.9)
+        for expected_epoch in range(1, 4):
+            rate = scheduler.step()
+            assert rate == pytest.approx(0.9 ** expected_epoch)
+
+    def test_cosine_annealing_reaches_min_lr(self):
+        optimizer = SGD(_tiny_model().parameters(), lr=0.2)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.01)
+        rates = [scheduler.step() for _ in range(10)]
+        assert rates[-1] == pytest.approx(0.01)
+        assert all(earlier >= later - 1e-12 for earlier, later in zip(rates, rates[1:]))
+
+    def test_linear_warmup_reaches_base_lr(self):
+        optimizer = Adam(_tiny_model().parameters(), lr=0.05)
+        scheduler = LinearWarmupLR(optimizer, warmup_epochs=5)
+        rates = [scheduler.step() for _ in range(7)]
+        assert rates[0] == pytest.approx(0.01)
+        assert rates[4] == pytest.approx(0.05)
+        assert rates[-1] == pytest.approx(0.05)
+
+    def test_scheduler_updates_optimizer_in_place(self):
+        optimizer = SGD(_tiny_model().parameters(), lr=0.1)
+        scheduler = ExponentialLR(optimizer, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+        assert scheduler.current_lr == pytest.approx(0.05)
+
+    def test_validation(self):
+        optimizer = SGD(_tiny_model().parameters(), lr=0.1)
+        with pytest.raises(ConfigurationError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialLR(optimizer, gamma=1.5)
+        with pytest.raises(ConfigurationError):
+            CosineAnnealingLR(optimizer, total_epochs=0)
+        with pytest.raises(ConfigurationError):
+            LinearWarmupLR(optimizer, warmup_epochs=0)
+
+
+# --------------------------------------------------------------------------- #
+# early stopping
+# --------------------------------------------------------------------------- #
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=3, mode="max")
+        values = [0.5, 0.6, 0.59, 0.58, 0.57]
+        stops = [stopper.update(v, epoch=i) for i, v in enumerate(values)]
+        assert stops == [False, False, False, False, True]
+        assert stopper.best_value == pytest.approx(0.6)
+        assert stopper.best_epoch == 1
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=2, mode="min")
+        assert not stopper.update(1.0)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.7)
+        assert stopper.update(0.8)
+
+    def test_min_delta_requires_meaningful_improvement(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1, mode="max")
+        stopper.update(0.5)
+        assert stopper.update(0.55)  # below min_delta -> counts as no improvement
+
+    def test_restores_best_model_state(self):
+        model = _tiny_model()
+        stopper = EarlyStopping(patience=1, mode="max")
+        stopper.update(1.0, model=model, epoch=0)
+        best_state = {k: v.copy() for k, v in model.state_dict().items()}
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        stopper.update(0.5, model=model, epoch=1)
+        stopper.restore(model)
+        for key, value in model.state_dict().items():
+            assert np.allclose(value, best_state[key])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(min_delta=-1.0)
+        with pytest.raises(ConfigurationError):
+            EarlyStopping(mode="best")
+
+
+# --------------------------------------------------------------------------- #
+# fit loop
+# --------------------------------------------------------------------------- #
+class TestFitFullBatch:
+    def _loss_fn(self, inputs, labels):
+        tensor = Tensor(inputs)
+
+        def loss_fn(model):
+            return softmax_cross_entropy(model(tensor), labels)
+
+        return loss_fn
+
+    def test_loss_decreases(self):
+        inputs, labels = _toy_data()
+        model = _tiny_model()
+        optimizer = Adam(model.parameters(), lr=0.05)
+        history = fit_full_batch(model, optimizer, self._loss_fn(inputs, labels), epochs=40)
+        assert isinstance(history, TrainingHistory)
+        assert history.num_epochs == 40
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_early_stopping_halts_training(self):
+        inputs, labels = _toy_data()
+        model = _tiny_model()
+        optimizer = Adam(model.parameters(), lr=0.05)
+
+        constant_metric = iter([0.5] * 100)
+
+        history = fit_full_batch(
+            model, optimizer, self._loss_fn(inputs, labels), epochs=100,
+            val_fn=lambda _model: next(constant_metric),
+            early_stopping=EarlyStopping(patience=3),
+        )
+        assert history.stopped_epoch is not None
+        assert history.num_epochs < 100
+        assert history.best_val_metric == pytest.approx(0.5)
+
+    def test_scheduler_is_applied(self):
+        inputs, labels = _toy_data()
+        model = _tiny_model()
+        optimizer = SGD(model.parameters(), lr=0.1)
+        scheduler = ExponentialLR(optimizer, gamma=0.5)
+        history = fit_full_batch(model, optimizer, self._loss_fn(inputs, labels),
+                                 epochs=3, scheduler=scheduler)
+        assert history.learning_rate[0] == pytest.approx(0.1)
+        assert optimizer.lr == pytest.approx(0.1 * 0.5 ** 3)
+
+    def test_gradient_clipping_runs(self):
+        inputs, labels = _toy_data()
+        model = _tiny_model()
+        optimizer = SGD(model.parameters(), lr=0.1)
+        history = fit_full_batch(model, optimizer, self._loss_fn(inputs, labels),
+                                 epochs=5, grad_clip=0.5)
+        assert history.num_epochs == 5
+
+    def test_validation_errors(self):
+        inputs, labels = _toy_data()
+        model = _tiny_model()
+        optimizer = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ConfigurationError):
+            fit_full_batch(model, optimizer, self._loss_fn(inputs, labels), epochs=0)
+        with pytest.raises(ConfigurationError):
+            fit_full_batch(model, optimizer, self._loss_fn(inputs, labels), epochs=5,
+                           early_stopping=EarlyStopping(patience=2))

@@ -1,0 +1,148 @@
+"""Tests for the DP composition theorems and the composition plan helper."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy.composition import (
+    CompositionPlan,
+    advanced_composition,
+    basic_composition,
+    heterogeneous_advanced_composition,
+    optimal_homogeneous_composition,
+    parallel_composition,
+)
+
+
+class TestBasicComposition:
+    def test_sums_budgets(self):
+        epsilon, delta = basic_composition([(0.5, 1e-6), (1.5, 2e-6)])
+        assert epsilon == pytest.approx(2.0)
+        assert delta == pytest.approx(3e-6)
+
+    def test_empty_sequence_is_free(self):
+        assert basic_composition([]) == (0.0, 0.0)
+
+    def test_delta_is_capped_at_one(self):
+        _, delta = basic_composition([(0.1, 0.7), (0.1, 0.7)])
+        assert delta == 1.0
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            basic_composition([(-0.1, 0.0)])
+
+    def test_rejects_invalid_delta(self):
+        with pytest.raises(PrivacyBudgetError):
+            basic_composition([(0.1, 1.5)])
+
+
+class TestParallelComposition:
+    def test_takes_maximum(self):
+        epsilon, delta = parallel_composition([(0.5, 1e-6), (1.5, 5e-7)])
+        assert epsilon == pytest.approx(1.5)
+        assert delta == pytest.approx(1e-6)
+
+    def test_empty_sequence(self):
+        assert parallel_composition([]) == (0.0, 0.0)
+
+    def test_never_exceeds_basic(self):
+        budgets = [(0.3, 1e-7), (0.2, 1e-7), (0.9, 0.0)]
+        par_eps, par_delta = parallel_composition(budgets)
+        seq_eps, seq_delta = basic_composition(budgets)
+        assert par_eps <= seq_eps
+        assert par_delta <= seq_delta
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_small_mechanisms(self):
+        epsilon, _ = advanced_composition(0.01, 0.0, num_mechanisms=10_000, delta_prime=1e-6)
+        basic_epsilon, _ = basic_composition([(0.01, 0.0)] * 10_000)
+        assert epsilon < basic_epsilon
+
+    def test_single_mechanism_not_smaller_than_its_own_budget(self):
+        epsilon, delta = advanced_composition(0.5, 1e-6, num_mechanisms=1, delta_prime=1e-6)
+        assert epsilon >= 0.5
+        assert delta == pytest.approx(2e-6)
+
+    def test_delta_accumulates(self):
+        _, delta = advanced_composition(0.1, 1e-6, num_mechanisms=10, delta_prime=1e-7)
+        assert delta == pytest.approx(10 * 1e-6 + 1e-7)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PrivacyBudgetError):
+            advanced_composition(0.1, 0.0, num_mechanisms=0, delta_prime=1e-6)
+        with pytest.raises(PrivacyBudgetError):
+            advanced_composition(0.1, 0.0, num_mechanisms=5, delta_prime=0.0)
+
+    @given(epsilon=st.floats(0.001, 0.5), k=st.integers(1, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_number_of_mechanisms(self, epsilon, k):
+        first, _ = advanced_composition(epsilon, 0.0, k, delta_prime=1e-6)
+        second, _ = advanced_composition(epsilon, 0.0, k + 1, delta_prime=1e-6)
+        assert second >= first
+
+
+class TestOptimalComposition:
+    def test_never_worse_than_naive(self):
+        epsilon, _ = optimal_homogeneous_composition(0.2, 0.0, num_mechanisms=100,
+                                                     delta_slack=1e-6)
+        assert epsilon <= 100 * 0.2 + 1e-12
+
+    def test_reduces_to_naive_for_one_mechanism(self):
+        epsilon, _ = optimal_homogeneous_composition(0.7, 0.0, num_mechanisms=1,
+                                                     delta_slack=1e-9)
+        assert epsilon == pytest.approx(0.7)
+
+    @given(epsilon=st.floats(0.01, 1.0), k=st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_at_most_advanced_or_naive(self, epsilon, k):
+        optimal, _ = optimal_homogeneous_composition(epsilon, 0.0, k, delta_slack=1e-6)
+        naive = k * epsilon
+        assert optimal <= naive + 1e-9
+
+
+class TestHeterogeneousComposition:
+    def test_matches_homogeneous_form(self):
+        budgets = [(0.1, 0.0)] * 25
+        hetero, _ = heterogeneous_advanced_composition(budgets, delta_prime=1e-6)
+        homo, _ = advanced_composition(0.1, 0.0, 25, delta_prime=1e-6)
+        assert hetero == pytest.approx(homo)
+
+    def test_mixed_budgets(self):
+        epsilon, delta = heterogeneous_advanced_composition(
+            [(0.1, 1e-7), (0.2, 1e-7), (0.3, 0.0)], delta_prime=1e-6,
+        )
+        expected_sq = 0.1 ** 2 + 0.2 ** 2 + 0.3 ** 2
+        expected_drift = sum(e * (math.exp(e) - 1.0) for e in (0.1, 0.2, 0.3))
+        assert epsilon == pytest.approx(
+            math.sqrt(2 * math.log(1e6) * expected_sq) + expected_drift
+        )
+        assert delta == pytest.approx(2e-7 + 1e-6)
+
+
+class TestCompositionPlan:
+    def test_add_is_chainable_and_counts(self):
+        plan = CompositionPlan().add(0.1, 1e-7, count=3).add(0.2)
+        assert len(plan) == 4
+
+    def test_basic_and_advanced_agree_with_functions(self):
+        plan = CompositionPlan().add(0.05, 0.0, count=100)
+        assert plan.basic() == basic_composition([(0.05, 0.0)] * 100)
+        assert plan.advanced(1e-6) == heterogeneous_advanced_composition(
+            [(0.05, 0.0)] * 100, 1e-6
+        )
+
+    def test_best_picks_smaller_epsilon(self):
+        many_small = CompositionPlan().add(0.01, 0.0, count=5000)
+        assert many_small.best(1e-6)[0] == many_small.advanced(1e-6)[0]
+        few_large = CompositionPlan().add(1.0, 0.0, count=2)
+        assert few_large.best(1e-6)[0] == few_large.basic()[0]
+
+    def test_rejects_invalid_count(self):
+        with pytest.raises(PrivacyBudgetError):
+            CompositionPlan().add(0.1, count=0)

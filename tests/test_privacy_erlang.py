@@ -1,0 +1,69 @@
+"""Tests for the Erlang-radius spherical noise sampler (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.exceptions import ConfigurationError
+from repro.privacy.erlang import erlang_pdf, sample_erlang_radius, sample_sphere_noise
+
+
+class TestErlangPdf:
+    def test_integrates_to_one(self):
+        for dimension, beta in ((3, 1.0), (8, 2.5), (16, 0.7)):
+            total, _ = integrate.quad(lambda x: erlang_pdf(np.array([x]), dimension, beta)[0],
+                                      0, np.inf, limit=200)
+            assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_for_negative_inputs(self):
+        assert erlang_pdf(np.array([-1.0, 0.0]), 4, 1.0).tolist() == [0.0, 0.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            erlang_pdf(np.array([1.0]), 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            erlang_pdf(np.array([1.0]), 4, 0.0)
+
+
+class TestErlangSampling:
+    def test_mean_and_variance(self):
+        dimension, beta = 12, 3.0
+        samples = sample_erlang_radius(dimension, beta, rng=0, size=200_000)
+        assert samples.mean() == pytest.approx(dimension / beta, rel=0.02)
+        assert samples.var() == pytest.approx(dimension / beta**2, rel=0.05)
+
+    def test_all_positive(self):
+        samples = sample_erlang_radius(5, 1.0, rng=0, size=1000)
+        assert np.all(samples > 0)
+
+
+class TestSphereNoise:
+    def test_shape(self):
+        noise = sample_sphere_noise(8, 2.0, num_columns=5, rng=0)
+        assert noise.shape == (8, 5)
+
+    def test_radius_distribution(self):
+        dimension, beta = 10, 2.0
+        noise = sample_sphere_noise(dimension, beta, num_columns=100_000, rng=0)
+        radii = np.linalg.norm(noise, axis=0)
+        assert radii.mean() == pytest.approx(dimension / beta, rel=0.02)
+
+    def test_direction_is_uniform(self):
+        # The mean direction of a uniform spherical distribution is zero, and
+        # each coordinate carries 1/d of the squared radius in expectation.
+        dimension, beta = 6, 1.0
+        noise = sample_sphere_noise(dimension, beta, num_columns=100_000, rng=1)
+        directions = noise / np.linalg.norm(noise, axis=0, keepdims=True)
+        assert np.abs(directions.mean(axis=1)).max() < 0.02
+        np.testing.assert_allclose((directions ** 2).mean(axis=1), np.full(dimension, 1 / dimension),
+                                   atol=0.01)
+
+    def test_columns_are_independent(self):
+        noise = sample_sphere_noise(4, 1.0, num_columns=2, rng=0)
+        assert not np.allclose(noise[:, 0], noise[:, 1])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            sample_sphere_noise(4, 1.0, num_columns=0)
+        with pytest.raises(ConfigurationError):
+            sample_sphere_noise(4, -1.0, num_columns=1)

@@ -1,0 +1,123 @@
+"""Tests for the classical DP mechanisms and the budget specification."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy.definitions import PrivacySpec
+from repro.privacy.mechanisms import (
+    analytic_gaussian_sigma,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+    randomized_response_matrix,
+)
+
+
+class TestPrivacySpec:
+    def test_valid(self):
+        spec = PrivacySpec(1.0, 1e-4)
+        assert str(spec).startswith("(ε=1")
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacySpec(0.0, 1e-4)
+
+    def test_invalid_delta(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacySpec(1.0, 1.0)
+
+    def test_for_graph_uses_inverse_edge_count(self, tiny_graph):
+        spec = PrivacySpec.for_graph(2.0, tiny_graph)
+        assert spec.delta == pytest.approx(1.0 / tiny_graph.num_edges)
+
+    def test_split_sums_to_total(self):
+        first, second = PrivacySpec(2.0, 1e-4).split(0.25)
+        assert first.epsilon + second.epsilon == pytest.approx(2.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacySpec(2.0, 1e-4).split(1.5)
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale_matches_theory(self):
+        rng = np.random.default_rng(0)
+        values = np.zeros(200_000)
+        noisy = laplace_mechanism(values, sensitivity=2.0, epsilon=0.5, rng=rng)
+        # Laplace(b) has std b * sqrt(2) with b = sensitivity / epsilon = 4.
+        assert noisy.std() == pytest.approx(4.0 * np.sqrt(2.0), rel=0.02)
+        assert abs(noisy.mean()) < 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyBudgetError):
+            laplace_mechanism(np.zeros(3), sensitivity=0.0, epsilon=1.0)
+        with pytest.raises(PrivacyBudgetError):
+            laplace_mechanism(np.zeros(3), sensitivity=1.0, epsilon=-1.0)
+
+    def test_preserves_shape(self):
+        out = laplace_mechanism(np.zeros((3, 4)), 1.0, 1.0, rng=0)
+        assert out.shape == (3, 4)
+
+
+class TestGaussianMechanism:
+    def test_classical_sigma_formula(self):
+        sigma = gaussian_sigma(sensitivity=1.0, epsilon=1.0, delta=1e-5)
+        assert sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)), rel=1e-9)
+
+    def test_analytic_sigma_is_tighter_for_large_epsilon(self):
+        classical = gaussian_sigma(1.0, 4.0, 1e-5)
+        analytic = analytic_gaussian_sigma(1.0, 4.0, 1e-5)
+        assert analytic < classical
+
+    def test_analytic_sigma_satisfies_definition(self):
+        sensitivity, epsilon, delta = 1.0, 1.5, 1e-4
+        sigma = analytic_gaussian_sigma(sensitivity, epsilon, delta)
+        a = sensitivity / (2 * sigma)
+        b = epsilon * sigma / sensitivity
+        achieved = stats.norm.cdf(a - b) - np.exp(epsilon) * stats.norm.cdf(-a - b)
+        assert achieved == pytest.approx(delta, rel=1e-6)
+
+    def test_sigma_decreases_with_epsilon(self):
+        sigmas = [analytic_gaussian_sigma(1.0, eps, 1e-5) for eps in (0.5, 1.0, 2.0, 4.0)]
+        assert sigmas == sorted(sigmas, reverse=True)
+
+    def test_mechanism_adds_noise(self):
+        values = np.zeros(1000)
+        noisy = gaussian_mechanism(values, 1.0, 1.0, 1e-5, rng=0)
+        assert noisy.std() > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyBudgetError):
+            gaussian_sigma(1.0, 1.0, 0.0)
+        with pytest.raises(PrivacyBudgetError):
+            analytic_gaussian_sigma(-1.0, 1.0, 1e-5)
+
+
+class TestRandomizedResponse:
+    def test_output_is_symmetric_binary_no_diagonal(self):
+        adjacency = np.zeros((20, 20))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        out = randomized_response_matrix(adjacency, epsilon=1.0, rng=0)
+        np.testing.assert_array_equal(out, out.T)
+        assert np.all(np.diag(out) == 0)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_high_epsilon_preserves_graph(self):
+        rng = np.random.default_rng(0)
+        adjacency = (rng.random((30, 30)) < 0.1).astype(float)
+        adjacency = np.triu(adjacency, 1)
+        adjacency = adjacency + adjacency.T
+        out = randomized_response_matrix(adjacency, epsilon=12.0, rng=1)
+        np.testing.assert_array_equal(out, adjacency)
+
+    def test_flip_rate_matches_theory(self):
+        adjacency = np.zeros((120, 120))
+        epsilon = 1.0
+        out = randomized_response_matrix(adjacency, epsilon=epsilon, rng=0)
+        expected_flip = 1.0 / (np.exp(epsilon) + 1.0)
+        upper = np.triu_indices(120, k=1)
+        assert out[upper].mean() == pytest.approx(expected_flip, rel=0.1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            randomized_response_matrix(np.zeros((3, 3)), epsilon=0.0)

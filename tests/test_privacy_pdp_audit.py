@@ -1,0 +1,132 @@
+"""Tests for probabilistic-DP helpers and the empirical privacy auditor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, PrivacyBudgetError
+from repro.privacy.audit import (
+    AuditResult,
+    PrivacyAuditor,
+    audit_laplace_mechanism,
+    clopper_pearson_interval,
+    epsilon_lower_bound,
+)
+from repro.privacy.pdp import (
+    check_pdp,
+    empirical_pdp_epsilon,
+    log_ratio_violation_fraction,
+    pdp_implies_dp,
+)
+
+
+class TestPdpHelpers:
+    def test_pdp_implies_dp_is_identity(self):
+        assert pdp_implies_dp(1.5, 1e-5) == (1.5, 1e-5)
+
+    def test_pdp_implies_dp_validates(self):
+        with pytest.raises(PrivacyBudgetError):
+            pdp_implies_dp(-1.0, 0.0)
+        with pytest.raises(PrivacyBudgetError):
+            pdp_implies_dp(1.0, 2.0)
+
+    def test_violation_fraction_counts_exceedances(self):
+        ratios = np.array([0.1, -0.2, 3.0, -4.0])
+        assert log_ratio_violation_fraction(ratios, epsilon=1.0) == pytest.approx(0.5)
+
+    def test_violation_fraction_zero_when_all_within(self):
+        assert log_ratio_violation_fraction(np.array([0.2, -0.3]), epsilon=1.0) == 0.0
+
+    def test_violation_fraction_rejects_empty(self):
+        with pytest.raises(PrivacyBudgetError):
+            log_ratio_violation_fraction(np.array([]), epsilon=1.0)
+
+    def test_empirical_epsilon_is_quantile(self):
+        ratios = np.linspace(-2.0, 2.0, 101)
+        assert empirical_pdp_epsilon(ratios, delta=0.0) == pytest.approx(2.0)
+        assert empirical_pdp_epsilon(ratios, delta=0.5) <= 2.0
+
+    def test_check_pdp_accepts_and_rejects(self):
+        ratios = np.array([0.1, 0.2, 5.0])
+        assert check_pdp(ratios, epsilon=1.0, delta=0.5)
+        assert not check_pdp(ratios, epsilon=1.0, delta=0.0)
+
+    def test_check_pdp_with_slack(self):
+        ratios = np.array([0.1, 0.2, 5.0])
+        assert check_pdp(ratios, epsilon=1.0, delta=0.3, slack=0.05)
+
+
+class TestClopperPearson:
+    def test_contains_true_proportion(self):
+        lower, upper = clopper_pearson_interval(50, 100)
+        assert lower < 0.5 < upper
+
+    def test_degenerate_cases(self):
+        lower, upper = clopper_pearson_interval(0, 20)
+        assert lower == 0.0 and upper < 0.3
+        lower, upper = clopper_pearson_interval(20, 20)
+        assert upper == 1.0 and lower > 0.7
+
+    def test_interval_narrows_with_more_trials(self):
+        lower_small, upper_small = clopper_pearson_interval(5, 10)
+        lower_large, upper_large = clopper_pearson_interval(500, 1000)
+        assert (upper_large - lower_large) < (upper_small - lower_small)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            clopper_pearson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            clopper_pearson_interval(11, 10)
+        with pytest.raises(ConfigurationError):
+            clopper_pearson_interval(1, 10, confidence=1.5)
+
+
+class TestEpsilonLowerBound:
+    def test_zero_when_no_signal(self):
+        assert epsilon_lower_bound(0.4, 0.5, delta=0.0) == 0.0
+
+    def test_positive_when_attack_works(self):
+        assert epsilon_lower_bound(0.9, 0.1, delta=0.0) == pytest.approx(np.log(9.0))
+
+    def test_delta_discounts_true_positives(self):
+        with_delta = epsilon_lower_bound(0.9, 0.1, delta=0.05)
+        without = epsilon_lower_bound(0.9, 0.1, delta=0.0)
+        assert with_delta < without
+
+    def test_validates_delta(self):
+        with pytest.raises(PrivacyBudgetError):
+            epsilon_lower_bound(0.9, 0.1, delta=1.5)
+
+
+class TestLaplaceAudit:
+    def test_correct_mechanism_is_consistent(self):
+        result = audit_laplace_mechanism(epsilon=1.0, trials=800, seed=0)
+        assert isinstance(result, AuditResult)
+        assert result.consistent
+        assert result.empirical_epsilon <= 1.0 + 1e-9
+
+    def test_result_fields_are_populated(self):
+        result = audit_laplace_mechanism(epsilon=2.0, trials=300, seed=1)
+        assert result.trials == 300
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert 0.0 <= result.true_positive_rate <= 1.0
+
+    def test_broken_mechanism_is_flagged(self):
+        """Noise calibrated for epsilon=8 but claimed as epsilon=0.05 must be exposed."""
+        from repro.privacy.mechanisms import laplace_mechanism
+
+        def leaky(value, rng):
+            return laplace_mechanism(np.array([value]), sensitivity=1.0, epsilon=8.0, rng=rng)
+
+        auditor = PrivacyAuditor(leaky, score_fn=lambda output: float(output[0]))
+        result = auditor.run(1.0, 0.0, claimed_epsilon=0.05, delta=0.0, trials=1500, seed=0)
+        assert result.empirical_epsilon > 0.05
+        assert not result.consistent
+
+    def test_auditor_validates_inputs(self):
+        auditor = PrivacyAuditor(lambda value, rng: value, score_fn=float)
+        with pytest.raises(ConfigurationError):
+            auditor.run(1.0, 0.0, claimed_epsilon=1.0, delta=0.0, trials=1)
+        with pytest.raises(PrivacyBudgetError):
+            auditor.run(1.0, 0.0, claimed_epsilon=0.0, delta=0.0, trials=10)

@@ -1,0 +1,138 @@
+"""Tests for RDP accounting, noise calibration and the budget ledger."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy.accountant import BudgetLedger, RdpAccountant
+from repro.privacy.rdp import (
+    DEFAULT_ORDERS,
+    calibrate_gaussian_noise_rdp,
+    rdp_gaussian,
+    rdp_subsampled_gaussian,
+    rdp_to_dp,
+)
+
+
+class TestRdpGaussian:
+    def test_matches_closed_form(self):
+        orders = np.array([2.0, 4.0, 8.0])
+        np.testing.assert_allclose(rdp_gaussian(2.0, orders), orders / 8.0)
+
+    def test_sensitivity_scaling(self):
+        orders = np.array([2.0])
+        base = rdp_gaussian(2.0, orders, sensitivity=1.0)
+        scaled = rdp_gaussian(2.0, orders, sensitivity=2.0)
+        assert scaled[0] == pytest.approx(4 * base[0])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(PrivacyBudgetError):
+            rdp_gaussian(0.0)
+
+
+class TestSubsampledGaussian:
+    def test_zero_sampling_rate_gives_zero(self):
+        rdp = rdp_subsampled_gaussian(0.0, 1.0, 100)
+        assert np.all(rdp == 0.0)
+
+    def test_full_sampling_equals_gaussian(self):
+        orders = np.array([2.0, 8.0])
+        np.testing.assert_allclose(
+            rdp_subsampled_gaussian(1.0, 1.5, 10, orders),
+            10 * rdp_gaussian(1.5, orders),
+        )
+
+    def test_subsampling_amplifies_privacy(self):
+        orders = np.array([4.0])
+        subsampled = rdp_subsampled_gaussian(0.01, 1.0, 1, orders)[0]
+        full = rdp_gaussian(1.0, orders)[0]
+        assert subsampled < full
+
+    def test_monotone_in_steps(self):
+        few = rdp_subsampled_gaussian(0.1, 1.0, 10)
+        many = rdp_subsampled_gaussian(0.1, 1.0, 100)
+        assert np.all(many >= few)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyBudgetError):
+            rdp_subsampled_gaussian(1.5, 1.0, 10)
+        with pytest.raises(PrivacyBudgetError):
+            rdp_subsampled_gaussian(0.5, 1.0, -1)
+
+
+class TestRdpToDp:
+    def test_smaller_delta_gives_larger_epsilon(self):
+        rdp = rdp_gaussian(1.0)
+        eps_loose, _ = rdp_to_dp(rdp, 1e-3)
+        eps_tight, _ = rdp_to_dp(rdp, 1e-8)
+        assert eps_tight > eps_loose
+
+    def test_returns_an_available_order(self):
+        rdp = rdp_gaussian(2.0)
+        _, order = rdp_to_dp(rdp, 1e-5)
+        assert order in np.asarray(DEFAULT_ORDERS)
+
+    def test_invalid_delta(self):
+        with pytest.raises(PrivacyBudgetError):
+            rdp_to_dp(rdp_gaussian(1.0), 0.0)
+
+
+class TestCalibration:
+    def test_calibrated_sigma_meets_budget(self):
+        sigma = calibrate_gaussian_noise_rdp(2.0, 1e-5, q=0.1, steps=100)
+        rdp = rdp_subsampled_gaussian(0.1, sigma, 100)
+        epsilon, _ = rdp_to_dp(rdp, 1e-5)
+        assert epsilon <= 2.0 + 1e-6
+
+    def test_smaller_epsilon_needs_more_noise(self):
+        tight = calibrate_gaussian_noise_rdp(0.5, 1e-5, q=0.1, steps=50)
+        loose = calibrate_gaussian_noise_rdp(4.0, 1e-5, q=0.1, steps=50)
+        assert tight > loose
+
+
+class TestRdpAccountant:
+    def test_accumulates_epsilon(self):
+        accountant = RdpAccountant()
+        accountant.add_gaussian(sigma=2.0)
+        first = accountant.get_epsilon(1e-5)
+        accountant.add_gaussian(sigma=2.0)
+        second = accountant.get_epsilon(1e-5)
+        assert second > first
+
+    def test_empty_accountant_is_free(self):
+        assert RdpAccountant().get_epsilon(1e-5) == 0.0
+
+    def test_subsampled_event_recorded(self):
+        accountant = RdpAccountant()
+        accountant.add_subsampled_gaussian(q=0.2, sigma=1.0, steps=10)
+        assert accountant.events[0]["kind"] == "subsampled_gaussian"
+        assert accountant.get_epsilon(1e-5) > 0
+
+
+class TestBudgetLedger:
+    def test_spend_within_budget(self):
+        ledger = BudgetLedger(total_epsilon=1.0, total_delta=1e-5)
+        ledger.spend(0.4, label="stage 1")
+        ledger.spend(0.6, label="stage 2")
+        assert ledger.remaining_epsilon == pytest.approx(0.0)
+
+    def test_overspend_raises(self):
+        ledger = BudgetLedger(total_epsilon=1.0, total_delta=0.0)
+        ledger.spend(0.9)
+        with pytest.raises(PrivacyBudgetError):
+            ledger.spend(0.2)
+
+    def test_delta_overspend_raises(self):
+        ledger = BudgetLedger(total_epsilon=1.0, total_delta=1e-6)
+        with pytest.raises(PrivacyBudgetError):
+            ledger.spend(0.1, delta=1e-5)
+
+    def test_negative_spend_rejected(self):
+        ledger = BudgetLedger(total_epsilon=1.0, total_delta=0.0)
+        with pytest.raises(PrivacyBudgetError):
+            ledger.spend(-0.1)
+
+    def test_entries_record_labels(self):
+        ledger = BudgetLedger(total_epsilon=1.0, total_delta=0.0)
+        ledger.spend(0.5, label="adjacency")
+        assert ledger.entries[0]["label"] == "adjacency"

@@ -1,0 +1,264 @@
+"""Tests for the hyperparameter search subpackage (search spaces, drivers, presets)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import GCON
+from repro.exceptions import ConfigurationError
+from repro.tuning import (
+    Categorical,
+    GridSearch,
+    RandomSearch,
+    SearchSpace,
+    TrialResult,
+    TuningResult,
+    UniformFloat,
+    UniformInt,
+    evaluate_trial,
+    gcon_quick_space,
+    gcon_search_space,
+    make_gcon_factory,
+)
+
+
+# --------------------------------------------------------------------------- #
+# search space primitives
+# --------------------------------------------------------------------------- #
+class TestParameters:
+    def test_categorical_grid_and_sample(self, rng):
+        parameter = Categorical("loss", ["a", "b", "c"])
+        assert parameter.grid() == ["a", "b", "c"]
+        assert parameter.sample(rng) in ("a", "b", "c")
+
+    def test_categorical_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Categorical("x", [])
+
+    def test_uniform_float_bounds(self, rng):
+        parameter = UniformFloat("lr", 0.001, 0.1)
+        for _ in range(20):
+            value = parameter.sample(rng)
+            assert 0.001 <= value <= 0.1
+        grid = parameter.grid()
+        assert grid[0] == pytest.approx(0.001)
+        assert grid[-1] == pytest.approx(0.1)
+
+    def test_log_uniform_grid_is_geometric(self):
+        parameter = UniformFloat("lr", 1e-4, 1e-2, log=True, grid_points=3)
+        grid = parameter.grid()
+        assert grid[1] == pytest.approx(1e-3)
+
+    def test_uniform_float_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformFloat("x", 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            UniformFloat("x", 0.0, 1.0, log=True)
+
+    def test_uniform_int(self, rng):
+        parameter = UniformInt("hops", 1, 4)
+        assert parameter.grid() == [1, 2, 3, 4]
+        assert parameter.sample(rng) in (1, 2, 3, 4)
+        with pytest.raises(ConfigurationError):
+            UniformInt("x", 3, 2)
+
+
+class TestSearchSpace:
+    def _space(self) -> SearchSpace:
+        return SearchSpace([
+            Categorical("alpha", [0.4, 0.8]),
+            Categorical("loss", ["soft_margin", "pseudo_huber"]),
+            UniformInt("hops", 1, 2),
+        ])
+
+    def test_grid_size_and_enumeration(self):
+        space = self._space()
+        assert space.grid_size() == 2 * 2 * 2
+        configurations = list(space.grid())
+        assert len(configurations) == 8
+        assert all(set(c) == {"alpha", "loss", "hops"} for c in configurations)
+        assert len({tuple(sorted(c.items())) for c in configurations}) == 8
+
+    def test_sample_respects_domains(self):
+        space = self._space()
+        config = space.sample(0)
+        assert config["alpha"] in (0.4, 0.8)
+        assert config["hops"] in (1, 2)
+
+    def test_subspace(self):
+        space = self._space().subspace(["alpha"])
+        assert space.names == ["alpha"]
+        with pytest.raises(ConfigurationError):
+            self._space().subspace(["missing"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace([Categorical("a", [1]), Categorical("a", [2])])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace([])
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_always_within_grid_domains(self, seed):
+        space = self._space()
+        config = space.sample(seed)
+        for parameter in space.parameters:
+            assert config[parameter.name] in parameter.grid()
+
+
+# --------------------------------------------------------------------------- #
+# results bookkeeping
+# --------------------------------------------------------------------------- #
+class TestTuningResult:
+    def _result(self) -> TuningResult:
+        result = TuningResult()
+        result.add(TrialResult(params={"alpha": 0.4}, scores=(0.5, 0.6), trial_id=0))
+        result.add(TrialResult(params={"alpha": 0.8}, scores=(0.7, 0.8), trial_id=1))
+        result.add(TrialResult(params={"alpha": 0.2}, scores=(0.4,), trial_id=2))
+        return result
+
+    def test_best_trial_and_params(self):
+        result = self._result()
+        assert result.best_params == {"alpha": 0.8}
+        assert result.best_score == pytest.approx(0.75)
+
+    def test_leaderboard_sorted(self):
+        ranked = self._result().leaderboard()
+        scores = [trial.mean_score for trial in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_leaderboard_top_k(self):
+        assert len(self._result().leaderboard(top_k=2)) == 2
+
+    def test_to_rows_aligned_with_headers(self):
+        headers, rows = self._result().to_rows()
+        assert headers[:3] == ["rank", "mean", "std"]
+        assert all(len(row) == len(headers) for row in rows)
+
+    def test_trial_statistics(self):
+        trial = TrialResult(params={}, scores=(0.4, 0.6))
+        assert trial.mean_score == pytest.approx(0.5)
+        assert trial.std_score == pytest.approx(0.1)
+        assert trial.num_repeats == 2
+
+    def test_empty_result_raises(self):
+        with pytest.raises(ConfigurationError):
+            _ = TuningResult().best_trial
+
+
+# --------------------------------------------------------------------------- #
+# search drivers on a fast fake estimator
+# --------------------------------------------------------------------------- #
+class _FakeEstimator:
+    """Scores configurations deterministically: prefers alpha=0.8 and hops=2."""
+
+    def __init__(self, params):
+        self.params = params
+
+    def fit(self, graph, seed=None):
+        return self
+
+    def predict(self, graph, mode=None):
+        quality = 0.0
+        quality += 0.5 if self.params.get("alpha") == 0.8 else 0.0
+        quality += 0.5 if self.params.get("hops") == 2 else 0.0
+        predictions = graph.labels.copy()
+        wrong = np.flatnonzero(np.ones_like(predictions))
+        num_wrong = int(round((1.0 - quality) * wrong.size))
+        predictions[wrong[:num_wrong]] = (predictions[wrong[:num_wrong]] + 1) % (
+            graph.labels.max() + 1
+        )
+        return predictions
+
+
+class TestSearchDrivers:
+    def _space(self) -> SearchSpace:
+        return SearchSpace([
+            Categorical("alpha", [0.4, 0.8]),
+            Categorical("hops", [1, 2]),
+        ])
+
+    def test_grid_search_finds_best_configuration(self, tiny_graph):
+        search = GridSearch(_FakeEstimator, self._space(), repeats=1, seed=0)
+        result = search.run(tiny_graph)
+        assert len(result) == 4
+        assert result.best_params == {"alpha": 0.8, "hops": 2}
+
+    def test_random_search_runs_requested_trials(self, tiny_graph):
+        search = RandomSearch(_FakeEstimator, self._space(), num_trials=6, seed=0)
+        result = search.run(tiny_graph)
+        assert len(result) == 6
+
+    def test_evaluate_trial_repeats(self, tiny_graph):
+        trial = evaluate_trial(_FakeEstimator, {"alpha": 0.8, "hops": 2}, tiny_graph,
+                               repeats=3, seed=0)
+        assert trial.num_repeats == 3
+        assert trial.mean_score == pytest.approx(1.0)
+
+    def test_evaluate_trial_requires_validation_split(self, path_graph):
+        graph = path_graph
+        graph.val_idx = np.array([], dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            evaluate_trial(_FakeEstimator, {}, graph)
+
+    def test_driver_validation(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            GridSearch(_FakeEstimator, self._space(), repeats=0)
+        with pytest.raises(ConfigurationError):
+            RandomSearch(_FakeEstimator, self._space(), num_trials=0)
+        with pytest.raises(ConfigurationError):
+            GridSearch(_FakeEstimator, self._space(), inference_mode="other")
+
+
+# --------------------------------------------------------------------------- #
+# GCON presets
+# --------------------------------------------------------------------------- #
+class TestGconPresets:
+    def test_full_space_matches_appendix_q(self):
+        space = gcon_search_space("cora_ml")
+        names = set(space.names)
+        assert {"alpha", "propagation_steps", "loss", "lambda_reg"} <= names
+        alphas = space.subspace(["alpha"]).parameters[0].grid()
+        assert alphas == [0.2, 0.4, 0.6, 0.8]
+
+    def test_actor_space_uses_multi_branch_steps(self):
+        space = gcon_search_space("actor")
+        steps = space.subspace(["propagation_steps"]).parameters[0].grid()
+        assert (0, 1, 2) in steps
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gcon_search_space("ogbn_products")
+
+    def test_factory_builds_gcon_with_overrides(self):
+        factory = make_gcon_factory(epsilon=2.0, encoder_epochs=10)
+        model = factory({"alpha": 0.8, "propagation_steps": (1,), "lambda_reg": 1.0})
+        assert isinstance(model, GCON)
+        assert model.config.epsilon == 2.0
+        assert model.config.alpha == 0.8
+        assert model.config.encoder_epochs == 10
+
+    def test_factory_validates_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            make_gcon_factory(epsilon=0.0)
+
+    def test_quick_space_is_small(self):
+        assert gcon_quick_space().grid_size() <= 32
+
+    def test_quick_space_random_search_with_real_gcon(self, tiny_graph):
+        """End-to-end smoke: two random GCON trials on the tiny graph."""
+        factory = make_gcon_factory(
+            epsilon=4.0, encoder_epochs=15, encoder_dim=8, max_iterations=80,
+        )
+        search = RandomSearch(factory, gcon_quick_space(), num_trials=2, seed=0)
+        result = search.run(tiny_graph)
+        assert len(result) == 2
+        assert 0.0 <= result.best_score <= 1.0
+        assert math.isfinite(result.best_score)

@@ -1,0 +1,83 @@
+"""Tests for repro.utils.math (stable primitives used by losses and models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.math import log1pexp, one_hot, row_normalize_l2, sigmoid, softmax
+
+
+class TestLog1pExp:
+    def test_matches_naive_for_moderate_values(self):
+        x = np.linspace(-20, 20, 101)
+        np.testing.assert_allclose(log1pexp(x), np.log1p(np.exp(x)), rtol=1e-12)
+
+    def test_no_overflow_for_large_values(self):
+        out = log1pexp(np.array([1000.0, -1000.0]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(1000.0)
+        assert out[1] == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.floats(min_value=-500, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_non_negative(self, x):
+        assert log1pexp(np.array([x]))[0] >= 0.0
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        x = np.linspace(-30, 30, 61)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones_like(x), atol=1e-12)
+
+    def test_extremes(self):
+        assert sigmoid(np.array([800.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-800.0]))[0] == pytest.approx(0.0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(np.random.default_rng(0).normal(size=(5, 7)), axis=1)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5))
+
+    def test_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestRowNormalize:
+    def test_unit_norms(self):
+        matrix = np.random.default_rng(0).normal(size=(10, 4))
+        normalized = row_normalize_l2(matrix)
+        np.testing.assert_allclose(np.linalg.norm(normalized, axis=1), np.ones(10))
+
+    def test_zero_rows_stay_zero(self):
+        matrix = np.zeros((3, 4))
+        matrix[1] = [1.0, 0.0, 0.0, 0.0]
+        normalized = row_normalize_l2(matrix)
+        assert np.all(normalized[0] == 0.0)
+        assert np.all(normalized[2] == 0.0)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_norm_never_exceeds_one(self, rows, cols):
+        matrix = np.random.default_rng(rows * 31 + cols).normal(size=(rows, cols))
+        norms = np.linalg.norm(row_normalize_l2(matrix), axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+
+class TestOneHot:
+    def test_round_trip(self):
+        labels = np.array([0, 2, 1, 2])
+        encoded = one_hot(labels, 3)
+        assert encoded.shape == (4, 3)
+        np.testing.assert_array_equal(np.argmax(encoded, axis=1), labels)
+        np.testing.assert_allclose(encoded.sum(axis=1), np.ones(4))
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)

@@ -1,0 +1,46 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(42).integers(0, 1000) == as_rng(42).integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        draws_a = as_rng(1).integers(0, 2**31, size=10)
+        draws_b = as_rng(2).integers(0, 2**31, size=10)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 2**31, size=20)
+        b = children[1].integers(0, 2**31, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        first = [g.integers(0, 2**31) for g in spawn_rngs(3, 3)]
+        second = [g.integers(0, 2**31) for g in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_array_2d,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(float("nan"), "x")
+        with pytest.raises(ConfigurationError):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_bool_and_strings(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(True, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive("1", "x")
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(0.0, "p", inclusive_low=False)
+        with pytest.raises(ConfigurationError):
+            check_probability(1.0, "p", inclusive_high=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "p")
+
+
+class TestCheckInRange:
+    def test_error_message_contains_name(self):
+        with pytest.raises(ConfigurationError, match="alpha"):
+            check_in_range(5.0, "alpha", low=0.0, high=1.0)
+
+
+class TestCheckArray2d:
+    def test_accepts_2d(self):
+        out = check_array_2d([[1, 2], [3, 4]], "m")
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            check_array_2d(np.zeros(3), "m")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_array_2d(np.array([[np.nan, 1.0]]), "m")
