@@ -14,12 +14,13 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.conftest import bench_settings, record
+from benchmarks.conftest import bench_settings, is_smoke, record
 from repro.core.config import GCONConfig
 from repro.core.model import GCON
 from repro.evaluation.reporting import render_table
 from repro.graphs.datasets import load_dataset
 
+SCALES_SMOKE = (0.05, 0.1)
 SCALES_QUICK = (0.1, 0.25, 0.5)
 SCALES_FULL = (0.1, 0.25, 0.5, 1.0)
 EPSILON = 2.0
@@ -48,7 +49,12 @@ def _run(settings, scales):
 def test_scalability(benchmark):
     full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
     settings = bench_settings(datasets=("cora_ml",))
-    scales = SCALES_FULL if full else SCALES_QUICK
+    if full:
+        scales = SCALES_FULL
+    elif is_smoke():
+        scales = SCALES_SMOKE
+    else:
+        scales = SCALES_QUICK
     rows = benchmark.pedantic(_run, args=(settings, scales), rounds=1, iterations=1)
     record("scalability",
            render_table(["scale", "nodes", "edges", "fit seconds", "micro F1"], rows,

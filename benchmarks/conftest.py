@@ -6,11 +6,18 @@ finishes in minutes on a laptop; set the environment variables
 
 * ``REPRO_BENCH_SCALE``   (default 0.25)  -- graph down-scaling factor,
 * ``REPRO_BENCH_REPEATS`` (default 1)     -- independent runs per setting,
+* ``REPRO_BENCH_JOBS``    (default 1)     -- worker processes for the sweep
+  engine behind the figure benchmarks,
 * ``REPRO_BENCH_FULL=1``                  -- use the full grids of the paper
-  (all four datasets, five privacy budgets, ten repeats); expect hours.
+  (all four datasets, five privacy budgets, ten repeats); expect hours,
+* ``REPRO_SMOKE=1``                       -- shrink everything (tiny graphs,
+  few epochs, short grids) so the whole harness finishes in about a minute;
+  this is what the CI smoke job runs.  ``pytest --smoke`` sets it too.
 
-The regenerated series are printed to stdout (run pytest with ``-s`` or look
-at the captured output) and also written to ``benchmarks/output/``.
+``REPRO_SMOKE`` wins over per-benchmark overrides, so even benchmarks that
+request several datasets or budgets collapse to the smoke grid.  The
+regenerated series are printed to stdout (run pytest with ``-s`` or look at
+the captured output) and also written to ``benchmarks/output/``.
 """
 
 from __future__ import annotations
@@ -24,12 +31,40 @@ from repro.evaluation.figures import FigureSettings
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+SMOKE_SETTINGS = dict(
+    scale=0.06,
+    repeats=1,
+    epochs=25,
+    encoder_epochs=40,
+    encoder_dim=8,
+    encoder_hidden=16,
+    datasets=("cora_ml",),
+    epsilons=(0.5, 2.0),
+)
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption("--smoke", action="store_true", default=False,
+                     help="run the benchmarks in the reduced smoke configuration "
+                          "(equivalent to REPRO_SMOKE=1)")
+
+
+def pytest_configure(config) -> None:
+    if config.getoption("--smoke", default=False):
+        os.environ["REPRO_SMOKE"] = "1"
+
+
+def is_smoke() -> bool:
+    """True when the reduced CI smoke configuration is requested."""
+    return os.environ.get("REPRO_SMOKE", "0") == "1"
+
 
 def bench_settings(**overrides) -> FigureSettings:
     """Build FigureSettings from environment variables plus per-bench overrides."""
     full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0" if full else "0.25"))
     repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "10" if full else "1"))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
     defaults = dict(
         scale=scale,
         repeats=repeats,
@@ -39,11 +74,14 @@ def bench_settings(**overrides) -> FigureSettings:
         encoder_hidden=64,
         lambda_reg=0.2,
         use_pseudo_labels=True,
+        jobs=jobs,
     )
     if full:
         defaults["datasets"] = ("cora_ml", "citeseer", "pubmed", "actor")
         defaults["epsilons"] = (0.5, 1.0, 2.0, 3.0, 4.0)
     defaults.update(overrides)
+    if is_smoke():
+        defaults.update(SMOKE_SETTINGS)
     return FigureSettings(**defaults)
 
 

@@ -1,4 +1,9 @@
-"""Thin setup.py shim for environments without PEP 517 build isolation/wheel."""
+"""Thin setup.py shim: all metadata lives in pyproject.toml.
+
+Kept so that tooling invoking ``python setup.py`` or legacy editable installs
+keeps working; ``pip install -e .`` resolves the src layout, dependencies and
+the ``repro`` / ``gcon-repro`` console scripts from pyproject.toml.
+"""
 
 from setuptools import setup
 

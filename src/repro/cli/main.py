@@ -122,19 +122,97 @@ def command_baselines(args) -> int:
     """Train every Figure-1 method once at a single epsilon and print a comparison table."""
     from repro.evaluation.figures import FigureSettings, build_method_registry
     from repro.evaluation.reporting import render_table
+    from repro.runtime.cells import SweepCell
+    from repro.runtime.engine import ParallelExperimentRunner
+    from repro.runtime.workers import FigureCellRunner
 
-    graph = _load_graph(args)
-    delta = args.delta if args.delta is not None else 1.0 / max(graph.num_edges, 1)
     settings = FigureSettings(scale=args.scale, repeats=1, seed=args.seed,
                               epochs=args.epochs)
     registry = build_method_registry(settings)
-    rows = []
-    for name, factory in registry.items():
-        estimator = factory(args.epsilon, delta, args.seed)
-        estimator.fit(graph, seed=args.seed)
-        rows.append([name, f"{estimator.score(graph):.4f}"])
+    cells = [
+        SweepCell(index=position, method=name, dataset=args.dataset,
+                  epsilon=args.epsilon, repeat=0, seed=args.seed, group=position)
+        for position, name in enumerate(registry)
+    ]
+    engine = ParallelExperimentRunner(
+        FigureCellRunner(settings=settings, delta=args.delta), jobs=args.jobs)
+    results = engine.run(cells)
+    rows = [[result.method, f"{result.micro_f1:.4f}"] for result in results]
     print(render_table(["method", "test micro-F1"], rows,
-                       title=f"{graph.name} @ epsilon={args.epsilon:g}"))
+                       title=f"{args.dataset} @ epsilon={args.epsilon:g}"))
+    return 0
+
+
+def _parse_name_list(raw: str) -> list[str]:
+    names = [token.strip() for token in raw.split(",") if token.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("at least one name is required")
+    return names
+
+
+def _parse_float_list(raw: str) -> list[float]:
+    try:
+        values = [float(token) for token in raw.split(",") if token.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    if not values:
+        raise argparse.ArgumentTypeError("at least one value is required")
+    return values
+
+
+def command_sweep(args) -> int:
+    """Run a full method x dataset x epsilon x repeat sweep on the parallel engine."""
+    from repro.evaluation.figures import FigureSettings, build_method_registry
+    from repro.evaluation.reporting import render_series, render_table
+    from repro.evaluation.runner import aggregate_results, series_from_results
+    from repro.graphs.datasets import list_datasets
+    from repro.runtime.cells import expand_cells
+    from repro.runtime.engine import ParallelExperimentRunner
+    from repro.runtime.store import JsonlResultStore
+    from repro.runtime.workers import FigureCellRunner
+
+    settings = FigureSettings(
+        scale=args.scale, repeats=args.repeats, seed=args.seed, epochs=args.epochs,
+        encoder_epochs=args.encoder_epochs, datasets=tuple(args.datasets),
+        epsilons=tuple(args.epsilons), jobs=args.jobs,
+    )
+    registry = build_method_registry(settings)
+    methods = args.methods if args.methods is not None else list(registry)
+    unknown = [name for name in methods if name not in registry]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)} "
+              f"(available: {', '.join(registry)})", file=sys.stderr)
+        return 2
+    known_datasets = list_datasets()
+    unknown = [name for name in settings.datasets if name not in known_datasets]
+    if unknown:
+        print(f"unknown datasets: {', '.join(unknown)} "
+              f"(available: {', '.join(known_datasets)})", file=sys.stderr)
+        return 2
+
+    cells = expand_cells(methods, settings.datasets, settings.epsilons,
+                         settings.repeats, seed=settings.seed)
+    store = JsonlResultStore(args.output) if args.output else None
+    engine = ParallelExperimentRunner(
+        FigureCellRunner(settings=settings, delta=args.delta),
+        jobs=args.jobs, store=store, progress=not args.quiet,
+        resume_context=dict(settings.resume_context(), delta=args.delta),
+    )
+    results = engine.run(cells)
+
+    aggregated = aggregate_results(results)
+    rows = [
+        [method, dataset, f"{epsilon:g}", f"{stats['mean']:.4f}", f"{stats['std']:.4f}",
+         f"{stats['min']:.4f}", f"{stats['max']:.4f}", stats["count"]]
+        for (method, dataset, epsilon), stats in sorted(aggregated.items())
+    ]
+    print(render_table(
+        ["method", "dataset", "epsilon", "mean", "std", "min", "max", "repeats"],
+        rows, title=f"sweep ({len(results)} cells, jobs={args.jobs})"))
+    print()
+    print(render_series(series_from_results(results), title="mean micro-F1 series"))
+    if args.output:
+        print(f"\nresults stored in: {args.output}")
     return 0
 
 
@@ -152,7 +230,8 @@ def command_figure(args) -> int:
     from repro.evaluation.reporting import render_series, render_table
 
     settings = FigureSettings(scale=args.scale, repeats=args.repeats, seed=args.seed,
-                              datasets=tuple(args.datasets.split(",")))
+                              datasets=tuple(args.datasets.split(",")),
+                              jobs=args.jobs)
     output_dir = Path(args.output_dir)
 
     if args.id == "table2":
@@ -275,7 +354,38 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("--epsilon", type=float, default=1.0)
     baselines.add_argument("--delta", type=float, default=None)
     baselines.add_argument("--epochs", type=int, default=100)
+    baselines.add_argument("--jobs", type=int, default=1,
+                           help="number of parallel worker processes")
     baselines.set_defaults(func=command_baselines)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a method x dataset x epsilon x repeat sweep in parallel")
+    sweep.add_argument("--datasets", type=_parse_name_list, default=["cora_ml"],
+                       help="comma-separated dataset presets")
+    sweep.add_argument("--methods", type=_parse_name_list, default=None,
+                       help="comma-separated method names (default: all registered)")
+    sweep.add_argument("--epsilons", type=_parse_float_list,
+                       default=[0.5, 1.0, 2.0, 3.0, 4.0],
+                       help="comma-separated privacy budgets")
+    sweep.add_argument("--repeats", type=int, default=1,
+                       help="independent repeats per cell")
+    sweep.add_argument("--scale", type=float, default=0.25,
+                       help="dataset down-scaling factor (1.0 = paper size)")
+    sweep.add_argument("--seed", type=int, default=0, help="master random seed")
+    sweep.add_argument("--delta", type=float, default=None,
+                       help="privacy parameter delta (default: 1/|E| per graph)")
+    sweep.add_argument("--epochs", type=int, default=120,
+                       help="training epochs of the non-convex baselines")
+    sweep.add_argument("--encoder-epochs", type=int, default=150, dest="encoder_epochs",
+                       help="GCON public-encoder training epochs")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="number of parallel worker processes")
+    sweep.add_argument("--output", default=None,
+                       help="JSONL result store; rerunning with the same path "
+                            "resumes an interrupted sweep")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress progress reporting on stderr")
+    sweep.set_defaults(func=command_sweep)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("id", choices=("table2", "figure1", "figure2", "figure3",
@@ -285,6 +395,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=0)
     figure.add_argument("--datasets", default="cora_ml",
                         help="comma-separated dataset presets")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="number of parallel worker processes")
     figure.add_argument("--output-dir", default="benchmarks/output", dest="output_dir")
     figure.set_defaults(func=command_figure)
 

@@ -142,3 +142,26 @@ class GCONConfig:
     def effective_inference_alpha(self) -> float:
         """Restart probability used at private-inference time."""
         return self.alpha if self.inference_alpha is None else self.inference_alpha
+
+    def preparation_key(self) -> tuple:
+        """The epsilon/delta-independent knobs that determine Algorithm 1's
+        preparation phase (encoder training, normalisation, propagation and
+        pseudo-label selection).
+
+        Two configurations with equal keys produce bitwise-identical
+        :class:`~repro.core.model.PreparedInputs` for the same graph and seed,
+        which is what lets the sweep engine reuse preparations across an
+        epsilon sweep.
+        """
+        return (
+            self.alpha,
+            self.normalized_steps,
+            self.encoder_dim,
+            self.encoder_hidden,
+            self.encoder_epochs,
+            self.encoder_lr,
+            self.encoder_weight_decay,
+            self.encoder_dropout,
+            self.use_pseudo_labels,
+            self.pseudo_label_mode,
+        )

@@ -17,6 +17,8 @@ Algorithm 4 in either the private (Eq. 16) or public mode.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -30,12 +32,41 @@ from repro.core.perturbation import (
     compute_perturbation_parameters,
     sample_noise_matrix,
 )
-from repro.core.propagation import Propagator
+from repro.core.propagation import cached_propagator, graph_fingerprint
 from repro.core.sensitivity import concatenated_sensitivity
 from repro.core.solver import SolverResult, minimize_objective
 from repro.graphs.graph import GraphDataset
 from repro.utils.math import one_hot, row_normalize_l2
 from repro.utils.random import as_rng, spawn_rngs
+
+
+@dataclass
+class PreparedInputs:
+    """The epsilon-independent outputs of Algorithm 1's preparation phase.
+
+    Lines 1-7 of Algorithm 1 (encoder training, L2 normalisation, PPR/APPR
+    propagation and the optional pseudo-label expansion) do not depend on the
+    privacy budget -- only the Theorem-1 calibration, the noise draw and the
+    convex solve do.  The sweep engine therefore computes these once per
+    ``(graph, seed, preparation_key)`` and replays them across an epsilon
+    sweep; :meth:`GCON.fit` accepts the bundle via its ``prepared`` argument
+    and produces bitwise-identical parameters to an unprepared fit.
+
+    ``preparation_key``, ``graph_key`` and ``seed_token`` record what the
+    bundle was built from; :meth:`GCON.fit` rejects a bundle whose
+    configuration, graph content or integer seed does not match its own,
+    because reusing features prepared under different
+    ``(alpha, steps, encoder, graph, seed)`` settings would silently
+    miscalibrate the Theorem-1 noise or produce irreproducible results.
+    """
+
+    encoder: MLPEncoder
+    aggregated: np.ndarray
+    train_idx: np.ndarray
+    labels: np.ndarray
+    preparation_key: tuple | None = None
+    graph_key: str | None = None
+    seed_token: int | None = None
 
 
 class GCON:
@@ -75,8 +106,16 @@ class GCON:
     # ------------------------------------------------------------------ #
     # training (Algorithm 1)
     # ------------------------------------------------------------------ #
-    def fit(self, graph: GraphDataset, seed: int | np.random.Generator | None = None) -> "GCON":
-        """Train GCON on ``graph`` under the configured (ε, δ) edge-DP budget."""
+    def fit(self, graph: GraphDataset, seed: int | np.random.Generator | None = None,
+            prepared: PreparedInputs | None = None) -> "GCON":
+        """Train GCON on ``graph`` under the configured (ε, δ) edge-DP budget.
+
+        ``prepared`` optionally supplies the epsilon-independent preparation
+        phase computed earlier by :meth:`prepare` with the same graph, seed
+        and preparation-relevant configuration; the resulting parameters are
+        bitwise identical to an unprepared fit because the noise generator is
+        spawned from ``seed`` the same way on both paths.
+        """
         config = self.config
         rng = as_rng(seed)
         encoder_rng, noise_rng, pseudo_rng = spawn_rngs(rng, 3)
@@ -86,38 +125,37 @@ class GCON:
         num_classes = graph.num_classes
         delta = config.delta if config.delta is not None else 1.0 / max(graph.num_edges, 1)
 
-        # Line 1: public feature encoder.
-        encoder = MLPEncoder(
-            output_dim=config.encoder_dim,
-            hidden_dim=config.encoder_hidden,
-            epochs=config.encoder_epochs,
-            learning_rate=config.encoder_lr,
-            weight_decay=config.encoder_weight_decay,
-            dropout=config.encoder_dropout,
-            seed=encoder_rng,
-        )
-        encoder.fit(graph.features, graph.labels, graph.train_idx, num_classes=num_classes)
-        encoded = encoder.encode(graph.features)
-
-        # Line 2: row-wise L2 normalisation so that max_i ||x_i||_2 <= 1.
-        encoded = row_normalize_l2(encoded)
-
-        # Lines 4-7: propagation and concatenation.
-        propagator = Propagator(graph.adjacency, config.alpha)
-        aggregated = propagator.propagate_concat(encoded, config.normalized_steps)
-
-        # Training set: labelled nodes, optionally expanded with pseudo-labels.
-        # The paper tunes n1 in {n0, n} (Appendix Q); when expanding we keep a
-        # class-balanced, confidence-ranked subset because the per-class
-        # one-vs-rest losses have no bias term and an imbalanced pseudo-label
-        # pool would bias the arg-max towards frequent classes.
-        train_idx = graph.train_idx
-        labels = graph.labels.copy()
-        if config.use_pseudo_labels:
-            train_idx, labels = self._pseudo_label_selection(
-                graph, encoder, num_classes, mode=config.pseudo_label_mode,
-            )
-            _ = pseudo_rng  # reserved for stochastic pseudo-label selection strategies
+        if prepared is None:
+            prepared = self._prepare(graph, num_classes, encoder_rng, pseudo_rng)
+        else:
+            if prepared.aggregated.shape[0] != graph.num_nodes:
+                raise ConfigurationError(
+                    f"prepared inputs cover {prepared.aggregated.shape[0]} nodes but the "
+                    f"graph has {graph.num_nodes}"
+                )
+            if prepared.preparation_key is not None \
+                    and prepared.preparation_key != config.preparation_key():
+                raise ConfigurationError(
+                    "prepared inputs were built under a different preparation "
+                    "configuration (alpha/steps/encoder/pseudo-label settings); "
+                    "refusing to miscalibrate the Theorem-1 noise"
+                )
+            if prepared.graph_key is not None \
+                    and prepared.graph_key != graph_fingerprint(graph.adjacency):
+                raise ConfigurationError(
+                    "prepared inputs were built from a different graph; "
+                    "refusing to reuse features across graphs"
+                )
+            if prepared.seed_token is not None and isinstance(seed, (int, np.integer)) \
+                    and prepared.seed_token != int(seed):
+                raise ConfigurationError(
+                    f"prepared inputs were built with seed {prepared.seed_token} "
+                    f"but fit was called with seed {int(seed)}"
+                )
+        encoder = prepared.encoder
+        aggregated = prepared.aggregated
+        train_idx = prepared.train_idx
+        labels = prepared.labels
         labels_one_hot = one_hot(labels[train_idx], num_classes)
         features_train = aggregated[train_idx]
         num_labeled = train_idx.size
@@ -164,6 +202,66 @@ class GCON:
         self._train_graph = graph
         return self
 
+    def prepare(self, graph: GraphDataset,
+                seed: int | np.random.Generator | None = None) -> PreparedInputs:
+        """Run Lines 1-7 of Algorithm 1 (the epsilon-independent preparation).
+
+        Spawns the same generator triple as :meth:`fit` so that
+        ``fit(graph, seed, prepared=prepare(graph, seed))`` is bitwise
+        equivalent to ``fit(graph, seed)``.
+        """
+        if graph.train_idx.size == 0:
+            raise ConfigurationError("the training graph must provide a non-empty train_idx")
+        rng = as_rng(seed)
+        encoder_rng, _noise_rng, pseudo_rng = spawn_rngs(rng, 3)
+        prepared = self._prepare(graph, graph.num_classes, encoder_rng, pseudo_rng)
+        prepared.graph_key = graph_fingerprint(graph.adjacency)
+        prepared.seed_token = int(seed) if isinstance(seed, (int, np.integer)) else None
+        return prepared
+
+    def _prepare(self, graph: GraphDataset, num_classes: int,
+                 encoder_rng: np.random.Generator,
+                 pseudo_rng: np.random.Generator) -> PreparedInputs:
+        config = self.config
+
+        # Line 1: public feature encoder.
+        encoder = MLPEncoder(
+            output_dim=config.encoder_dim,
+            hidden_dim=config.encoder_hidden,
+            epochs=config.encoder_epochs,
+            learning_rate=config.encoder_lr,
+            weight_decay=config.encoder_weight_decay,
+            dropout=config.encoder_dropout,
+            seed=encoder_rng,
+        )
+        encoder.fit(graph.features, graph.labels, graph.train_idx, num_classes=num_classes)
+        encoded = encoder.encode(graph.features)
+
+        # Line 2: row-wise L2 normalisation so that max_i ||x_i||_2 <= 1.
+        encoded = row_normalize_l2(encoded)
+
+        # Lines 4-7: propagation and concatenation (through the shared cache,
+        # so repeats/epsilon sweeps reuse the normalised transition and the
+        # PPR factorisation of the same graph).
+        propagator = cached_propagator(graph.adjacency, config.alpha)
+        aggregated = propagator.propagate_concat(encoded, config.normalized_steps)
+
+        # Training set: labelled nodes, optionally expanded with pseudo-labels.
+        # The paper tunes n1 in {n0, n} (Appendix Q); when expanding we keep a
+        # class-balanced, confidence-ranked subset because the per-class
+        # one-vs-rest losses have no bias term and an imbalanced pseudo-label
+        # pool would bias the arg-max towards frequent classes.
+        train_idx = graph.train_idx
+        labels = graph.labels.copy()
+        if config.use_pseudo_labels:
+            train_idx, labels = self._pseudo_label_selection(
+                graph, encoder, num_classes, mode=config.pseudo_label_mode,
+            )
+            _ = pseudo_rng  # reserved for stochastic pseudo-label selection strategies
+        return PreparedInputs(encoder=encoder, aggregated=aggregated,
+                              train_idx=train_idx, labels=labels,
+                              preparation_key=config.preparation_key())
+
     @staticmethod
     def _pseudo_label_selection(graph: GraphDataset, encoder: MLPEncoder,
                                 num_classes: int, mode: str = "balanced",
@@ -205,7 +303,7 @@ class GCON:
         if graph is None:  # pragma: no cover - defensive
             raise NotFittedError("no graph available for inference")
         encoded = row_normalize_l2(encoder.encode(graph.features))
-        propagator = Propagator(graph.adjacency, self.config.alpha)
+        propagator = cached_propagator(graph.adjacency, self.config.alpha)
         if mode == "private":
             return private_inference_scores(
                 propagator, encoded, theta, self.config.normalized_steps,

@@ -15,7 +15,10 @@ is the scaled concatenation ``Z = (1/s)(Z_{m_1} ⊕ ... ⊕ Z_{m_s})`` (Eq. 11).
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
+from contextlib import contextmanager
 
 import numpy as np
 import scipy.sparse as sp
@@ -23,16 +26,174 @@ import scipy.sparse.linalg as spla
 
 from repro.exceptions import ConfigurationError
 from repro.graphs.adjacency import row_stochastic_normalize
+from repro.utils.lru import LRUDict
+
+
+def graph_fingerprint(adjacency: sp.spmatrix) -> str:
+    """A stable content hash of a sparse adjacency (shape + sparsity pattern + data).
+
+    Used as the cache key for per-graph artefacts: two adjacency objects with
+    identical content map to the same key even across processes, while ``id``
+    based keys would not survive worker boundaries or garbage collection.
+    """
+    matrix = sp.csr_matrix(adjacency)
+    digest = hashlib.sha1()
+    digest.update(str(matrix.shape).encode())
+    digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
+    digest.update(np.ascontiguousarray(matrix.indices).tobytes())
+    digest.update(np.ascontiguousarray(matrix.data).tobytes())
+    return digest.hexdigest()
+
+
+def _features_fingerprint(features: np.ndarray) -> str:
+    digest = hashlib.sha1()
+    digest.update(str(features.shape).encode())
+    digest.update(str(features.dtype).encode())
+    digest.update(np.ascontiguousarray(features).tobytes())
+    return digest.hexdigest()
+
+
+class PropagationCache:
+    """Memoizes the per-graph propagation artefacts across experiment cells.
+
+    Three layers, each keyed by the graph's content fingerprint:
+
+    * ``transition`` -- the row-stochastic ``Ã = D^{-1}(A + I)`` (independent
+      of alpha, epsilon and seed);
+    * ``solver``     -- the sparse LU factorisation of ``I - (1-alpha) Ã``
+      behind the exact PPR limit, per ``(graph, alpha)``;
+    * ``features``   -- the propagated ``Z_m = R_m X`` per
+      ``(graph, alpha, steps, fingerprint(X))``.
+
+    An epsilon sweep or a repeat loop re-deriving identical propagations hits
+    the cache instead of recomputing; cached values are bitwise identical to a
+    fresh computation, so enabling the cache never changes results.
+    """
+
+    def __init__(self, max_graphs: int = 8, max_feature_entries: int = 16):
+        self._transitions = LRUDict(max_graphs)
+        self._solvers = LRUDict(max_graphs)
+        self._features = LRUDict(max_feature_entries)
+        self.stats = {
+            layer: {"hits": 0, "misses": 0}
+            for layer in ("transition", "solver", "features")
+        }
+
+    # ------------------------------------------------------------------ #
+    # layers
+    # ------------------------------------------------------------------ #
+    def transition(self, adjacency: sp.spmatrix, key: str | None = None):
+        """Return ``(graph_key, Ã)``, normalising at most once per graph."""
+        key = key if key is not None else graph_fingerprint(adjacency)
+        cached = self._transitions.get_or_none(key)
+        if cached is not None:
+            self.stats["transition"]["hits"] += 1
+            return key, cached
+        self.stats["transition"]["misses"] += 1
+        transition = row_stochastic_normalize(adjacency, add_loops=True)
+        self._transitions.put(key, transition)
+        return key, transition
+
+    def solver(self, graph_key: str, alpha: float, transition: sp.spmatrix):
+        """Return the cached sparse LU factorisation of ``I - (1-alpha) Ã``."""
+        key = (graph_key, float(alpha))
+        cached = self._solvers.get_or_none(key)
+        if cached is not None:
+            self.stats["solver"]["hits"] += 1
+            return cached
+        self.stats["solver"]["misses"] += 1
+        system = sp.identity(transition.shape[0], format="csc") \
+            - (1.0 - alpha) * transition.tocsc()
+        solver = spla.splu(system.tocsc())
+        self._solvers.put(key, solver)
+        return solver
+
+    def propagated_features(self, graph_key: str, alpha: float, steps: float,
+                            features: np.ndarray, compute):
+        """Return ``Z_m`` from cache, calling ``compute()`` on a miss."""
+        key = (graph_key, float(alpha), steps, _features_fingerprint(features))
+        cached = self._features.get_or_none(key)
+        if cached is not None:
+            self.stats["features"]["hits"] += 1
+            return cached.copy()
+        self.stats["features"]["misses"] += 1
+        result = compute()
+        self._features.put(key, result)
+        return result.copy()
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def propagator(self, adjacency: sp.spmatrix, alpha: float) -> "Propagator":
+        """A :class:`Propagator` whose hot paths consult this cache."""
+        return Propagator(adjacency, alpha, cache=self)
+
+    def clear(self) -> None:
+        self._transitions.clear()
+        self._solvers.clear()
+        self._features.clear()
+        for counters in self.stats.values():
+            counters["hits"] = counters["misses"] = 0
+
+    def info(self) -> dict:
+        """Hit/miss counters plus current entry counts per layer."""
+        return {
+            "transition": dict(self.stats["transition"], entries=len(self._transitions)),
+            "solver": dict(self.stats["solver"], entries=len(self._solvers)),
+            "features": dict(self.stats["features"], entries=len(self._features)),
+        }
+
+
+_DEFAULT_CACHE = PropagationCache()
+# Caching is engine-scoped by default: the sweep workers (and anything else
+# that opts in via `propagation_cache(...)`) activate it around their fits,
+# while a standalone `GCON.fit` keeps the original propagate-and-forget
+# behaviour -- no global retention of LU factorisations or feature matrices
+# in single-model library use.  Set REPRO_PROPAGATION_CACHE=1 to enable the
+# shared cache process-wide.
+_ACTIVE_CACHE: PropagationCache | None = (
+    _DEFAULT_CACHE if os.environ.get("REPRO_PROPAGATION_CACHE", "0") == "1" else None
+)
+
+
+def get_default_cache() -> PropagationCache:
+    """The process-wide cache used by :func:`cached_propagator` by default."""
+    return _DEFAULT_CACHE
+
+
+@contextmanager
+def propagation_cache(cache: PropagationCache | None):
+    """Temporarily swap the active propagation cache (``None`` disables caching)."""
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE = previous
+
+
+def cached_propagator(adjacency: sp.spmatrix, alpha: float) -> "Propagator":
+    """A :class:`Propagator` backed by the active cache (plain if disabled)."""
+    if _ACTIVE_CACHE is None:
+        return Propagator(adjacency, alpha)
+    return _ACTIVE_CACHE.propagator(adjacency, alpha)
 
 
 class Propagator:
     """Computes PPR/APPR propagation of node features over a fixed graph."""
 
-    def __init__(self, adjacency: sp.spmatrix, alpha: float):
+    def __init__(self, adjacency: sp.spmatrix, alpha: float,
+                 cache: PropagationCache | None = None):
         if not 0.0 < alpha <= 1.0:
             raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = float(alpha)
-        self.transition = row_stochastic_normalize(adjacency, add_loops=True)
+        self.cache = cache
+        if cache is not None:
+            self._graph_key, self.transition = cache.transition(adjacency)
+        else:
+            self._graph_key = None
+            self.transition = row_stochastic_normalize(adjacency, add_loops=True)
         self.num_nodes = self.transition.shape[0]
         self._ppr_solver = None
 
@@ -53,10 +214,24 @@ class Propagator:
         if steps == 0:
             return features.copy()
         if steps == math.inf:
+            if self.cache is not None:
+                return self.cache.propagated_features(
+                    self._graph_key, self.alpha, math.inf, features,
+                    lambda: self._propagate_ppr(features),
+                )
             return self._propagate_ppr(features)
         if not float(steps).is_integer() or steps < 0:
             raise ConfigurationError(f"steps must be a non-negative integer or inf, got {steps}")
         steps = int(steps)
+        if self.cache is not None:
+            return self.cache.propagated_features(
+                self._graph_key, self.alpha, steps, features,
+                lambda: self._propagate_appr(features, steps),
+            )
+        return self._propagate_appr(features, steps)
+
+    def _propagate_appr(self, features: np.ndarray, steps: int) -> np.ndarray:
+        """Finite-step APPR via the recursion of Eq. (9)."""
         decayed = 1.0 - self.alpha
         aggregated = features.copy()
         for _ in range(steps):
@@ -67,6 +242,9 @@ class Propagator:
         """Exact personalised-PageRank limit via a sparse LU solve (Eq. 5)."""
         if self.alpha == 1.0:
             return features.copy()
+        if self.cache is not None:
+            solver = self.cache.solver(self._graph_key, self.alpha, self.transition)
+            return self.alpha * solver.solve(features)
         if self._ppr_solver is None:
             system = sp.identity(self.num_nodes, format="csc") \
                 - (1.0 - self.alpha) * self.transition.tocsc()

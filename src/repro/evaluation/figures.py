@@ -14,8 +14,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.baselines import (
     DPGCN,
     DPSGDGCN,
@@ -28,9 +26,13 @@ from repro.baselines import (
 from repro.core.config import GCONConfig
 from repro.core.model import GCON
 from repro.evaluation.runner import ExperimentResult, ExperimentRunner, series_from_results
-from repro.graphs.datasets import dataset_statistics, list_datasets, load_dataset, \
-    reference_statistics
-from repro.utils.random import as_rng, spawn_rngs
+from repro.graphs.datasets import dataset_statistics, load_dataset, reference_statistics
+from repro.runtime.cells import expand_cells
+from repro.runtime.engine import ParallelExperimentRunner
+from repro.runtime.store import JsonlResultStore
+from repro.runtime.workers import FigureCellRunner, GconVariantCellRunner
+
+_ = (ExperimentResult, ExperimentRunner)  # re-exported for API compatibility
 
 
 @dataclass
@@ -48,7 +50,23 @@ class FigureSettings:
     use_pseudo_labels: bool = True
     datasets: tuple = ("cora_ml", "citeseer", "pubmed", "actor")
     epsilons: tuple = (0.5, 1.0, 2.0, 3.0, 4.0)
+    jobs: int = 1
     extra_gcon: dict = field(default_factory=dict)
+
+    def resume_context(self) -> dict:
+        """The numeric knobs a store-backed resume must agree on.
+
+        Sweep axes (datasets, epsilons, repeats) are deliberately excluded:
+        they are part of each cell's identity, so extending a sweep along an
+        axis resumes cleanly while changing any knob below forces a recompute.
+        """
+        return dict(
+            scale=self.scale, seed=self.seed, epochs=self.epochs,
+            encoder_epochs=self.encoder_epochs, encoder_dim=self.encoder_dim,
+            encoder_hidden=self.encoder_hidden, lambda_reg=self.lambda_reg,
+            use_pseudo_labels=self.use_pseudo_labels,
+            extra_gcon=sorted(self.extra_gcon.items()),
+        )
 
 
 def default_gcon_config(epsilon: float, delta: float, settings: FigureSettings,
@@ -110,21 +128,24 @@ def table2_dataset_statistics(settings: FigureSettings | None = None) -> dict:
 # --------------------------------------------------------------------------- #
 def figure1_accuracy_vs_epsilon(settings: FigureSettings | None = None,
                                 methods: list[str] | None = None,
+                                store: JsonlResultStore | None = None,
+                                progress: bool = False,
                                 ) -> dict[str, dict[str, dict[float, float]]]:
-    """Regenerate Figure 1: micro-F1 versus epsilon for every method and dataset."""
+    """Regenerate Figure 1: micro-F1 versus epsilon for every method and dataset.
+
+    Runs through the parallel sweep engine: ``settings.jobs`` workers, with
+    per-cell seeds shared across the epsilon axis so the workers reuse the
+    epsilon-independent preparation of each ``(method, dataset, repeat)``.
+    """
     settings = settings or FigureSettings()
-    registry = build_method_registry(settings)
-    if methods is not None:
-        registry = {name: registry[name] for name in methods}
-    runner = ExperimentRunner(repeats=settings.repeats, seed=settings.seed)
-    for name, factory in registry.items():
-        runner.register(name, factory)
-    graphs = {
-        name: load_dataset(name, scale=settings.scale, seed=settings.seed)
-        for name in settings.datasets
-    }
-    results = runner.run(graphs, list(settings.epsilons))
-    return series_from_results(results)
+    method_names = methods if methods is not None else list(build_method_registry(settings))
+    cells = expand_cells(method_names, settings.datasets, settings.epsilons,
+                         settings.repeats, seed=settings.seed)
+    engine = ParallelExperimentRunner(FigureCellRunner(settings=settings),
+                                      jobs=settings.jobs, store=store,
+                                      progress=progress,
+                                      resume_context=settings.resume_context())
+    return series_from_results(engine.run(cells))
 
 
 # --------------------------------------------------------------------------- #
@@ -142,29 +163,16 @@ def figure23_propagation_step(settings: FigureSettings | None = None,
     ``inference_mode`` selects between the two figures.
     """
     settings = settings or FigureSettings(datasets=("cora_ml", "citeseer", "pubmed"))
-    series: dict[str, dict[str, dict[float, float]]] = {}
-    master_rng = as_rng(settings.seed)
-    for dataset in settings.datasets:
-        if dataset == "actor":
-            continue
-        graph = load_dataset(dataset, scale=settings.scale, seed=settings.seed)
-        delta = 1.0 / max(graph.num_edges, 1)
-        series[dataset] = {}
-        for alpha in alphas:
-            label = f"alpha={alpha:g}"
-            series[dataset][label] = {}
-            for step in steps:
-                scores = []
-                for rng in spawn_rngs(master_rng, settings.repeats):
-                    seed = int(rng.integers(0, 2**31 - 1))
-                    config = default_gcon_config(
-                        epsilon, delta, settings, alpha=alpha, propagation_steps=(step,),
-                    )
-                    model = GCON(config).fit(graph, seed=seed)
-                    scores.append(model.score(mode=inference_mode))
-                key = float("inf") if step == math.inf else float(step)
-                series[dataset][label][key] = float(np.mean(scores))
-    return series
+    datasets = [name for name in settings.datasets if name != "actor"]
+    overrides = {f"alpha={alpha:g}": {"alpha": alpha} for alpha in alphas}
+    step_axis = [float("inf") if step == math.inf else float(step) for step in steps]
+    cells = expand_cells(list(overrides), datasets, step_axis, settings.repeats,
+                         seed=settings.seed)
+    runner = GconVariantCellRunner(settings=settings, overrides=overrides,
+                                   axis="steps", fixed_epsilon=epsilon,
+                                   inference_mode=inference_mode)
+    engine = ParallelExperimentRunner(runner, jobs=settings.jobs)
+    return series_from_results(engine.run(cells))
 
 
 # --------------------------------------------------------------------------- #
@@ -178,29 +186,17 @@ def figure4_restart_probability(settings: FigureSettings | None = None,
     """Regenerate Figure 4: micro-F1 versus epsilon for several restart probabilities."""
     settings = settings or FigureSettings(datasets=("cora_ml", "citeseer", "pubmed"))
     epsilons = epsilons or settings.epsilons
-    series: dict[str, dict[str, dict[float, float]]] = {}
-    master_rng = as_rng(settings.seed)
-    for dataset in settings.datasets:
-        if dataset == "actor":
-            continue
-        graph = load_dataset(dataset, scale=settings.scale, seed=settings.seed)
-        delta = 1.0 / max(graph.num_edges, 1)
-        series[dataset] = {}
-        for alpha in alphas:
-            label = f"alpha={alpha:g}"
-            series[dataset][label] = {}
-            for epsilon in epsilons:
-                scores = []
-                for rng in spawn_rngs(master_rng, settings.repeats):
-                    seed = int(rng.integers(0, 2**31 - 1))
-                    config = default_gcon_config(
-                        epsilon, delta, settings, alpha=alpha,
-                        propagation_steps=(propagation_step,),
-                    )
-                    model = GCON(config).fit(graph, seed=seed)
-                    scores.append(model.score(mode="private"))
-                series[dataset][label][float(epsilon)] = float(np.mean(scores))
-    return series
+    datasets = [name for name in settings.datasets if name != "actor"]
+    overrides = {
+        f"alpha={alpha:g}": {"alpha": alpha, "propagation_steps": (propagation_step,)}
+        for alpha in alphas
+    }
+    cells = expand_cells(list(overrides), datasets, epsilons, settings.repeats,
+                         seed=settings.seed)
+    runner = GconVariantCellRunner(settings=settings, overrides=overrides,
+                                   axis="epsilon", inference_mode="private")
+    engine = ParallelExperimentRunner(runner, jobs=settings.jobs)
+    return series_from_results(engine.run(cells))
 
 
 # --------------------------------------------------------------------------- #

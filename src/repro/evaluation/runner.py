@@ -5,35 +5,42 @@ callable ``(epsilon, delta, seed) -> estimator`` returning an object with the
 ``fit(graph, seed)`` / ``predict(graph, mode)`` interface shared by GCON and
 all baselines; the runner takes care of repeated runs, seeding, scoring and
 aggregation into the series the paper's figures plot.
+
+Since the runtime subsystem landed, :class:`ExperimentRunner` is a thin
+registry front-end over :class:`repro.runtime.ParallelExperimentRunner`: the
+sweep is expanded into independent seeded cells and handed to the engine,
+which can execute them serially, over a process pool (``jobs > 1``, requires
+picklable factories and graphs) or resume them from an on-disk store --
+always with identical numbers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from repro.evaluation.metrics import micro_f1
 from repro.exceptions import ConfigurationError
 from repro.graphs.graph import GraphDataset
-from repro.utils.random import as_rng, spawn_rngs
+from repro.runtime.cells import ExperimentResult, SweepCell, expand_cells
+from repro.runtime.engine import ParallelExperimentRunner
+from repro.runtime.store import JsonlResultStore
+from repro.runtime.workers import score_estimator
 
-
-@dataclass
-class ExperimentResult:
-    """One (method, dataset, epsilon, repeat) measurement."""
-
-    method: str
-    dataset: str
-    epsilon: float
-    repeat: int
-    micro_f1: float
-    extra: dict = field(default_factory=dict)
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "aggregate_results",
+    "series_from_results",
+]
 
 
 def aggregate_results(results: list[ExperimentResult]) -> dict[tuple[str, str, float], dict]:
-    """Group results by (method, dataset, epsilon) and compute mean/std/count."""
+    """Group results by (method, dataset, epsilon) into summary statistics.
+
+    Reports mean, sample standard deviation (``ddof=1``, the paper's
+    error-bar convention; 0.0 for a single repeat), min, max and count.
+    """
     groups: dict[tuple[str, str, float], list[float]] = {}
     for result in results:
         key = (result.method, result.dataset, result.epsilon)
@@ -41,7 +48,9 @@ def aggregate_results(results: list[ExperimentResult]) -> dict[tuple[str, str, f
     return {
         key: {
             "mean": float(np.mean(values)),
-            "std": float(np.std(values)),
+            "std": float(np.std(values, ddof=1)) if len(values) > 1 else 0.0,
+            "min": float(np.min(values)),
+            "max": float(np.max(values)),
             "count": len(values),
         }
         for key, values in groups.items()
@@ -51,19 +60,50 @@ def aggregate_results(results: list[ExperimentResult]) -> dict[tuple[str, str, f
 MethodFactory = Callable[[float, float, int], object]
 
 
+class _RegistryCellRunner:
+    """Executes one cell against in-memory factories and graphs.
+
+    Picklable exactly when its payload is (module-level factories, array-based
+    graphs); with the default ``jobs=1`` it never crosses a process boundary
+    so arbitrary closures work unchanged.
+    """
+
+    def __init__(self, methods: dict[str, MethodFactory],
+                 graphs: dict[str, GraphDataset],
+                 deltas: dict[str, float], inference_mode: str):
+        self.methods = methods
+        self.graphs = graphs
+        self.deltas = deltas
+        self.inference_mode = inference_mode
+
+    def __call__(self, cell: SweepCell) -> ExperimentResult:
+        graph = self.graphs[cell.dataset]
+        factory = self.methods[cell.method]
+        estimator = factory(cell.epsilon, self.deltas[cell.dataset], cell.seed)
+        estimator.fit(graph, seed=cell.seed)
+        score = score_estimator(estimator, graph, self.inference_mode)
+        return ExperimentResult(method=cell.method, dataset=cell.dataset,
+                                epsilon=cell.epsilon, repeat=cell.repeat,
+                                micro_f1=score)
+
+
 class ExperimentRunner:
     """Runs utility-versus-privacy sweeps over registered methods and datasets."""
 
-    def __init__(self, repeats: int = 3, inference_mode: str = "private", seed: int = 0):
+    def __init__(self, repeats: int = 3, inference_mode: str = "private", seed: int = 0,
+                 jobs: int = 1):
         if repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
         if inference_mode not in ("private", "public"):
             raise ConfigurationError(
                 f"inference_mode must be 'private' or 'public', got {inference_mode!r}"
             )
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.repeats = repeats
         self.inference_mode = inference_mode
         self.seed = seed
+        self.jobs = jobs
         self._methods: dict[str, MethodFactory] = {}
 
     # ------------------------------------------------------------------ #
@@ -84,10 +124,15 @@ class ExperimentRunner:
     # execution
     # ------------------------------------------------------------------ #
     def run(self, graphs: dict[str, GraphDataset], epsilons: list[float],
-            delta: float | None = None) -> list[ExperimentResult]:
+            delta: float | None = None,
+            store: JsonlResultStore | None = None,
+            progress: bool = False) -> list[ExperimentResult]:
         """Run every registered method on every graph for every epsilon.
 
         ``delta=None`` uses the paper's convention of ``1/|E|`` per graph.
+        Seeds are derived exactly as the original serial runner did (one draw
+        per cell from a shared generator), so existing experiment records
+        stay reproducible; execution is delegated to the parallel engine.
         """
         if not self._methods:
             raise ConfigurationError("no methods registered")
@@ -95,38 +140,23 @@ class ExperimentRunner:
             raise ConfigurationError("no graphs supplied")
         if not epsilons:
             raise ConfigurationError("no epsilon values supplied")
-        results: list[ExperimentResult] = []
-        master_rng = as_rng(self.seed)
-        for dataset_name, graph in graphs.items():
-            graph_delta = delta if delta is not None else 1.0 / max(graph.num_edges, 1)
-            for method_name, factory in self._methods.items():
-                for epsilon in epsilons:
-                    repeat_rngs = spawn_rngs(master_rng, self.repeats)
-                    for repeat, rng in enumerate(repeat_rngs):
-                        seed = int(rng.integers(0, 2**31 - 1))
-                        estimator = factory(epsilon, graph_delta, seed)
-                        estimator.fit(graph, seed=seed)
-                        predictions = self._predict(estimator, graph)
-                        score = micro_f1(
-                            graph.labels[graph.test_idx], predictions[graph.test_idx]
-                        )
-                        results.append(
-                            ExperimentResult(
-                                method=method_name,
-                                dataset=dataset_name,
-                                epsilon=epsilon,
-                                repeat=repeat,
-                                micro_f1=score,
-                            )
-                        )
-        return results
-
-    def _predict(self, estimator, graph: GraphDataset) -> np.ndarray:
-        """Call the estimator's predict, passing the inference mode when supported."""
-        try:
-            return np.asarray(estimator.predict(graph, mode=self.inference_mode))
-        except TypeError:
-            return np.asarray(estimator.predict(graph))
+        deltas = {
+            name: delta if delta is not None else 1.0 / max(graph.num_edges, 1)
+            for name, graph in graphs.items()
+        }
+        cells = expand_cells(list(self._methods), list(graphs), epsilons,
+                             self.repeats, seed=self.seed, seed_axis="epsilon")
+        cell_runner = _RegistryCellRunner(self._methods, graphs, deltas,
+                                          self.inference_mode)
+        # The context guards a store-backed resume against settings drift; the
+        # registered factories themselves cannot be fingerprinted, so callers
+        # mixing factory configurations across runs should use separate stores.
+        resume_context = None if store is None else dict(
+            seed=self.seed, inference_mode=self.inference_mode, delta=delta)
+        engine = ParallelExperimentRunner(cell_runner, jobs=self.jobs,
+                                          store=store, progress=progress,
+                                          resume_context=resume_context)
+        return engine.run(cells)
 
 
 def series_from_results(results: list[ExperimentResult]) -> dict[str, dict[str, dict[float, float]]]:

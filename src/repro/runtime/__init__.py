@@ -1,0 +1,35 @@
+"""Parallel experiment runtime: sweep expansion, execution and persistence.
+
+The substrate behind ``repro sweep`` and the figure benchmarks:
+
+* :mod:`repro.runtime.cells`    -- sweep expansion with deterministic seeds;
+* :mod:`repro.runtime.engine`   -- serial / process-pool execution;
+* :mod:`repro.runtime.store`    -- resumable JSONL result persistence;
+* :mod:`repro.runtime.progress` -- throttled progress reporting;
+* :mod:`repro.runtime.workers`  -- picklable cell runners for the paper's
+  sweeps (imported lazily by consumers; not re-exported here to keep the
+  import graph acyclic with :mod:`repro.evaluation`).
+"""
+
+from repro.runtime.cells import (
+    ExperimentResult,
+    SweepCell,
+    derive_cell_seed,
+    expand_cells,
+    result_key,
+)
+from repro.runtime.engine import ParallelExperimentRunner, SweepExecutionError
+from repro.runtime.progress import ProgressReporter
+from repro.runtime.store import JsonlResultStore
+
+__all__ = [
+    "ExperimentResult",
+    "SweepCell",
+    "derive_cell_seed",
+    "expand_cells",
+    "result_key",
+    "ParallelExperimentRunner",
+    "SweepExecutionError",
+    "ProgressReporter",
+    "JsonlResultStore",
+]

@@ -1,0 +1,51 @@
+"""Throttled progress reporting for long-running sweeps.
+
+Writes single-line updates to ``stderr`` (so piped/captured stdout stays
+machine-readable) at most every ``min_interval`` seconds, plus a final
+summary line with the wall-clock total.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Reports ``done/total`` cell counts with an ETA estimate."""
+
+    def __init__(self, total: int, stream=None, min_interval: float = 0.5,
+                 label: str = "sweep"):
+        self.total = max(int(total), 0)
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.label = label
+        self.done = 0
+        self._start = time.perf_counter()
+        self._last_emit = 0.0
+
+    def update(self, advance: int = 1, note: str = "") -> None:
+        """Record ``advance`` finished cells and maybe emit a status line."""
+        self.done += advance
+        now = time.perf_counter()
+        if now - self._last_emit < self.min_interval and self.done < self.total:
+            return
+        self._last_emit = now
+        elapsed = now - self._start
+        if self.done and self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+            eta_text = f", eta {eta:.0f}s"
+        else:
+            eta_text = ""
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        suffix = f" [{note}]" if note else ""
+        print(f"{self.label}: {self.done}/{self.total} cells "
+              f"({percent:.0f}%, {elapsed:.1f}s{eta_text}){suffix}",
+              file=self.stream, flush=True)
+
+    def finish(self) -> float:
+        """Emit the final line and return the elapsed wall-clock seconds."""
+        elapsed = time.perf_counter() - self._start
+        print(f"{self.label}: finished {self.done}/{self.total} cells "
+              f"in {elapsed:.1f}s", file=self.stream, flush=True)
+        return elapsed

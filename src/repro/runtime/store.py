@@ -1,0 +1,133 @@
+"""Resumable on-disk result store: one JSON object per line.
+
+The sweep engine appends every finished cell to the store as soon as it
+completes, so an interrupted sweep (crash, Ctrl-C, pre-empted worker) can be
+resumed by pointing the engine at the same path: already-recorded cells are
+skipped.  A partially written trailing line -- the signature of a crash midway
+through an append -- is tolerated on load and truncated away before new
+results are appended.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+from repro.runtime.cells import ExperimentResult, result_key
+
+
+def _to_json(result: ExperimentResult) -> str:
+    payload = {
+        "method": result.method,
+        "dataset": result.dataset,
+        "epsilon": result.epsilon if math.isfinite(result.epsilon) else "inf",
+        "repeat": result.repeat,
+        "micro_f1": result.micro_f1,
+        "extra": result.extra,
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def _from_json(line: str) -> ExperimentResult:
+    payload = json.loads(line)
+    epsilon = payload["epsilon"]
+    epsilon = math.inf if epsilon == "inf" else float(epsilon)
+    return ExperimentResult(
+        method=payload["method"],
+        dataset=payload["dataset"],
+        epsilon=epsilon,
+        repeat=int(payload["repeat"]),
+        micro_f1=float(payload["micro_f1"]),
+        extra=payload.get("extra", {}),
+    )
+
+
+class JsonlResultStore:
+    """Append-only JSONL persistence for :class:`ExperimentResult` records."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------ #
+    # loading / resume
+    # ------------------------------------------------------------------ #
+    def load(self) -> list[ExperimentResult]:
+        """Read all intact records, discarding a truncated/corrupt tail.
+
+        If the final line does not parse (interrupted append), the file is
+        truncated back to the last intact record so subsequent appends do not
+        glue onto a half-written line.  A corrupt line in the *middle* of the
+        file raises: that is data corruption, not an interrupted run.
+        """
+        if not self.path.exists():
+            return []
+        raw = self.path.read_bytes()
+        results: list[ExperimentResult] = []
+        good_bytes = 0
+        lines = raw.split(b"\n")
+        for position, line in enumerate(lines):
+            if not line.strip():
+                good_bytes += len(line) + 1
+                continue
+            try:
+                results.append(_from_json(line.decode("utf-8")))
+            except (ValueError, KeyError, UnicodeDecodeError):
+                remainder = b"".join(lines[position + 1:]).strip()
+                if remainder:
+                    raise ValueError(
+                        f"corrupt record at line {position + 1} of {self.path}"
+                    ) from None
+                self._truncate(good_bytes)
+                break
+            good_bytes += len(line) + 1
+        return results
+
+    def completed_keys(self) -> set[tuple]:
+        """The (method, dataset, epsilon, repeat) identities already recorded."""
+        return {result_key(result) for result in self.load()}
+
+    def _truncate(self, num_bytes: int) -> None:
+        self.close()
+        with open(self.path, "rb+") as handle:
+            handle.truncate(num_bytes)
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+    def append(self, result: ExperimentResult) -> None:
+        """Persist one result immediately (flushed so a crash loses at most one)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._ensure_trailing_newline()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(_to_json(result) + "\n")
+        self._handle.flush()
+
+    def _ensure_trailing_newline(self) -> None:
+        """Guard against a crash that persisted a full record but not its
+        newline: appending onto such a line would glue two records together."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+        if last != b"\n":
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

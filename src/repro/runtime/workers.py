@@ -1,0 +1,149 @@
+"""Picklable cell runners for the figure/table sweeps.
+
+A cell runner is the unit of work the engine ships to a process pool, so it
+must be picklable and cheap to serialise: these dataclasses carry only the
+:class:`~repro.evaluation.figures.FigureSettings` plus a few scalars, and
+rebuild graphs/method registries inside the worker process.  Per-process
+memoisation keeps that rebuild cost amortised:
+
+* graphs are loaded once per ``(dataset, scale, seed)``;
+* for estimators exposing the ``prepare``/``fit(prepared=...)`` protocol
+  (GCON), the epsilon-independent preparation -- encoder training plus
+  propagation -- is computed once per ``(graph, cell seed, preparation key)``
+  and replayed across the epsilon axis, which is where the bulk of a sweep's
+  wall-clock goes.
+
+All evaluation-layer imports are deferred to call time to keep the module
+import graph acyclic (``figures`` imports this module).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.propagation import get_default_cache, propagation_cache
+from repro.runtime.cells import ExperimentResult, SweepCell
+from repro.utils.lru import LRUDict
+
+_GRAPH_MEMO = LRUDict(max_entries=8)
+_PREP_MEMO = LRUDict(max_entries=8)
+
+
+def clear_worker_memos() -> None:
+    """Drop the per-process graph and preparation memos (used by tests)."""
+    _GRAPH_MEMO.clear()
+    _PREP_MEMO.clear()
+
+
+def _load_graph(dataset: str, scale: float, seed: int):
+    from repro.graphs.datasets import load_dataset
+
+    return _GRAPH_MEMO.get_or_compute(
+        (dataset, scale, seed),
+        lambda: load_dataset(dataset, scale=scale, seed=seed))
+
+
+def _fit_with_preparation(estimator, graph, cell: SweepCell, graph_memo_key: tuple):
+    """Fit, reusing the epsilon-independent preparation when the estimator
+    supports it (results are bitwise identical either way)."""
+    config = getattr(estimator, "config", None)
+    preparation_key = getattr(config, "preparation_key", None)
+    if hasattr(estimator, "prepare") and callable(preparation_key):
+        memo_key = (graph_memo_key, cell.seed, preparation_key())
+        prepared = _PREP_MEMO.get_or_compute(
+            memo_key, lambda: estimator.prepare(graph, seed=cell.seed))
+        estimator.fit(graph, seed=cell.seed, prepared=prepared)
+    else:
+        estimator.fit(graph, seed=cell.seed)
+    return estimator
+
+
+def score_estimator(estimator, graph, inference_mode: str) -> float:
+    """Test-split micro-F1, passing the inference mode when the estimator
+    supports it (shared by the worker runners and the registry runner)."""
+    from repro.evaluation.metrics import micro_f1
+
+    try:
+        predictions = np.asarray(estimator.predict(graph, mode=inference_mode))
+    except TypeError:
+        predictions = np.asarray(estimator.predict(graph))
+    return micro_f1(graph.labels[graph.test_idx], predictions[graph.test_idx])
+
+
+@dataclass
+class FigureCellRunner:
+    """Runs one Figure-1-style cell: a registry method at one epsilon.
+
+    ``settings`` is the shared :class:`FigureSettings`; ``delta=None`` uses
+    the paper's per-graph ``1/|E|`` convention.
+    """
+
+    settings: "FigureSettings"
+    inference_mode: str = "private"
+    delta: float | None = None
+
+    def __call__(self, cell: SweepCell) -> ExperimentResult:
+        from repro.evaluation.figures import build_method_registry
+
+        settings = self.settings
+        graph = _load_graph(cell.dataset, settings.scale, settings.seed)
+        delta = self.delta if self.delta is not None else 1.0 / max(graph.num_edges, 1)
+        registry = build_method_registry(settings)
+        factory = registry[cell.method]
+        estimator = factory(cell.epsilon, delta, cell.seed)
+        with propagation_cache(get_default_cache()):
+            _fit_with_preparation(estimator, graph, cell,
+                                  (cell.dataset, settings.scale, settings.seed))
+            score = score_estimator(estimator, graph, self.inference_mode)
+        return ExperimentResult(method=cell.method, dataset=cell.dataset,
+                                epsilon=cell.epsilon, repeat=cell.repeat,
+                                micro_f1=score)
+
+
+@dataclass
+class GconVariantCellRunner:
+    """Runs GCON-configuration sweeps (Figures 2-4): one named variant per
+    "method", with the cell's float axis interpreted per ``axis``.
+
+    * ``axis="epsilon"``: the cell's value is the privacy budget (Figure 4,
+      one variant per restart probability);
+    * ``axis="steps"``: the cell's value is the propagation step ``m1``
+      (Figures 2-3) and the budget is pinned to ``fixed_epsilon``.
+
+    ``overrides`` maps the variant label to :class:`GCONConfig` keyword
+    overrides applied on top of the settings' defaults.
+    """
+
+    settings: "FigureSettings"
+    overrides: dict = field(default_factory=dict)
+    axis: str = "epsilon"
+    fixed_epsilon: float = 4.0
+    inference_mode: str = "private"
+    delta: float | None = None
+
+    def __call__(self, cell: SweepCell) -> ExperimentResult:
+        from repro.core.model import GCON
+        from repro.evaluation.figures import default_gcon_config
+
+        settings = self.settings
+        graph = _load_graph(cell.dataset, settings.scale, settings.seed)
+        delta = self.delta if self.delta is not None else 1.0 / max(graph.num_edges, 1)
+        overrides = dict(self.overrides.get(cell.method, {}))
+        if self.axis == "steps":
+            epsilon = self.fixed_epsilon
+            step = math.inf if math.isinf(cell.epsilon) else int(cell.epsilon)
+            overrides["propagation_steps"] = (step,)
+        else:
+            epsilon = cell.epsilon
+        config = default_gcon_config(epsilon, delta, settings, **overrides)
+        estimator = GCON(config)
+        with propagation_cache(get_default_cache()):
+            _fit_with_preparation(estimator, graph, cell,
+                                  (cell.dataset, settings.scale, settings.seed))
+            score = score_estimator(estimator, graph, self.inference_mode)
+        return ExperimentResult(method=cell.method, dataset=cell.dataset,
+                                epsilon=cell.epsilon, repeat=cell.repeat,
+                                micro_f1=score)

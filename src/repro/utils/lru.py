@@ -1,0 +1,40 @@
+"""A tiny bounded least-recently-used mapping.
+
+Shared by the propagation cache layers (:mod:`repro.core.propagation`) and
+the per-process worker memos (:mod:`repro.runtime.workers`): both need a
+dict whose size stays flat over an arbitrarily long sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUDict(OrderedDict):
+    """An ``OrderedDict`` that evicts its least-recently-used entries."""
+
+    def __init__(self, max_entries: int):
+        super().__init__()
+        self.max_entries = max_entries
+
+    def get_or_none(self, key):
+        """Return the cached value (refreshing its recency), or ``None``."""
+        if key in self:
+            self.move_to_end(key)
+            return self[key]
+        return None
+
+    def put(self, key, value) -> None:
+        """Insert ``value`` as most recent, evicting the oldest past the cap."""
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value or ``compute()``, caching the result."""
+        value = self.get_or_none(key)
+        if value is None:
+            value = compute()
+            self.put(key, value)
+        return value

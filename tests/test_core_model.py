@@ -170,3 +170,57 @@ class TestPseudoLabelModes:
     def test_invalid_mode_rejected_by_config(self):
         with pytest.raises(ConfigurationError):
             fast_config(pseudo_label_mode="everything")
+
+
+class TestPreparedFit:
+    """The prepare/fit split behind the sweep engine's epsilon-axis reuse."""
+
+    def test_prepared_fit_is_bitwise_identical(self, tiny_graph):
+        config = fast_config(use_pseudo_labels=True)
+        plain = GCON(config).fit(tiny_graph, seed=13)
+        model = GCON(config)
+        prepared = model.prepare(tiny_graph, seed=13)
+        replayed = GCON(config).fit(tiny_graph, seed=13, prepared=prepared)
+        assert np.array_equal(plain.theta_, replayed.theta_)
+
+    def test_preparation_is_epsilon_independent(self, tiny_graph):
+        prepared = GCON(fast_config(epsilon=0.5)).prepare(tiny_graph, seed=7)
+        for epsilon in (0.5, 4.0):
+            direct = GCON(fast_config(epsilon=epsilon)).fit(tiny_graph, seed=7)
+            reused = GCON(fast_config(epsilon=epsilon)).fit(tiny_graph, seed=7,
+                                                            prepared=prepared)
+            assert np.array_equal(direct.theta_, reused.theta_)
+
+    def test_mismatched_preparation_rejected(self, tiny_graph, path_graph):
+        prepared = GCON(fast_config()).prepare(path_graph, seed=0)
+        with pytest.raises(ConfigurationError):
+            GCON(fast_config()).fit(tiny_graph, seed=0, prepared=prepared)
+
+    def test_prepare_requires_train_split(self, tiny_graph):
+        from dataclasses import replace
+
+        empty = replace(tiny_graph, train_idx=np.array([], dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            GCON(fast_config()).prepare(empty, seed=0)
+
+    def test_preparation_key_ignores_privacy_budget(self):
+        lhs = fast_config(epsilon=0.5).preparation_key()
+        rhs = fast_config(epsilon=4.0).preparation_key()
+        assert lhs == rhs
+        assert fast_config(alpha=0.3).preparation_key() != lhs
+
+    def test_mismatched_preparation_config_rejected(self, tiny_graph):
+        prepared = GCON(fast_config(alpha=0.8)).prepare(tiny_graph, seed=0)
+        with pytest.raises(ConfigurationError, match="different preparation"):
+            GCON(fast_config(alpha=0.3)).fit(tiny_graph, seed=0, prepared=prepared)
+
+    def test_preparation_from_different_graph_rejected(self, tiny_graph, heterophilous_graph):
+        # Same node count and config, different graph content.
+        prepared = GCON(fast_config()).prepare(heterophilous_graph, seed=0)
+        with pytest.raises(ConfigurationError, match="different graph"):
+            GCON(fast_config()).fit(tiny_graph, seed=0, prepared=prepared)
+
+    def test_preparation_with_different_seed_rejected(self, tiny_graph):
+        prepared = GCON(fast_config()).prepare(tiny_graph, seed=1)
+        with pytest.raises(ConfigurationError, match="seed"):
+            GCON(fast_config()).fit(tiny_graph, seed=2, prepared=prepared)

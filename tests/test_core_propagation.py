@@ -145,3 +145,90 @@ class TestInferenceOperator:
         propagator = Propagator(triangle_adjacency, alpha=0.5)
         with pytest.raises(ConfigurationError):
             propagator.inference_matrix(1, 1.5)
+
+
+class TestPropagationCache:
+    def _cache_and_propagator(self, adjacency, alpha=0.5):
+        from repro.core.propagation import PropagationCache
+
+        cache = PropagationCache()
+        return cache, cache.propagator(adjacency, alpha)
+
+    def test_cached_matches_uncached_bitwise(self, triangle_adjacency, rng):
+        cache, cached = self._cache_and_propagator(triangle_adjacency)
+        plain = Propagator(triangle_adjacency, alpha=0.5)
+        features = rng.normal(size=(4, 3))
+        for steps in (0, 1, 3, math.inf):
+            assert np.array_equal(cached.propagate(features, steps),
+                                  plain.propagate(features, steps))
+
+    def test_transition_hit_on_second_propagator(self, triangle_adjacency):
+        cache, _ = self._cache_and_propagator(triangle_adjacency)
+        assert cache.stats["transition"] == {"hits": 0, "misses": 1}
+        cache.propagator(triangle_adjacency, 0.8)
+        assert cache.stats["transition"] == {"hits": 1, "misses": 1}
+
+    def test_feature_cache_hit_and_miss(self, triangle_adjacency, rng):
+        cache, propagator = self._cache_and_propagator(triangle_adjacency)
+        features = rng.normal(size=(4, 3))
+        first = propagator.propagate(features, 2)
+        assert cache.stats["features"] == {"hits": 0, "misses": 1}
+        second = propagator.propagate(features, 2)
+        assert cache.stats["features"] == {"hits": 1, "misses": 1}
+        assert np.array_equal(first, second)
+        # Different step count or different features are misses.
+        propagator.propagate(features, 3)
+        propagator.propagate(features + 1.0, 2)
+        assert cache.stats["features"] == {"hits": 1, "misses": 3}
+
+    def test_ppr_solver_shared_across_repeats(self, triangle_adjacency, rng):
+        cache, propagator = self._cache_and_propagator(triangle_adjacency)
+        features = rng.normal(size=(4, 2))
+        propagator.propagate(features, math.inf)
+        # A second propagator over the same (graph, alpha) reuses the LU solve
+        # even for fresh feature matrices.
+        other = cache.propagator(triangle_adjacency, 0.5)
+        other.propagate(rng.normal(size=(4, 2)), math.inf)
+        assert cache.stats["solver"] == {"hits": 1, "misses": 1}
+
+    def test_cached_result_is_a_private_copy(self, triangle_adjacency, rng):
+        cache, propagator = self._cache_and_propagator(triangle_adjacency)
+        features = rng.normal(size=(4, 3))
+        first = propagator.propagate(features, 2)
+        first[:] = 0.0  # caller mutates its copy
+        second = propagator.propagate(features, 2)
+        assert not np.array_equal(first, second)
+
+    def test_clear_resets_entries_and_counters(self, triangle_adjacency, rng):
+        cache, propagator = self._cache_and_propagator(triangle_adjacency)
+        propagator.propagate(rng.normal(size=(4, 2)), 1)
+        cache.clear()
+        info = cache.info()
+        assert all(layer["entries"] == 0 and layer["hits"] == 0 and layer["misses"] == 0
+                   for layer in info.values())
+
+    def test_fingerprint_is_content_based(self, triangle_adjacency):
+        from repro.core.propagation import graph_fingerprint
+
+        copy = triangle_adjacency.copy()
+        assert graph_fingerprint(copy) == graph_fingerprint(triangle_adjacency)
+        modified = triangle_adjacency.copy()
+        modified[0, 1] = 0.0
+        modified.eliminate_zeros()
+        assert graph_fingerprint(modified) != graph_fingerprint(triangle_adjacency)
+
+    def test_propagation_cache_context_scopes_caching(self, triangle_adjacency):
+        from repro.core import propagation as P
+
+        # Engine-scoped by default: plain library use gets no cache...
+        assert P.cached_propagator(triangle_adjacency, 0.5).cache is None
+        # ...opting in via the context manager activates one...
+        cache = P.PropagationCache()
+        with P.propagation_cache(cache):
+            propagator = P.cached_propagator(triangle_adjacency, 0.5)
+            assert propagator.cache is cache
+        with P.propagation_cache(P.get_default_cache()):
+            propagator = P.cached_propagator(triangle_adjacency, 0.5)
+            assert propagator.cache is P.get_default_cache()
+        # ...and the default is restored on exit.
+        assert P.cached_propagator(triangle_adjacency, 0.5).cache is None

@@ -98,8 +98,18 @@ class TestAggregation:
         aggregated = aggregate_results(self._results())
         stats = aggregated[("m", "d", 1.0)]
         assert stats["mean"] == pytest.approx(0.6)
-        assert stats["std"] == pytest.approx(0.1)
+        # Sample standard deviation (ddof=1), the paper's error-bar convention.
+        assert stats["std"] == pytest.approx(np.std([0.5, 0.7], ddof=1))
+        assert stats["min"] == pytest.approx(0.5)
+        assert stats["max"] == pytest.approx(0.7)
         assert stats["count"] == 2
+
+    def test_aggregate_single_repeat_has_zero_std(self):
+        aggregated = aggregate_results(self._results())
+        stats = aggregated[("m", "d", 2.0)]
+        assert stats["std"] == 0.0
+        assert stats["min"] == stats["max"] == pytest.approx(0.9)
+        assert stats["count"] == 1
 
     def test_series_reshaping(self):
         series = series_from_results(self._results())

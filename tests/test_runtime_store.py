@@ -1,0 +1,101 @@
+"""Tests for the resumable JSONL result store."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.runtime.cells import ExperimentResult
+from repro.runtime.store import JsonlResultStore
+
+
+def _result(method="GCON", dataset="cora_ml", epsilon=1.0, repeat=0, score=0.5):
+    return ExperimentResult(method=method, dataset=dataset, epsilon=epsilon,
+                            repeat=repeat, micro_f1=score)
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        store = JsonlResultStore(tmp_path / "results.jsonl")
+        store.append(_result(score=0.5))
+        store.append(_result(epsilon=2.0, repeat=1, score=0.75))
+        store.close()
+        loaded = JsonlResultStore(tmp_path / "results.jsonl").load()
+        assert len(loaded) == 2
+        assert loaded[0].micro_f1 == 0.5
+        assert loaded[1].epsilon == 2.0
+        assert loaded[1].repeat == 1
+
+    def test_infinite_epsilon_round_trips(self, tmp_path):
+        store = JsonlResultStore(tmp_path / "results.jsonl")
+        store.append(_result(epsilon=math.inf))
+        store.close()
+        loaded = store.load()
+        assert loaded[0].epsilon == math.inf
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert JsonlResultStore(tmp_path / "absent.jsonl").load() == []
+
+    def test_completed_keys(self, tmp_path):
+        store = JsonlResultStore(tmp_path / "results.jsonl")
+        store.append(_result(epsilon=1.0))
+        store.append(_result(epsilon=2.0))
+        store.close()
+        assert store.completed_keys() == {
+            ("GCON", "cora_ml", 1.0, 0),
+            ("GCON", "cora_ml", 2.0, 0),
+        }
+
+
+class TestPartialWrites:
+    def test_truncated_tail_is_tolerated_and_repaired(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result(score=0.5))
+        store.append(_result(epsilon=2.0, score=0.9))
+        store.close()
+        # Simulate a crash mid-append: half a JSON object on the last line.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"method": "GCON", "data')
+        loaded = store.load()
+        assert [r.epsilon for r in loaded] == [1.0, 2.0]
+        # The partial line was truncated away, so appending stays well-formed.
+        store.append(_result(epsilon=3.0, score=0.7))
+        store.close()
+        assert [r.epsilon for r in store.load()] == [1.0, 2.0, 3.0]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result(score=0.5))
+        store.close()
+        text = path.read_text()
+        path.write_text("not json at all\n" + text)
+        with pytest.raises(ValueError, match="corrupt record"):
+            store.load()
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result())
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        store.append(_result(epsilon=4.0))
+        store.close()
+        assert len(store.load()) == 2
+
+    def test_missing_trailing_newline_does_not_glue_records(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result(score=0.5))
+        store.close()
+        # Simulate a crash that persisted the record but not its newline.
+        with open(path, "rb+") as handle:
+            handle.seek(-1, 2)
+            handle.truncate()
+        store.append(_result(epsilon=2.0, score=0.9))
+        store.close()
+        loaded = store.load()
+        assert [r.epsilon for r in loaded] == [1.0, 2.0]
