@@ -1,0 +1,125 @@
+"""The vectorised epsilon-sweep solver versus the PR 1 per-cell engine.
+
+The PR 1 engine already amortises the epsilon-independent preparation across
+an epsilon axis (per-process memo), but it still runs one cold convex solve
+and one full inference pass per cell.  The sweep-solver fast path
+(:class:`~repro.core.sweep.SweepSolver`, dispatched through the engine's
+group protocol) removes both costs: the budgets are solved against the shared
+feature matrix with warm starts, and every model is scored through one shared
+inference feature matrix.
+
+This benchmark runs the same 8-epsilon GCON sweep through both paths with the
+preparation memo pre-warmed — the preparation is identical work on both
+sides, so warming it isolates exactly the per-cell work the fast path
+vectorises — and asserts
+
+* the fast path's numbers equal the per-cell reference path's, and
+* a >= 2x wall-clock speedup (the acceptance bar; typically it lands ~3-5x).
+
+A third, informational configuration resumes from a content-addressed
+:class:`~repro.core.persistence.PreparationStore`: a fresh worker process
+(cleared memos) skips encoder training and propagation entirely by loading
+the preparation bundle from disk.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import bench_settings, is_smoke, record
+from repro.evaluation.reporting import render_table
+from repro.runtime.cells import expand_cells
+from repro.runtime.engine import ParallelExperimentRunner
+from repro.runtime.workers import FigureCellRunner, clear_worker_memos
+
+EPSILONS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0)
+REPEATS = 2
+TIMING_ROUNDS = 3
+
+
+def _engine_run(runner, cells):
+    return ParallelExperimentRunner(runner).run(cells)
+
+
+def _timed_best_of(runner, cells, rounds=TIMING_ROUNDS):
+    """Best-of-N wall clock with the preparation memo warm (first run warms it)."""
+    results = _engine_run(runner, cells)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        results = _engine_run(runner, cells)
+        best = min(best, time.perf_counter() - start)
+    return results, best
+
+
+def _run(settings, cells, prep_cache_dir):
+    clear_worker_memos()
+    per_cell, per_cell_seconds = _timed_best_of(
+        FigureCellRunner(settings=settings, fast_sweep=False), cells)
+
+    clear_worker_memos()
+    fast, fast_seconds = _timed_best_of(FigureCellRunner(settings=settings), cells)
+
+    # Informational: populate the on-disk preparation store, then measure a
+    # *cold* worker (fresh memos) resuming a sweep purely from disk bundles.
+    cache = str(prep_cache_dir)
+    clear_worker_memos()
+    _engine_run(FigureCellRunner(settings=settings, preparation_cache=cache), cells)
+    clear_worker_memos()
+    start = time.perf_counter()
+    resumed = _engine_run(
+        FigureCellRunner(settings=settings, preparation_cache=cache), cells)
+    resumed_seconds = time.perf_counter() - start
+
+    return {
+        "per_cell": per_cell,
+        "fast": fast,
+        "resumed": resumed,
+        "per_cell_seconds": per_cell_seconds,
+        "fast_seconds": fast_seconds,
+        "resumed_seconds": resumed_seconds,
+    }
+
+
+def test_sweep_solver_speedup(benchmark, tmp_path):
+    # gtol=1e-8: the equality assertion below compares micro-F1 at 1e-10
+    # (argmax-identical); a tight solver tolerance on BOTH paths keeps the
+    # warm-start-vs-cold parameter gap far below any argmax decision margin,
+    # so the comparison stays deterministic across BLAS builds.
+    settings = bench_settings(datasets=("cora_ml",), repeats=REPEATS,
+                              epsilons=EPSILONS, extra_gcon={"gtol": 1e-8})
+    cells = expand_cells(["GCON"], settings.datasets, settings.epsilons,
+                         settings.repeats, seed=settings.seed)
+    outcome = benchmark.pedantic(_run, args=(settings, cells, tmp_path / "prep"),
+                                 rounds=1, iterations=1)
+
+    speedup = outcome["per_cell_seconds"] / max(outcome["fast_seconds"], 1e-9)
+    rows = [
+        ["PR 1 per-cell engine", f"{outcome['per_cell_seconds']:.3f}", "1.00x"],
+        ["sweep solver (warm starts)", f"{outcome['fast_seconds']:.3f}",
+         f"{speedup:.2f}x"],
+        ["cold worker + preparation store",
+         f"{outcome['resumed_seconds']:.3f}", "(informational)"],
+    ]
+    record("sweep_solver",
+           render_table(["configuration", "seconds", "speedup"], rows,
+                        title=f"GCON epsilon sweep, {len(cells)} cells "
+                              f"(scale={settings.scale:g}, "
+                              f"epsilons={len(settings.epsilons)}, "
+                              f"repeats={settings.repeats})"))
+
+    # The fast path must reproduce the serial reference numbers exactly.
+    for reference, got in zip(outcome["per_cell"], outcome["fast"]):
+        assert (reference.method, reference.dataset, reference.epsilon,
+                reference.repeat) == (got.method, got.dataset, got.epsilon, got.repeat)
+        assert abs(reference.micro_f1 - got.micro_f1) <= 1e-10
+    for reference, got in zip(outcome["per_cell"], outcome["resumed"]):
+        assert abs(reference.micro_f1 - got.micro_f1) <= 1e-10
+
+    # The headline claim: >= 2x over the PR 1 engine on the 8-epsilon sweep.
+    # The smoke grid collapses to 2 epsilons of sub-second work, where the
+    # ratio is dominated by scheduler noise on shared CI runners — there the
+    # timing is reported above but not asserted on (the equality checks still
+    # gate correctness).
+    if not is_smoke():
+        assert speedup >= 2.0

@@ -2,16 +2,35 @@
 
 Expands a ``method x dataset x epsilon x repeat`` grid into independent
 seeded cells, fans them out over worker processes, streams every finished
-cell into a resumable JSONL store, and aggregates the results -- bitwise
-identical to a serial run, typically several times faster: cells that differ
-only in epsilon share their seed, so a worker trains the public encoder and
-runs the PPR/APPR propagation once per (method, dataset, repeat) and reuses
-the preparation across the entire epsilon axis.
+cell into a resumable JSONL store, and aggregates the results -- matching a
+serial run, typically several times faster.  Three layers stack up:
+
+* **shared preparation**: cells that differ only in epsilon share their seed,
+  so a worker trains the public encoder and runs the PPR/APPR propagation
+  once per (method, dataset, repeat) and reuses the preparation across the
+  entire epsilon axis;
+* **the epsilon-sweep fast path**: a whole epsilon axis of GCON cells is
+  dispatched to one worker as a group and solved in a single vectorised
+  ``SweepSolver`` pass -- the convex solves run against the shared feature
+  matrix with warm starts (the epsilon_i minimiser initialises
+  epsilon_{i+1}) and all models are scored through one shared inference
+  feature matrix.  Results agree with the per-cell reference path (kept
+  behind ``repro sweep --serial-cells`` / ``FigureCellRunner(fast_sweep=
+  False)``) to within solver tolerance;
+* **the content-addressed preparation store**: set the
+  ``REPRO_PREPARATION_CACHE`` environment variable (or pass
+  ``--preparation-cache DIR``) to a directory and every fitted encoder plus
+  its propagated features is persisted under the hash of
+  ``(preparation config, graph content, seed)``.  Repeats, resumed sweeps
+  and fresh worker processes then skip the preparation phase entirely;
+  a cache hit is bitwise identical to a cold preparation, and any change to
+  the preparation configuration, the graph or the seed is a cache miss.
 
 Run with:  python examples/parallel_sweep.py [--jobs 4] [--scale 0.15]
 
 The equivalent CLI invocation (resumable via --output):
 
+    REPRO_PREPARATION_CACHE=results/prep \
     repro sweep --datasets cora_ml --methods GCON,MLP \
         --epsilons 0.5,1,2,4 --repeats 2 --jobs 4 \
         --output results/sweep.jsonl

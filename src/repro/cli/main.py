@@ -26,6 +26,15 @@ def _parse_steps(raw: str) -> tuple:
     return tuple(steps)
 
 
+def _add_preparation_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preparation-cache", default=None, dest="preparation_cache", metavar="DIR",
+        help="directory of the content-addressed preparation store: fitted "
+             "encoder weights and propagated features are cached by "
+             "(config, graph, seed), so repeats and resumed sweeps skip the "
+             "preparation phase (default: $REPRO_PREPARATION_CACHE when set)")
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="cora_ml",
                         help="dataset preset name (see 'datasets' sub-command)")
@@ -135,7 +144,9 @@ def command_baselines(args) -> int:
         for position, name in enumerate(registry)
     ]
     engine = ParallelExperimentRunner(
-        FigureCellRunner(settings=settings, delta=args.delta), jobs=args.jobs)
+        FigureCellRunner(settings=settings, delta=args.delta,
+                         preparation_cache=args.preparation_cache),
+        jobs=args.jobs)
     results = engine.run(cells)
     rows = [[result.method, f"{result.micro_f1:.4f}"] for result in results]
     print(render_table(["method", "test micro-F1"], rows,
@@ -194,7 +205,9 @@ def command_sweep(args) -> int:
                          settings.repeats, seed=settings.seed)
     store = JsonlResultStore(args.output) if args.output else None
     engine = ParallelExperimentRunner(
-        FigureCellRunner(settings=settings, delta=args.delta),
+        FigureCellRunner(settings=settings, delta=args.delta,
+                         fast_sweep=not args.serial_cells,
+                         preparation_cache=args.preparation_cache),
         jobs=args.jobs, store=store, progress=not args.quiet,
         resume_context=dict(settings.resume_context(), delta=args.delta),
     )
@@ -231,7 +244,8 @@ def command_figure(args) -> int:
 
     settings = FigureSettings(scale=args.scale, repeats=args.repeats, seed=args.seed,
                               datasets=tuple(args.datasets.split(",")),
-                              jobs=args.jobs)
+                              jobs=args.jobs,
+                              preparation_cache=args.preparation_cache)
     output_dir = Path(args.output_dir)
 
     if args.id == "table2":
@@ -356,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("--epochs", type=int, default=100)
     baselines.add_argument("--jobs", type=int, default=1,
                            help="number of parallel worker processes")
+    _add_preparation_cache_argument(baselines)
     baselines.set_defaults(func=command_baselines)
 
     sweep = subparsers.add_parser(
@@ -385,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "resumes an interrupted sweep")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress progress reporting on stderr")
+    sweep.add_argument("--serial-cells", action="store_true", dest="serial_cells",
+                       help="run every cell through the per-cell reference path "
+                            "instead of the vectorised epsilon-sweep solver")
+    _add_preparation_cache_argument(sweep)
     sweep.set_defaults(func=command_sweep)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
@@ -398,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--jobs", type=int, default=1,
                         help="number of parallel worker processes")
     figure.add_argument("--output-dir", default="benchmarks/output", dest="output_dir")
+    _add_preparation_cache_argument(figure)
     figure.set_defaults(func=command_figure)
 
     tune = subparsers.add_parser("tune", help="hyperparameter search for GCON")

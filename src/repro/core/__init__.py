@@ -5,13 +5,19 @@ from repro.core.losses import MultiLabelSoftMarginLoss, PseudoHuberLoss, get_los
 from repro.core.propagation import Propagator
 from repro.core.sensitivity import aggregate_sensitivity, concatenated_sensitivity
 from repro.core.perturbation import PerturbationParameters, compute_perturbation_parameters
-from repro.core.objective import PerturbedObjective
-from repro.core.solver import minimize_objective, SolverResult
+from repro.core.objective import BatchedPerturbedObjective, PerturbedObjective
+from repro.core.solver import (
+    SolverResult,
+    minimize_batched_objective,
+    minimize_objective,
+    solve_objective_sweep,
+)
 from repro.core.encoder import MLPEncoder
-from repro.core.model import GCON
+from repro.core.model import GCON, PreparedInputs
+from repro.core.sweep import SweepSolve, SweepSolver
 from repro.core.clipping import ClippedPropagator, clipped_transition_matrix, \
     verify_lemma1_properties
-from repro.core.persistence import save_gcon, load_gcon
+from repro.core.persistence import PreparationStore, save_gcon, load_gcon
 from repro.core.theory import (
     SensitivityCheck,
     empirical_aggregate_sensitivity,
@@ -34,9 +40,16 @@ __all__ = [
     "PerturbationParameters",
     "compute_perturbation_parameters",
     "PerturbedObjective",
+    "BatchedPerturbedObjective",
     "minimize_objective",
+    "minimize_batched_objective",
+    "solve_objective_sweep",
     "SolverResult",
     "MLPEncoder",
+    "PreparedInputs",
+    "SweepSolve",
+    "SweepSolver",
+    "PreparationStore",
     "ClippedPropagator",
     "clipped_transition_matrix",
     "verify_lemma1_properties",

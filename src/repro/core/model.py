@@ -69,6 +69,75 @@ class PreparedInputs:
     seed_token: int | None = None
 
 
+def validate_prepared_inputs(config: GCONConfig, graph: GraphDataset,
+                             seed, prepared: PreparedInputs) -> PreparedInputs:
+    """Reject a :class:`PreparedInputs` bundle that does not belong to
+    ``(config, graph, seed)``.
+
+    Shared by :meth:`GCON.fit` and the epsilon-sweep fast path: reusing
+    features prepared under different ``(alpha, steps, encoder, graph, seed)``
+    settings would silently miscalibrate the Theorem-1 noise or produce
+    irreproducible results.
+    """
+    if prepared.aggregated.shape[0] != graph.num_nodes:
+        raise ConfigurationError(
+            f"prepared inputs cover {prepared.aggregated.shape[0]} nodes but the "
+            f"graph has {graph.num_nodes}"
+        )
+    if prepared.preparation_key is not None \
+            and prepared.preparation_key != config.preparation_key():
+        raise ConfigurationError(
+            "prepared inputs were built under a different preparation "
+            "configuration (alpha/steps/encoder/pseudo-label settings); "
+            "refusing to miscalibrate the Theorem-1 noise"
+        )
+    if prepared.graph_key is not None \
+            and prepared.graph_key != graph_fingerprint(graph.adjacency):
+        raise ConfigurationError(
+            "prepared inputs were built from a different graph; "
+            "refusing to reuse features across graphs"
+        )
+    if prepared.seed_token is not None and isinstance(seed, (int, np.integer)) \
+            and prepared.seed_token != int(seed):
+        raise ConfigurationError(
+            f"prepared inputs were built with seed {prepared.seed_token} "
+            f"but fit was called with seed {int(seed)}"
+        )
+    return prepared
+
+
+def resolve_delta(config: GCONConfig, graph: GraphDataset) -> float:
+    """The effective delta: the configured value or the paper's ``1/|E|`` default."""
+    return config.delta if config.delta is not None else 1.0 / max(graph.num_edges, 1)
+
+
+def calibrate_perturbation(config: GCONConfig, *, delta: float, num_labeled: int,
+                           num_classes: int, dimension: int):
+    """Line 8 of Algorithm 1: the Theorem-1 calibration for one privacy budget.
+
+    Returns ``(loss, perturbation)``.  Shared by :meth:`GCON.fit` and the
+    epsilon-sweep fast path (:class:`repro.core.sweep.SweepSolver`) so the two
+    paths cannot drift apart.
+    """
+    loss = get_loss(config.loss, num_classes, config.huber_delta)
+    if config.non_private:
+        perturbation = compute_perturbation_parameters(
+            epsilon=config.epsilon, delta=max(delta, 1e-12), omega=config.omega,
+            loss=loss, sensitivity=0.0, num_labeled=num_labeled,
+            num_classes=num_classes, dimension=dimension,
+            lambda_reg=config.lambda_reg, xi=config.xi,
+        )
+    else:
+        sensitivity = concatenated_sensitivity(config.alpha, config.normalized_steps)
+        perturbation = compute_perturbation_parameters(
+            epsilon=config.epsilon, delta=delta, omega=config.omega,
+            loss=loss, sensitivity=sensitivity, num_labeled=num_labeled,
+            num_classes=num_classes, dimension=dimension,
+            lambda_reg=config.lambda_reg, xi=config.xi,
+        )
+    return loss, perturbation
+
+
 class GCON:
     """Differentially private graph convolutional network via objective perturbation.
 
@@ -123,35 +192,12 @@ class GCON:
         if graph.train_idx.size == 0:
             raise ConfigurationError("the training graph must provide a non-empty train_idx")
         num_classes = graph.num_classes
-        delta = config.delta if config.delta is not None else 1.0 / max(graph.num_edges, 1)
+        delta = resolve_delta(config, graph)
 
         if prepared is None:
             prepared = self._prepare(graph, num_classes, encoder_rng, pseudo_rng)
         else:
-            if prepared.aggregated.shape[0] != graph.num_nodes:
-                raise ConfigurationError(
-                    f"prepared inputs cover {prepared.aggregated.shape[0]} nodes but the "
-                    f"graph has {graph.num_nodes}"
-                )
-            if prepared.preparation_key is not None \
-                    and prepared.preparation_key != config.preparation_key():
-                raise ConfigurationError(
-                    "prepared inputs were built under a different preparation "
-                    "configuration (alpha/steps/encoder/pseudo-label settings); "
-                    "refusing to miscalibrate the Theorem-1 noise"
-                )
-            if prepared.graph_key is not None \
-                    and prepared.graph_key != graph_fingerprint(graph.adjacency):
-                raise ConfigurationError(
-                    "prepared inputs were built from a different graph; "
-                    "refusing to reuse features across graphs"
-                )
-            if prepared.seed_token is not None and isinstance(seed, (int, np.integer)) \
-                    and prepared.seed_token != int(seed):
-                raise ConfigurationError(
-                    f"prepared inputs were built with seed {prepared.seed_token} "
-                    f"but fit was called with seed {int(seed)}"
-                )
+            validate_prepared_inputs(config, graph, seed, prepared)
         encoder = prepared.encoder
         aggregated = prepared.aggregated
         train_idx = prepared.train_idx
@@ -161,23 +207,10 @@ class GCON:
         num_labeled = train_idx.size
 
         # Lines 8-9: Theorem-1 calibration and noise sampling.
-        loss = get_loss(config.loss, num_classes, config.huber_delta)
-        sensitivity = concatenated_sensitivity(config.alpha, config.normalized_steps)
-        dimension = aggregated.shape[1]
-        if config.non_private:
-            perturbation = compute_perturbation_parameters(
-                epsilon=config.epsilon, delta=max(delta, 1e-12), omega=config.omega,
-                loss=loss, sensitivity=0.0, num_labeled=num_labeled,
-                num_classes=num_classes, dimension=dimension,
-                lambda_reg=config.lambda_reg, xi=config.xi,
-            )
-        else:
-            perturbation = compute_perturbation_parameters(
-                epsilon=config.epsilon, delta=delta, omega=config.omega,
-                loss=loss, sensitivity=sensitivity, num_labeled=num_labeled,
-                num_classes=num_classes, dimension=dimension,
-                lambda_reg=config.lambda_reg, xi=config.xi,
-            )
+        loss, perturbation = calibrate_perturbation(
+            config, delta=delta, num_labeled=num_labeled,
+            num_classes=num_classes, dimension=aggregated.shape[1],
+        )
         noise = sample_noise_matrix(perturbation, rng=noise_rng)
 
         # Lines 10-11: minimise the perturbed strongly convex objective.
@@ -218,6 +251,25 @@ class GCON:
         prepared.graph_key = graph_fingerprint(graph.adjacency)
         prepared.seed_token = int(seed) if isinstance(seed, (int, np.integer)) else None
         return prepared
+
+    def adopt_solution(self, *, theta: np.ndarray, perturbation: PerturbationParameters,
+                       solver_result: SolverResult, encoder: MLPEncoder,
+                       num_classes: int, graph: GraphDataset | None = None) -> "GCON":
+        """Install a convex solve produced outside :meth:`fit`.
+
+        Used by the epsilon-sweep fast path (:class:`repro.core.sweep.SweepSolver`),
+        which runs the Theorem-1 calibration and the solve for many budgets
+        against one shared preparation and then hands each per-epsilon result
+        to its estimator.  After this call the model behaves exactly like a
+        freshly fitted one (inference, scoring, persistence).
+        """
+        self.theta_ = np.asarray(theta, dtype=np.float64)
+        self.perturbation_ = perturbation
+        self.solver_result_ = solver_result
+        self.encoder_ = encoder
+        self.num_classes_ = int(num_classes)
+        self._train_graph = graph
+        return self
 
     def _prepare(self, graph: GraphDataset, num_classes: int,
                  encoder_rng: np.random.Generator,

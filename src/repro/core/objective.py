@@ -104,6 +104,37 @@ class PerturbedObjective:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def with_perturbation(self, quadratic_coefficient: float,
+                          noise: np.ndarray | None = None) -> "PerturbedObjective":
+        """A new objective over the *same* feature/label arrays with a
+        different perturbation term.
+
+        An epsilon sweep minimises one objective per epsilon, all sharing the
+        data term; this constructor reuses the validated arrays instead of
+        re-copying them for every budget.
+        """
+        clone = object.__new__(PerturbedObjective)
+        clone.features = self.features
+        clone.labels = self.labels
+        clone.loss = self.loss
+        if quadratic_coefficient < 0:
+            raise ConfigurationError(
+                f"quadratic_coefficient must be >= 0, got {quadratic_coefficient}"
+            )
+        clone.quadratic_coefficient = float(quadratic_coefficient)
+        clone.num_labeled = self.num_labeled
+        clone.dimension = self.dimension
+        clone.num_classes = self.num_classes
+        if noise is None:
+            noise = np.zeros((self.dimension, self.num_classes))
+        clone.noise = np.asarray(noise, dtype=np.float64)
+        if clone.noise.shape != (self.dimension, self.num_classes):
+            raise ConfigurationError(
+                f"noise must have shape ({self.dimension}, {self.num_classes}), "
+                f"got {clone.noise.shape}"
+            )
+        return clone
+
     def _check_theta(self, theta: np.ndarray) -> np.ndarray:
         theta = np.asarray(theta, dtype=np.float64)
         if theta.shape != (self.dimension, self.num_classes):
@@ -116,3 +147,135 @@ class PerturbedObjective:
     def initial_theta(self) -> np.ndarray:
         """A reasonable starting point (zeros) for the convex solver."""
         return np.zeros((self.dimension, self.num_classes))
+
+
+class BatchedPerturbedObjective:
+    """K independent perturbed objectives over one shared feature matrix.
+
+    An epsilon sweep minimises K copies of Eq. (13) that differ only in the
+    scalar quadratic coefficient and the noise matrix ``B``.  Because the
+    blocks share no variables, minimising their *sum* over the stacked
+    parameter matrix ``Θ = [Θ_1 | ... | Θ_K]`` of shape ``(d, K·c)`` is exactly
+    equivalent to minimising each block separately — but every solver
+    iteration now evaluates all K margin matrices with a single
+    ``(n1, d) @ (d, K·c)`` multiplication instead of K narrow ones, which is
+    where the vectorised sweep's BLAS efficiency comes from.
+
+    The class duck-types the oracle interface of :class:`PerturbedObjective`
+    (``dimension``, ``num_classes``, ``value_and_gradient``, ``gradient``,
+    ``initial_theta``), so :func:`repro.core.solver.minimize_objective` runs
+    on it unchanged; scipy's L-BFGS-B ``gtol`` termination uses the infinity
+    norm of the gradient, hence the joint stopping rule is the same
+    per-coordinate criterion every individual solve would use.
+    """
+
+    def __init__(self, base: PerturbedObjective,
+                 quadratic_coefficients, noises) -> None:
+        """Stack K perturbations of ``base``'s data term into one objective.
+
+        Parameters
+        ----------
+        base:
+            The shared data term: features, one-hot labels and loss.
+        quadratic_coefficients:
+            Length-K sequence of the per-block coefficients ``Λ̄ + Λ'``.
+        noises:
+            Length-K sequence of ``(d, c)`` noise matrices (``None`` entries
+            mean zero noise for that block).
+        """
+        coefficients = [float(q) for q in quadratic_coefficients]
+        noises = list(noises)
+        if not coefficients:
+            raise ConfigurationError("at least one perturbation block is required")
+        if len(coefficients) != len(noises):
+            raise ConfigurationError(
+                f"{len(coefficients)} quadratic coefficients but {len(noises)} noise matrices"
+            )
+        if any(q < 0 for q in coefficients):
+            raise ConfigurationError("quadratic coefficients must be >= 0")
+        self.base = base
+        self.features = base.features
+        self.labels = base.labels
+        self.loss = base.loss
+        self.num_blocks = len(coefficients)
+        self.block_classes = base.num_classes
+        self.num_labeled = base.num_labeled
+        self.dimension = base.dimension
+        self.num_classes = self.num_blocks * self.block_classes  # stacked width
+        blocks = []
+        for noise in noises:
+            if noise is None:
+                noise = np.zeros((self.dimension, self.block_classes))
+            noise = np.asarray(noise, dtype=np.float64)
+            if noise.shape != (self.dimension, self.block_classes):
+                raise ConfigurationError(
+                    f"noise blocks must have shape ({self.dimension}, "
+                    f"{self.block_classes}), got {noise.shape}"
+                )
+            blocks.append(noise)
+        self.noise = np.concatenate(blocks, axis=1)
+        self.quadratic_coefficients = np.asarray(coefficients, dtype=np.float64)
+        # Per-column coefficient row vector, so theta * coeffs broadcasts the
+        # right scalar onto each block.
+        self._column_coefficients = np.repeat(self.quadratic_coefficients,
+                                              self.block_classes)[np.newaxis, :]
+        self._tiled_labels = np.tile(self.labels, (1, self.num_blocks))
+
+    # ------------------------------------------------------------------ #
+    # oracles (duck-typed PerturbedObjective interface)
+    # ------------------------------------------------------------------ #
+    def value(self, theta: np.ndarray) -> float:
+        """Sum of the K block objectives at the stacked ``theta`` of shape (d, K·c)."""
+        value, _ = self.value_and_gradient(theta)
+        return value
+
+    def gradient(self, theta: np.ndarray) -> np.ndarray:
+        _, grad = self.value_and_gradient(theta)
+        return grad
+
+    def value_and_gradient(self, theta: np.ndarray) -> tuple[float, np.ndarray]:
+        theta = self._check_theta(theta)
+        margins = self.features @ theta
+        data_term = self.loss.value(margins, self._tiled_labels).sum() / self.num_labeled
+        residuals = self.loss.derivative(margins, self._tiled_labels)
+        grad = self.features.T @ residuals / self.num_labeled
+        grad = grad + self._column_coefficients * theta + self.noise / self.num_labeled
+        value = (
+            data_term
+            + 0.5 * float(np.sum(self._column_coefficients * theta ** 2))
+            + float(np.sum(self.noise * theta)) / self.num_labeled
+        )
+        return float(value), grad
+
+    def initial_theta(self) -> np.ndarray:
+        return np.zeros((self.dimension, self.num_classes))
+
+    # ------------------------------------------------------------------ #
+    # per-block views
+    # ------------------------------------------------------------------ #
+    def split(self, theta: np.ndarray) -> list[np.ndarray]:
+        """Slice the stacked ``(d, K·c)`` matrix into the K ``(d, c)`` blocks."""
+        theta = self._check_theta(theta)
+        return [np.ascontiguousarray(block)
+                for block in np.split(theta, self.num_blocks, axis=1)]
+
+    def block_objective(self, index: int) -> PerturbedObjective:
+        """The ``index``-th block as a standalone :class:`PerturbedObjective`."""
+        if not 0 <= index < self.num_blocks:
+            raise ConfigurationError(
+                f"block index must be in [0, {self.num_blocks}), got {index}"
+            )
+        start = index * self.block_classes
+        return self.base.with_perturbation(
+            float(self.quadratic_coefficients[index]),
+            self.noise[:, start:start + self.block_classes],
+        )
+
+    def _check_theta(self, theta: np.ndarray) -> np.ndarray:
+        theta = np.asarray(theta, dtype=np.float64)
+        if theta.shape != (self.dimension, self.num_classes):
+            raise ConfigurationError(
+                f"stacked theta must have shape ({self.dimension}, {self.num_classes}), "
+                f"got {theta.shape}"
+            )
+        return theta

@@ -11,25 +11,38 @@ feature encoder and the Theorem-1 calibration record — into a single
 The training graph is deliberately *not* stored: the saved artefact contains
 only the DP-protected release plus public quantities, so the file itself is
 safe to publish under the same (ε, δ) guarantee.
+
+The module also hosts :class:`PreparationStore`, a content-addressed on-disk
+cache of the *epsilon-independent* preparation phase (fitted encoder weights
+plus propagated features): the hash of ``(preparation config, graph content,
+seed)`` addresses an ``.npz`` bundle, so repeated or resumed sweeps skip
+encoder training and propagation entirely and a loaded bundle is bitwise
+identical to a cold :meth:`GCON.prepare`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.config import GCONConfig
 from repro.core.encoder import MLPEncoder, _EncoderNetwork
-from repro.core.model import GCON
+from repro.core.model import GCON, PreparedInputs
 from repro.core.perturbation import PerturbationParameters
+from repro.core.propagation import graph_fingerprint
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.utils.random import as_rng
 
 _FORMAT_VERSION = 1
 _ENCODER_PREFIX = "encoder_param::"
+_PREPARATION_FORMAT_VERSION = 1
+PREPARATION_CACHE_ENV = "REPRO_PREPARATION_CACHE"
 
 
 def _config_to_json(config: GCONConfig) -> str:
@@ -130,6 +143,187 @@ def load_gcon(path: str | Path) -> GCON:
     model.encoder_ = encoder
     model.num_classes_ = num_classes
     return model
+
+
+# --------------------------------------------------------------------------- #
+# content-addressed preparation cache
+# --------------------------------------------------------------------------- #
+def dataset_fingerprint(graph) -> str:
+    """A stable content hash of everything the preparation phase reads.
+
+    :func:`~repro.core.propagation.graph_fingerprint` covers only the
+    adjacency; the encoder additionally consumes features, labels and the
+    training split, so the preparation cache must key on all four — two
+    graphs sharing an edge set but differing in features must not collide.
+    """
+    digest = hashlib.sha256()
+    digest.update(graph_fingerprint(graph.adjacency).encode())
+    features = np.ascontiguousarray(np.asarray(graph.features, dtype=np.float64))
+    digest.update(str(features.shape).encode())
+    digest.update(features.tobytes())
+    digest.update(np.ascontiguousarray(np.asarray(graph.labels, dtype=np.int64)).tobytes())
+    digest.update(np.ascontiguousarray(np.asarray(graph.train_idx, dtype=np.int64)).tobytes())
+    return digest.hexdigest()
+
+
+class PreparationStore:
+    """Content-addressed on-disk cache of :class:`PreparedInputs` bundles.
+
+    The address is ``sha256(preparation config ‖ graph content ‖ seed)``:
+
+    * the *preparation key* of the configuration — every knob that influences
+      Lines 1-7 of Algorithm 1 (alpha, propagation steps, encoder and
+      pseudo-label settings) and nothing that does not (epsilon, delta,
+      solver settings);
+    * the full graph content (:func:`dataset_fingerprint`);
+    * the integer master seed of the cell.
+
+    Flipping any of the three yields a different address (a cache miss); a
+    hit returns encoder weights and propagated features bitwise identical to
+    the cold :meth:`GCON.prepare` that produced them, so enabling the store
+    never changes results.  Writes are atomic (temp file + rename), so
+    concurrent sweep workers may share one store directory; a corrupt or
+    half-written bundle is treated as a miss and rewritten.
+
+    Set the ``REPRO_PREPARATION_CACHE`` environment variable to a directory
+    path to enable a store for the sweep workers (see :meth:`from_env`).
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.stats = {"hits": 0, "misses": 0}
+
+    @classmethod
+    def from_env(cls, environ=None) -> "PreparationStore | None":
+        """A store rooted at ``$REPRO_PREPARATION_CACHE``, or ``None`` if unset."""
+        environ = os.environ if environ is None else environ
+        root = environ.get(PREPARATION_CACHE_ENV, "").strip()
+        if not root or root == "0":
+            return None
+        return cls(root)
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def preparation_address(config: GCONConfig, graph, seed: int) -> str:
+        """The content address of ``(config's preparation key, graph, seed)``."""
+        payload = json.dumps({
+            "format": _PREPARATION_FORMAT_VERSION,
+            "preparation_key": config.preparation_key(),
+            "graph": dataset_fingerprint(graph),
+            "seed": int(seed),
+        }, sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, address: str) -> Path:
+        return self.root / f"prep-{address[:32]}.npz"
+
+    # ------------------------------------------------------------------ #
+    # load / save
+    # ------------------------------------------------------------------ #
+    def fetch(self, config: GCONConfig, graph, seed: int) -> PreparedInputs | None:
+        """Return the cached bundle for ``(config, graph, seed)`` or ``None``."""
+        path = self.path_for(self.preparation_address(config, graph, seed))
+        if not path.exists():
+            self.stats["misses"] += 1
+            return None
+        try:
+            prepared = self._read_bundle(path, config, seed)
+        except (OSError, ValueError, KeyError, ConfigurationError,
+                zipfile.BadZipFile):
+            # A half-written or stale-format bundle is a miss, not an error:
+            # the caller recomputes and overwrites it atomically.  BadZipFile
+            # subclasses Exception directly (not OSError/ValueError), and is
+            # what np.load raises on a truncated archive body.
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return prepared
+
+    def put(self, config: GCONConfig, graph, seed: int,
+            prepared: PreparedInputs) -> Path:
+        """Persist ``prepared`` under its content address (atomically)."""
+        network = prepared.encoder._require_fitted()
+        arrays: dict[str, np.ndarray] = {
+            "format_version": np.array([_PREPARATION_FORMAT_VERSION]),
+            "aggregated": np.asarray(prepared.aggregated, dtype=np.float64),
+            "train_idx": np.asarray(prepared.train_idx, dtype=np.int64),
+            "labels": np.asarray(prepared.labels, dtype=np.int64),
+            "num_classes": np.array([network.head.out_features]),
+            "graph_key": np.array(graph_fingerprint(graph.adjacency)),
+        }
+        for name, value in network.state_dict().items():
+            arrays[f"{_ENCODER_PREFIX}{name}"] = value
+        path = self.path_for(self.preparation_address(config, graph, seed))
+        self.root.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(temporary, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(temporary, path)
+        finally:
+            if temporary.exists():  # pragma: no cover - only on a failed write
+                temporary.unlink()
+        return path
+
+    def get_or_prepare(self, model: GCON, graph, seed) -> PreparedInputs:
+        """Fetch the preparation for ``(model.config, graph, seed)`` or compute
+        and persist it.
+
+        Only integer seeds are content-addressable; with a generator or
+        ``None`` seed the store is bypassed and a cold prepare is returned.
+        """
+        if not isinstance(seed, (int, np.integer)):
+            return model.prepare(graph, seed=seed)
+        prepared = self.fetch(model.config, graph, int(seed))
+        if prepared is not None:
+            return prepared
+        prepared = model.prepare(graph, seed=int(seed))
+        self.put(model.config, graph, int(seed), prepared)
+        return prepared
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _read_bundle(self, path: Path, config: GCONConfig, seed: int) -> PreparedInputs:
+        with np.load(path, allow_pickle=False) as archive:
+            if "format_version" not in archive or "aggregated" not in archive:
+                raise ConfigurationError(f"{path} is not a preparation bundle")
+            version = int(archive["format_version"][0])
+            if version != _PREPARATION_FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"unsupported preparation bundle format {version}"
+                )
+            aggregated = np.asarray(archive["aggregated"], dtype=np.float64)
+            train_idx = np.asarray(archive["train_idx"], dtype=np.int64)
+            labels = np.asarray(archive["labels"], dtype=np.int64)
+            num_classes = int(archive["num_classes"][0])
+            graph_key = str(archive["graph_key"])
+            state = {
+                key[len(_ENCODER_PREFIX):]: np.asarray(archive[key], dtype=np.float64)
+                for key in archive.files if key.startswith(_ENCODER_PREFIX)
+            }
+        encoder = MLPEncoder(
+            output_dim=config.encoder_dim,
+            hidden_dim=config.encoder_hidden,
+            epochs=config.encoder_epochs,
+            learning_rate=config.encoder_lr,
+            weight_decay=config.encoder_weight_decay,
+            dropout=config.encoder_dropout,
+            seed=int(seed),
+        )
+        encoder._network = _rebuild_encoder_network(encoder, state, num_classes)
+        return PreparedInputs(
+            encoder=encoder, aggregated=aggregated, train_idx=train_idx,
+            labels=labels, preparation_key=config.preparation_key(),
+            graph_key=graph_key, seed_token=int(seed),
+        )
+
+    def info(self) -> dict:
+        """Hit/miss counters plus the number of bundles currently on disk."""
+        entries = len(list(self.root.glob("prep-*.npz"))) if self.root.exists() else 0
+        return dict(self.stats, entries=entries, root=str(self.root))
 
 
 def _rebuild_encoder_network(encoder: MLPEncoder, state: dict[str, np.ndarray],

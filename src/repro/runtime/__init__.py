@@ -15,10 +15,11 @@ from repro.runtime.cells import (
     ExperimentResult,
     SweepCell,
     derive_cell_seed,
+    epsilon_axis,
     expand_cells,
     result_key,
 )
-from repro.runtime.engine import ParallelExperimentRunner, SweepExecutionError
+from repro.runtime.engine import ParallelExperimentRunner, SweepExecutionError, run_cell_group
 from repro.runtime.progress import ProgressReporter
 from repro.runtime.store import JsonlResultStore
 
@@ -26,10 +27,12 @@ __all__ = [
     "ExperimentResult",
     "SweepCell",
     "derive_cell_seed",
+    "epsilon_axis",
     "expand_cells",
     "result_key",
     "ParallelExperimentRunner",
     "SweepExecutionError",
+    "run_cell_group",
     "ProgressReporter",
     "JsonlResultStore",
 ]

@@ -71,6 +71,31 @@ def result_key(result: ExperimentResult) -> tuple:
     return (result.method, result.dataset, float(result.epsilon), result.repeat)
 
 
+def epsilon_axis(cells: list[SweepCell]) -> list[float]:
+    """The epsilon values of one sweep group, validated, in cell order.
+
+    A group handed to the sweep-solver fast path must be exactly one epsilon
+    axis: every cell shares ``(method, dataset, repeat, seed)`` and carries a
+    distinct budget.  The engine's grouping guarantees this for cells produced
+    by :func:`expand_cells`; hand-built cell lists are validated here so a
+    mis-grouped batch fails loudly instead of solving the wrong sweep.
+    """
+    if not cells:
+        raise ConfigurationError("an epsilon axis needs at least one cell")
+    first = cells[0]
+    for cell in cells[1:]:
+        if (cell.method, cell.dataset, cell.repeat, cell.seed) \
+                != (first.method, first.dataset, first.repeat, first.seed):
+            raise ConfigurationError(
+                f"cells of one epsilon axis must share (method, dataset, repeat, seed); "
+                f"got {cell.key()} alongside {first.key()}"
+            )
+    epsilons = [float(cell.epsilon) for cell in cells]
+    if len(set(epsilons)) != len(epsilons):
+        raise ConfigurationError(f"duplicate epsilon values in sweep group: {epsilons}")
+    return epsilons
+
+
 def _stable_token(text: str) -> int:
     """A process-invariant 63-bit integer derived from ``text``.
 

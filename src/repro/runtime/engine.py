@@ -43,10 +43,18 @@ class SweepExecutionError(RuntimeError):
 
 
 def run_cell_group(cell_runner, cells: list[SweepCell]) -> list[ExperimentResult]:
-    """Execute one group of cells sequentially (in a worker or inline).
+    """Execute one group of cells (in a worker or inline).
 
+    Runners implementing the *group protocol* — a ``run_group(cells)`` method,
+    such as the sweep-solver fast paths of
+    :class:`repro.runtime.workers.FigureCellRunner` — receive the whole
+    epsilon axis at once so they can share one preparation and solve all
+    budgets in a single vectorised pass; plain callables run cell by cell.
     Module-level so process pools can pickle it by reference.
     """
+    run_group = getattr(cell_runner, "run_group", None)
+    if run_group is not None:
+        return run_group(cells)
     return [cell_runner(cell) for cell in cells]
 
 
@@ -152,6 +160,10 @@ class ParallelExperimentRunner:
 
     def _record(self, cells: list[SweepCell], results: list[ExperimentResult],
                 finished: dict, reporter: ProgressReporter | None) -> None:
+        if len(results) != len(cells):
+            raise SweepExecutionError(
+                cells[0], ValueError(f"cell runner returned {len(results)} results "
+                                     f"for {len(cells)} cells"))
         for cell, record in zip(cells, results):
             if result_key(record) != cell.key():
                 raise SweepExecutionError(
@@ -167,8 +179,28 @@ class ParallelExperimentRunner:
             reporter.update(advance=len(cells),
                             note=f"{last.method}/{last.dataset}")
 
+    def _group_dispatch(self, cells: list[SweepCell]) -> bool:
+        """Whether a group goes to the runner's ``run_group`` whole.
+
+        A sweep-solved group inherently completes all at once, but a group the
+        runner would only fall back on cell by cell (``wants_group`` returns
+        False) is better run per cell in serial mode: each finished cell then
+        streams to the store immediately, preserving crash-resume granularity.
+        """
+        if getattr(self.cell_runner, "run_group", None) is None:
+            return False
+        wants_group = getattr(self.cell_runner, "wants_group", None)
+        return True if wants_group is None else bool(wants_group(cells))
+
     def _run_serial(self, groups, finished, reporter) -> None:
         for group_cells in groups:
+            if self._group_dispatch(group_cells):
+                try:
+                    records = run_cell_group(self.cell_runner, group_cells)
+                except Exception as error:
+                    raise SweepExecutionError(group_cells[0], error) from error
+                self._record(group_cells, records, finished, reporter)
+                continue
             for cell in group_cells:
                 try:
                     record = self.cell_runner(cell)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import warnings
 from pathlib import Path
 
 from repro.runtime.cells import ExperimentResult, result_key
@@ -57,10 +58,12 @@ class JsonlResultStore:
     def load(self) -> list[ExperimentResult]:
         """Read all intact records, discarding a truncated/corrupt tail.
 
-        If the final line does not parse (interrupted append), the file is
-        truncated back to the last intact record so subsequent appends do not
-        glue onto a half-written line.  A corrupt line in the *middle* of the
-        file raises: that is data corruption, not an interrupted run.
+        If the final line does not parse (interrupted append), a warning is
+        emitted, the partial record is dropped and the file is truncated back
+        to the last intact record so subsequent appends do not glue onto a
+        half-written line — the dropped cell is simply recomputed on resume,
+        never double-counted.  A corrupt line in the *middle* of the file
+        raises: that is data corruption, not an interrupted run.
         """
         if not self.path.exists():
             return []
@@ -80,6 +83,12 @@ class JsonlResultStore:
                     raise ValueError(
                         f"corrupt record at line {position + 1} of {self.path}"
                     ) from None
+                warnings.warn(
+                    f"dropping truncated trailing record at line {position + 1} of "
+                    f"{self.path} (interrupted append); the cell will be recomputed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 self._truncate(good_bytes)
                 break
             good_bytes += len(line) + 1

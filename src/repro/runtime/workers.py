@@ -10,8 +10,19 @@ memoisation keeps that rebuild cost amortised:
 * for estimators exposing the ``prepare``/``fit(prepared=...)`` protocol
   (GCON), the epsilon-independent preparation -- encoder training plus
   propagation -- is computed once per ``(graph, cell seed, preparation key)``
-  and replayed across the epsilon axis, which is where the bulk of a sweep's
-  wall-clock goes.
+  and replayed across the epsilon axis; when a content-addressed
+  :class:`~repro.core.persistence.PreparationStore` is configured (the
+  ``preparation_cache`` field or the ``REPRO_PREPARATION_CACHE`` environment
+  variable) it also survives on disk across repeats and resumed sweeps.
+
+Both runners additionally implement the engine's *group protocol*
+(``run_group``): a whole epsilon axis of GCON cells is solved in one
+vectorised :class:`~repro.core.sweep.SweepSolver` pass — shared preparation,
+warm-started convex solves, one shared inference feature matrix — instead of
+one cold fit per cell.  Groups the fast path cannot take (non-GCON methods,
+per-cell configuration differences beyond epsilon, ``fast_sweep=False``)
+fall back to the per-cell reference path; results agree with that reference
+up to solver tolerance, and bitwise when the fallback runs.
 
 All evaluation-layer imports are deferred to call time to keep the module
 import graph acyclic (``figures`` imports this module).
@@ -19,23 +30,26 @@ import graph acyclic (``figures`` imports this module).
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.propagation import get_default_cache, propagation_cache
-from repro.runtime.cells import ExperimentResult, SweepCell
+from repro.core.propagation import cached_propagator, get_default_cache, propagation_cache
+from repro.runtime.cells import ExperimentResult, SweepCell, epsilon_axis
 from repro.utils.lru import LRUDict
 
 _GRAPH_MEMO = LRUDict(max_entries=8)
 _PREP_MEMO = LRUDict(max_entries=8)
+_DISK_STORES: dict[str, object] = {}
 
 
 def clear_worker_memos() -> None:
     """Drop the per-process graph and preparation memos (used by tests)."""
     _GRAPH_MEMO.clear()
     _PREP_MEMO.clear()
+    _DISK_STORES.clear()
 
 
 def _load_graph(dataset: str, scale: float, seed: int):
@@ -46,15 +60,59 @@ def _load_graph(dataset: str, scale: float, seed: int):
         lambda: load_dataset(dataset, scale=scale, seed=seed))
 
 
-def _fit_with_preparation(estimator, graph, cell: SweepCell, graph_memo_key: tuple):
-    """Fit, reusing the epsilon-independent preparation when the estimator
-    supports it (results are bitwise identical either way)."""
+def preparation_store(path: str | None = None):
+    """The per-process :class:`PreparationStore` for ``path`` (or the
+    ``REPRO_PREPARATION_CACHE`` environment variable), ``None`` when disabled.
+
+    Stores are memoised per root so their hit/miss counters accumulate across
+    the cells a worker executes.
+    """
+    from repro.core.persistence import PREPARATION_CACHE_ENV, PreparationStore
+
+    if path is not None and path.strip():
+        resolved = PreparationStore(path.strip())
+    else:
+        # The env lookup and its disabled sentinels live in from_env only.
+        resolved = PreparationStore.from_env()
+    if resolved is None:
+        return None
+    root = str(resolved.root)
+    store = _DISK_STORES.get(root)
+    if store is None:
+        store = _DISK_STORES.setdefault(root, resolved)
+    return store
+
+
+def _prepared_inputs(estimator, graph, seed: int, graph_memo_key: tuple,
+                     preparation_cache: str | None = None):
+    """The epsilon-independent preparation for ``estimator`` on ``graph``.
+
+    Looks through the per-process memo first, then the on-disk store (when
+    configured), and falls back to a cold ``prepare``; returns ``None`` for
+    estimators without the ``prepare`` protocol.
+    """
     config = getattr(estimator, "config", None)
     preparation_key = getattr(config, "preparation_key", None)
-    if hasattr(estimator, "prepare") and callable(preparation_key):
-        memo_key = (graph_memo_key, cell.seed, preparation_key())
-        prepared = _PREP_MEMO.get_or_compute(
-            memo_key, lambda: estimator.prepare(graph, seed=cell.seed))
+    if not (hasattr(estimator, "prepare") and callable(preparation_key)):
+        return None
+
+    def compute():
+        store = preparation_store(preparation_cache)
+        if store is not None:
+            return store.get_or_prepare(estimator, graph, seed)
+        return estimator.prepare(graph, seed=seed)
+
+    memo_key = (graph_memo_key, seed, preparation_key())
+    return _PREP_MEMO.get_or_compute(memo_key, compute)
+
+
+def _fit_with_preparation(estimator, graph, cell: SweepCell, graph_memo_key: tuple,
+                          preparation_cache: str | None = None):
+    """Fit, reusing the epsilon-independent preparation when the estimator
+    supports it (results are bitwise identical either way)."""
+    prepared = _prepared_inputs(estimator, graph, cell.seed, graph_memo_key,
+                                preparation_cache)
+    if prepared is not None:
         estimator.fit(graph, seed=cell.seed, prepared=prepared)
     else:
         estimator.fit(graph, seed=cell.seed)
@@ -73,34 +131,160 @@ def score_estimator(estimator, graph, inference_mode: str) -> float:
     return micro_f1(graph.labels[graph.test_idx], predictions[graph.test_idx])
 
 
+# --------------------------------------------------------------------------- #
+# the epsilon-axis fast path shared by both runners
+# --------------------------------------------------------------------------- #
+def _config_identity(config) -> dict:
+    """A config's fields minus epsilon: equal identities <=> same sweep family."""
+    payload = dataclasses.asdict(config)
+    payload.pop("epsilon", None)
+    payload.pop("normalized_steps", None)
+    return payload
+
+
+def _shared_inference_features(model, graph, inference_mode: str) -> np.ndarray:
+    """The matrix ``F`` with ``decision_scores = F @ theta`` for every model of
+    an epsilon sweep (same encoder, same propagation — only theta differs).
+
+    Mirrors :meth:`GCON.decision_scores` operation for operation, so
+    ``argmax(F @ theta)`` is bitwise identical to per-model prediction.
+    """
+    from repro.utils.math import row_normalize_l2
+
+    config = model.config
+    encoded = row_normalize_l2(model.encoder_.encode(graph.features))
+    propagator = cached_propagator(graph.adjacency, config.alpha)
+    if inference_mode == "private":
+        return propagator.inference_concat(
+            encoded, config.normalized_steps, config.effective_inference_alpha)
+    return propagator.propagate_concat(encoded, config.normalized_steps)
+
+
+def _run_epsilon_sweep_group(cells: list[SweepCell], graph, estimators,
+                             inference_mode: str, strategy: str,
+                             graph_memo_key: tuple,
+                             preparation_cache: str | None) -> list[float] | None:
+    """Solve one epsilon axis of GCON cells in a single sweep pass.
+
+    Returns the per-cell micro-F1 scores, or ``None`` when the group is not
+    eligible (non-GCON estimators, or configurations that differ in more than
+    epsilon) and must take the per-cell reference path.
+    """
+    from repro.core.model import GCON
+    from repro.core.sweep import SweepSolver
+
+    if len(cells) < 2:
+        return None
+    if not all(isinstance(estimator, GCON) for estimator in estimators):
+        return None
+    base_config = estimators[0].config
+    base_identity = _config_identity(base_config)
+    if any(_config_identity(estimator.config) != base_identity
+           for estimator in estimators[1:]):
+        return None
+
+    epsilons = epsilon_axis(cells)
+    seed = cells[0].seed
+    prepared = _prepared_inputs(estimators[0], graph, seed, graph_memo_key,
+                                preparation_cache)
+    solver = SweepSolver(base_config, strategy=strategy)
+    solves = solver.solve(graph, epsilons, seed=seed, prepared=prepared)
+    for estimator, solve in zip(estimators, solves):
+        estimator.adopt_solution(
+            theta=solve.theta, perturbation=solve.perturbation,
+            solver_result=solve.solver_result, encoder=prepared.encoder,
+            num_classes=graph.num_classes, graph=graph,
+        )
+    from repro.evaluation.metrics import micro_f1
+
+    features = _shared_inference_features(estimators[0], graph, inference_mode)
+    test_idx = graph.test_idx
+    scores = []
+    for estimator in estimators:
+        predictions = np.argmax(features @ estimator.theta_, axis=1)
+        scores.append(micro_f1(graph.labels[test_idx], predictions[test_idx]))
+    return scores
+
+
 @dataclass
 class FigureCellRunner:
     """Runs one Figure-1-style cell: a registry method at one epsilon.
 
     ``settings`` is the shared :class:`FigureSettings`; ``delta=None`` uses
-    the paper's per-graph ``1/|E|`` convention.
+    the paper's per-graph ``1/|E|`` convention.  ``fast_sweep`` enables the
+    epsilon-axis group fast path (``False`` forces the per-cell reference
+    path); ``sweep_strategy`` picks the :class:`SweepSolver` mode and
+    ``preparation_cache`` points at an on-disk preparation store directory.
     """
 
     settings: "FigureSettings"
     inference_mode: str = "private"
     delta: float | None = None
+    fast_sweep: bool = True
+    sweep_strategy: str = "warm_start"
+    preparation_cache: str | None = None
+
+    def _graph_and_delta(self, cell: SweepCell):
+        settings = self.settings
+        graph = _load_graph(cell.dataset, settings.scale, settings.seed)
+        delta = self.delta if self.delta is not None else 1.0 / max(graph.num_edges, 1)
+        return graph, delta, (cell.dataset, settings.scale, settings.seed)
 
     def __call__(self, cell: SweepCell) -> ExperimentResult:
         from repro.evaluation.figures import build_method_registry
 
-        settings = self.settings
-        graph = _load_graph(cell.dataset, settings.scale, settings.seed)
-        delta = self.delta if self.delta is not None else 1.0 / max(graph.num_edges, 1)
-        registry = build_method_registry(settings)
-        factory = registry[cell.method]
-        estimator = factory(cell.epsilon, delta, cell.seed)
+        graph, delta, memo_key = self._graph_and_delta(cell)
+        registry = build_method_registry(self.settings)
+        estimator = registry[cell.method](cell.epsilon, delta, cell.seed)
         with propagation_cache(get_default_cache()):
-            _fit_with_preparation(estimator, graph, cell,
-                                  (cell.dataset, settings.scale, settings.seed))
+            _fit_with_preparation(estimator, graph, cell, memo_key,
+                                  self.preparation_cache)
             score = score_estimator(estimator, graph, self.inference_mode)
         return ExperimentResult(method=cell.method, dataset=cell.dataset,
                                 epsilon=cell.epsilon, repeat=cell.repeat,
                                 micro_f1=score)
+
+    def wants_group(self, cells: list[SweepCell]) -> bool:
+        """Whether this group would actually take the sweep fast path.
+
+        The serial engine asks before dispatching: groups that would only
+        fall back cell by cell (non-GCON methods, single cells, disabled
+        fast path) run per cell instead, so each finished cell streams to
+        the resumable store immediately.
+        """
+        from repro.core.model import GCON
+        from repro.evaluation.figures import build_method_registry
+
+        if not self.fast_sweep or len(cells) < 2:
+            return False
+        try:
+            factory = build_method_registry(self.settings)[cells[0].method]
+            probe = factory(cells[0].epsilon,
+                            self.delta if self.delta is not None else 1e-6,
+                            cells[0].seed)
+        except Exception:
+            return False
+        return isinstance(probe, GCON)
+
+    def run_group(self, cells: list[SweepCell]) -> list[ExperimentResult]:
+        """One epsilon axis at a time: sweep-solve eligible GCON groups."""
+        from repro.evaluation.figures import build_method_registry
+
+        if not self.fast_sweep or len(cells) < 2:
+            return [self(cell) for cell in cells]
+        graph, delta, memo_key = self._graph_and_delta(cells[0])
+        factory = build_method_registry(self.settings)[cells[0].method]
+        estimators = [factory(cell.epsilon, delta, cell.seed) for cell in cells]
+        with propagation_cache(get_default_cache()):
+            scores = _run_epsilon_sweep_group(
+                cells, graph, estimators, self.inference_mode,
+                self.sweep_strategy, memo_key, self.preparation_cache)
+        if scores is None:
+            return [self(cell) for cell in cells]
+        return [ExperimentResult(method=cell.method, dataset=cell.dataset,
+                                 epsilon=cell.epsilon, repeat=cell.repeat,
+                                 micro_f1=score)
+                for cell, score in zip(cells, scores)]
 
 
 @dataclass
@@ -114,7 +298,9 @@ class GconVariantCellRunner:
       (Figures 2-3) and the budget is pinned to ``fixed_epsilon``.
 
     ``overrides`` maps the variant label to :class:`GCONConfig` keyword
-    overrides applied on top of the settings' defaults.
+    overrides applied on top of the settings' defaults.  Epsilon-axis groups
+    take the sweep-solver fast path; step-axis groups vary the preparation
+    per cell, so they always run the per-cell reference path.
     """
 
     settings: "FigureSettings"
@@ -123,14 +309,14 @@ class GconVariantCellRunner:
     fixed_epsilon: float = 4.0
     inference_mode: str = "private"
     delta: float | None = None
+    fast_sweep: bool = True
+    sweep_strategy: str = "warm_start"
+    preparation_cache: str | None = None
 
-    def __call__(self, cell: SweepCell) -> ExperimentResult:
+    def _build_estimator(self, cell: SweepCell, delta: float):
         from repro.core.model import GCON
         from repro.evaluation.figures import default_gcon_config
 
-        settings = self.settings
-        graph = _load_graph(cell.dataset, settings.scale, settings.seed)
-        delta = self.delta if self.delta is not None else 1.0 / max(graph.num_edges, 1)
         overrides = dict(self.overrides.get(cell.method, {}))
         if self.axis == "steps":
             epsilon = self.fixed_epsilon
@@ -138,12 +324,44 @@ class GconVariantCellRunner:
             overrides["propagation_steps"] = (step,)
         else:
             epsilon = cell.epsilon
-        config = default_gcon_config(epsilon, delta, settings, **overrides)
-        estimator = GCON(config)
+        return GCON(default_gcon_config(epsilon, delta, self.settings, **overrides))
+
+    def _graph_and_delta(self, cell: SweepCell):
+        settings = self.settings
+        graph = _load_graph(cell.dataset, settings.scale, settings.seed)
+        delta = self.delta if self.delta is not None else 1.0 / max(graph.num_edges, 1)
+        return graph, delta, (cell.dataset, settings.scale, settings.seed)
+
+    def __call__(self, cell: SweepCell) -> ExperimentResult:
+        graph, delta, memo_key = self._graph_and_delta(cell)
+        estimator = self._build_estimator(cell, delta)
         with propagation_cache(get_default_cache()):
-            _fit_with_preparation(estimator, graph, cell,
-                                  (cell.dataset, settings.scale, settings.seed))
+            _fit_with_preparation(estimator, graph, cell, memo_key,
+                                  self.preparation_cache)
             score = score_estimator(estimator, graph, self.inference_mode)
         return ExperimentResult(method=cell.method, dataset=cell.dataset,
                                 epsilon=cell.epsilon, repeat=cell.repeat,
                                 micro_f1=score)
+
+    def wants_group(self, cells: list[SweepCell]) -> bool:
+        """Epsilon-axis variant groups take the fast path; step-axis groups
+        (whose preparation varies per cell) run cell by cell in serial mode
+        so each result streams to the store immediately."""
+        return self.fast_sweep and self.axis == "epsilon" and len(cells) >= 2
+
+    def run_group(self, cells: list[SweepCell]) -> list[ExperimentResult]:
+        """Sweep-solve epsilon-axis variant groups; step-axis groups fall back."""
+        if not self.fast_sweep or self.axis != "epsilon" or len(cells) < 2:
+            return [self(cell) for cell in cells]
+        graph, delta, memo_key = self._graph_and_delta(cells[0])
+        estimators = [self._build_estimator(cell, delta) for cell in cells]
+        with propagation_cache(get_default_cache()):
+            scores = _run_epsilon_sweep_group(
+                cells, graph, estimators, self.inference_mode,
+                self.sweep_strategy, memo_key, self.preparation_cache)
+        if scores is None:
+            return [self(cell) for cell in cells]
+        return [ExperimentResult(method=cell.method, dataset=cell.dataset,
+                                 epsilon=cell.epsilon, repeat=cell.repeat,
+                                 micro_f1=score)
+                for cell, score in zip(cells, scores)]

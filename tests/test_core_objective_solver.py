@@ -6,8 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.losses import MultiLabelSoftMarginLoss, PseudoHuberLoss
-from repro.core.objective import PerturbedObjective
-from repro.core.solver import minimize_objective
+from repro.core.objective import BatchedPerturbedObjective, PerturbedObjective
+from repro.core.solver import (
+    minimize_batched_objective,
+    minimize_objective,
+    solve_objective_sweep,
+)
 from repro.exceptions import ConfigurationError, OptimizationError
 from repro.utils.math import one_hot, row_normalize_l2
 
@@ -133,3 +137,125 @@ class TestSolvers:
         start = np.ones((8, 3))
         result = minimize_objective(objective, initial_theta=start)
         assert result.objective_value <= objective.value(start)
+
+
+class TestSolverCrossCheck:
+    """gradient_descent and lbfgs find the same minimiser of the same
+    PerturbedObjective within gtol — cold and warm-started alike.
+
+    The perturbed objective is strongly convex with modulus mu equal to its
+    quadratic coefficient, so ||theta - theta*|| <= ||grad(theta)|| / mu:
+    two solves that each stop at gradient norm <= gtol must agree to
+    2 * gtol / mu regardless of the algorithm or the starting point.
+    """
+
+    GTOL = 1e-7
+    LAM = 0.2
+
+    def _cross_check(self, objective, initial_theta=None):
+        lbfgs = minimize_objective(objective, method="lbfgs", gtol=self.GTOL,
+                                   max_iterations=3000, initial_theta=initial_theta)
+        descent = minimize_objective(objective, method="gradient_descent",
+                                     gtol=self.GTOL, max_iterations=20000,
+                                     initial_theta=initial_theta)
+        assert lbfgs.gradient_norm <= 10 * self.GTOL
+        assert descent.gradient_norm <= 10 * self.GTOL
+        tolerance = 2 * 10 * self.GTOL / self.LAM
+        assert float(np.max(np.abs(lbfgs.theta - descent.theta))) <= tolerance
+        return lbfgs, descent
+
+    @pytest.mark.parametrize("loss_cls", [MultiLabelSoftMarginLoss, PseudoHuberLoss])
+    def test_cold_solves_agree_within_gtol(self, loss_cls):
+        objective = make_objective(lam=self.LAM, loss=loss_cls(num_classes=3))
+        self._cross_check(objective)
+
+    def test_warm_started_solves_agree_within_gtol(self):
+        """A warm start from a *different* objective's minimiser (the sweep
+        pattern) must not bias either solver away from the optimum."""
+        base = make_objective(lam=self.LAM)
+        other = base.with_perturbation(
+            self.LAM * 2.0, np.random.default_rng(5).normal(scale=0.3, size=(8, 3)))
+        warm = minimize_objective(other, gtol=self.GTOL, max_iterations=3000).theta
+        lbfgs, descent = self._cross_check(base, initial_theta=warm)
+        cold = minimize_objective(base, gtol=self.GTOL, max_iterations=3000)
+        tolerance = 2 * 10 * self.GTOL / self.LAM
+        assert float(np.max(np.abs(lbfgs.theta - cold.theta))) <= tolerance
+        assert float(np.max(np.abs(descent.theta - cold.theta))) <= tolerance
+
+
+class TestObjectiveSweepSolving:
+    def _perturbations(self, base, count=4, seed=2):
+        rng = np.random.default_rng(seed)
+        coefficients = [0.1 * (i + 1) for i in range(count)]
+        noises = [rng.normal(scale=0.4, size=(base.dimension, base.num_classes))
+                  for _ in range(count)]
+        return coefficients, noises
+
+    def test_with_perturbation_shares_data_term(self):
+        base = make_objective(lam=0.1)
+        clone = base.with_perturbation(0.3, None)
+        assert clone.features is base.features
+        assert clone.labels is base.labels
+        assert clone.quadratic_coefficient == 0.3
+        assert not clone.noise.any()
+        with pytest.raises(ConfigurationError):
+            base.with_perturbation(-0.1, None)
+        with pytest.raises(ConfigurationError):
+            base.with_perturbation(0.1, np.zeros((2, 2)))
+
+    def test_warm_started_sweep_matches_cold_solves(self):
+        base = make_objective(lam=0.1)
+        coefficients, noises = self._perturbations(base)
+        objectives = [base.with_perturbation(c, n)
+                      for c, n in zip(coefficients, noises)]
+        warm = solve_objective_sweep(objectives, gtol=1e-8, warm_start=True)
+        cold = solve_objective_sweep(objectives, gtol=1e-8, warm_start=False)
+        for warm_result, cold_result, coefficient in zip(warm, cold, coefficients):
+            tolerance = 2 * 10 * 1e-8 / coefficient
+            assert float(np.max(np.abs(warm_result.theta - cold_result.theta))) \
+                <= tolerance
+
+    def test_batched_objective_sums_its_blocks(self):
+        base = make_objective(lam=0.1)
+        coefficients, noises = self._perturbations(base, count=3)
+        batched = BatchedPerturbedObjective(base, coefficients, noises)
+        rng = np.random.default_rng(4)
+        stacked = rng.normal(size=(base.dimension, 3 * base.num_classes)) * 0.2
+        blocks = batched.split(stacked)
+        expected = sum(batched.block_objective(i).value(block)
+                       for i, block in enumerate(blocks))
+        value, gradient = batched.value_and_gradient(stacked)
+        np.testing.assert_allclose(value, expected, rtol=1e-12)
+        for i, block in enumerate(blocks):
+            start = i * base.num_classes
+            np.testing.assert_allclose(
+                gradient[:, start:start + base.num_classes],
+                batched.block_objective(i).gradient(block), rtol=1e-12)
+
+    def test_batched_minimisation_matches_independent_solves(self):
+        base = make_objective(lam=0.1)
+        coefficients, noises = self._perturbations(base)
+        batched = BatchedPerturbedObjective(base, coefficients, noises)
+        joint = minimize_batched_objective(batched, gtol=1e-8, max_iterations=3000)
+        for i, result in enumerate(joint):
+            single = minimize_objective(batched.block_objective(i), gtol=1e-8,
+                                        max_iterations=3000)
+            tolerance = 2 * 10 * 1e-8 / coefficients[i]
+            assert result.converged
+            assert float(np.max(np.abs(result.theta - single.theta))) <= tolerance
+
+    def test_batched_objective_validates_inputs(self):
+        base = make_objective()
+        with pytest.raises(ConfigurationError):
+            BatchedPerturbedObjective(base, [], [])
+        with pytest.raises(ConfigurationError):
+            BatchedPerturbedObjective(base, [0.1, 0.2], [None])
+        with pytest.raises(ConfigurationError):
+            BatchedPerturbedObjective(base, [-0.1], [None])
+        with pytest.raises(ConfigurationError):
+            BatchedPerturbedObjective(base, [0.1], [np.zeros((2, 2))])
+        batched = BatchedPerturbedObjective(base, [0.1, 0.2], [None, None])
+        with pytest.raises(ConfigurationError):
+            batched.block_objective(2)
+        with pytest.raises(ConfigurationError):
+            batched.value(np.zeros((8, 3)))

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.config import GCONConfig
 from repro.core.model import GCON
-from repro.core.persistence import load_gcon, save_gcon
+from repro.core.persistence import PreparationStore, load_gcon, save_gcon
 from repro.exceptions import ConfigurationError, NotFittedError
 
 
@@ -98,3 +98,122 @@ class TestLoadValidation:
         np.savez(path, **arrays)
         with pytest.raises(ConfigurationError):
             load_gcon(path)
+
+
+def _preparation_config(**overrides) -> GCONConfig:
+    params = dict(epsilon=1.0, alpha=0.8, propagation_steps=(1,), encoder_dim=8,
+                  encoder_hidden=16, encoder_epochs=20, max_iterations=100)
+    params.update(overrides)
+    return GCONConfig(**params)
+
+
+class TestPreparationStore:
+    def test_miss_then_hit(self, tiny_graph, tmp_path):
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        assert store.fetch(config, tiny_graph, 0) is None
+        store.get_or_prepare(GCON(config), tiny_graph, 0)
+        assert store.fetch(config, tiny_graph, 0) is not None
+        assert store.stats["misses"] == 2
+        assert store.stats["hits"] == 1
+        assert store.info()["entries"] == 1
+
+    def test_cache_hit_is_bitwise_identical_to_cold_prepare(self, tiny_graph, tmp_path):
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        cold = GCON(config).prepare(tiny_graph, seed=3)
+        store.put(config, tiny_graph, 3, cold)
+        cached = store.fetch(config, tiny_graph, 3)
+        assert np.array_equal(cached.aggregated, cold.aggregated)
+        assert np.array_equal(cached.train_idx, cold.train_idx)
+        assert np.array_equal(cached.labels, cold.labels)
+        cold_state = cold.encoder._require_fitted().state_dict()
+        cached_state = cached.encoder._require_fitted().state_dict()
+        assert cold_state.keys() == cached_state.keys()
+        for name in cold_state:
+            assert np.array_equal(cold_state[name], cached_state[name]), name
+        # The real invariant: fitting from the cached bundle yields bitwise
+        # the same released parameters as fitting from the cold one.
+        cold_model = GCON(config).fit(tiny_graph, seed=3, prepared=cold)
+        cached_model = GCON(config).fit(tiny_graph, seed=3, prepared=cached)
+        assert np.array_equal(cold_model.theta_, cached_model.theta_)
+
+    @pytest.mark.parametrize("flip", [
+        dict(alpha=0.5),
+        dict(propagation_steps=(2,)),
+        dict(encoder_dim=4),
+        dict(encoder_epochs=21),
+        dict(use_pseudo_labels=True),
+    ])
+    def test_any_preparation_config_change_invalidates(self, tiny_graph, tmp_path, flip):
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        store.put(config, tiny_graph, 0, GCON(config).prepare(tiny_graph, seed=0))
+        assert store.fetch(_preparation_config(**flip), tiny_graph, 0) is None
+
+    def test_epsilon_and_delta_do_not_invalidate(self, tiny_graph, tmp_path):
+        """The preparation is epsilon-independent by construction, so budget
+        changes must *hit* — that is the whole point of the sweep cache."""
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config(epsilon=1.0)
+        store.put(config, tiny_graph, 0, GCON(config).prepare(tiny_graph, seed=0))
+        assert store.fetch(_preparation_config(epsilon=4.0), tiny_graph, 0) is not None
+        assert store.fetch(_preparation_config(delta=1e-4), tiny_graph, 0) is not None
+
+    def test_seed_change_invalidates(self, tiny_graph, tmp_path):
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        store.put(config, tiny_graph, 0, GCON(config).prepare(tiny_graph, seed=0))
+        assert store.fetch(config, tiny_graph, 1) is None
+
+    def test_graph_change_invalidates(self, tiny_graph, heterophilous_graph, tmp_path):
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        store.put(config, tiny_graph, 0, GCON(config).prepare(tiny_graph, seed=0))
+        assert store.fetch(config, heterophilous_graph, 0) is None
+
+    def test_feature_change_alone_invalidates(self, tiny_graph, tmp_path):
+        """Same adjacency, different features must not collide: the encoder
+        consumed the features, so the address covers them too."""
+        import dataclasses as dc
+
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        store.put(config, tiny_graph, 0, GCON(config).prepare(tiny_graph, seed=0))
+        mutated = dc.replace(tiny_graph, features=tiny_graph.features * 2.0)
+        assert store.fetch(config, mutated, 0) is None
+
+    @pytest.mark.parametrize("corruption", ["garbage", "truncated"])
+    def test_corrupt_bundle_is_a_miss(self, tiny_graph, tmp_path, corruption):
+        """Plain garbage raises ValueError from np.load; a truncated real
+        archive raises zipfile.BadZipFile — both must read as cache misses."""
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        path = store.put(config, tiny_graph, 0, GCON(config).prepare(tiny_graph, seed=0))
+        if corruption == "garbage":
+            path.write_bytes(b"not an npz archive")
+        else:
+            content = path.read_bytes()
+            path.write_bytes(content[:len(content) // 2])
+        assert store.fetch(config, tiny_graph, 0) is None
+        # get_or_prepare recovers by recomputing and overwriting the bundle.
+        prepared = store.get_or_prepare(GCON(config), tiny_graph, 0)
+        assert prepared is not None
+        assert store.fetch(config, tiny_graph, 0) is not None
+
+    def test_non_integer_seed_bypasses_the_store(self, tiny_graph, tmp_path):
+        store = PreparationStore(tmp_path / "prep")
+        config = _preparation_config()
+        rng = np.random.default_rng(0)
+        prepared = store.get_or_prepare(GCON(config), tiny_graph, rng)
+        assert prepared is not None
+        assert store.info()["entries"] == 0
+
+    def test_from_env(self, tmp_path):
+        assert PreparationStore.from_env({}) is None
+        assert PreparationStore.from_env({"REPRO_PREPARATION_CACHE": ""}) is None
+        assert PreparationStore.from_env({"REPRO_PREPARATION_CACHE": "0"}) is None
+        store = PreparationStore.from_env(
+            {"REPRO_PREPARATION_CACHE": str(tmp_path / "cache")})
+        assert store is not None
+        assert store.root == tmp_path / "cache"

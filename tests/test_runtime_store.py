@@ -65,6 +65,27 @@ class TestPartialWrites:
         store.close()
         assert [r.epsilon for r in store.load()] == [1.0, 2.0, 3.0]
 
+    def test_truncated_tail_warns_and_never_double_counts_on_resume(self, tmp_path):
+        """A resume over a crash-truncated store must warn about the dropped
+        record, recompute exactly that cell and count the intact ones once."""
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result(epsilon=1.0, score=0.5))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"method": "GCON", "dataset": "cora_ml", "eps')
+        with pytest.warns(RuntimeWarning, match="truncated trailing record"):
+            loaded = store.load()
+        assert [r.epsilon for r in loaded] == [1.0]
+        # The resume path sees exactly the intact cell as completed ...
+        assert store.completed_keys() == {("GCON", "cora_ml", 1.0, 0)}
+        # ... and a recompute-and-append of the dropped cell yields each cell
+        # exactly once (no double-counting, no lost record).
+        store.append(_result(epsilon=2.0, score=0.9))
+        store.close()
+        assert sorted(r.epsilon for r in store.load()) == [1.0, 2.0]
+        assert len(store.completed_keys()) == 2
+
     def test_corrupt_middle_line_raises(self, tmp_path):
         path = tmp_path / "results.jsonl"
         store = JsonlResultStore(path)
