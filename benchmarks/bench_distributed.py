@@ -1,0 +1,116 @@
+"""Group-level scaling of the distributed work queue with local workers.
+
+The distributed subsystem's pitch is that a sweep's wall-clock divides by
+the number of machines draining the queue.  This benchmark submits one
+multi-dataset GCON+MLP sweep into a fresh queue per configuration and
+drains it with 1, 2 and 4 local worker processes — the exact protocol
+(spec file, group tasks, leases, per-group shards, merge) a multi-machine
+deployment runs, just with every "machine" on this host:
+
+* the merged stores of every worker count are bitwise identical to each
+  other and to a single-process engine run of the same spec (the queue may
+  change *when* work happens, never *what* comes out);
+* with enough cores, 2 and 4 workers approach 2x and 4x on the group
+  level; worker start-up (a fresh interpreter per worker, as on a real
+  second machine) is part of the measured time, so the small smoke grid
+  only checks sanity, not the scaling claim.
+
+``REPRO_SMOKE=1`` (or ``pytest --smoke``) shrinks the grid for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import bench_settings, is_smoke, record
+from repro.distributed import Coordinator, SweepSpec, start_local_workers
+from repro.evaluation.reporting import render_table
+from repro.runtime import JsonlResultStore, ParallelExperimentRunner
+from repro.runtime.workers import clear_worker_memos
+
+WORKER_COUNTS = (1, 2, 4)
+METHODS = ("GCON", "MLP")
+
+
+def _result_tuples(results):
+    return sorted((r.method, r.dataset, r.epsilon, r.repeat, r.micro_f1)
+                  for r in results)
+
+
+def _drain(spec, dist_dir, jobs):
+    """Submit into a fresh queue and drain it with ``jobs`` worker processes."""
+    coordinator = Coordinator(dist_dir)
+    coordinator.submit(spec)
+    start = time.perf_counter()
+    workers = start_local_workers(dist_dir, jobs=jobs, poll_interval=0.05)
+    for process in workers:
+        process.join()
+    elapsed = time.perf_counter() - start
+    assert all(process.exitcode == 0 for process in workers), \
+        [process.exitcode for process in workers]
+    report = coordinator.merge()
+    return elapsed, _result_tuples(JsonlResultStore(report.output).load())
+
+
+def _run(settings, root):
+    spec = SweepSpec.from_settings(settings, methods=METHODS)
+
+    clear_worker_memos()
+    start = time.perf_counter()
+    engine_results = ParallelExperimentRunner(spec.cell_runner(),
+                                              jobs=1).run(spec.expand())
+    engine_seconds = time.perf_counter() - start
+
+    timings = {}
+    merged = {}
+    for jobs in WORKER_COUNTS:
+        timings[jobs], merged[jobs] = _drain(spec, root / f"queue-{jobs}", jobs)
+    return {
+        "spec": spec,
+        "engine_seconds": engine_seconds,
+        "engine_results": _result_tuples(engine_results),
+        "timings": timings,
+        "merged": merged,
+    }
+
+
+def test_distributed_worker_scaling(benchmark, tmp_path):
+    settings = bench_settings(datasets=("cora_ml", "citeseer"),
+                              epsilons=(0.5, 1.0, 2.0, 4.0), repeats=2)
+    outcome = benchmark.pedantic(_run, args=(settings, tmp_path),
+                                 rounds=1, iterations=1)
+
+    spec = outcome["spec"]
+    groups = len({(c.dataset, c.method, c.repeat) for c in spec.expand()})
+    baseline = outcome["timings"][WORKER_COUNTS[0]]
+    rows = [["single-process engine", f"{outcome['engine_seconds']:.2f}", "-", "-"]]
+    for jobs in WORKER_COUNTS:
+        speedup = baseline / max(outcome["timings"][jobs], 1e-9)
+        rows.append([f"queue, {jobs} worker(s)", f"{outcome['timings'][jobs]:.2f}",
+                     f"{speedup:.2f}x", f"{speedup / jobs:.2f}"])
+    record("distributed_scaling",
+           render_table(["configuration", "seconds", "speedup vs 1 worker",
+                         "efficiency"],
+                        rows, title=f"distributed queue drain, {groups} groups "
+                                    f"({spec.describe()})"))
+
+    # Correctness first: every worker count merges to the same numbers as
+    # the single-process engine.  (The engine stamps no context without a
+    # store, so the comparison covers the cell identity and the score.)
+    for jobs in WORKER_COUNTS:
+        assert outcome["merged"][jobs] == outcome["engine_results"]
+
+    # Scaling: near-linear at the group level when the host has the cores.
+    # The smoke grid has too few groups to amortise worker start-up, so it
+    # only checks that fan-out is not pathologically slower.
+    speedup2 = baseline / max(outcome["timings"][2], 1e-9)
+    speedup4 = baseline / max(outcome["timings"][4], 1e-9)
+    if is_smoke():
+        assert speedup2 >= 0.3
+    else:
+        cores = os.cpu_count() or 1
+        if cores >= 2:
+            assert speedup2 >= 1.4, f"2-worker speedup {speedup2:.2f}x"
+        if cores >= 4:
+            assert speedup4 >= 2.0, f"4-worker speedup {speedup4:.2f}x"

@@ -26,6 +26,10 @@ serial run, typically several times faster.  Three layers stack up:
   a cache hit is bitwise identical to a cold preparation, and any change to
   the preparation configuration, the graph or the seed is a cache miss.
 
+One machine is the ceiling here: to shard the same sweep across several
+machines over a shared filesystem (work queue + leases + shard merging),
+see ``examples/distributed_sweep.py`` and ``repro sweep --dist-dir DIR``.
+
 Run with:  python examples/parallel_sweep.py [--jobs 4] [--scale 0.15]
 
 The equivalent CLI invocation (resumable via --output):

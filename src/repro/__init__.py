@@ -15,6 +15,10 @@ The package is organised around the paper's structure:
 * :mod:`repro.attacks` -- edge-inference attacks motivating edge DP.
 * :mod:`repro.evaluation` -- metrics and the experiment runner used by the
   benchmark harness.
+* :mod:`repro.runtime` -- the parallel sweep engine (cells, process pool,
+  resumable JSONL stores, shard merging).
+* :mod:`repro.distributed` -- multi-machine sweep sharding over a shared
+  filesystem (work queue, leases, workers, coordinator).
 """
 
 from repro.version import __version__

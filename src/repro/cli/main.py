@@ -35,6 +35,33 @@ def _add_preparation_cache_argument(parser: argparse.ArgumentParser) -> None:
              "preparation phase (default: $REPRO_PREPARATION_CACHE when set)")
 
 
+def _add_sweep_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep grid plus every numerical knob, shared by ``sweep`` and
+    ``dist submit`` so a distributed spec means exactly what a local sweep
+    means (same defaults, same resume context)."""
+    parser.add_argument("--datasets", type=_parse_name_list, default=["cora_ml"],
+                        help="comma-separated dataset presets")
+    parser.add_argument("--methods", type=_parse_name_list, default=None,
+                        help="comma-separated method names (default: all registered)")
+    parser.add_argument("--epsilons", type=_parse_float_list,
+                        default=[0.5, 1.0, 2.0, 3.0, 4.0],
+                        help="comma-separated privacy budgets")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="independent repeats per cell")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="dataset down-scaling factor (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument("--delta", type=float, default=None,
+                        help="privacy parameter delta (default: 1/|E| per graph)")
+    parser.add_argument("--epochs", type=int, default=120,
+                        help="training epochs of the non-convex baselines")
+    parser.add_argument("--encoder-epochs", type=int, default=150, dest="encoder_epochs",
+                        help="GCON public-encoder training epochs")
+    parser.add_argument("--serial-cells", action="store_true", dest="serial_cells",
+                        help="run every cell through the per-cell reference path "
+                             "instead of the vectorised epsilon-sweep solver")
+
+
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", default="cora_ml",
                         help="dataset preset name (see 'datasets' sub-command)")
@@ -171,36 +198,77 @@ def _parse_float_list(raw: str) -> list[float]:
     return values
 
 
-def command_sweep(args) -> int:
-    """Run a full method x dataset x epsilon x repeat sweep on the parallel engine."""
+def _resolve_sweep_names(args) -> tuple[list[str] | None, str | None]:
+    """Validate --methods/--datasets; returns (methods, error message)."""
     from repro.evaluation.figures import FigureSettings, build_method_registry
+    from repro.graphs.datasets import list_datasets
+
+    registry = build_method_registry(FigureSettings())
+    methods = args.methods if args.methods is not None else list(registry)
+    unknown = [name for name in methods if name not in registry]
+    if unknown:
+        return None, (f"unknown methods: {', '.join(unknown)} "
+                      f"(available: {', '.join(registry)})")
+    known_datasets = list_datasets()
+    unknown = [name for name in args.datasets if name not in known_datasets]
+    if unknown:
+        return None, (f"unknown datasets: {', '.join(unknown)} "
+                      f"(available: {', '.join(known_datasets)})")
+    return methods, None
+
+
+def _sweep_spec_from_args(args, methods: list[str]):
+    """The distributed :class:`SweepSpec` equivalent of this ``sweep`` run."""
+    from repro.distributed import SweepSpec
+
+    return SweepSpec(
+        methods=tuple(methods), datasets=tuple(args.datasets),
+        epsilons=tuple(args.epsilons), repeats=args.repeats, seed=args.seed,
+        scale=args.scale, delta=args.delta, epochs=args.epochs,
+        encoder_epochs=args.encoder_epochs,
+        fast_sweep=not getattr(args, "serial_cells", False),
+    )
+
+
+def _print_sweep_summary(results, jobs, output) -> None:
     from repro.evaluation.reporting import render_series, render_table
     from repro.evaluation.runner import aggregate_results, series_from_results
-    from repro.graphs.datasets import list_datasets
+
+    aggregated = aggregate_results(results)
+    rows = [
+        [method, dataset, f"{epsilon:g}", f"{stats['mean']:.4f}", f"{stats['std']:.4f}",
+         f"{stats['min']:.4f}", f"{stats['max']:.4f}", stats["count"]]
+        for (method, dataset, epsilon), stats in sorted(aggregated.items())
+    ]
+    print(render_table(
+        ["method", "dataset", "epsilon", "mean", "std", "min", "max", "repeats"],
+        rows, title=f"sweep ({len(results)} cells, jobs={jobs})"))
+    print()
+    print(render_series(series_from_results(results), title="mean micro-F1 series"))
+    if output:
+        print(f"\nresults stored in: {output}")
+
+
+def command_sweep(args) -> int:
+    """Run a full method x dataset x epsilon x repeat sweep on the parallel engine."""
+    from repro.evaluation.figures import FigureSettings
     from repro.runtime.cells import expand_cells
     from repro.runtime.engine import ParallelExperimentRunner
     from repro.runtime.store import JsonlResultStore
     from repro.runtime.workers import FigureCellRunner
+
+    methods, error = _resolve_sweep_names(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.dist_dir:
+        return _sweep_distributed(args, methods)
 
     settings = FigureSettings(
         scale=args.scale, repeats=args.repeats, seed=args.seed, epochs=args.epochs,
         encoder_epochs=args.encoder_epochs, datasets=tuple(args.datasets),
         epsilons=tuple(args.epsilons), jobs=args.jobs,
     )
-    registry = build_method_registry(settings)
-    methods = args.methods if args.methods is not None else list(registry)
-    unknown = [name for name in methods if name not in registry]
-    if unknown:
-        print(f"unknown methods: {', '.join(unknown)} "
-              f"(available: {', '.join(registry)})", file=sys.stderr)
-        return 2
-    known_datasets = list_datasets()
-    unknown = [name for name in settings.datasets if name not in known_datasets]
-    if unknown:
-        print(f"unknown datasets: {', '.join(unknown)} "
-              f"(available: {', '.join(known_datasets)})", file=sys.stderr)
-        return 2
-
     cells = expand_cells(methods, settings.datasets, settings.epsilons,
                          settings.repeats, seed=settings.seed)
     store = JsonlResultStore(args.output) if args.output else None
@@ -212,20 +280,114 @@ def command_sweep(args) -> int:
         resume_context=dict(settings.resume_context(), delta=args.delta),
     )
     results = engine.run(cells)
+    _print_sweep_summary(results, args.jobs, args.output)
+    return 0
 
-    aggregated = aggregate_results(results)
-    rows = [
-        [method, dataset, f"{epsilon:g}", f"{stats['mean']:.4f}", f"{stats['std']:.4f}",
-         f"{stats['min']:.4f}", f"{stats['max']:.4f}", stats["count"]]
-        for (method, dataset, epsilon), stats in sorted(aggregated.items())
-    ]
-    print(render_table(
-        ["method", "dataset", "epsilon", "mean", "std", "min", "max", "repeats"],
-        rows, title=f"sweep ({len(results)} cells, jobs={args.jobs})"))
-    print()
-    print(render_series(series_from_results(results), title="mean micro-F1 series"))
-    if args.output:
-        print(f"\nresults stored in: {args.output}")
+
+def _sweep_distributed(args, methods: list[str]) -> int:
+    """The ``sweep --dist-dir`` fast path: submit, fan out local workers, merge."""
+    from repro.distributed import Coordinator, start_local_workers
+    from repro.runtime.store import JsonlResultStore
+
+    spec = _sweep_spec_from_args(args, methods)
+    coordinator = Coordinator(args.dist_dir)
+    report = coordinator.submit(spec)
+    print(f"dist queue {args.dist_dir}: {report.summary()}", file=sys.stderr)
+
+    workers = start_local_workers(
+        args.dist_dir, jobs=args.jobs,
+        preparation_cache=args.preparation_cache)
+    try:
+        completed = coordinator.wait(
+            progress=not args.quiet,
+            should_abort=lambda: not any(p.is_alive() for p in workers))
+    finally:
+        for process in workers:
+            process.join()
+    if not completed and coordinator.queue.pending_ids():
+        print("distributed sweep did not complete (see the failed/ directory "
+              "of the queue); rerun to resume", file=sys.stderr)
+        return 1
+
+    merge_report = coordinator.merge(args.output or None)
+    print(merge_report.summary(), file=sys.stderr)
+    results = JsonlResultStore(merge_report.output).load()
+    _print_sweep_summary(results, args.jobs, str(merge_report.output))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# dist sub-commands
+# --------------------------------------------------------------------------- #
+def command_dist_submit(args) -> int:
+    """Expand a sweep into the distributed queue (idempotent)."""
+    from repro.distributed import Coordinator
+    from repro.exceptions import ConfigurationError
+
+    methods, error = _resolve_sweep_names(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    spec = _sweep_spec_from_args(args, methods)
+    try:
+        report = Coordinator(args.dist_dir).submit(spec)
+    except ConfigurationError as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        return 2
+    print(f"spec {spec.digest()[:12]}: {spec.describe()}")
+    print(report.summary())
+    print(f"start workers with:  repro dist work --dist-dir {args.dist_dir}")
+    return 0
+
+
+def command_dist_work(args) -> int:
+    """Run one worker loop against a queue until the sweep completes."""
+    from repro.distributed import DistributedWorker
+    from repro.exceptions import ConfigurationError
+
+    worker = DistributedWorker(
+        args.dist_dir, args.worker_id, lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval, max_groups=args.max_groups,
+        wait_for_completion=not args.no_wait,
+        preparation_cache=args.preparation_cache,
+        log_stream=None if args.quiet else sys.stderr)
+    try:
+        report = worker.run()
+    except ConfigurationError as error:
+        print(f"worker failed to start: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
+def command_dist_status(args) -> int:
+    """Print the queue census: groups done/leased/expired, per-worker holds."""
+    from repro.distributed import Coordinator
+    from repro.exceptions import ConfigurationError
+
+    coordinator = Coordinator(args.dist_dir)
+    try:
+        spec = coordinator.spec()
+    except ConfigurationError as error:
+        print(f"status failed: {error}", file=sys.stderr)
+        return 2
+    print(f"spec {spec.digest()[:12]}: {spec.describe()}")
+    print(coordinator.status().summary())
+    return 0
+
+
+def command_dist_merge(args) -> int:
+    """Merge completed shards into one deduplicated, fingerprint-checked store."""
+    from repro.distributed import Coordinator
+
+    coordinator = Coordinator(args.dist_dir)
+    try:
+        report = coordinator.merge(args.output or None,
+                                   require_complete=not args.partial)
+    except (RuntimeError, ValueError) as error:
+        print(f"merge failed: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
     return 0
 
 
@@ -375,24 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser(
         "sweep", help="run a method x dataset x epsilon x repeat sweep in parallel")
-    sweep.add_argument("--datasets", type=_parse_name_list, default=["cora_ml"],
-                       help="comma-separated dataset presets")
-    sweep.add_argument("--methods", type=_parse_name_list, default=None,
-                       help="comma-separated method names (default: all registered)")
-    sweep.add_argument("--epsilons", type=_parse_float_list,
-                       default=[0.5, 1.0, 2.0, 3.0, 4.0],
-                       help="comma-separated privacy budgets")
-    sweep.add_argument("--repeats", type=int, default=1,
-                       help="independent repeats per cell")
-    sweep.add_argument("--scale", type=float, default=0.25,
-                       help="dataset down-scaling factor (1.0 = paper size)")
-    sweep.add_argument("--seed", type=int, default=0, help="master random seed")
-    sweep.add_argument("--delta", type=float, default=None,
-                       help="privacy parameter delta (default: 1/|E| per graph)")
-    sweep.add_argument("--epochs", type=int, default=120,
-                       help="training epochs of the non-convex baselines")
-    sweep.add_argument("--encoder-epochs", type=int, default=150, dest="encoder_epochs",
-                       help="GCON public-encoder training epochs")
+    _add_sweep_grid_arguments(sweep)
     sweep.add_argument("--jobs", type=int, default=1,
                        help="number of parallel worker processes")
     sweep.add_argument("--output", default=None,
@@ -400,11 +545,60 @@ def build_parser() -> argparse.ArgumentParser:
                             "resumes an interrupted sweep")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress progress reporting on stderr")
-    sweep.add_argument("--serial-cells", action="store_true", dest="serial_cells",
-                       help="run every cell through the per-cell reference path "
-                            "instead of the vectorised epsilon-sweep solver")
+    sweep.add_argument("--dist-dir", default=None, dest="dist_dir", metavar="DIR",
+                       help="run the sweep through the distributed queue in DIR "
+                            "instead of an in-process pool: submit the spec, "
+                            "fan out --jobs local worker processes, merge the "
+                            "shards (other machines may join with "
+                            "'repro dist work --dist-dir DIR')")
     _add_preparation_cache_argument(sweep)
     sweep.set_defaults(func=command_sweep)
+
+    dist = subparsers.add_parser(
+        "dist", help="shard a sweep across machines via a shared-filesystem queue")
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+
+    dist_submit = dist_sub.add_parser(
+        "submit", help="expand a sweep spec into the queue (idempotent)")
+    dist_submit.add_argument("--dist-dir", required=True, dest="dist_dir",
+                             metavar="DIR", help="queue directory (shared filesystem)")
+    _add_sweep_grid_arguments(dist_submit)
+    dist_submit.set_defaults(func=command_dist_submit)
+
+    dist_work = dist_sub.add_parser(
+        "work", help="claim and execute groups until the sweep completes")
+    dist_work.add_argument("--dist-dir", required=True, dest="dist_dir", metavar="DIR")
+    dist_work.add_argument("--worker-id", default=None, dest="worker_id",
+                           help="stable worker identity (default: host-pid-nonce)")
+    dist_work.add_argument("--lease-ttl", type=float, default=60.0, dest="lease_ttl",
+                           help="seconds without a heartbeat before this worker's "
+                                "claims may be re-leased by others")
+    dist_work.add_argument("--poll-interval", type=float, default=0.5,
+                           dest="poll_interval",
+                           help="seconds between queue polls when nothing is claimable")
+    dist_work.add_argument("--max-groups", type=int, default=None, dest="max_groups",
+                           help="stop after completing this many groups")
+    dist_work.add_argument("--no-wait", action="store_true", dest="no_wait",
+                           help="exit when nothing is claimable instead of waiting "
+                                "for the whole sweep to complete")
+    dist_work.add_argument("--quiet", action="store_true",
+                           help="suppress per-group progress lines on stderr")
+    _add_preparation_cache_argument(dist_work)
+    dist_work.set_defaults(func=command_dist_work)
+
+    dist_status = dist_sub.add_parser("status", help="print the queue census")
+    dist_status.add_argument("--dist-dir", required=True, dest="dist_dir", metavar="DIR")
+    dist_status.set_defaults(func=command_dist_status)
+
+    dist_merge = dist_sub.add_parser(
+        "merge", help="merge completed shards into one result store")
+    dist_merge.add_argument("--dist-dir", required=True, dest="dist_dir", metavar="DIR")
+    dist_merge.add_argument("--output", default=None,
+                            help="merged JSONL path (default: DIR/merged.jsonl)")
+    dist_merge.add_argument("--partial", action="store_true",
+                            help="merge whatever shards exist instead of requiring "
+                                 "a complete sweep")
+    dist_merge.set_defaults(func=command_dist_merge)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("id", choices=("table2", "figure1", "figure2", "figure3",

@@ -1,0 +1,45 @@
+"""Multi-machine sweep execution over a shared filesystem.
+
+The third layer of the execution stack — PR 1 fanned cells over local
+processes, PR 2 collapsed each epsilon axis into one vectorised solve, this
+package shards whole sweeps across machines with nothing but a shared
+directory as the coordination substrate:
+
+* :mod:`repro.distributed.spec`        -- the serialisable sweep description;
+* :mod:`repro.distributed.queue`       -- the content-addressed work queue;
+* :mod:`repro.distributed.lease`       -- atomic claims with heartbeats;
+* :mod:`repro.distributed.worker`      -- the claim/execute/publish loop;
+* :mod:`repro.distributed.coordinator` -- submit, watch, merge.
+
+Determinism carries through: every cell's seed lives in the queue's task
+files, so any assignment of groups to machines — including crashes,
+re-leases and duplicated executions — merges into results bitwise identical
+to a single-process run of the same spec.
+"""
+
+from repro.distributed.coordinator import (
+    Coordinator,
+    QueueStatus,
+    SubmitReport,
+    start_local_workers,
+)
+from repro.distributed.lease import Lease, LeaseManager
+from repro.distributed.queue import GroupTask, WorkQueue, group_id_for
+from repro.distributed.spec import SweepSpec
+from repro.distributed.worker import DistributedWorker, WorkerReport, default_worker_id
+
+__all__ = [
+    "Coordinator",
+    "QueueStatus",
+    "SubmitReport",
+    "start_local_workers",
+    "Lease",
+    "LeaseManager",
+    "GroupTask",
+    "WorkQueue",
+    "group_id_for",
+    "SweepSpec",
+    "DistributedWorker",
+    "WorkerReport",
+    "default_worker_id",
+]

@@ -1,0 +1,258 @@
+"""The coordinator: submit sweeps, watch progress, merge shards.
+
+The coordinator is the only component that understands the *whole* sweep;
+workers only ever see one group at a time.  Its three verbs:
+
+* :meth:`Coordinator.submit` expands a :class:`SweepSpec` into cell groups
+  and enqueues each as a content-addressed task — idempotent, so
+  resubmitting a running or finished sweep changes nothing;
+* :meth:`Coordinator.wait` polls the done markers and narrates cell-level
+  progress through the injectable
+  :class:`~repro.runtime.progress.ProgressReporter`;
+* :meth:`Coordinator.merge` folds the completed shards into one
+  deduplicated, fingerprint-checked store, ordered canonically — byte-level
+  interchangeable with what a single-process ``repro sweep`` run writes.
+
+:func:`run_local_workers` is the single-machine convenience used by
+``repro sweep --dist-dir`` and the benchmarks: it forks N worker processes
+against a local queue directory, which exercises the exact protocol a
+multi-machine deployment uses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.distributed.lease import LeaseManager
+from repro.distributed.queue import GroupTask, WorkQueue, group_id_for
+from repro.distributed.spec import SweepSpec
+from repro.runtime.progress import ProgressReporter
+from repro.runtime.store import MergeReport, merge_stores
+
+
+@dataclass
+class SubmitReport:
+    """What one submission did to the queue."""
+
+    created: bool
+    groups_total: int
+    groups_enqueued: int
+    groups_done: int
+    cells_total: int
+
+    def summary(self) -> str:
+        if self.groups_enqueued == 0:
+            state = ("already complete" if self.groups_done == self.groups_total
+                     else "already submitted")
+            return (f"no-op ({state}): {self.groups_total} group(s), "
+                    f"{self.cells_total} cell(s)")
+        return (f"enqueued {self.groups_enqueued} of {self.groups_total} "
+                f"group(s) ({self.cells_total} cells total)")
+
+
+@dataclass
+class QueueStatus:
+    """A point-in-time census of the queue."""
+
+    groups_total: int
+    groups_done: int
+    groups_leased: int
+    groups_expired: int
+    groups_claimable: int
+    cells_total: int
+    cells_done: int
+    failures: int
+    workers: dict
+
+    @property
+    def complete(self) -> bool:
+        return self.groups_total > 0 and self.groups_done == self.groups_total
+
+    def summary(self) -> str:
+        lines = [
+            f"groups: {self.groups_done}/{self.groups_total} done, "
+            f"{self.groups_leased} leased, {self.groups_expired} expired, "
+            f"{self.groups_claimable} claimable",
+            f"cells:  {self.cells_done}/{self.cells_total} done",
+        ]
+        for worker_id, held in sorted(self.workers.items()):
+            lines.append(f"  {worker_id}: holding {held} group(s)")
+        if self.failures:
+            lines.append(f"failures recorded: {self.failures} (see failed/)")
+        return "\n".join(lines)
+
+
+class Coordinator:
+    """Drives one sweep through a :class:`WorkQueue` directory."""
+
+    def __init__(self, dist_dir, lease_ttl: float = 60.0, clock=None):
+        self.queue = WorkQueue(dist_dir)
+        self.leases = LeaseManager(self.queue.leases_dir, ttl=lease_ttl,
+                                   clock=clock)
+        # Task files are created once and never mutated, so their cell
+        # counts are cached here: a polling wait() must not re-read every
+        # task file from the (possibly network) filesystem twice a second.
+        self._group_sizes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # submit
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: SweepSpec) -> SubmitReport:
+        """Expand ``spec`` into group tasks and enqueue the missing ones."""
+        created = self.queue.initialize(spec)
+        digest = spec.digest()
+        groups: dict[int, list] = {}
+        cells = spec.expand()
+        for cell in cells:
+            groups.setdefault(cell.group, []).append(cell)
+        enqueued = 0
+        for group_cells in groups.values():
+            task = GroupTask(group_id=group_id_for(digest, group_cells),
+                             spec_digest=digest, cells=tuple(group_cells))
+            if self.queue.enqueue(task):
+                enqueued += 1
+        return SubmitReport(created=created, groups_total=len(groups),
+                            groups_enqueued=enqueued,
+                            groups_done=len(self.queue.done_ids()),
+                            cells_total=len(cells))
+
+    def spec(self) -> SweepSpec:
+        return self.queue.load_spec()
+
+    # ------------------------------------------------------------------ #
+    # observe
+    # ------------------------------------------------------------------ #
+    def _group_size(self, group_id: str) -> int:
+        size = self._group_sizes.get(group_id)
+        if size is None:
+            size = len(self.queue.read_task(group_id).cells)
+            self._group_sizes[group_id] = size
+        return size
+
+    def status(self) -> QueueStatus:
+        task_ids = self.queue.task_ids()
+        done = self.queue.done_ids()
+        leased = expired = claimable = cells_total = cells_done = 0
+        workers: dict[str, int] = {}
+        for group_id in task_ids:
+            size = self._group_size(group_id)
+            cells_total += size
+            if group_id in done:
+                cells_done += size
+                continue
+            lease = self.leases.read(group_id)
+            if lease is None:
+                claimable += 1
+            elif self.leases.is_expired(lease):
+                expired += 1
+                claimable += 1
+            else:
+                leased += 1
+                workers[lease.worker_id] = workers.get(lease.worker_id, 0) + 1
+        return QueueStatus(groups_total=len(task_ids), groups_done=len(done),
+                           groups_leased=leased, groups_expired=expired,
+                           groups_claimable=claimable, cells_total=cells_total,
+                           cells_done=cells_done,
+                           failures=self.queue.failure_count(), workers=workers)
+
+    def wait(self, poll_interval: float = 0.5, timeout: float | None = None,
+             progress: bool | ProgressReporter = False,
+             should_abort=None) -> bool:
+        """Block until every group is done; False on timeout/abort.
+
+        ``should_abort`` is an optional zero-argument callable polled each
+        round — ``repro sweep --dist-dir`` uses it to stop waiting when all
+        of its local workers have died.
+        """
+        status = self.status()
+        reporter = None
+        if isinstance(progress, ProgressReporter):
+            reporter = progress
+        elif progress:
+            reporter = ProgressReporter(status.cells_total, label="dist sweep")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while True:
+                if reporter is not None:
+                    reporter.update(advance=status.cells_done - reporter.done,
+                                    note=f"{status.groups_done}/"
+                                         f"{status.groups_total} groups")
+                if status.complete:
+                    return True
+                if deadline is not None and time.monotonic() >= deadline:
+                    return False
+                if should_abort is not None and should_abort():
+                    return False
+                time.sleep(poll_interval)
+                status = self.status()
+        finally:
+            if reporter is not None:
+                reporter.finish()
+
+    # ------------------------------------------------------------------ #
+    # merge
+    # ------------------------------------------------------------------ #
+    def expected_keys(self) -> list[tuple]:
+        """Every cell key of the sweep, in canonical serial order."""
+        return [cell.key() for cell in self.spec().expand()]
+
+    def merge(self, output_path=None, require_complete: bool = True) -> MergeReport:
+        """Fold completed shards into one canonical store.
+
+        With ``require_complete`` (the default) an unfinished sweep raises,
+        and the merged store is pinned to contain *exactly* the spec's cells
+        in canonical order; ``require_complete=False`` merges whatever shards
+        exist (a monitoring convenience for partial sweeps).
+        """
+        spec = self.spec()
+        done = sorted(self.queue.done_ids())
+        pending = self.queue.pending_ids()
+        if require_complete and pending:
+            raise RuntimeError(
+                f"sweep is incomplete: {len(pending)} group(s) still pending "
+                f"(first: {pending[0]}); run more workers or pass "
+                f"require_complete=False")
+        output = (Path(output_path) if output_path is not None
+                  else self.queue.root / "merged.jsonl")
+        return merge_stores(
+            [self.queue.shard_path(group_id) for group_id in done],
+            output,
+            context_digest=spec.context_digest(),
+            expected_keys=self.expected_keys() if require_complete else None,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# local worker fan-out (single machine, N processes)
+# --------------------------------------------------------------------------- #
+def _local_worker_entry(dist_dir: str, worker_id: str, lease_ttl: float,
+                        poll_interval: float,
+                        preparation_cache: str | None) -> None:
+    from repro.distributed.worker import DistributedWorker
+
+    worker = DistributedWorker(dist_dir, worker_id, lease_ttl=lease_ttl,
+                               poll_interval=poll_interval,
+                               preparation_cache=preparation_cache)
+    worker.run()
+
+
+def start_local_workers(dist_dir, jobs: int, *, lease_ttl: float = 60.0,
+                        poll_interval: float = 0.2,
+                        preparation_cache: str | None = None,
+                        worker_prefix: str = "local") -> list:
+    """Fork ``jobs`` worker processes against a local queue directory."""
+    context = multiprocessing.get_context("spawn")
+    processes = []
+    for index in range(jobs):
+        process = context.Process(
+            target=_local_worker_entry,
+            args=(str(dist_dir), f"{worker_prefix}-{index}", lease_ttl,
+                  poll_interval, preparation_cache),
+            daemon=False,
+        )
+        process.start()
+        processes.append(process)
+    return processes

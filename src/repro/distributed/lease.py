@@ -1,0 +1,178 @@
+"""Atomic filesystem leases: claim files with worker ids and heartbeats.
+
+A lease is a JSON claim file created with ``O_CREAT | O_EXCL`` — the one
+filesystem primitive that is atomic on local disks and on the network
+filesystems (NFSv3+, Lustre, CIFS) a multi-machine sweep shares — so exactly
+one worker can hold a group at a time.  The holder refreshes a heartbeat
+timestamp inside the file; a lease whose heartbeat is older than its TTL is
+*expired* and may be stolen by any other worker:
+
+1. the stealer atomically renames the stale file to a private reap token
+   (two concurrent stealers race on the rename; exactly one wins, the loser
+   gets ``FileNotFoundError`` and walks away);
+2. the winner deletes the token and claims the group with a fresh exclusive
+   create, exactly like a first claim.
+
+A partitioned-but-alive worker therefore loses its lease rather than
+wedging the sweep; when it reconnects, :meth:`LeaseManager.heartbeat`
+reports the loss and the worker abandons the group.  Because every cell
+carries a deterministic seed, the work the zombie already did is bitwise
+identical to the re-claimer's — double execution wastes time, never
+correctness.
+
+Expiry compares the heartbeat against this machine's wall clock, so
+machines sharing a queue need loosely synchronised clocks (NTP-level skew
+is fine for the minute-scale TTLs used here).  The clock is injectable for
+deterministic tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.utils.fs import atomic_write_text
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one group."""
+
+    group_id: str
+    worker_id: str
+    acquired_at: float
+    heartbeat_at: float
+    ttl: float
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "group_id": self.group_id, "worker_id": self.worker_id,
+            "acquired_at": self.acquired_at, "heartbeat_at": self.heartbeat_at,
+            "ttl": self.ttl,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Lease":
+        payload = json.loads(text)
+        return cls(group_id=str(payload["group_id"]),
+                   worker_id=str(payload["worker_id"]),
+                   acquired_at=float(payload["acquired_at"]),
+                   heartbeat_at=float(payload["heartbeat_at"]),
+                   ttl=float(payload["ttl"]))
+
+
+class LeaseManager:
+    """Acquire, refresh, steal and release leases under one directory."""
+
+    def __init__(self, root: str | os.PathLike, ttl: float = 60.0, clock=None):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self.clock = clock if clock is not None else time.time
+
+    def path_for(self, group_id: str) -> Path:
+        return self.root / f"{group_id}.lease"
+
+    # ------------------------------------------------------------------ #
+    # claiming
+    # ------------------------------------------------------------------ #
+    def acquire(self, group_id: str, worker_id: str) -> Lease | None:
+        """Claim ``group_id`` for ``worker_id``; ``None`` if validly held.
+
+        An expired lease is stolen (see the module docstring for the
+        race-free protocol); a fresh lease held by someone else — including
+        a past incarnation of this very worker id — is respected.
+        """
+        lease = self._try_create(group_id, worker_id)
+        if lease is not None:
+            return lease
+        current = self.read(group_id)
+        if current is None:
+            # The holder released (or was reaped) between our create attempt
+            # and the read; try once more, then let the caller's next poll
+            # retry.
+            return self._try_create(group_id, worker_id)
+        if not self.is_expired(current):
+            return None
+        if not self._reap(group_id):
+            return None
+        return self._try_create(group_id, worker_id)
+
+    def _try_create(self, group_id: str, worker_id: str) -> Lease | None:
+        now = self.clock()
+        lease = Lease(group_id=group_id, worker_id=worker_id,
+                      acquired_at=now, heartbeat_at=now, ttl=self.ttl)
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            handle = os.open(self.path_for(group_id),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        try:
+            os.write(handle, (lease.to_json() + "\n").encode("utf-8"))
+        finally:
+            os.close(handle)
+        return lease
+
+    def _reap(self, group_id: str) -> bool:
+        """Atomically retire an expired lease file; True if *we* retired it."""
+        token = self.root / f".reap-{group_id}-{uuid.uuid4().hex}"
+        try:
+            os.replace(self.path_for(group_id), token)
+        except FileNotFoundError:
+            return False  # a concurrent stealer won the rename
+        token.unlink(missing_ok=True)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def read(self, group_id: str) -> Lease | None:
+        """The current lease on ``group_id``, ``None`` if absent/corrupt."""
+        try:
+            text = self.path_for(group_id).read_text(encoding="utf-8")
+            return Lease.from_json(text)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def is_expired(self, lease: Lease) -> bool:
+        return self.clock() - lease.heartbeat_at > lease.ttl
+
+    def holder(self, group_id: str) -> str | None:
+        """The worker id validly holding ``group_id``, ``None`` otherwise."""
+        lease = self.read(group_id)
+        if lease is None or self.is_expired(lease):
+            return None
+        return lease.worker_id
+
+    # ------------------------------------------------------------------ #
+    # holding
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, lease: Lease) -> Lease | None:
+        """Refresh ``lease``; ``None`` if it was lost (stolen or released).
+
+        The refresh rewrites the claim file atomically (temp + rename) after
+        verifying the file still names this worker — a worker that was
+        partitioned long enough to be reaped learns it here and must abandon
+        the group.
+        """
+        current = self.read(lease.group_id)
+        if current is None or current.worker_id != lease.worker_id:
+            return None
+        refreshed = Lease(group_id=lease.group_id, worker_id=lease.worker_id,
+                          acquired_at=lease.acquired_at,
+                          heartbeat_at=self.clock(), ttl=lease.ttl)
+        atomic_write_text(self.path_for(lease.group_id),
+                          refreshed.to_json() + "\n")
+        return refreshed
+
+    def release(self, lease: Lease) -> None:
+        """Drop ``lease`` if still ours; a lost lease is released silently."""
+        current = self.read(lease.group_id)
+        if current is not None and current.worker_id == lease.worker_id:
+            self.path_for(lease.group_id).unlink(missing_ok=True)

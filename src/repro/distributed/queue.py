@@ -1,0 +1,245 @@
+"""The filesystem-backed work queue: one sweep, many machines, no server.
+
+A queue is a directory on a filesystem every participating machine can
+reach (local disk for multi-process runs, NFS/Lustre for multi-machine):
+
+.. code-block:: text
+
+    dist_dir/
+      spec.json             the submitted SweepSpec + its content digest
+      tasks/<gid>.json      one task per cell group (a whole epsilon axis)
+      leases/<gid>.lease    active claims: worker id + heartbeat (lease.py)
+      shards/<gid>.jsonl    completed per-group result shards
+      done/<gid>.json       completion markers (worker id, record count)
+      failed/<gid>-*.json   failure breadcrumbs left by crashed executions
+
+The unit of work is a cell *group* — every cell of one
+``(dataset, method, repeat)`` bucket, i.e. one epsilon axis — so the
+vectorised :class:`~repro.core.sweep.SweepSolver` fast path keeps working
+per shard and a claimed group amortises one preparation across all budgets.
+
+Everything is content-addressed and idempotent: group ids derive from the
+spec digest plus the group's cell identities, task files are only ever
+created (never mutated), shards are published by atomic rename, and done
+markers are plain idempotent writes — so resubmitting a sweep is a no-op,
+two workers racing on the same group converge on bitwise-identical shards,
+and a crashed process leaves nothing that needs repair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.distributed.spec import SweepSpec
+from repro.exceptions import ConfigurationError
+from repro.runtime.cells import SweepCell
+from repro.utils.fs import atomic_write_text
+
+TASK_FORMAT_VERSION = 1
+
+
+def _slug(text: str) -> str:
+    """A filesystem-safe token from a method/dataset name."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", text).strip("_") or "x"
+
+
+@dataclass(frozen=True)
+class GroupTask:
+    """One queued unit of work: a whole epsilon axis of cells."""
+
+    group_id: str
+    spec_digest: str
+    cells: tuple
+
+    @property
+    def key(self) -> tuple:
+        first = self.cells[0]
+        return (first.dataset, first.method, first.repeat)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format": TASK_FORMAT_VERSION,
+            "group_id": self.group_id,
+            "spec_digest": self.spec_digest,
+            "cells": [{
+                "index": cell.index, "method": cell.method,
+                "dataset": cell.dataset,
+                "epsilon": cell.epsilon if math.isfinite(cell.epsilon) else "inf",
+                "repeat": cell.repeat, "seed": cell.seed, "group": cell.group,
+            } for cell in self.cells],
+        }, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GroupTask":
+        payload = json.loads(text)
+        version = payload.get("format", TASK_FORMAT_VERSION)
+        if version != TASK_FORMAT_VERSION:
+            raise ConfigurationError(f"unsupported task format {version}")
+        cells = tuple(SweepCell(
+            index=int(raw["index"]), method=str(raw["method"]),
+            dataset=str(raw["dataset"]),
+            epsilon=math.inf if raw["epsilon"] == "inf" else float(raw["epsilon"]),
+            repeat=int(raw["repeat"]), seed=int(raw["seed"]),
+            group=int(raw["group"]),
+        ) for raw in payload["cells"])
+        if not cells:
+            raise ConfigurationError("a group task must contain at least one cell")
+        return cls(group_id=str(payload["group_id"]),
+                   spec_digest=str(payload["spec_digest"]), cells=cells)
+
+
+def group_id_for(spec_digest: str, cells) -> str:
+    """Deterministic, human-scannable id of one cell group.
+
+    The readable prefix names the ``(dataset, method, repeat)`` bucket; the
+    hash suffix covers the spec digest and the full cell identities, so two
+    different sweeps (or a regrouped sweep) can never collide on an id.
+    """
+    first = cells[0]
+    identity = json.dumps([spec_digest] + [
+        [cell.index, cell.method, cell.dataset, repr(cell.epsilon),
+         cell.repeat, cell.seed] for cell in cells
+    ], sort_keys=True)
+    suffix = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:12]
+    return f"{_slug(first.dataset)}-{_slug(first.method)}-r{first.repeat}-{suffix}"
+
+
+class WorkQueue:
+    """Filesystem layout plus the atomic operations the protocol needs."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # -- paths --------------------------------------------------------- #
+    @property
+    def spec_path(self) -> Path:
+        return self.root / "spec.json"
+
+    @property
+    def tasks_dir(self) -> Path:
+        return self.root / "tasks"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
+
+    @property
+    def done_dir(self) -> Path:
+        return self.root / "done"
+
+    @property
+    def failed_dir(self) -> Path:
+        return self.root / "failed"
+
+    def task_path(self, group_id: str) -> Path:
+        return self.tasks_dir / f"{group_id}.json"
+
+    def shard_path(self, group_id: str) -> Path:
+        return self.shards_dir / f"{group_id}.jsonl"
+
+    def wip_shard_path(self, group_id: str, worker_id: str) -> Path:
+        return self.shards_dir / f"{group_id}.jsonl.wip-{_slug(worker_id)}"
+
+    def done_path(self, group_id: str) -> Path:
+        return self.done_dir / f"{group_id}.json"
+
+    # -- spec ---------------------------------------------------------- #
+    def initialize(self, spec: SweepSpec) -> bool:
+        """Write ``spec`` into the queue; True if this call created it.
+
+        Idempotent on resubmission of the same spec; a *different* spec in
+        an already-initialised directory is refused — one queue directory
+        hosts exactly one sweep.
+        """
+        digest = spec.digest()
+        if self.spec_path.exists():
+            existing = self.load_spec()
+            if existing.digest() != digest:
+                raise ConfigurationError(
+                    f"{self.root} already hosts a different sweep "
+                    f"({existing.digest()[:12]} != {digest[:12]}); "
+                    f"use a fresh --dist-dir per sweep")
+            return False
+        for directory in (self.tasks_dir, self.leases_dir, self.shards_dir,
+                          self.done_dir, self.failed_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.spec_path, spec.to_json() + "\n")
+        return True
+
+    def load_spec(self) -> SweepSpec:
+        if not self.spec_path.exists():
+            raise ConfigurationError(
+                f"{self.root} is not an initialised queue (no spec.json); "
+                f"submit a sweep first")
+        return SweepSpec.from_json(self.spec_path.read_text(encoding="utf-8"))
+
+    # -- tasks --------------------------------------------------------- #
+    def enqueue(self, task: GroupTask) -> bool:
+        """Persist ``task`` if absent; True if this call enqueued it."""
+        path = self.task_path(task.group_id)
+        if path.exists():
+            return False
+        self.tasks_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, task.to_json() + "\n")
+        return True
+
+    def read_task(self, group_id: str) -> GroupTask:
+        return GroupTask.from_json(
+            self.task_path(group_id).read_text(encoding="utf-8"))
+
+    def task_ids(self) -> list[str]:
+        if not self.tasks_dir.exists():
+            return []
+        return sorted(path.stem for path in self.tasks_dir.glob("*.json"))
+
+    # -- completion ---------------------------------------------------- #
+    def done_ids(self) -> set[str]:
+        if not self.done_dir.exists():
+            return set()
+        return {path.stem for path in self.done_dir.glob("*.json")}
+
+    def is_done(self, group_id: str) -> bool:
+        return self.done_path(group_id).exists()
+
+    def pending_ids(self) -> list[str]:
+        """Task ids without a done marker, in stable (sorted) order."""
+        done = self.done_ids()
+        return [gid for gid in self.task_ids() if gid not in done]
+
+    def mark_done(self, group_id: str, worker_id: str, num_records: int) -> None:
+        """Publish the completion marker (idempotent: last writer wins, and
+        every writer computed bitwise-identical records)."""
+        self.done_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.done_path(group_id), json.dumps({
+            "group_id": group_id, "worker_id": worker_id,
+            "num_records": num_records,
+        }, sort_keys=True) + "\n")
+
+    def clean_wips(self, group_id: str) -> None:
+        """Drop leftover work-in-progress shards of ``group_id`` (crashed or
+        out-raced workers); the published shard is the only one that counts."""
+        for path in self.shards_dir.glob(f"{group_id}.jsonl.wip-*"):
+            path.unlink(missing_ok=True)
+
+    # -- failure breadcrumbs ------------------------------------------- #
+    def record_failure(self, group_id: str, worker_id: str, error: str) -> None:
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.failed_dir / f"{group_id}-{_slug(worker_id)}.json",
+            json.dumps({"group_id": group_id, "worker_id": worker_id,
+                        "error": error}, sort_keys=True) + "\n")
+
+    def failure_count(self) -> int:
+        if not self.failed_dir.exists():
+            return 0
+        return sum(1 for _ in self.failed_dir.glob("*.json"))

@@ -19,9 +19,14 @@ from repro.runtime.cells import (
     expand_cells,
     result_key,
 )
-from repro.runtime.engine import ParallelExperimentRunner, SweepExecutionError, run_cell_group
+from repro.runtime.engine import (
+    ParallelExperimentRunner,
+    SweepExecutionError,
+    context_digest,
+    run_cell_group,
+)
 from repro.runtime.progress import ProgressReporter
-from repro.runtime.store import JsonlResultStore
+from repro.runtime.store import JsonlResultStore, MergeReport, merge_stores
 
 __all__ = [
     "ExperimentResult",
@@ -32,7 +37,10 @@ __all__ = [
     "result_key",
     "ParallelExperimentRunner",
     "SweepExecutionError",
+    "context_digest",
     "run_cell_group",
     "ProgressReporter",
     "JsonlResultStore",
+    "MergeReport",
+    "merge_stores",
 ]

@@ -31,6 +31,19 @@ from repro.runtime.progress import ProgressReporter
 from repro.runtime.store import JsonlResultStore
 
 
+def context_digest(context: dict) -> str:
+    """Stable short digest of a sweep's numerical settings (its *context*).
+
+    Stored with every record and required to match on resume or shard merge,
+    so results computed under different settings can never silently mix.  The
+    single-process engine and the distributed workers must agree on this
+    derivation bit for bit — it is the fingerprint that makes their stores
+    interchangeable.
+    """
+    payload = json.dumps(context, sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
 class SweepExecutionError(RuntimeError):
     """A cell runner raised; carries the failing cell for diagnostics."""
 
@@ -93,13 +106,8 @@ class ParallelExperimentRunner:
         # rerunning against the same --output with different settings recomputes
         # instead of silently returning the old numbers.
         self._context_digest = (
-            None if resume_context is None else self._digest(resume_context)
+            None if resume_context is None else context_digest(resume_context)
         )
-
-    @staticmethod
-    def _digest(context: dict) -> str:
-        payload = json.dumps(context, sort_keys=True, default=str)
-        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------ #
     # execution

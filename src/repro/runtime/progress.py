@@ -2,7 +2,9 @@
 
 Writes single-line updates to ``stderr`` (so piped/captured stdout stays
 machine-readable) at most every ``min_interval`` seconds, plus a final
-summary line with the wall-clock total.
+summary line with the wall-clock total.  The clock is injectable (any
+zero-argument callable returning seconds) so tests can drive the throttle
+deterministically instead of sleeping.
 """
 
 from __future__ import annotations
@@ -15,21 +17,26 @@ class ProgressReporter:
     """Reports ``done/total`` cell counts with an ETA estimate."""
 
     def __init__(self, total: int, stream=None, min_interval: float = 0.5,
-                 label: str = "sweep"):
+                 label: str = "sweep", clock=None):
         self.total = max(int(total), 0)
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
         self.label = label
+        self.clock = clock if clock is not None else time.perf_counter
         self.done = 0
-        self._start = time.perf_counter()
-        self._last_emit = 0.0
+        self._start = self.clock()
+        self._last_emit = None
 
     def update(self, advance: int = 1, note: str = "") -> None:
         """Record ``advance`` finished cells and maybe emit a status line."""
         self.done += advance
-        now = time.perf_counter()
-        if now - self._last_emit < self.min_interval and self.done < self.total:
+        now = self.clock()
+        if self._last_emit is not None and now - self._last_emit < self.min_interval \
+                and self.done < self.total:
             return
+        self._emit(now, note)
+
+    def _emit(self, now: float, note: str) -> None:
         self._last_emit = now
         elapsed = now - self._start
         if self.done and self.total:
@@ -44,8 +51,17 @@ class ProgressReporter:
               file=self.stream, flush=True)
 
     def finish(self) -> float:
-        """Emit the final line and return the elapsed wall-clock seconds."""
-        elapsed = time.perf_counter() - self._start
+        """Emit the final line and return the elapsed wall-clock seconds.
+
+        A sweep that stops short of ``total`` (interrupt, overestimated
+        total) first flushes one last update-style line, bypassing the
+        throttle — otherwise the closing progress report could silently
+        freeze at whatever count last beat ``min_interval``.
+        """
+        now = self.clock()
+        if self.done < self.total:
+            self._emit(now, note="")
+        elapsed = now - self._start
         print(f"{self.label}: finished {self.done}/{self.total} cells "
               f"in {elapsed:.1f}s", file=self.stream, flush=True)
         return elapsed

@@ -14,9 +14,11 @@ import json
 import math
 import os
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.runtime.cells import ExperimentResult, result_key
+from repro.utils.fs import atomic_write_text
 
 
 def _to_json(result: ExperimentResult) -> str:
@@ -51,20 +53,31 @@ class JsonlResultStore:
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self._handle = None
+        # Number of corrupt interior lines skipped by the most recent
+        # ``load(on_corrupt="skip")``; merge reporting reads it back.
+        self.last_skipped_lines = 0
 
     # ------------------------------------------------------------------ #
     # loading / resume
     # ------------------------------------------------------------------ #
-    def load(self) -> list[ExperimentResult]:
+    def load(self, on_corrupt: str = "raise") -> list[ExperimentResult]:
         """Read all intact records, discarding a truncated/corrupt tail.
 
         If the final line does not parse (interrupted append), a warning is
         emitted, the partial record is dropped and the file is truncated back
         to the last intact record so subsequent appends do not glue onto a
         half-written line — the dropped cell is simply recomputed on resume,
-        never double-counted.  A corrupt line in the *middle* of the file
-        raises: that is data corruption, not an interrupted run.
+        never double-counted.
+
+        A corrupt line in the *middle* of the file is data corruption, not an
+        interrupted run.  With ``on_corrupt="raise"`` (the default) it raises;
+        with ``on_corrupt="skip"`` — the shard-merge path, where one bad line
+        must not sink the whole merge — it is skipped with a warning and the
+        file is left untouched so the evidence survives for inspection.
         """
+        if on_corrupt not in ("raise", "skip"):
+            raise ValueError(f"on_corrupt must be 'raise' or 'skip', got {on_corrupt!r}")
+        self.last_skipped_lines = 0
         if not self.path.exists():
             return []
         raw = self.path.read_bytes()
@@ -80,9 +93,19 @@ class JsonlResultStore:
             except (ValueError, KeyError, UnicodeDecodeError):
                 remainder = b"".join(lines[position + 1:]).strip()
                 if remainder:
-                    raise ValueError(
-                        f"corrupt record at line {position + 1} of {self.path}"
-                    ) from None
+                    if on_corrupt == "raise":
+                        raise ValueError(
+                            f"corrupt record at line {position + 1} of {self.path}"
+                        ) from None
+                    warnings.warn(
+                        f"skipping corrupt record at line {position + 1} of "
+                        f"{self.path}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self.last_skipped_lines += 1
+                    good_bytes += len(line) + 1
+                    continue
                 warnings.warn(
                     f"dropping truncated trailing record at line {position + 1} of "
                     f"{self.path} (interrupted append); the cell will be recomputed",
@@ -140,3 +163,100 @@ class JsonlResultStore:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# --------------------------------------------------------------------------- #
+# shard merging
+# --------------------------------------------------------------------------- #
+@dataclass
+class MergeReport:
+    """What :func:`merge_stores` did: provenance for logs and assertions."""
+
+    output: Path
+    shards: int
+    records: int
+    duplicates: int
+    skipped_lines: int
+
+    def summary(self) -> str:
+        text = (f"merged {self.records} records from {self.shards} shard(s) "
+                f"into {self.output}")
+        if self.duplicates:
+            text += f" ({self.duplicates} identical duplicate(s) dropped)"
+        if self.skipped_lines:
+            text += f" ({self.skipped_lines} corrupt line(s) skipped)"
+        return text
+
+
+def merge_stores(shard_paths, output_path: str | os.PathLike, *,
+                 context_digest: str | None = None,
+                 expected_keys=None, tolerant: bool = True) -> MergeReport:
+    """Merge shard JSONL stores into one deduplicated result store.
+
+    The distributed sweep writes one shard per cell group; this folds them
+    back into a single store equivalent to what a single-process engine run
+    would have produced:
+
+    * records appearing in several shards (a re-leased group whose first
+      worker still managed to finish) are deduplicated by their
+      ``(method, dataset, epsilon, repeat)`` key — the duplicate must be
+      *identical* bit for bit, anything else is corruption and raises;
+    * ``context_digest`` fingerprint-checks every record's ``sweep_context``
+      against the submitting spec, so a shard from a different sweep
+      configuration cannot be merged in silently;
+    * ``expected_keys`` (canonical cell order) pins completeness — a missing
+      or unexpected cell raises — and fixes the output record order;
+    * ``tolerant`` loads shards with ``on_corrupt="skip"`` so one corrupt
+      interior line costs one record (and a warning), not the whole merge.
+
+    The merged store is written atomically (temp file + rename), so a crashed
+    merge never leaves a half-written output behind.
+    """
+    shard_paths = [Path(path) for path in shard_paths]
+    output_path = Path(output_path)
+    merged: dict[tuple, ExperimentResult] = {}
+    duplicates = 0
+    skipped = 0
+    for path in shard_paths:
+        store = JsonlResultStore(path)
+        records = store.load(on_corrupt="skip" if tolerant else "raise")
+        skipped += store.last_skipped_lines
+        for record in records:
+            if context_digest is not None:
+                stamped = record.extra.get("sweep_context")
+                if stamped != context_digest:
+                    raise ValueError(
+                        f"shard {path}: record {result_key(record)} carries sweep "
+                        f"context {stamped!r}, expected {context_digest!r} — it "
+                        f"belongs to a different sweep configuration")
+            key = result_key(record)
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = record
+                continue
+            duplicates += 1
+            if (existing.micro_f1, existing.extra) != (record.micro_f1, record.extra):
+                raise ValueError(
+                    f"conflicting duplicate record for {key} in {path}: "
+                    f"{record.micro_f1!r} != {existing.micro_f1!r}")
+    if expected_keys is not None:
+        expected = [tuple(key) for key in expected_keys]
+        missing = [key for key in expected if key not in merged]
+        if missing:
+            raise ValueError(
+                f"merge is missing {len(missing)} cell(s), first: {missing[0]}")
+        unexpected = set(merged) - set(expected)
+        if unexpected:
+            raise ValueError(
+                f"merge contains {len(unexpected)} record(s) outside the sweep, "
+                f"first: {sorted(unexpected)[0]}")
+        order = expected
+    else:
+        order = list(merged)
+
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(output_path,
+                      "".join(_to_json(merged[key]) + "\n" for key in order))
+    return MergeReport(output=output_path, shards=len(shard_paths),
+                       records=len(order), duplicates=duplicates,
+                       skipped_lines=skipped)

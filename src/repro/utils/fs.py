@@ -1,0 +1,30 @@
+"""Atomic filesystem publication, shared by every durability-sensitive writer.
+
+The repo's crash-safety story (queue task files, lease heartbeats, merged
+stores) rests on one primitive: write the full content to a uniquely named
+temporary file in the destination directory, then ``os.replace`` it into
+place.  Readers therefore observe either the old file or the complete new
+one, never a torn write — on local disks and on the rename-atomic network
+filesystems the distributed queue targets.  Keeping the primitive in one
+place means a future durability upgrade (e.g. fsync-before-rename) lands
+everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> Path:
+    """Atomically publish ``text`` at ``path`` (temp file + rename)."""
+    path = Path(path)
+    temporary = path.with_name(f".tmp-{path.name}-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    try:
+        temporary.write_text(text, encoding="utf-8")
+        os.replace(temporary, path)
+    finally:
+        if temporary.exists():  # pragma: no cover - only on a failed write
+            temporary.unlink()
+    return path

@@ -1,0 +1,208 @@
+"""Distributed == single-process, bit for bit.
+
+The contract of ``repro.distributed``: however a sweep is sharded across
+workers — including crashes, expired leases, re-claims and duplicated
+executions — the merged store is bitwise identical to what one
+single-process engine run of the same spec writes.  These tests pin that
+contract with the *real* GCON/MLP cell runners on a tiny grid:
+
+* N in-process workers draining a queue == the engine, record for record;
+* a crashed worker (expired lease, partial work-in-progress shard) is
+  re-leased and recomputed with no duplicate and no missing cell;
+* real killed-with-SIGKILL worker processes are survived the same way;
+* resubmitting a finished sweep is a no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.distributed import (
+    Coordinator,
+    DistributedWorker,
+    LeaseManager,
+    SweepSpec,
+    start_local_workers,
+)
+from repro.runtime import JsonlResultStore, ParallelExperimentRunner
+from repro.runtime.workers import clear_worker_memos
+
+
+def _tiny_spec() -> SweepSpec:
+    return SweepSpec(
+        methods=("GCON", "MLP"), datasets=("cora_ml",), epsilons=(0.5, 2.0),
+        repeats=2, seed=0, scale=0.06, epochs=20, encoder_epochs=25,
+        encoder_dim=8, encoder_hidden=16,
+    )
+
+
+def _record_tuple(record):
+    return (record.method, record.dataset, record.epsilon, record.repeat,
+            record.micro_f1, tuple(sorted(record.extra.items())))
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory):
+    """The single-process engine run every distributed run must reproduce."""
+    spec = _tiny_spec()
+    path = tmp_path_factory.mktemp("reference") / "serial.jsonl"
+    clear_worker_memos()
+    engine = ParallelExperimentRunner(
+        spec.cell_runner(), jobs=1, store=JsonlResultStore(path),
+        resume_context=spec.resume_context(),
+    )
+    engine.run(spec.expand())
+    return [_record_tuple(r) for r in JsonlResultStore(path).load()]
+
+
+def _merged_tuples(coordinator, output_path):
+    report = coordinator.merge(output_path)
+    return [_record_tuple(r) for r in JsonlResultStore(report.output).load()]
+
+
+class TestMultiWorkerEquivalence:
+    def test_two_inprocess_workers_merge_bitwise_equal(self, tmp_path,
+                                                       serial_reference):
+        spec = _tiny_spec()
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(spec)
+        # Two "machines": the first takes half the groups, the second drains.
+        clear_worker_memos()
+        first = DistributedWorker(tmp_path / "q", "machine-a", max_groups=2).run()
+        clear_worker_memos()
+        second = DistributedWorker(tmp_path / "q", "machine-b").run()
+        assert first.groups_completed == 2
+        assert second.groups_completed == 2
+        assert sorted(_merged_tuples(coordinator, tmp_path / "merged.jsonl")) \
+            == sorted(serial_reference)
+        # Canonical merge order == canonical expansion order.
+        merged = JsonlResultStore(tmp_path / "merged.jsonl").load()
+        assert [(r.method, r.dataset, r.epsilon, r.repeat) for r in merged] \
+            == [c.key() for c in spec.expand()]
+
+    def test_spawned_worker_processes_merge_bitwise_equal(self, tmp_path,
+                                                          serial_reference):
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_tiny_spec())
+        workers = start_local_workers(tmp_path / "q", jobs=2,
+                                      poll_interval=0.05)
+        for process in workers:
+            process.join(timeout=300)
+        assert all(process.exitcode == 0 for process in workers)
+        assert coordinator.status().complete
+        assert sorted(_merged_tuples(coordinator, tmp_path / "merged.jsonl")) \
+            == sorted(serial_reference)
+
+
+class TestCrashRecovery:
+    def test_expired_lease_is_reclaimed_without_duplicate_or_missing_cells(
+            self, tmp_path, serial_reference):
+        spec = _tiny_spec()
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(spec)
+        queue = coordinator.queue
+
+        # A healthy worker completes one group first.
+        clear_worker_memos()
+        DistributedWorker(tmp_path / "q", "healthy", max_groups=1).run()
+
+        # Simulate a crash: a worker claims the next group with a short TTL,
+        # leaves a half-written work-in-progress shard behind and dies
+        # without releasing or heartbeating.
+        victim_gid = queue.pending_ids()[0]
+        manager = LeaseManager(queue.leases_dir, ttl=0.05)
+        assert manager.acquire(victim_gid, "crashed-worker") is not None
+        wip = queue.wip_shard_path(victim_gid, "crashed-worker")
+        wip.write_text('{"method": "GCON", "data', encoding="utf-8")
+        time.sleep(0.1)  # let the lease expire
+
+        # The survivor steals the expired lease and drains the queue.
+        clear_worker_memos()
+        report = DistributedWorker(tmp_path / "q", "survivor",
+                                   poll_interval=0.01).run()
+        assert report.groups_stolen >= 1
+        assert victim_gid in report.completed_group_ids
+        assert coordinator.status().complete
+        # The crashed worker's debris is gone: its wip shard was cleaned up
+        # when the group completed, and exactly one shard per group remains.
+        assert not wip.exists()
+        assert sorted(p.name for p in queue.shards_dir.glob("*.jsonl")) \
+            == sorted(f"{gid}.jsonl" for gid in queue.done_ids())
+
+        merged = _merged_tuples(coordinator, tmp_path / "merged.jsonl")
+        assert sorted(merged) == sorted(serial_reference)
+        keys = [record[:4] for record in merged]
+        assert len(keys) == len(set(keys))  # no duplicates
+        assert len(keys) == len(spec.expand())  # no missing cells
+
+    def test_sigkilled_worker_process_is_survived(self, tmp_path,
+                                                  serial_reference):
+        """A real worker process killed mid-run: its lease expires, a second
+        worker re-leases and the merged sweep is still bitwise correct."""
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_tiny_spec())
+        queue = coordinator.queue
+
+        (victim,) = start_local_workers(tmp_path / "q", jobs=1, lease_ttl=1.0,
+                                        poll_interval=0.05,
+                                        worker_prefix="victim")
+        # Kill the victim as soon as it provably holds a claim (or finished
+        # a group, whichever the scheduler gives us first).
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if list(queue.leases_dir.glob("*.lease")) or queue.done_ids():
+                break
+            time.sleep(0.01)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=60)
+
+        (survivor,) = start_local_workers(tmp_path / "q", jobs=1, lease_ttl=1.0,
+                                          poll_interval=0.05,
+                                          worker_prefix="survivor")
+        survivor.join(timeout=300)
+        assert survivor.exitcode == 0
+        assert coordinator.status().complete
+        assert sorted(_merged_tuples(coordinator, tmp_path / "merged.jsonl")) \
+            == sorted(serial_reference)
+
+
+class TestResubmission:
+    def test_resubmitting_a_finished_sweep_is_a_noop(self, tmp_path,
+                                                     serial_reference):
+        spec = _tiny_spec()
+        coordinator = Coordinator(tmp_path / "q")
+        first = coordinator.submit(spec)
+        assert first.created and first.groups_enqueued == 4
+        clear_worker_memos()
+        DistributedWorker(tmp_path / "q", "w1").run()
+        assert coordinator.status().complete
+        before = {path: path.stat().st_mtime_ns
+                  for path in sorted((tmp_path / "q").rglob("*")) if path.is_file()}
+
+        again = coordinator.submit(spec)
+        assert not again.created
+        assert again.groups_enqueued == 0
+        assert again.groups_done == again.groups_total == 4
+        assert "no-op" in again.summary()
+        # Nothing in the queue was touched...
+        after = {path: path.stat().st_mtime_ns
+                 for path in sorted((tmp_path / "q").rglob("*")) if path.is_file()}
+        assert after == before
+        # ...and a worker pointed at it finds no work.
+        report = DistributedWorker(tmp_path / "q", "w2").run()
+        assert report.groups_completed == 0
+        assert sorted(_merged_tuples(coordinator, tmp_path / "merged.jsonl")) \
+            == sorted(serial_reference)
+
+    def test_a_different_spec_into_the_same_queue_is_refused(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_tiny_spec())
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            coordinator.submit(SweepSpec(methods=("MLP",), datasets=("cora_ml",),
+                                         epsilons=(1.0,), repeats=1))

@@ -1,0 +1,351 @@
+"""Unit tests for the distributed substrate: spec, queue, leases, worker loop.
+
+Everything here runs against a stub cell runner and a manually advanced
+clock, so the claim/steal/heartbeat protocol is exercised deterministically
+— no sleeps, no real crashes, no model training.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    Coordinator,
+    DistributedWorker,
+    LeaseManager,
+    SweepSpec,
+    WorkQueue,
+    group_id_for,
+)
+from repro.distributed.queue import GroupTask
+from repro.exceptions import ConfigurationError
+from repro.runtime import ExperimentResult, JsonlResultStore
+
+
+class StubRunner:
+    """Deterministic, picklable runner: score is a pure function of the seed."""
+
+    def __call__(self, cell):
+        score = float(np.random.default_rng(cell.seed).random())
+        return ExperimentResult(method=cell.method, dataset=cell.dataset,
+                                epsilon=cell.epsilon, repeat=cell.repeat,
+                                micro_f1=score)
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _spec(**overrides):
+    params = dict(methods=("m1", "m2"), datasets=("d1",),
+                  epsilons=(0.5, 1.0, 2.0), repeats=2)
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+class TestSweepSpec:
+    def test_round_trip_preserves_digest(self):
+        spec = _spec(epsilons=(0.5, float("inf")), delta=1e-6)
+        restored = SweepSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_digest_covers_every_knob(self):
+        base = _spec()
+        assert base.digest() != _spec(seed=1).digest()
+        assert base.digest() != _spec(scale=0.1).digest()
+        assert base.digest() != _spec(epochs=10).digest()
+        assert base.digest() != _spec(fast_sweep=False).digest()
+
+    def test_context_digest_matches_engine_convention(self):
+        # The fingerprint stamped by workers must equal what the local
+        # engine stamps for the same settings, or stores stop being
+        # interchangeable.
+        from repro.runtime.engine import context_digest
+
+        spec = _spec()
+        expected = context_digest(dict(spec.settings().resume_context(),
+                                       delta=None))
+        assert spec.context_digest() == expected
+
+    def test_expand_matches_expand_cells_seeds(self):
+        from repro.runtime.cells import expand_cells
+
+        spec = _spec()
+        direct = expand_cells(spec.methods, spec.datasets, spec.epsilons,
+                              spec.repeats, seed=spec.seed)
+        assert [c.seed for c in spec.expand()] == [c.seed for c in direct]
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(repeats=0)
+
+
+class TestWorkQueue:
+    def test_initialize_is_idempotent_for_the_same_spec(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        assert queue.initialize(_spec()) is True
+        assert queue.initialize(_spec()) is False
+        assert queue.load_spec() == _spec()
+
+    def test_initialize_refuses_a_different_spec(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.initialize(_spec())
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            queue.initialize(_spec(seed=99))
+
+    def test_uninitialised_queue_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not an initialised queue"):
+            WorkQueue(tmp_path / "missing").load_spec()
+
+    def test_task_round_trip_including_infinite_epsilon(self, tmp_path):
+        spec = _spec(epsilons=(0.5, float("inf")), repeats=1)
+        queue = WorkQueue(tmp_path / "q")
+        queue.initialize(spec)
+        cells = [c for c in spec.expand() if c.group == 0]
+        task = GroupTask(group_id=group_id_for(spec.digest(), cells),
+                         spec_digest=spec.digest(), cells=tuple(cells))
+        assert queue.enqueue(task) is True
+        assert queue.enqueue(task) is False  # already queued
+        restored = queue.read_task(task.group_id)
+        assert list(restored.cells) == cells
+
+    def test_group_ids_are_filesystem_safe_and_sweep_unique(self):
+        spec = _spec(methods=("GCN (non-DP)",), repeats=1)
+        cells = spec.expand()
+        gid = group_id_for(spec.digest(), cells)
+        assert "/" not in gid and " " not in gid and "(" not in gid
+        other = group_id_for(_spec(methods=("GCN (non-DP)",), repeats=1,
+                                   seed=5).digest(), cells)
+        assert gid != other
+
+
+class TestLeases:
+    def test_exclusive_acquire(self, tmp_path):
+        clock = FakeClock()
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+        lease = manager.acquire("g1", "alice")
+        assert lease is not None
+        assert manager.acquire("g1", "bob") is None
+        assert manager.holder("g1") == "alice"
+
+    def test_release_makes_group_claimable_again(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=FakeClock())
+        lease = manager.acquire("g1", "alice")
+        manager.release(lease)
+        assert manager.acquire("g1", "bob") is not None
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        clock = FakeClock()
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+        assert manager.acquire("g1", "dead-worker") is not None
+        clock.advance(5.0)
+        assert manager.acquire("g1", "bob") is None  # still fresh
+        clock.advance(6.0)  # 11s since the heartbeat: expired
+        stolen = manager.acquire("g1", "bob")
+        assert stolen is not None
+        assert manager.holder("g1") == "bob"
+
+    def test_heartbeat_extends_the_lease(self, tmp_path):
+        clock = FakeClock()
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+        lease = manager.acquire("g1", "alice")
+        clock.advance(8.0)
+        lease = manager.heartbeat(lease)
+        assert lease is not None
+        clock.advance(8.0)  # 16s since acquire but 8s since the heartbeat
+        assert manager.acquire("g1", "bob") is None
+
+    def test_partitioned_worker_detects_its_reaped_lease(self, tmp_path):
+        clock = FakeClock()
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+        lease = manager.acquire("g1", "alice")
+        clock.advance(11.0)
+        assert manager.acquire("g1", "bob") is not None
+        # Alice comes back from the partition: heartbeat reports the loss
+        # and a release must not evict the new holder.
+        assert manager.heartbeat(lease) is None
+        manager.release(lease)
+        assert manager.holder("g1") == "bob"
+
+    def test_corrupt_lease_file_reads_as_absent(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=FakeClock())
+        manager.path_for("g1").parent.mkdir(parents=True, exist_ok=True)
+        manager.path_for("g1").write_text("not json")
+        assert manager.read("g1") is None
+
+    def test_invalid_ttl_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            LeaseManager(tmp_path, ttl=0.0)
+
+
+class TestWorkerLoop:
+    def _submitted(self, tmp_path, **overrides):
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_spec(**overrides))
+        return coordinator
+
+    def test_worker_drains_the_queue_and_stamps_context(self, tmp_path):
+        coordinator = self._submitted(tmp_path)
+        report = DistributedWorker(tmp_path / "q", "w1",
+                                   cell_runner=StubRunner()).run()
+        assert report.groups_completed == 4
+        assert report.cells_completed == 12
+        status = coordinator.status()
+        assert status.complete
+        digest = coordinator.spec().context_digest()
+        for gid in coordinator.queue.done_ids():
+            for record in JsonlResultStore(coordinator.queue.shard_path(gid)).load():
+                assert record.extra["sweep_context"] == digest
+
+    def test_max_groups_bounds_one_call(self, tmp_path):
+        self._submitted(tmp_path)
+        report = DistributedWorker(tmp_path / "q", "w1", max_groups=1,
+                                   cell_runner=StubRunner()).run()
+        assert report.groups_completed == 1
+        report = DistributedWorker(tmp_path / "q", "w2",
+                                   cell_runner=StubRunner()).run()
+        assert report.groups_completed == 3
+
+    def test_no_wait_exits_when_everything_is_held(self, tmp_path):
+        coordinator = self._submitted(tmp_path)
+        manager = LeaseManager(coordinator.queue.leases_dir, ttl=1000.0)
+        for gid in coordinator.queue.pending_ids():
+            assert manager.acquire(gid, "hoarder") is not None
+        report = DistributedWorker(tmp_path / "q", "w1", wait_for_completion=False,
+                                   cell_runner=StubRunner()).run()
+        assert report.groups_completed == 0
+
+    def test_failing_group_leaves_a_breadcrumb_and_no_shard(self, tmp_path):
+        from repro.runtime.engine import SweepExecutionError
+
+        coordinator = self._submitted(tmp_path)
+
+        def failing(cell):
+            raise RuntimeError("boom")
+
+        with pytest.raises(SweepExecutionError):
+            DistributedWorker(tmp_path / "q", "w1", cell_runner=failing).run()
+        assert coordinator.queue.failure_count() == 1
+        assert coordinator.queue.done_ids() == set()
+        assert list(coordinator.queue.shards_dir.glob("*.jsonl")) == []
+        # The lease was released, so another (healthy) worker can take over.
+        report = DistributedWorker(tmp_path / "q", "w2",
+                                   cell_runner=StubRunner()).run()
+        assert report.groups_completed == 4
+
+    def test_heartbeat_pump_keeps_a_long_group_leased(self, tmp_path):
+        """A group running far longer than the lease TTL must stay claimed:
+        the background heartbeat pump refreshes the lease during execution,
+        so a rival can never steal a live worker's group."""
+        import threading
+        import time as _time
+
+        coordinator = self._submitted(tmp_path, methods=("m1",), repeats=1)
+        (gid,) = coordinator.queue.pending_ids()
+
+        def slow(cell):
+            _time.sleep(0.2)
+            return StubRunner()(cell)
+
+        worker = DistributedWorker(tmp_path / "q", "steady", lease_ttl=0.15,
+                                   cell_runner=slow)
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        try:
+            rival = LeaseManager(coordinator.queue.leases_dir, ttl=0.15)
+            deadline = _time.monotonic() + 30
+            while not list(coordinator.queue.leases_dir.glob("*.lease")) \
+                    and not coordinator.queue.is_done(gid) \
+                    and _time.monotonic() < deadline:
+                _time.sleep(0.01)
+            while not coordinator.queue.is_done(gid):
+                assert _time.monotonic() < deadline, "worker never finished"
+                lease = rival.acquire(gid, "rival")
+                if lease is not None:
+                    assert coordinator.queue.is_done(gid), \
+                        "rival stole a heartbeating worker's lease"
+                    rival.release(lease)
+                    break
+                _time.sleep(0.02)
+        finally:
+            thread.join()
+        assert coordinator.status().complete
+
+    def test_worker_without_spec_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            DistributedWorker(tmp_path / "empty", "w1",
+                              cell_runner=StubRunner()).run()
+
+
+class TestCoordinatorStatus:
+    def test_census_counts_leased_expired_and_done(self, tmp_path):
+        clock = FakeClock()
+        coordinator = Coordinator(tmp_path / "q", clock=clock)
+        coordinator.submit(_spec())
+        gids = coordinator.queue.pending_ids()
+        manager = LeaseManager(coordinator.queue.leases_dir, ttl=10.0, clock=clock)
+        manager.acquire(gids[0], "alice")
+        manager.acquire(gids[1], "bob")
+        done_worker = DistributedWorker(
+            tmp_path / "q", "carol", cell_runner=StubRunner(), max_groups=1,
+            clock=clock)
+        done_worker.run()  # completes gids[2] (first unleased)
+        clock.advance(11.0)  # alice and bob both go stale
+
+        status = coordinator.status()
+        assert status.groups_total == 4
+        assert status.groups_done == 1
+        assert status.groups_expired == 2
+        assert status.groups_leased == 0
+        assert status.groups_claimable == 3
+        assert status.cells_done == 3
+        assert not status.complete
+
+    def test_merge_refuses_an_incomplete_sweep(self, tmp_path):
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_spec())
+        DistributedWorker(tmp_path / "q", "w1", max_groups=1,
+                          cell_runner=StubRunner()).run()
+        with pytest.raises(RuntimeError, match="incomplete"):
+            coordinator.merge()
+        # Partial merge is an explicit opt-in.
+        report = coordinator.merge(require_complete=False)
+        assert report.records == 3
+
+    def test_wait_times_out_and_still_reports_progress(self, tmp_path):
+        import io
+
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_spec())
+        DistributedWorker(tmp_path / "q", "w1", max_groups=1,
+                          cell_runner=StubRunner()).run()
+        from repro.runtime.progress import ProgressReporter
+
+        stream = io.StringIO()
+        reporter = ProgressReporter(12, stream=stream, min_interval=0.0,
+                                    label="dist sweep")
+        assert coordinator.wait(poll_interval=0.01, timeout=0.05,
+                                progress=reporter) is False
+        assert "3/12" in stream.getvalue()
+
+    def test_failure_breadcrumb_appears_in_status_summary(self, tmp_path):
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_spec())
+        coordinator.queue.record_failure("some-group", "w1", "RuntimeError('x')")
+        status = coordinator.status()
+        assert status.failures == 1
+        assert "failures recorded: 1" in status.summary()
+        payload = json.loads(next(
+            coordinator.queue.failed_dir.glob("*.json")).read_text())
+        assert payload["worker_id"] == "w1"

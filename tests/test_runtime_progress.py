@@ -1,0 +1,133 @@
+"""Tests for the throttled sweep progress reporter.
+
+A fake clock is injected everywhere so the throttle windows are exact:
+no sleeps, no flaky timing margins.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.runtime.progress import ProgressReporter
+
+
+class FakeClock:
+    """A manually advanced clock compatible with ``time.perf_counter``."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _reporter(total, *, min_interval=0.5, label="sweep", start=100.0):
+    clock = FakeClock(start)
+    stream = io.StringIO()
+    reporter = ProgressReporter(total, stream=stream, min_interval=min_interval,
+                                label=label, clock=clock)
+    return reporter, clock, stream
+
+
+def _lines(stream):
+    return [line for line in stream.getvalue().splitlines() if line]
+
+
+class TestThrottling:
+    def test_first_update_always_emits(self):
+        reporter, _clock, stream = _reporter(10)
+        reporter.update()
+        assert _lines(stream) == ["sweep: 1/10 cells (10%, 0.0s, eta 0s)"]
+
+    def test_updates_inside_the_window_are_suppressed(self):
+        reporter, clock, stream = _reporter(10)
+        reporter.update()
+        clock.advance(0.1)
+        reporter.update()
+        clock.advance(0.1)
+        reporter.update()
+        assert len(_lines(stream)) == 1
+
+    def test_update_after_the_window_emits(self):
+        reporter, clock, stream = _reporter(10)
+        reporter.update()
+        clock.advance(0.6)
+        reporter.update()
+        lines = _lines(stream)
+        assert len(lines) == 2
+        assert lines[1].startswith("sweep: 2/10 cells (20%, 0.6s")
+
+    def test_reaching_total_bypasses_the_throttle(self):
+        reporter, clock, stream = _reporter(2)
+        reporter.update()
+        clock.advance(0.01)
+        reporter.update()
+        lines = _lines(stream)
+        assert len(lines) == 2
+        assert "2/2 cells (100%" in lines[1]
+
+
+class TestEta:
+    def test_eta_extrapolates_elapsed_over_done(self):
+        reporter, clock, stream = _reporter(4)
+        clock.advance(2.0)
+        reporter.update()  # 1 cell in 2s -> 3 remaining at 2s each
+        assert "eta 6s" in _lines(stream)[0]
+
+    def test_no_eta_before_any_cell_finishes(self):
+        reporter, _clock, stream = _reporter(4)
+        reporter.update(advance=0, note="starting")
+        line = _lines(stream)[0]
+        assert "eta" not in line
+        assert "[starting]" in line
+
+    def test_note_is_appended(self):
+        reporter, _clock, stream = _reporter(4)
+        reporter.update(note="GCON/cora_ml")
+        assert _lines(stream)[0].endswith("[GCON/cora_ml]")
+
+
+class TestZeroTotal:
+    def test_zero_total_reports_100_percent_and_never_divides(self):
+        reporter, _clock, stream = _reporter(0)
+        reporter.update(advance=0)
+        assert "0/0 cells (100%" in _lines(stream)[0]
+
+    def test_zero_total_finish(self):
+        reporter, clock, stream = _reporter(0)
+        clock.advance(1.25)
+        assert reporter.finish() == 1.25
+        assert _lines(stream)[-1] == "sweep: finished 0/0 cells in 1.2s"
+
+
+class TestFinish:
+    def test_finish_returns_elapsed_and_prints_summary(self):
+        reporter, clock, stream = _reporter(3, label="merge")
+        reporter.update(advance=3)
+        clock.advance(4.0)
+        assert reporter.finish() == 4.0
+        assert _lines(stream)[-1] == "merge: finished 3/3 cells in 4.0s"
+
+    def test_finish_flushes_a_last_update_when_total_overestimated(self):
+        # The 100% line never fires when done < total; finish() must still
+        # report the honest final count, throttle or not.
+        reporter, clock, stream = _reporter(10)
+        reporter.update()
+        clock.advance(0.01)
+        reporter.update(advance=4)  # suppressed: inside the window, 5 < 10
+        reporter.finish()
+        lines = _lines(stream)
+        assert lines[-2].startswith("sweep: 5/10 cells (50%")
+        assert lines[-1].startswith("sweep: finished 5/10 cells")
+
+    def test_finish_does_not_duplicate_the_final_update_when_complete(self):
+        reporter, clock, stream = _reporter(2)
+        reporter.update(advance=2)
+        clock.advance(0.01)
+        reporter.finish()
+        lines = _lines(stream)
+        assert len(lines) == 2
+        assert lines[-1].startswith("sweep: finished 2/2 cells")

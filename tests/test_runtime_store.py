@@ -6,8 +6,8 @@ import math
 
 import pytest
 
-from repro.runtime.cells import ExperimentResult
-from repro.runtime.store import JsonlResultStore
+from repro.runtime.cells import ExperimentResult, result_key
+from repro.runtime.store import JsonlResultStore, merge_stores
 
 
 def _result(method="GCON", dataset="cora_ml", epsilon=1.0, repeat=0, score=0.5):
@@ -96,6 +96,37 @@ class TestPartialWrites:
         with pytest.raises(ValueError, match="corrupt record"):
             store.load()
 
+    def test_tolerant_mode_skips_corrupt_interior_line_and_warns(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result(epsilon=1.0, score=0.5))
+        store.append(_result(epsilon=2.0, score=0.9))
+        store.close()
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0] + "\nnot json at all\n" + lines[1] + "\n")
+        with pytest.warns(RuntimeWarning, match="skipping corrupt record"):
+            loaded = store.load(on_corrupt="skip")
+        assert [r.epsilon for r in loaded] == [1.0, 2.0]
+        assert store.last_skipped_lines == 1
+        # The file is left untouched so the corruption stays inspectable.
+        assert "not json at all" in path.read_text()
+
+    def test_tolerant_mode_still_repairs_a_truncated_tail(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = JsonlResultStore(path)
+        store.append(_result(epsilon=1.0))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"method": "GCON", "data')
+        with pytest.warns(RuntimeWarning, match="truncated trailing record"):
+            loaded = store.load(on_corrupt="skip")
+        assert [r.epsilon for r in loaded] == [1.0]
+        assert store.last_skipped_lines == 0
+
+    def test_invalid_on_corrupt_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_corrupt"):
+            JsonlResultStore(tmp_path / "results.jsonl").load(on_corrupt="ignore")
+
     def test_blank_lines_are_skipped(self, tmp_path):
         path = tmp_path / "results.jsonl"
         store = JsonlResultStore(path)
@@ -120,3 +151,72 @@ class TestPartialWrites:
         store.close()
         loaded = store.load()
         assert [r.epsilon for r in loaded] == [1.0, 2.0]
+
+
+class TestMergeStores:
+    def _shard(self, tmp_path, name, results):
+        path = tmp_path / name
+        store = JsonlResultStore(path)
+        for result in results:
+            store.append(result)
+        store.close()
+        return path
+
+    def test_merge_dedupes_identical_records_across_shards(self, tmp_path):
+        a = _result(epsilon=1.0, score=0.5)
+        b = _result(epsilon=2.0, score=0.9)
+        shard1 = self._shard(tmp_path, "s1.jsonl", [a, b])
+        shard2 = self._shard(tmp_path, "s2.jsonl", [b])  # re-leased group
+        output = tmp_path / "merged.jsonl"
+        report = merge_stores([shard1, shard2], output)
+        assert report.records == 2
+        assert report.duplicates == 1
+        assert report.shards == 2
+        loaded = JsonlResultStore(output).load()
+        assert sorted(r.epsilon for r in loaded) == [1.0, 2.0]
+
+    def test_conflicting_duplicates_raise(self, tmp_path):
+        shard1 = self._shard(tmp_path, "s1.jsonl", [_result(score=0.5)])
+        shard2 = self._shard(tmp_path, "s2.jsonl", [_result(score=0.6)])
+        with pytest.raises(ValueError, match="conflicting duplicate"):
+            merge_stores([shard1, shard2], tmp_path / "merged.jsonl")
+
+    def test_context_digest_rejects_foreign_shards(self, tmp_path):
+        ours = ExperimentResult("GCON", "cora_ml", 1.0, 0, 0.5,
+                                extra={"sweep_context": "abc"})
+        foreign = ExperimentResult("GCON", "cora_ml", 2.0, 0, 0.5,
+                                   extra={"sweep_context": "zzz"})
+        shard1 = self._shard(tmp_path, "s1.jsonl", [ours])
+        shard2 = self._shard(tmp_path, "s2.jsonl", [foreign])
+        with pytest.raises(ValueError, match="different sweep configuration"):
+            merge_stores([shard1, shard2], tmp_path / "merged.jsonl",
+                         context_digest="abc")
+
+    def test_expected_keys_pin_completeness_and_order(self, tmp_path):
+        a = _result(epsilon=1.0)
+        b = _result(epsilon=2.0)
+        shard = self._shard(tmp_path, "s1.jsonl", [b, a])  # shard order reversed
+        output = tmp_path / "merged.jsonl"
+        merge_stores([shard], output,
+                     expected_keys=[result_key(a), result_key(b)])
+        assert [r.epsilon for r in JsonlResultStore(output).load()] == [1.0, 2.0]
+
+        with pytest.raises(ValueError, match="missing"):
+            merge_stores([shard], output,
+                         expected_keys=[result_key(a), result_key(b),
+                                        ("GCON", "cora_ml", 4.0, 0)])
+        with pytest.raises(ValueError, match="outside the sweep"):
+            merge_stores([shard], output, expected_keys=[result_key(a)])
+
+    def test_tolerant_merge_survives_a_corrupt_interior_line(self, tmp_path):
+        shard1 = self._shard(tmp_path, "s1.jsonl",
+                             [_result(epsilon=1.0), _result(epsilon=2.0)])
+        lines = shard1.read_text().splitlines()
+        shard1.write_text(lines[0] + "\ngarbage\n" + lines[1] + "\n")
+        output = tmp_path / "merged.jsonl"
+        with pytest.warns(RuntimeWarning, match="skipping corrupt record"):
+            report = merge_stores([shard1], output)
+        assert report.skipped_lines == 1
+        assert report.records == 2
+        with pytest.raises(ValueError, match="corrupt record"):
+            merge_stores([shard1], output, tolerant=False)
