@@ -1,0 +1,135 @@
+"""Serving-path throughput and latency: micro-batching versus per-request.
+
+The serving subsystem's pitch is that coalescing queries into one stacked
+``aggregated @ theta`` matmul per model amortises the per-call overhead that
+dominates single-row inference.  This benchmark publishes one GCON release
+into a temporary registry, warms the propagated-feature cache, and measures
+the *data plane only* (no HTTP, no threads — deterministic on a 1-core CI
+runner):
+
+* **per-request**: N single-node queries, each its own matmul — the
+  no-batching baseline;
+* **micro-batched**: the same N queries coalesced into batches of B through
+  the exact `MicroBatcher.run_once` path the server uses.
+
+Two assertions always run: (1) every configuration returns scores bitwise
+identical to offline ``GCON.decision_scores``; (2) on a warm cache,
+micro-batching beats one-matmul-per-request throughput.  The second claim is
+about call overhead, not parallelism, so it holds on a single core and is
+asserted in smoke mode too.
+
+``REPRO_SMOKE=1`` (or ``pytest --smoke``) shrinks the model and query count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import bench_settings, is_smoke, record
+from repro.core.model import GCON
+from repro.evaluation.figures import default_gcon_config
+from repro.evaluation.reporting import render_table
+from repro.graphs.datasets import load_dataset
+from repro.serving import InferenceService, ModelRegistry
+
+BATCH_SIZES = (4, 16, 64, 256)
+REPETITIONS = 3
+
+
+def _publish_model(settings, registry_root):
+    graph = load_dataset(settings.datasets[0], scale=settings.scale,
+                         seed=settings.seed)
+    delta = 1.0 / max(graph.num_edges, 1)
+    model = GCON(default_gcon_config(2.0, delta, settings))
+    model.fit(graph, seed=settings.seed)
+    registry = ModelRegistry(registry_root)
+    registry.publish(model, "bench", inference_mode="private",
+                     training={"dataset": settings.datasets[0],
+                               "scale": settings.scale,
+                               "graph_seed": settings.seed})
+    return registry, graph, model
+
+
+def _per_request_seconds(service, key, nodes) -> float:
+    best = float("inf")
+    for _ in range(REPETITIONS):
+        start = time.perf_counter()
+        for node in nodes:
+            service.batcher.submit(key, [node])
+            service.batcher.run_once()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _batched_seconds(service, key, nodes, batch_size) -> float:
+    best = float("inf")
+    for _ in range(REPETITIONS):
+        start = time.perf_counter()
+        for offset in range(0, len(nodes), batch_size):
+            for node in nodes[offset:offset + batch_size]:
+                service.batcher.submit(key, [node])
+            service.batcher.run_once()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run(settings, registry_root):
+    registry, graph, model = _publish_model(settings, registry_root)
+    service = InferenceService(registry, graph=graph)
+    num_queries = 256 if is_smoke() else 2048
+    rng = np.random.default_rng(settings.seed)
+    nodes = rng.integers(0, graph.num_nodes, size=num_queries).tolist()
+
+    offline = model.decision_scores(graph, mode="private")
+    key, _session = service._session("bench@latest", None)  # warm the cache
+
+    # Correctness: a served batch is bitwise identical to offline scores.
+    probe = nodes[:32]
+    assert np.array_equal(service.predict_scores("bench", probe), offline[probe])
+    single = service.predict_scores("bench", [nodes[0]])
+    assert np.array_equal(single, offline[[nodes[0]]])
+
+    per_request = _per_request_seconds(service, key, nodes)
+    batched = {size: _batched_seconds(service, key, nodes, size)
+               for size in BATCH_SIZES}
+    return {
+        "num_queries": num_queries,
+        "per_request_seconds": per_request,
+        "batched_seconds": batched,
+        "stats": service.stats(),
+    }
+
+
+def test_serving_microbatch_throughput(benchmark, tmp_path):
+    settings = bench_settings(datasets=("cora_ml",))
+    outcome = benchmark.pedantic(_run, args=(settings, tmp_path / "registry"),
+                                 rounds=1, iterations=1)
+
+    queries = outcome["num_queries"]
+    per_request = outcome["per_request_seconds"]
+    rows = [["per-request (batch=1)", f"{per_request * 1e3:.1f}",
+             f"{queries / per_request:,.0f}", "-"]]
+    for size, seconds in outcome["batched_seconds"].items():
+        rows.append([f"micro-batch B={size}", f"{seconds * 1e3:.1f}",
+                     f"{queries / seconds:,.0f}",
+                     f"{per_request / seconds:.2f}x"])
+    record("serving_microbatch",
+           render_table(
+               ["configuration", f"total ms ({queries} queries)",
+                "queries/s", "speedup"],
+               rows, title="warm-cache serving throughput vs micro-batch size"))
+
+    # The acceptance claim: on a warm cache, micro-batching beats
+    # one-matmul-per-request throughput.  This is call-overhead amortisation,
+    # not parallelism, so no core-count gate — but only the best batched
+    # configuration is pinned, with headroom for scheduler noise.
+    best_batched = min(outcome["batched_seconds"].values())
+    assert best_batched < per_request, (
+        f"micro-batching ({best_batched:.4f}s) did not beat per-request "
+        f"({per_request:.4f}s) on a warm cache")
+
+    # The feature cache did its job: propagation ran once, not per query.
+    cache = outcome["stats"]["feature_cache"]
+    assert cache["feature_misses"] == 1

@@ -19,6 +19,8 @@ The package is organised around the paper's structure:
   resumable JSONL stores, shard merging).
 * :mod:`repro.distributed` -- multi-machine sweep sharding over a shared
   filesystem (work queue, leases, workers, coordinator).
+* :mod:`repro.serving` -- the serving data plane: content-addressed model
+  registry, micro-batched inference, HTTP JSON API.
 """
 
 from repro.version import __version__

@@ -350,6 +350,7 @@ def command_dist_work(args) -> int:
         poll_interval=args.poll_interval, max_groups=args.max_groups,
         wait_for_completion=not args.no_wait,
         preparation_cache=args.preparation_cache,
+        max_attempts=args.max_attempts,
         log_stream=None if args.quiet else sys.stderr)
     try:
         report = worker.run()
@@ -357,7 +358,7 @@ def command_dist_work(args) -> int:
         print(f"worker failed to start: {error}", file=sys.stderr)
         return 2
     print(report.summary())
-    return 0
+    return 1 if report.groups_quarantined else 0
 
 
 def command_dist_status(args) -> int:
@@ -388,6 +389,131 @@ def command_dist_merge(args) -> int:
         print(f"merge failed: {error}", file=sys.stderr)
         return 1
     print(report.summary())
+    return 0
+
+
+def command_publish(args) -> int:
+    """Publish the winning GCON cell of a sweep store into a model registry.
+
+    The sweep grid arguments must repeat the knobs of the sweep that produced
+    ``--store`` (they default to the sweep defaults); the rebuilt context
+    fingerprint is checked against the stamp on the winning record, so a
+    store cannot silently be published under different settings.  The cell is
+    refit from its deterministic seed — the released theta is recomputed, not
+    read from the store, which only ever holds scores.
+    """
+    from repro.graphs.datasets import load_dataset
+    from repro.runtime.cells import derive_cell_seed
+    from repro.runtime.store import JsonlResultStore, best_record
+    from repro.runtime.workers import score_estimator
+    from repro.serving import ModelRegistry
+
+    methods, error = _resolve_sweep_names(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    store = JsonlResultStore(args.store)
+    records = store.load()
+    if not records:
+        print(f"store {args.store} holds no records", file=sys.stderr)
+        return 2
+    try:
+        winner = best_record(records, method=args.select_method,
+                             dataset=args.select_dataset,
+                             epsilon=args.select_epsilon)
+    except ValueError as error:
+        print(f"publish failed: {error}", file=sys.stderr)
+        return 2
+    if winner.method != "GCON":
+        print(f"publish failed: the winning record is {winner.method!r}; only "
+              f"GCON releases are publishable (narrow with --method)",
+              file=sys.stderr)
+        return 2
+
+    spec = _sweep_spec_from_args(args, methods)
+    stamped = winner.extra.get("sweep_context")
+    if stamped is not None and stamped != spec.context_digest():
+        print(f"publish failed: the store was produced under sweep context "
+              f"{stamped}, but the given grid arguments fingerprint to "
+              f"{spec.context_digest()}; repeat the original sweep's knobs",
+              file=sys.stderr)
+        return 2
+    if stamped is None:
+        print("warning: the winning record carries no sweep-context stamp; "
+              "trusting the given grid arguments", file=sys.stderr)
+
+    from repro.core.model import GCON
+    from repro.evaluation.figures import default_gcon_config
+
+    settings = spec.settings()
+    graph = load_dataset(winner.dataset, scale=spec.scale, seed=spec.seed)
+    delta = spec.delta if spec.delta is not None else 1.0 / max(graph.num_edges, 1)
+    cell_seed = derive_cell_seed(spec.seed, winner.dataset, winner.method,
+                                 winner.repeat)
+    model = GCON(default_gcon_config(winner.epsilon, delta, settings))
+    model.fit(graph, seed=cell_seed)
+    refit_score = score_estimator(model, graph, args.inference_mode)
+
+    registry = ModelRegistry(args.registry)
+    record = registry.publish(model, args.name, inference_mode=args.inference_mode,
+                              training={
+                                  "dataset": winner.dataset,
+                                  "scale": spec.scale,
+                                  "graph_seed": spec.seed,
+                                  "cell_seed": cell_seed,
+                                  "repeat": winner.repeat,
+                                  "epsilon": winner.epsilon,
+                                  "store_micro_f1": winner.micro_f1,
+                                  "refit_micro_f1": refit_score,
+                                  "sweep_context": stamped,
+                                  "store": str(args.store),
+                              })
+    epsilon, delta_spent = model.privacy_spent
+    print(f"published {record.ref} (digest {record.digest[:16]}…)")
+    print(f"  source cell: {winner.method}/{winner.dataset} "
+          f"epsilon={winner.epsilon:g} repeat={winner.repeat} "
+          f"(store micro-F1 {winner.micro_f1:.4f})")
+    print(f"  privacy: epsilon={epsilon:g}, delta={delta_spent:.3g}")
+    print(f"  refit test micro-F1 ({args.inference_mode} inference): {refit_score:.4f}")
+    if abs(refit_score - winner.micro_f1) > 0.02:
+        print("  note: refit score differs from the store record by more than "
+              "0.02 — the record may come from the vectorised sweep fast path "
+              "(solver-tolerance-level drift is expected)", file=sys.stderr)
+    print(f"serve it with:  repro serve --registry {args.registry} "
+          f"--model {args.name}@latest")
+    return 0
+
+
+def command_serve(args) -> int:
+    """Serve registry models over the batched HTTP JSON API."""
+    from repro.serving import InferenceService, serve_http
+
+    service = InferenceService(
+        args.registry, max_batch_size=args.batch_size,
+        max_latency=args.max_latency_ms / 1000.0)
+    try:
+        record = service.registry.verify(args.model)
+        # Warm the session (graph load, encoder forward pass, propagation)
+        # before binding the socket, so the first query pays only one matmul
+        # — and a bad manifest/graph fails here with a clean message instead
+        # of on the first request.
+        service.predict_scores(args.model, [0])
+    except Exception as error:
+        print(f"serve failed: {error}", file=sys.stderr)
+        return 2
+    server = serve_http(service, host=args.host, port=args.port,
+                        log_stream=None if args.quiet else sys.stderr)
+    host, port = server.server_address[:2]
+    print(f"serving {record.ref} on http://{host}:{port} "
+          f"(mode={record.inference_mode}, batch<={args.batch_size}, "
+          f"latency<={args.max_latency_ms:g}ms)", file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -578,6 +704,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="seconds between queue polls when nothing is claimable")
     dist_work.add_argument("--max-groups", type=int, default=None, dest="max_groups",
                            help="stop after completing this many groups")
+    dist_work.add_argument("--max-attempts", type=int, default=3, dest="max_attempts",
+                           help="failed executions of one group before it is "
+                                "quarantined (moved out of the claimable set "
+                                "with its traceback under failed/)")
     dist_work.add_argument("--no-wait", action="store_true", dest="no_wait",
                            help="exit when nothing is claimable instead of waiting "
                                 "for the whole sweep to complete")
@@ -599,6 +729,47 @@ def build_parser() -> argparse.ArgumentParser:
                             help="merge whatever shards exist instead of requiring "
                                  "a complete sweep")
     dist_merge.set_defaults(func=command_dist_merge)
+
+    publish = subparsers.add_parser(
+        "publish", help="publish the winning sweep cell into a model registry")
+    publish.add_argument("--store", required=True,
+                         help="JSONL result store of the finished sweep")
+    publish.add_argument("--registry", required=True, metavar="DIR",
+                         help="model registry root directory")
+    publish.add_argument("--name", required=True,
+                         help="model name to publish under (versions are "
+                              "content-addressed; latest advances)")
+    publish.add_argument("--method", default="GCON", dest="select_method",
+                         help="restrict winner selection to this method "
+                              "(default: GCON, the only publishable release)")
+    publish.add_argument("--dataset", default=None, dest="select_dataset",
+                         help="restrict winner selection to this dataset")
+    publish.add_argument("--epsilon", type=float, default=None, dest="select_epsilon",
+                         help="restrict winner selection to this privacy budget")
+    publish.add_argument("--inference-mode", choices=("private", "public"),
+                         default="private", dest="inference_mode",
+                         help="default Algorithm-4 mode stamped into the manifest")
+    _add_sweep_grid_arguments(publish)
+    publish.set_defaults(func=command_publish)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve registry models over a batched HTTP JSON API")
+    serve.add_argument("--registry", required=True, metavar="DIR",
+                       help="model registry root directory")
+    serve.add_argument("--model", required=True,
+                       help="model reference, e.g. NAME@latest or NAME@<digest>")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--batch-size", type=int, default=64, dest="batch_size",
+                       help="flush a micro-batch at this many queried rows")
+    serve.add_argument("--max-latency-ms", type=float, default=5.0,
+                       dest="max_latency_ms",
+                       help="flush a forming micro-batch after this many "
+                            "milliseconds even if not full")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines on stderr")
+    serve.set_defaults(func=command_serve)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("id", choices=("table2", "figure1", "figure2", "figure3",

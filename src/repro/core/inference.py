@@ -7,6 +7,16 @@ Two modes are supported:
   every branch with m_i > 0, so no other node's private edges are revealed.
 * **public**: the test graph's edges are considered public, Z is computed with
   the full PPR/APPR propagation (Eq. 11) and predictions are ``Z Θ_priv``.
+
+The module is split into a *feature* step and a *score* step so the serving
+data plane (:mod:`repro.serving`) can reuse it: :func:`inference_features`
+builds the aggregated matrix ``F`` once per (model, graph, mode) — the
+expensive, query-independent part — and :func:`batched_inference_scores`
+turns any pre-stacked selection of its rows into class scores with a single
+matmul.  Selecting rows of ``F`` and multiplying is bitwise identical to
+computing the full score matrix and selecting rows, so a served batch pins
+exactly to the offline :func:`private_inference_scores` /
+:func:`public_inference_scores` numbers.
 """
 
 from __future__ import annotations
@@ -16,19 +26,52 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.core.propagation import Propagator
 
+INFERENCE_MODES = ("private", "public")
+
+
+def inference_features(propagator: Propagator, features: np.ndarray, steps_list,
+                       mode: str = "private",
+                       inference_alpha: float | None = None) -> np.ndarray:
+    """The aggregated feature matrix ``F`` with ``scores = F @ theta``.
+
+    ``mode="private"`` applies the single-hop operator of Eq. (16) (and
+    requires ``inference_alpha``); ``mode="public"`` applies the full PPR/APPR
+    propagation of Eq. (11).  Everything here is query-independent, which is
+    what makes ``F`` cacheable per (model, graph, mode) in the serving layer.
+    """
+    if mode == "private":
+        if inference_alpha is None:
+            raise ConfigurationError("private inference requires inference_alpha")
+        return propagator.inference_concat(features, steps_list, inference_alpha)
+    if mode == "public":
+        return propagator.propagate_concat(features, steps_list)
+    raise ConfigurationError(f"mode must be 'private' or 'public', got {mode!r}")
+
 
 def private_inference_scores(propagator: Propagator, features: np.ndarray, theta: np.ndarray,
                              steps_list, inference_alpha: float) -> np.ndarray:
     """Class scores under the privacy-preserving inference rule of Eq. (16)."""
-    aggregated = propagator.inference_concat(features, steps_list, inference_alpha)
+    aggregated = inference_features(propagator, features, steps_list,
+                                    mode="private", inference_alpha=inference_alpha)
     return _scores(aggregated, theta)
 
 
 def public_inference_scores(propagator: Propagator, features: np.ndarray, theta: np.ndarray,
                             steps_list) -> np.ndarray:
     """Class scores when the test graph's edges are public (full propagation)."""
-    aggregated = propagator.propagate_concat(features, steps_list)
+    aggregated = inference_features(propagator, features, steps_list, mode="public")
     return _scores(aggregated, theta)
+
+
+def batched_inference_scores(aggregated: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    """Class scores for pre-stacked aggregated query rows (the serving path).
+
+    ``aggregated`` is any stack of rows of the matrix built by
+    :func:`inference_features` — one micro-batch of queries — and the result
+    is one ``aggregated @ theta`` matmul.  Because the release Θ_priv is
+    post-processing-free data, no privacy accounting happens here.
+    """
+    return _scores(np.atleast_2d(np.asarray(aggregated, dtype=np.float64)), theta)
 
 
 def _scores(aggregated: np.ndarray, theta: np.ndarray) -> np.ndarray:

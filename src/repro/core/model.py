@@ -24,7 +24,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.core.config import GCONConfig
 from repro.core.encoder import MLPEncoder
-from repro.core.inference import private_inference_scores, public_inference_scores
+from repro.core.inference import batched_inference_scores, inference_features
 from repro.core.losses import get_loss
 from repro.core.objective import PerturbedObjective
 from repro.core.perturbation import (
@@ -347,25 +347,32 @@ class GCON:
     # ------------------------------------------------------------------ #
     # inference (Algorithm 4)
     # ------------------------------------------------------------------ #
-    def decision_scores(self, graph: GraphDataset | None = None,
-                        mode: str = "private") -> np.ndarray:
-        """Raw class scores ``Ŷ`` for every node of ``graph`` (default: training graph)."""
-        theta, encoder = self._require_fitted()
+    def inference_features(self, graph: GraphDataset | None = None,
+                           mode: str = "private") -> np.ndarray:
+        """The aggregated matrix ``F`` with ``decision_scores == F @ theta_``.
+
+        This is the query-independent half of Algorithm 4: encoder forward
+        pass, L2 normalisation and (private or public) propagation.  The
+        serving layer (:mod:`repro.serving`) computes it once per
+        (model, graph, mode) and answers every query batch with one
+        row-selected matmul, bitwise identical to :meth:`decision_scores`.
+        """
+        _theta, encoder = self._require_fitted()
         graph = self._train_graph if graph is None else graph
         if graph is None:  # pragma: no cover - defensive
             raise NotFittedError("no graph available for inference")
         encoded = row_normalize_l2(encoder.encode(graph.features))
         propagator = cached_propagator(graph.adjacency, self.config.alpha)
-        if mode == "private":
-            return private_inference_scores(
-                propagator, encoded, theta, self.config.normalized_steps,
-                self.config.effective_inference_alpha,
-            )
-        if mode == "public":
-            return public_inference_scores(
-                propagator, encoded, theta, self.config.normalized_steps,
-            )
-        raise ConfigurationError(f"mode must be 'private' or 'public', got {mode!r}")
+        return inference_features(
+            propagator, encoded, self.config.normalized_steps, mode=mode,
+            inference_alpha=self.config.effective_inference_alpha,
+        )
+
+    def decision_scores(self, graph: GraphDataset | None = None,
+                        mode: str = "private") -> np.ndarray:
+        """Raw class scores ``Ŷ`` for every node of ``graph`` (default: training graph)."""
+        theta, _encoder = self._require_fitted()
+        return batched_inference_scores(self.inference_features(graph, mode=mode), theta)
 
     def predict(self, graph: GraphDataset | None = None, mode: str = "private") -> np.ndarray:
         """Predicted class labels for every node of ``graph``."""

@@ -60,20 +60,19 @@ def _config_from_json(text: str) -> GCONConfig:
     return GCONConfig(**payload)
 
 
-def save_gcon(model: GCON, path: str | Path) -> Path:
-    """Serialise a fitted :class:`GCON` (release + public encoder) to ``path``.
+def release_arrays(model: GCON) -> dict[str, np.ndarray]:
+    """The canonical array bundle of a fitted :class:`GCON` release.
 
-    The file is a numpy ``.npz`` archive; the ``.npz`` suffix is appended if
-    missing.  Raises :class:`NotFittedError` if the model has not been fitted.
+    Everything :func:`save_gcon` writes and :func:`load_gcon` reads — the
+    released Θ_priv, the public encoder parameters and the JSON-encoded
+    configuration/calibration records — as a plain dict, so other writers
+    (the model registry of :mod:`repro.serving`) can persist or fingerprint
+    the identical content.  Raises :class:`NotFittedError` on unfitted models.
     """
     if model.theta_ is None or model.encoder_ is None or model.perturbation_ is None:
         raise NotFittedError("GCON.fit must be called before saving the model")
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
     encoder = model.encoder_
     network = encoder._require_fitted()
-
     arrays: dict[str, np.ndarray] = {
         "theta": model.theta_,
         "format_version": np.array([_FORMAT_VERSION]),
@@ -93,6 +92,58 @@ def save_gcon(model: GCON, path: str | Path) -> Path:
     }
     for name, value in network.state_dict().items():
         arrays[f"{_ENCODER_PREFIX}{name}"] = value
+    return arrays
+
+
+def release_digest(arrays: dict[str, np.ndarray]) -> str:
+    """A stable sha256 content address of a release-array bundle.
+
+    Hashes array names, dtypes, shapes and raw bytes in sorted-name order, so
+    the digest is invariant to dict ordering and archive metadata (the bytes
+    of the ``.npz`` container itself are *not* hashed — zip timestamps would
+    make it unstable).  Same convention as the :class:`PreparationStore`
+    addresses: flipping any bit of the release flips the digest.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        value = np.asarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()
+
+
+def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Atomically publish an ``.npz`` archive (temp file + rename).
+
+    The ``.npz`` analogue of :func:`repro.utils.fs.atomic_write_text`, shared
+    by the preparation store and the model registry so concurrent writers on
+    a shared filesystem never expose a torn archive.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(temporary, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(temporary, path)
+    finally:
+        if temporary.exists():  # pragma: no cover - only on a failed write
+            temporary.unlink()
+    return path
+
+
+def save_gcon(model: GCON, path: str | Path) -> Path:
+    """Serialise a fitted :class:`GCON` (release + public encoder) to ``path``.
+
+    The file is a numpy ``.npz`` archive; the ``.npz`` suffix is appended if
+    missing.  Raises :class:`NotFittedError` if the model has not been fitted.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays = release_arrays(model)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
     return path
@@ -256,16 +307,7 @@ class PreparationStore:
         for name, value in network.state_dict().items():
             arrays[f"{_ENCODER_PREFIX}{name}"] = value
         path = self.path_for(self.preparation_address(config, graph, seed))
-        self.root.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        try:
-            with open(temporary, "wb") as handle:
-                np.savez(handle, **arrays)
-            os.replace(temporary, path)
-        finally:
-            if temporary.exists():  # pragma: no cover - only on a failed write
-                temporary.unlink()
-        return path
+        return atomic_savez(path, arrays)
 
     def get_or_prepare(self, model: GCON, graph, seed) -> PreparedInputs:
         """Fetch the preparation for ``(model.config, graph, seed)`` or compute

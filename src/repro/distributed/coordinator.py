@@ -66,10 +66,17 @@ class QueueStatus:
     cells_done: int
     failures: int
     workers: dict
+    groups_quarantined: int = 0
 
     @property
     def complete(self) -> bool:
         return self.groups_total > 0 and self.groups_done == self.groups_total
+
+    @property
+    def stalled(self) -> bool:
+        """Every remaining group is quarantined: no worker can make progress."""
+        return (self.groups_quarantined > 0 and
+                self.groups_done + self.groups_quarantined == self.groups_total)
 
     def summary(self) -> str:
         lines = [
@@ -80,6 +87,9 @@ class QueueStatus:
         ]
         for worker_id, held in sorted(self.workers.items()):
             lines.append(f"  {worker_id}: holding {held} group(s)")
+        if self.groups_quarantined:
+            lines.append(f"quarantined: {self.groups_quarantined} group(s) "
+                         f"exceeded their retry budget (see failed/*.quarantined.json)")
         if self.failures:
             lines.append(f"failures recorded: {self.failures} (see failed/)")
         return "\n".join(lines)
@@ -135,13 +145,18 @@ class Coordinator:
     def status(self) -> QueueStatus:
         task_ids = self.queue.task_ids()
         done = self.queue.done_ids()
+        quarantined_ids = self.queue.quarantined_ids()
         leased = expired = claimable = cells_total = cells_done = 0
+        quarantined = 0
         workers: dict[str, int] = {}
         for group_id in task_ids:
             size = self._group_size(group_id)
             cells_total += size
             if group_id in done:
                 cells_done += size
+                continue
+            if group_id in quarantined_ids:
+                quarantined += 1
                 continue
             lease = self.leases.read(group_id)
             if lease is None:
@@ -156,7 +171,8 @@ class Coordinator:
                            groups_leased=leased, groups_expired=expired,
                            groups_claimable=claimable, cells_total=cells_total,
                            cells_done=cells_done,
-                           failures=self.queue.failure_count(), workers=workers)
+                           failures=self.queue.failure_count(), workers=workers,
+                           groups_quarantined=quarantined)
 
     def wait(self, poll_interval: float = 0.5, timeout: float | None = None,
              progress: bool | ProgressReporter = False,
@@ -182,6 +198,10 @@ class Coordinator:
                                          f"{status.groups_total} groups")
                 if status.complete:
                     return True
+                if status.stalled:
+                    # Only quarantined groups remain; no amount of waiting
+                    # (or workers) will finish this sweep as submitted.
+                    return False
                 if deadline is not None and time.monotonic() >= deadline:
                     return False
                 if should_abort is not None and should_abort():
@@ -211,6 +231,14 @@ class Coordinator:
         done = sorted(self.queue.done_ids())
         pending = self.queue.pending_ids()
         if require_complete and pending:
+            quarantined = self.queue.quarantined_ids() & set(pending)
+            if quarantined:
+                raise RuntimeError(
+                    f"sweep cannot complete: {len(quarantined)} group(s) are "
+                    f"quarantined after exhausting their retry budget (first: "
+                    f"{sorted(quarantined)[0]}; see failed/*.quarantined.json); "
+                    f"fix the failure and resubmit, or pass "
+                    f"require_complete=False to merge the surviving shards")
             raise RuntimeError(
                 f"sweep is incomplete: {len(pending)} group(s) still pending "
                 f"(first: {pending[0]}); run more workers or pass "

@@ -11,7 +11,8 @@ reach (local disk for multi-process runs, NFS/Lustre for multi-machine):
       leases/<gid>.lease    active claims: worker id + heartbeat (lease.py)
       shards/<gid>.jsonl    completed per-group result shards
       done/<gid>.json       completion markers (worker id, record count)
-      failed/<gid>-*.json   failure breadcrumbs left by crashed executions
+      failed/<gid>.attempt-*.json      numbered failure breadcrumbs (+ traceback)
+      failed/<gid>.quarantined.json    terminal marker after max_attempts failures
 
 The unit of work is a cell *group* — every cell of one
 ``(dataset, method, repeat)`` bucket, i.e. one epsilon axis — so the
@@ -231,15 +232,67 @@ class WorkQueue:
         for path in self.shards_dir.glob(f"{group_id}.jsonl.wip-*"):
             path.unlink(missing_ok=True)
 
-    # -- failure breadcrumbs ------------------------------------------- #
-    def record_failure(self, group_id: str, worker_id: str, error: str) -> None:
-        self.failed_dir.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(
-            self.failed_dir / f"{group_id}-{_slug(worker_id)}.json",
-            json.dumps({"group_id": group_id, "worker_id": worker_id,
-                        "error": error}, sort_keys=True) + "\n")
+    # -- failure breadcrumbs and quarantine ---------------------------- #
+    # Task files are immutable, so the retry budget of a group is not a
+    # counter *in* the task file but the count of its attempt breadcrumbs
+    # under failed/: every failed execution leaves one, numbered, with the
+    # captured traceback.  Once the count reaches the worker's max_attempts
+    # the group is quarantined — a terminal marker that takes it out of the
+    # claimable set, so a deterministically failing group stops being
+    # re-leased forever and the rest of the sweep can finish.
+    def quarantine_path(self, group_id: str) -> Path:
+        return self.failed_dir / f"{group_id}.quarantined.json"
 
-    def failure_count(self) -> int:
+    def record_failure(self, group_id: str, worker_id: str, error: str,
+                       traceback_text: str = "") -> int:
+        """Leave one attempt breadcrumb; returns the attempt number it records.
+
+        Two workers racing on the same attempt number both leave their file
+        (the names differ by worker id), which only over-counts attempts —
+        quarantine triggers at the latest after ``max_attempts`` real
+        failures, never before a genuine one.
+        """
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        attempt = self.attempts(group_id) + 1
+        atomic_write_text(
+            self.failed_dir / f"{group_id}.attempt-{attempt:03d}-{_slug(worker_id)}.json",
+            json.dumps({"group_id": group_id, "worker_id": worker_id,
+                        "attempt": attempt, "error": error,
+                        "traceback": traceback_text}, sort_keys=True, indent=2) + "\n")
+        return attempt
+
+    def attempts(self, group_id: str) -> int:
+        """How many failed executions of ``group_id`` left breadcrumbs."""
         if not self.failed_dir.exists():
             return 0
-        return sum(1 for _ in self.failed_dir.glob("*.json"))
+        return sum(1 for _ in self.failed_dir.glob(f"{group_id}.attempt-*.json"))
+
+    def quarantine(self, group_id: str, worker_id: str, error: str,
+                   attempts: int, traceback_text: str = "") -> None:
+        """Write the terminal quarantine marker (idempotent: every writer saw
+        the same deterministic failure)."""
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.quarantine_path(group_id), json.dumps({
+            "group_id": group_id, "worker_id": worker_id, "attempts": attempts,
+            "error": error, "traceback": traceback_text,
+        }, sort_keys=True, indent=2) + "\n")
+
+    def is_quarantined(self, group_id: str) -> bool:
+        return self.quarantine_path(group_id).exists()
+
+    def quarantined_ids(self) -> set[str]:
+        if not self.failed_dir.exists():
+            return set()
+        return {path.name[:-len(".quarantined.json")]
+                for path in self.failed_dir.glob("*.quarantined.json")}
+
+    def runnable_ids(self) -> list[str]:
+        """Pending groups a worker may still claim (not done, not quarantined)."""
+        quarantined = self.quarantined_ids()
+        return [gid for gid in self.pending_ids() if gid not in quarantined]
+
+    def failure_count(self) -> int:
+        """Number of attempt breadcrumbs on record (quarantine markers excluded)."""
+        if not self.failed_dir.exists():
+            return 0
+        return sum(1 for _ in self.failed_dir.glob("*.attempt-*.json"))

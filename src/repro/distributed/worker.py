@@ -31,13 +31,14 @@ import os
 import socket
 import threading
 import time
+import traceback
 import uuid
 from dataclasses import dataclass, field
 
 from repro.distributed.lease import LeaseManager
 from repro.distributed.queue import GroupTask, WorkQueue
 from repro.runtime.cells import result_key
-from repro.runtime.engine import SweepExecutionError, run_cell_group
+from repro.runtime.engine import run_cell_group
 from repro.runtime.store import JsonlResultStore
 
 
@@ -94,6 +95,8 @@ class WorkerReport:
     cells_completed: int = 0
     groups_stolen: int = 0
     groups_lost: int = 0
+    groups_failed: int = 0
+    groups_quarantined: int = 0
     elapsed_seconds: float = 0.0
     completed_group_ids: list = field(default_factory=list)
 
@@ -104,6 +107,11 @@ class WorkerReport:
             text += f", {self.groups_stolen} re-leased from expired worker(s)"
         if self.groups_lost:
             text += f", {self.groups_lost} lease(s) lost mid-run"
+        if self.groups_failed:
+            text += f", {self.groups_failed} failed execution(s)"
+        if self.groups_quarantined:
+            text += (f", {self.groups_quarantined} group(s) quarantined "
+                     f"(see failed/)")
         return text
 
 
@@ -119,13 +127,24 @@ class DistributedWorker:
     cheap deterministic runners); ``max_groups`` bounds how many groups this
     call may execute; ``clock`` feeds the lease manager for deterministic
     expiry tests.
+
+    ``max_attempts`` is the retry-then-quarantine budget: a group whose
+    execution *raises* (as opposed to crashing the process) leaves a numbered
+    breadcrumb with the captured traceback under ``failed/`` and goes back to
+    the pool; once the breadcrumb count reaches ``max_attempts`` the group is
+    quarantined — taken out of the claimable set for every worker — so a
+    deterministically failing group cannot starve the sweep by being
+    re-leased forever.  The worker itself survives failures and moves on to
+    other groups.
     """
 
     def __init__(self, dist_dir, worker_id: str | None = None, *,
                  lease_ttl: float = 60.0, poll_interval: float = 0.5,
                  max_groups: int | None = None, wait_for_completion: bool = True,
                  cell_runner=None, preparation_cache: str | None = None,
-                 clock=None, log_stream=None):
+                 max_attempts: int = 3, clock=None, log_stream=None):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.queue = WorkQueue(dist_dir)
         self.worker_id = worker_id or default_worker_id()
         self.leases = LeaseManager(self.queue.leases_dir, ttl=lease_ttl,
@@ -135,6 +154,7 @@ class DistributedWorker:
         self.wait_for_completion = wait_for_completion
         self.cell_runner = cell_runner
         self.preparation_cache = preparation_cache
+        self.max_attempts = max_attempts
         self.log_stream = log_stream
 
     # ------------------------------------------------------------------ #
@@ -154,8 +174,10 @@ class DistributedWorker:
                 break
             claim = self._claim_next(report)
             if claim is None:
-                if not self.queue.pending_ids():
-                    break  # sweep complete
+                if not self.queue.runnable_ids():
+                    # Sweep complete, or every remaining group is quarantined
+                    # — either way there is nothing left any worker may run.
+                    break
                 if not self.wait_for_completion:
                     break  # someone else holds the rest
                 time.sleep(self.poll_interval)
@@ -166,7 +188,7 @@ class DistributedWorker:
         return report
 
     def _claim_next(self, report: WorkerReport):
-        for group_id in self.queue.pending_ids():
+        for group_id in self.queue.runnable_ids():
             holder = self.leases.read(group_id)
             lease = self.leases.acquire(group_id, self.worker_id)
             if lease is None:
@@ -211,11 +233,21 @@ class DistributedWorker:
         except Exception as error:
             store.close()
             wip.unlink(missing_ok=True)
-            self.queue.record_failure(task.group_id, self.worker_id, repr(error))
+            attempt = self.queue.record_failure(
+                task.group_id, self.worker_id,
+                f"cell {failing.key()}: {error!r}", traceback.format_exc())
+            report.groups_failed += 1
+            self._log(f"execution of {task.group_id} failed "
+                      f"(attempt {attempt}/{self.max_attempts}): {error!r}")
+            if attempt >= self.max_attempts:
+                self.queue.quarantine(task.group_id, self.worker_id,
+                                      f"cell {failing.key()}: {error!r}",
+                                      attempt, traceback.format_exc())
+                report.groups_quarantined += 1
+                self._log(f"quarantined {task.group_id} after "
+                          f"{attempt} failed attempt(s)")
             self.leases.release(pump.lease)
-            if isinstance(error, SweepExecutionError):
-                raise
-            raise SweepExecutionError(failing, error) from error
+            return
         store.close()
         if pump.lost:
             # Partitioned long enough to be reaped: abandon the group, the

@@ -26,9 +26,10 @@ from repro.runtime.engine import (
     run_cell_group,
 )
 from repro.runtime.progress import ProgressReporter
-from repro.runtime.store import JsonlResultStore, MergeReport, merge_stores
+from repro.runtime.store import JsonlResultStore, MergeReport, best_record, merge_stores
 
 __all__ = [
+    "best_record",
     "ExperimentResult",
     "SweepCell",
     "derive_cell_seed",

@@ -177,6 +177,7 @@ class MergeReport:
     records: int
     duplicates: int
     skipped_lines: int
+    empty_shards: tuple = ()
 
     def summary(self) -> str:
         text = (f"merged {self.records} records from {self.shards} shard(s) "
@@ -185,6 +186,10 @@ class MergeReport:
             text += f" ({self.duplicates} identical duplicate(s) dropped)"
         if self.skipped_lines:
             text += f" ({self.skipped_lines} corrupt line(s) skipped)"
+        if self.empty_shards:
+            names = ", ".join(Path(path).name for path in self.empty_shards)
+            text += (f" (WARNING: {len(self.empty_shards)} empty shard(s) "
+                     f"contributed no records: {names})")
         return text
 
 
@@ -217,10 +222,23 @@ def merge_stores(shard_paths, output_path: str | os.PathLike, *,
     merged: dict[tuple, ExperimentResult] = {}
     duplicates = 0
     skipped = 0
+    empty_shards: list[Path] = []
     for path in shard_paths:
         store = JsonlResultStore(path)
         records = store.load(on_corrupt="skip" if tolerant else "raise")
         skipped += store.last_skipped_lines
+        if not records:
+            # A published shard with zero records means its worker produced
+            # nothing (or the file was emptied after publish).  That must not
+            # pass silently: with expected_keys it surfaces as missing cells,
+            # but a partial merge would otherwise just under-report.
+            empty_shards.append(path)
+            warnings.warn(
+                f"shard {path} contributed no records to the merge "
+                f"(empty or missing shard file)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for record in records:
             if context_digest is not None:
                 stamped = record.extra.get("sweep_context")
@@ -259,4 +277,33 @@ def merge_stores(shard_paths, output_path: str | os.PathLike, *,
                       "".join(_to_json(merged[key]) + "\n" for key in order))
     return MergeReport(output=output_path, shards=len(shard_paths),
                        records=len(order), duplicates=duplicates,
-                       skipped_lines=skipped)
+                       skipped_lines=skipped, empty_shards=tuple(empty_shards))
+
+
+# --------------------------------------------------------------------------- #
+# winner selection (the publish path)
+# --------------------------------------------------------------------------- #
+def best_record(records, *, method: str | None = None, dataset: str | None = None,
+                epsilon: float | None = None) -> ExperimentResult:
+    """The winning record of a sweep store: highest micro-F1 under the filters.
+
+    This is how a finished sweep becomes a servable model: ``repro publish``
+    picks the best ``(method, dataset, epsilon, repeat)`` cell recorded in a
+    result store, refits it from its deterministic seed and pushes the
+    release into the model registry.  Ties keep the earliest record (the
+    store's canonical order), so selection is deterministic.
+    """
+    records = list(records)
+    candidates = [
+        record for record in records
+        if (method is None or record.method == method)
+        and (dataset is None or record.dataset == dataset)
+        and (epsilon is None or float(record.epsilon) == float(epsilon))
+    ]
+    if not candidates:
+        filters = {"method": method, "dataset": dataset, "epsilon": epsilon}
+        active = {key: value for key, value in filters.items() if value is not None}
+        raise ValueError(
+            f"no records match {active or 'the store'} "
+            f"({len(records)} record(s) searched)")
+    return max(candidates, key=lambda record: record.micro_f1)

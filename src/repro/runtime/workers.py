@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.propagation import cached_propagator, get_default_cache, propagation_cache
+from repro.core.propagation import get_default_cache, propagation_cache
 from repro.runtime.cells import ExperimentResult, SweepCell, epsilon_axis
 from repro.utils.lru import LRUDict
 
@@ -146,18 +146,10 @@ def _shared_inference_features(model, graph, inference_mode: str) -> np.ndarray:
     """The matrix ``F`` with ``decision_scores = F @ theta`` for every model of
     an epsilon sweep (same encoder, same propagation — only theta differs).
 
-    Mirrors :meth:`GCON.decision_scores` operation for operation, so
-    ``argmax(F @ theta)`` is bitwise identical to per-model prediction.
+    Delegates to :meth:`GCON.inference_features`, so ``argmax(F @ theta)`` is
+    bitwise identical to per-model prediction.
     """
-    from repro.utils.math import row_normalize_l2
-
-    config = model.config
-    encoded = row_normalize_l2(model.encoder_.encode(graph.features))
-    propagator = cached_propagator(graph.adjacency, config.alpha)
-    if inference_mode == "private":
-        return propagator.inference_concat(
-            encoded, config.normalized_steps, config.effective_inference_alpha)
-    return propagator.propagate_concat(encoded, config.normalized_steps)
+    return model.inference_features(graph, mode=inference_mode)
 
 
 def _run_epsilon_sweep_group(cells: list[SweepCell], graph, estimators,

@@ -1,0 +1,28 @@
+"""The serving data plane: model registry, micro-batching and the HTTP API.
+
+Once Θ_priv is released, inference is pure post-processing — no privacy
+budget is spent answering queries — so serving is an ordinary data plane:
+
+* :mod:`repro.serving.registry` — a content-addressed, filesystem-backed
+  model registry (`publish` / `resolve` / `verify`), turning sweep artefacts
+  or live :class:`~repro.core.model.GCON` instances into versioned bundles;
+* :mod:`repro.serving.batcher` — a micro-batching request queue that
+  coalesces single-node queries into one stacked matmul per model, over an
+  LRU cache of propagated features;
+* :mod:`repro.serving.service` — the threaded :class:`InferenceService`
+  front end plus a dependency-free ``http.server`` JSON API.
+"""
+
+from repro.serving.batcher import BatchStats, MicroBatcher
+from repro.serving.registry import ModelRecord, ModelRegistry, parse_model_ref
+from repro.serving.service import InferenceService, serve_http
+
+__all__ = [
+    "BatchStats",
+    "InferenceService",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelRegistry",
+    "parse_model_ref",
+    "serve_http",
+]

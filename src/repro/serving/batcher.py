@@ -1,0 +1,249 @@
+"""Micro-batching of inference requests: many queries, one matmul per model.
+
+Serving traffic arrives as many small, independent queries ("scores for
+nodes [3, 17]").  Answering each with its own matmul wastes the data plane:
+the per-call overhead (Python dispatch, BLAS setup) dominates the handful of
+fused multiply-adds a single row costs.  The :class:`MicroBatcher` coalesces
+concurrently arriving requests — up to ``max_batch_size`` queried rows or
+``max_latency`` seconds, whichever comes first — and answers each batch with
+**one** stacked ``aggregated @ theta`` matmul per distinct model in the
+batch.
+
+Correctness does not depend on the schedule: selecting rows of the cached
+feature matrix and multiplying the stack is bitwise identical to computing
+every node's score individually from the full score matrix (verified by the
+serving equivalence tests), so coalescing can only change latency, never
+numbers.
+
+The batcher is deliberately execution-agnostic: it calls a user-supplied
+``compute(model_key, node_indices) -> scores`` and never touches models,
+graphs or caches itself — :class:`repro.serving.service.InferenceService`
+wires it to the feature-cache-backed scorer.  ``start()`` runs the dispatch
+loop on a daemon thread (the HTTP server path); ``run_once()`` drains the
+currently queued requests synchronously, which is what the deterministic
+tests and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BatchStats:
+    """Counters describing what the batcher has done so far."""
+
+    requests: int = 0
+    rows_requested: int = 0
+    batches: int = 0
+    matmuls: int = 0
+    coalesced_requests: int = 0   # requests that shared their batch with others
+    max_batch_rows: int = 0
+    per_model_matmuls: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "rows_requested": self.rows_requested,
+            "batches": self.batches,
+            "matmuls": self.matmuls,
+            "coalesced_requests": self.coalesced_requests,
+            "max_batch_rows": self.max_batch_rows,
+            "per_model_matmuls": dict(self.per_model_matmuls),
+        }
+
+
+class _Ticket:
+    """One submitted request: callers block on :meth:`result`."""
+
+    __slots__ = ("nodes", "model_key", "_event", "_scores", "_error")
+
+    def __init__(self, model_key, nodes: np.ndarray):
+        self.model_key = model_key
+        self.nodes = nodes
+        self._event = threading.Event()
+        self._scores = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, scores) -> None:
+        self._scores = scores
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the batch executes; raise what the scorer raised."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request timed out waiting for its batch")
+        if self._error is not None:
+            raise self._error
+        return self._scores
+
+
+class MicroBatcher:
+    """Coalesces inference requests into per-model stacked matmuls.
+
+    Parameters
+    ----------
+    compute:
+        ``(model_key, node_indices: np.ndarray) -> np.ndarray`` — scores for
+        the stacked rows.  Must be thread-safe; it runs on the dispatch
+        thread, never on callers.
+    max_batch_size:
+        Flush a forming batch once this many *rows* are queued across its
+        requests.
+    max_latency:
+        Seconds the dispatch loop waits for more requests after the first
+        one arrives before flushing regardless of size.
+    """
+
+    def __init__(self, compute, *, max_batch_size: int = 64,
+                 max_latency: float = 0.005, clock=time.monotonic):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_latency < 0:
+            raise ValueError(f"max_latency must be >= 0, got {max_latency}")
+        self._compute = compute
+        self.max_batch_size = int(max_batch_size)
+        self.max_latency = float(max_latency)
+        self._clock = clock
+        self._queue: queue.Queue[_Ticket | None] = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self.stats = BatchStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, model_key, nodes) -> _Ticket:
+        """Enqueue one request; returns a ticket to block on."""
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if nodes.ndim != 1 or nodes.size == 0:
+            raise ValueError("a request must name at least one node index")
+        ticket = _Ticket(model_key, nodes)
+        with self._stats_lock:
+            self.stats.requests += 1
+            self.stats.rows_requested += int(nodes.size)
+        self._queue.put(ticket)
+        return ticket
+
+    def predict_scores(self, model_key, nodes, timeout: float | None = 30.0) -> np.ndarray:
+        """Submit and wait: the synchronous convenience used by the service.
+
+        When no dispatch thread is running, the queued batch is executed
+        inline (still through the exact batch path), so the batcher works
+        in single-threaded library use without background machinery.
+        """
+        ticket = self.submit(model_key, nodes)
+        if self._thread is None:
+            self.run_once()
+        return ticket.result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def start(self) -> "MicroBatcher":
+        """Run the dispatch loop on a daemon thread (idempotent)."""
+        if self._thread is None:
+            self._stopping.clear()
+            self._thread = threading.Thread(target=self._loop, daemon=True,
+                                            name="repro-serving-batcher")
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the dispatch thread after flushing queued requests."""
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._queue.put(None)  # wake the blocked get()
+        self._thread.join()
+        self._thread = None
+        self.run_once()  # resolve anything that raced the shutdown
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is None:
+                continue
+            batch = [first]
+            rows = int(first.nodes.size)
+            deadline = self._clock() + self.max_latency
+            while rows < self.max_batch_size:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                try:
+                    ticket = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if ticket is None:
+                    break
+                batch.append(ticket)
+                rows += int(ticket.nodes.size)
+            self._execute(batch)
+
+    def run_once(self) -> int:
+        """Drain everything currently queued into one batch; returns the
+        number of requests executed.  Deterministic (no timing involved):
+        the test/benchmark entry point."""
+        batch: list[_Ticket] = []
+        while True:
+            try:
+                ticket = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if ticket is not None:
+                batch.append(ticket)
+        if batch:
+            self._execute(batch)
+        return len(batch)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, batch: list[_Ticket]) -> None:
+        """One stacked matmul per distinct model in ``batch``."""
+        by_model: dict = {}
+        for ticket in batch:
+            by_model.setdefault(ticket.model_key, []).append(ticket)
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.max_batch_rows = max(
+                self.stats.max_batch_rows,
+                sum(int(t.nodes.size) for t in batch))
+            if len(batch) > 1:
+                self.stats.coalesced_requests += len(batch)
+        for model_key, tickets in by_model.items():
+            stacked = np.concatenate([ticket.nodes for ticket in tickets])
+            try:
+                scores = self._compute(model_key, stacked)
+            except Exception as error:  # forwarded to the blocked callers
+                for ticket in tickets:
+                    ticket._fail(error)
+                continue
+            with self._stats_lock:
+                self.stats.matmuls += 1
+                per_model = self.stats.per_model_matmuls
+                per_model[str(model_key)] = per_model.get(str(model_key), 0) + 1
+            offset = 0
+            for ticket in tickets:
+                ticket._resolve(scores[offset:offset + ticket.nodes.size])
+                offset += ticket.nodes.size

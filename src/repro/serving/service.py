@@ -1,0 +1,379 @@
+"""The inference front end: a threaded service plus a stdlib HTTP JSON API.
+
+:class:`InferenceService` is the in-process API — ``predict`` /
+``predict_proba`` / ``top_k`` / ``health`` / ``stats`` — over models
+resolved from a :class:`~repro.serving.registry.ModelRegistry`.  Per served
+model it keeps a *session*: the released Θ_priv plus the aggregated feature
+matrix ``F`` of the serving graph (encoder forward pass, L2 normalisation,
+Eq. 16/Eq. 11 propagation — the expensive, query-independent half of
+Algorithm 4), held in an LRU so repeated queries skip propagation entirely.
+Queries then flow through the :class:`~repro.serving.batcher.MicroBatcher`,
+which coalesces them into one row-selected matmul per model — bitwise
+identical to offline :func:`~repro.core.inference.private_inference_scores`
+/ :func:`~repro.core.inference.public_inference_scores` on the same bundle.
+
+:func:`serve_http` wraps the service in a ``http.server``-based JSON API —
+zero dependencies beyond the standard library — with a threading server so
+concurrent requests actually coalesce in the batcher:
+
+* ``GET  /healthz``      liveness + loaded models
+* ``GET  /stats``        batcher/cache/request counters
+* ``GET  /models``       registry listing
+* ``POST /v1/predict``   ``{"model": "name@latest", "nodes": [..],
+  "mode"?: "private"|"public", "top_k"?: int, "proba"?: bool}``
+
+The graph a model is served against defaults to the dataset preset recorded
+in its manifest at publish time (name, scale, seed); pass ``graph=`` or a
+``graph_loader`` to serve against a different node universe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.core.inference import INFERENCE_MODES, batched_inference_scores
+from repro.exceptions import ConfigurationError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.registry import ModelRegistry
+from repro.utils.lru import LRUDict
+
+
+def softmax_scores(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax over raw class scores (shared by API and HTTP layer)."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def top_k_entries(scores: np.ndarray, k: int) -> list:
+    """Per row: the ``k`` best classes with their scores, best first."""
+    k = max(1, min(int(k), scores.shape[1]))
+    order = np.argsort(-scores, axis=1)[:, :k]
+    return [
+        [{"label": int(label), "score": float(row_scores[label])}
+         for label in row_order]
+        for row_order, row_scores in zip(order, scores)
+    ]
+
+
+def _default_graph_loader(manifest: dict):
+    """Rebuild the serving graph from the manifest's training provenance."""
+    from repro.graphs.datasets import load_dataset
+
+    training = manifest.get("training", {})
+    dataset = training.get("dataset")
+    if not dataset:
+        raise ConfigurationError(
+            "the model manifest records no training dataset; pass an explicit "
+            "graph (or graph_loader) to InferenceService")
+    return load_dataset(dataset, scale=float(training.get("scale", 1.0)),
+                        seed=int(training.get("graph_seed", 0)))
+
+
+class _ModelSession:
+    """One served (model version, graph, mode): theta + cached features."""
+
+    __slots__ = ("record", "theta", "features", "num_classes")
+
+    def __init__(self, record, theta: np.ndarray, features: np.ndarray):
+        self.record = record
+        self.theta = theta
+        self.features = features
+        self.num_classes = theta.shape[1]
+
+
+class InferenceService:
+    """Batched inference over registry models (the serving control room).
+
+    Thread-safe: sessions are built under a lock, scoring happens on the
+    batcher's dispatch thread, counters are locked.  ``start()`` launches the
+    micro-batching thread; without it, each call executes its batch inline
+    (still through the stacked-matmul path), which is what single-threaded
+    library use and the deterministic tests rely on.
+    """
+
+    def __init__(self, registry: ModelRegistry | str, *, graph=None,
+                 graph_loader=None, max_batch_size: int = 64,
+                 max_latency: float = 0.005, max_sessions: int = 8):
+        self.registry = (registry if isinstance(registry, ModelRegistry)
+                         else ModelRegistry(registry))
+        self._graph = graph
+        self._graph_loader = graph_loader or _default_graph_loader
+        self._sessions = LRUDict(max_entries=max_sessions)
+        self._lock = threading.Lock()
+        self.batcher = MicroBatcher(self._score_rows,
+                                    max_batch_size=max_batch_size,
+                                    max_latency=max_latency)
+        self.cache_stats = {"feature_hits": 0, "feature_misses": 0}
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceService":
+        self.batcher.start()
+        return self
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # sessions (model digest, mode) -> theta + cached features
+    # ------------------------------------------------------------------ #
+    def _session(self, ref: str, mode: str | None) -> tuple[tuple, _ModelSession]:
+        # The registry resolve runs per call on purpose: "@latest" must pick
+        # up a concurrent publish.  The expensive part (loading the bundle,
+        # building the graph, propagation) is cached by content digest.
+        record = self.registry.resolve(ref)
+        mode = mode or record.inference_mode
+        if mode not in INFERENCE_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {INFERENCE_MODES}, got {mode!r}")
+        key = (record.digest, mode)
+        with self._lock:
+            session = self._sessions.get_or_none(key)
+            if session is not None:
+                self.cache_stats["feature_hits"] += 1
+                return key, session
+            self.cache_stats["feature_misses"] += 1
+        # Build outside the lock: a cold load (npz + graph + encoder forward
+        # + propagation) must not stall the dispatch thread or hot models.
+        # Two racing builders compute bitwise-identical sessions; last put
+        # wins and the loser's work is garbage-collected.
+        model, record = self.registry.load(record.ref)
+        graph = self._graph if self._graph is not None \
+            else self._graph_loader(record.manifest)
+        features = model.inference_features(graph, mode=mode)
+        session = _ModelSession(record=record, theta=model.theta_,
+                                features=features)
+        with self._lock:
+            self._sessions.put(key, session)
+        return key, session
+
+    def _score_rows(self, session_key: tuple, nodes: np.ndarray) -> np.ndarray:
+        """The batcher's compute hook: one stacked matmul over cached rows."""
+        with self._lock:
+            session = self._sessions.get_or_none(session_key)
+        if session is None:  # evicted between submit and dispatch; rebuild
+            digest, mode = session_key
+            session = self._rebuild(digest, mode)
+        self._validate_nodes(nodes, session.features.shape[0])
+        if nodes.size == 1:
+            # A one-row product may dispatch to a GEMV kernel whose last bit
+            # can differ from the GEMM the offline full-matrix path uses; pad
+            # to two rows so every served answer — even an uncoalesced
+            # singleton — is bitwise identical to offline inference.
+            padded = session.features[[int(nodes[0]), int(nodes[0])]]
+            return batched_inference_scores(padded, session.theta)[:1]
+        return batched_inference_scores(session.features[nodes], session.theta)
+
+    def _rebuild(self, digest: str, mode: str) -> _ModelSession:
+        for record in self.registry.list():
+            if record.digest == digest:
+                _key, session = self._session(record.ref, mode)
+                return session
+        raise ConfigurationError(f"model version {digest[:12]} left the registry")
+
+    @staticmethod
+    def _validate_nodes(nodes: np.ndarray, num_nodes: int) -> None:
+        if nodes.size == 0:
+            raise ConfigurationError("at least one node index is required")
+        if nodes.min() < 0 or nodes.max() >= num_nodes:
+            raise ConfigurationError(
+                f"node indices must be in [0, {num_nodes}), got "
+                f"[{int(nodes.min())}, {int(nodes.max())}]")
+
+    # ------------------------------------------------------------------ #
+    # the query API
+    # ------------------------------------------------------------------ #
+    def predict_batch(self, ref: str, nodes, mode: str | None = None,
+                      timeout: float | None = 30.0):
+        """Scores plus the exact version and mode that produced them.
+
+        Returns ``(scores, record, mode)``.  Node indices are validated
+        *before* the request enters the batcher, so one caller's bad index
+        can never fail the strangers coalesced into the same micro-batch.
+        """
+        key, session = self._session(ref, mode)
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        self._validate_nodes(nodes, session.features.shape[0])
+        scores = self.batcher.predict_scores(key, nodes, timeout=timeout)
+        return scores, session.record, key[1]
+
+    def predict_scores(self, ref: str, nodes, mode: str | None = None,
+                       timeout: float | None = 30.0) -> np.ndarray:
+        """Raw class scores for ``nodes`` — the batched Algorithm-4 data plane."""
+        scores, _record, _mode = self.predict_batch(ref, nodes, mode,
+                                                    timeout=timeout)
+        return scores
+
+    def predict(self, ref: str, nodes, mode: str | None = None) -> np.ndarray:
+        """Predicted class labels for ``nodes``."""
+        return np.argmax(self.predict_scores(ref, nodes, mode), axis=1)
+
+    def predict_proba(self, ref: str, nodes, mode: str | None = None) -> np.ndarray:
+        """Softmax-normalised class probabilities (pure post-processing)."""
+        return softmax_scores(self.predict_scores(ref, nodes, mode))
+
+    def top_k(self, ref: str, nodes, k: int = 3, mode: str | None = None):
+        """Per node: the ``k`` best classes with their scores, best first."""
+        return top_k_entries(self.predict_scores(ref, nodes, mode), k)
+
+    # ------------------------------------------------------------------ #
+    # health / stats
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        with self._lock:
+            loaded = sorted({session.record.ref for session in self._sessions.values()})
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "models_loaded": loaded,
+            "registry": str(self.registry.root),
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            cache = dict(self.cache_stats, sessions=len(self._sessions))
+        return {
+            "batcher": self.batcher.stats.as_dict(),
+            "feature_cache": cache,
+            "max_batch_size": self.batcher.max_batch_size,
+            "max_latency_seconds": self.batcher.max_latency,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# the HTTP layer (stdlib only)
+# --------------------------------------------------------------------------- #
+class _Handler(BaseHTTPRequestHandler):
+    """JSON over HTTP/1.1; the service instance hangs off the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "gcon-repro-serving"
+
+    # -- plumbing ------------------------------------------------------- #
+    @property
+    def service(self) -> InferenceService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
+        stream = getattr(self.server, "log_stream", None)
+        if stream is not None:
+            print(f"[serve] {self.address_string()} {format % args}",
+                  file=stream, flush=True)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # -- routes --------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path in ("/healthz", "/health"):
+            self._reply(200, self.service.health())
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        elif self.path == "/models":
+            records = self.service.registry.list()
+            self._reply(200, {"models": [
+                {"ref": record.ref, "name": record.name, "digest": record.digest,
+                 "privacy": record.manifest.get("privacy", {}),
+                 "inference": record.manifest.get("inference", {})}
+                for record in records
+            ]})
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path not in ("/v1/predict", "/predict"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._error(400, "request body must be a JSON object")
+            return
+        if not isinstance(payload, dict):
+            self._error(400, "request body must be a JSON object")
+            return
+        try:
+            self._reply(200, self._predict(payload))
+        except ConfigurationError as error:
+            self._error(400, str(error))
+        except TimeoutError as error:
+            self._error(503, str(error))
+        except Exception as error:  # surfaced, not swallowed: 500 + message
+            self._error(500, repr(error))
+
+    def _predict(self, payload: dict) -> dict:
+        ref = payload.get("model")
+        nodes = payload.get("nodes")
+        if not ref or not isinstance(ref, str):
+            raise ConfigurationError("'model' (e.g. 'name@latest') is required")
+        if not isinstance(nodes, list) or not nodes \
+                or not all(isinstance(node, int) and not isinstance(node, bool)
+                           for node in nodes):
+            raise ConfigurationError("'nodes' must be a non-empty list of integers")
+        # One resolve, shared with the scoring path: the response metadata
+        # names exactly the version that produced the scores, even if a
+        # concurrent publish advances "@latest" mid-request.
+        scores, record, mode = self.service.predict_batch(
+            ref, nodes, payload.get("mode"))
+        response = {
+            "model": record.ref,
+            "mode": mode,
+            "nodes": nodes,
+            "labels": [int(label) for label in np.argmax(scores, axis=1)],
+            "scores": [[float(value) for value in row] for row in scores],
+        }
+        if payload.get("proba"):
+            proba = softmax_scores(scores)
+            response["proba"] = [[float(value) for value in row] for row in proba]
+        top_k = payload.get("top_k")
+        if top_k is not None:
+            if not isinstance(top_k, int) or top_k < 1:
+                raise ConfigurationError("'top_k' must be a positive integer")
+            response["top_k"] = top_k_entries(scores, top_k)
+        return response
+
+
+class ServingServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`InferenceService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: InferenceService, log_stream=None):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.log_stream = log_stream
+
+
+def serve_http(service: InferenceService, host: str = "127.0.0.1",
+               port: int = 8151, *, log_stream=None) -> ServingServer:
+    """Bind a :class:`ServingServer`; the caller runs ``serve_forever()``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address[1]`` — the tests do).  The service's batcher is
+    started so concurrent HTTP requests coalesce.
+    """
+    service.start()
+    return ServingServer((host, port), service, log_stream=log_stream)

@@ -1,0 +1,141 @@
+"""Tests for Algorithm-4 inference: mode parity, dimension checks, batching.
+
+Pins three contracts of :mod:`repro.core.inference`:
+
+* on an edgeless graph the private (Eq. 16) and public (Eq. 11) modes agree
+  — with no edges there is nothing for either propagation to mix in, so the
+  single-hop private operator and the full PPR/APPR propagation collapse to
+  the identity;
+* a theta whose row count does not match the aggregated feature dimension is
+  rejected loudly;
+* the stacked batched path (:func:`batched_inference_scores` over selected
+  rows of :func:`inference_features`) agrees with a per-node loop, and row
+  selection before the matmul is bitwise identical to row selection after it
+  — the invariant the serving data plane rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.inference import (
+    batched_inference_scores,
+    inference_features,
+    private_inference_scores,
+    public_inference_scores,
+)
+from repro.core.propagation import Propagator
+from repro.exceptions import ConfigurationError
+
+
+def _edgeless_propagator(num_nodes: int, alpha: float = 0.5) -> Propagator:
+    adjacency = sp.csr_matrix((num_nodes, num_nodes))
+    return Propagator(adjacency, alpha=alpha)
+
+
+def _features(num_nodes: int = 12, dim: int = 5, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(num_nodes, dim))
+
+
+class TestEdgelessParity:
+    """With no edges, Eq. 16 and Eq. 11 must score identically."""
+
+    @pytest.mark.parametrize("steps_list", [(1,), (2,), (1, 2), (2, float("inf"))])
+    def test_private_equals_public_on_edgeless_graph(self, steps_list):
+        propagator = _edgeless_propagator(10, alpha=0.5)
+        features = _features(10, 4)
+        theta = np.random.default_rng(1).normal(size=(4 * len(steps_list), 3))
+        private = private_inference_scores(propagator, features, theta,
+                                           steps_list, inference_alpha=0.5)
+        public = public_inference_scores(propagator, features, theta, steps_list)
+        np.testing.assert_allclose(private, public, rtol=0, atol=1e-12)
+
+    def test_edgeless_propagation_is_identity(self):
+        # alpha = 0.5 makes (1-a)*x + a*x exact in floating point, so the
+        # parity is bitwise, not just close.
+        propagator = _edgeless_propagator(8, alpha=0.5)
+        features = _features(8, 3)
+        for mode in ("private", "public"):
+            aggregated = inference_features(propagator, features, (2,),
+                                            mode=mode, inference_alpha=0.5)
+            assert np.array_equal(aggregated, features)
+
+
+class TestDimensionMismatch:
+    def test_theta_row_mismatch_raises(self):
+        propagator = _edgeless_propagator(6)
+        features = _features(6, 4)
+        theta = np.zeros((5, 3))  # aggregated dim is 4, not 5
+        with pytest.raises(ConfigurationError, match="does not match theta rows"):
+            private_inference_scores(propagator, features, theta, (2,),
+                                     inference_alpha=0.5)
+        with pytest.raises(ConfigurationError, match="does not match theta rows"):
+            public_inference_scores(propagator, features, theta, (2,))
+        with pytest.raises(ConfigurationError, match="does not match theta rows"):
+            batched_inference_scores(features, theta)
+
+    def test_unknown_mode_rejected(self):
+        propagator = _edgeless_propagator(6)
+        with pytest.raises(ConfigurationError, match="mode must be"):
+            inference_features(propagator, _features(6, 4), (2,), mode="secret")
+
+    def test_private_mode_requires_inference_alpha(self):
+        propagator = _edgeless_propagator(6)
+        with pytest.raises(ConfigurationError, match="inference_alpha"):
+            inference_features(propagator, _features(6, 4), (2,), mode="private")
+
+
+class TestBatchedPath:
+    """The stacked serving path versus per-node scoring."""
+
+    def _ring_propagator(self, num_nodes: int = 20) -> Propagator:
+        rows = np.arange(num_nodes)
+        cols = (rows + 1) % num_nodes
+        data = np.ones(num_nodes)
+        adjacency = sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+        adjacency = adjacency + adjacency.T
+        return Propagator(adjacency, alpha=0.6)
+
+    @pytest.mark.parametrize("mode", ["private", "public"])
+    def test_batched_equals_per_node_loop(self, mode):
+        propagator = self._ring_propagator()
+        features = _features(20, 6, seed=3)
+        theta = np.random.default_rng(4).normal(size=(12, 4))
+        aggregated = inference_features(propagator, features, (1, 2), mode=mode,
+                                        inference_alpha=0.6)
+        nodes = np.array([0, 7, 3, 19, 7])
+        stacked = batched_inference_scores(aggregated[nodes], theta)
+        looped = np.vstack([
+            batched_inference_scores(aggregated[node:node + 1], theta)
+            for node in nodes
+        ])
+        # A one-row matmul may take a different BLAS kernel than the stack,
+        # so the loop comparison is allclose; the row-selection invariant
+        # below is the bitwise one.
+        np.testing.assert_allclose(stacked, looped, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("mode", ["private", "public"])
+    def test_row_selection_commutes_with_the_matmul_bitwise(self, mode):
+        """F[nodes] @ theta == (F @ theta)[nodes] bit for bit: served batches
+        are pinned to offline full-graph scores."""
+        propagator = self._ring_propagator()
+        features = _features(20, 6, seed=5)
+        theta = np.random.default_rng(6).normal(size=(12, 4))
+        aggregated = inference_features(propagator, features, (1, 2), mode=mode,
+                                        inference_alpha=0.6)
+        full = batched_inference_scores(aggregated, theta)
+        # Stacks of >= 2 rows take the same GEMM kernel as the full product
+        # (a lone row may fall to GEMV and drift in the last ulp; the serving
+        # layer pads singletons to two rows for exactly this reason).
+        for nodes in ([4, 4], [0, 1, 2], [19, 0, 7, 7, 3]):
+            nodes = np.asarray(nodes)
+            assert np.array_equal(
+                batched_inference_scores(aggregated[nodes], theta), full[nodes])
+
+    def test_single_row_input_is_promoted_to_2d(self):
+        theta = np.random.default_rng(7).normal(size=(4, 3))
+        row = np.random.default_rng(8).normal(size=4)
+        scores = batched_inference_scores(row, theta)
+        assert scores.shape == (1, 3)

@@ -227,22 +227,23 @@ class TestWorkerLoop:
         assert report.groups_completed == 0
 
     def test_failing_group_leaves_a_breadcrumb_and_no_shard(self, tmp_path):
-        from repro.runtime.engine import SweepExecutionError
-
         coordinator = self._submitted(tmp_path)
 
         def failing(cell):
             raise RuntimeError("boom")
 
-        with pytest.raises(SweepExecutionError):
-            DistributedWorker(tmp_path / "q", "w1", cell_runner=failing).run()
-        assert coordinator.queue.failure_count() == 1
+        report = DistributedWorker(tmp_path / "q", "w1", cell_runner=failing,
+                                   max_attempts=1).run()
+        assert report.groups_completed == 0
+        assert report.groups_failed == 4
+        assert report.groups_quarantined == 4
+        assert coordinator.queue.failure_count() == 4
         assert coordinator.queue.done_ids() == set()
         assert list(coordinator.queue.shards_dir.glob("*.jsonl")) == []
-        # The lease was released, so another (healthy) worker can take over.
-        report = DistributedWorker(tmp_path / "q", "w2",
-                                   cell_runner=StubRunner()).run()
-        assert report.groups_completed == 4
+        # Every lease was released; a healthy worker could take over a
+        # transiently failing group (exercised in TestRetryQuarantine).
+        for gid in coordinator.queue.pending_ids():
+            assert coordinator.leases.read(gid) is None
 
     def test_heartbeat_pump_keeps_a_long_group_leased(self, tmp_path):
         """A group running far longer than the lease TTL must stay claimed:
@@ -286,6 +287,109 @@ class TestWorkerLoop:
         with pytest.raises(ConfigurationError):
             DistributedWorker(tmp_path / "empty", "w1",
                               cell_runner=StubRunner()).run()
+
+
+class TestRetryQuarantine:
+    """The bounded retry-then-quarantine policy for failing groups."""
+
+    def _submitted(self, tmp_path):
+        coordinator = Coordinator(tmp_path / "q")
+        coordinator.submit(_spec())
+        return coordinator
+
+    @staticmethod
+    def _flaky(fail_times: int):
+        """Fails the (m1, repeat 0) group ``fail_times`` times, then recovers."""
+        failures = {"count": 0}
+
+        def runner(cell):
+            if cell.method == "m1" and cell.repeat == 0 \
+                    and failures["count"] < fail_times:
+                failures["count"] += 1
+                raise RuntimeError("transient boom")
+            return StubRunner()(cell)
+
+        return runner
+
+    def test_transient_failure_is_retried_to_completion(self, tmp_path):
+        coordinator = self._submitted(tmp_path)
+        report = DistributedWorker(tmp_path / "q", "w1",
+                                   cell_runner=self._flaky(2),
+                                   max_attempts=3, poll_interval=0.01).run()
+        assert report.groups_completed == 4
+        assert report.groups_failed == 2
+        assert report.groups_quarantined == 0
+        assert coordinator.status().complete
+        assert coordinator.queue.failure_count() == 2
+
+    def test_deterministic_failure_quarantines_after_max_attempts(self, tmp_path):
+        coordinator = self._submitted(tmp_path)
+
+        def always_failing(cell):
+            if cell.method == "m1" and cell.repeat == 0:
+                raise ValueError("deterministic boom")
+            return StubRunner()(cell)
+
+        report = DistributedWorker(tmp_path / "q", "w1",
+                                   cell_runner=always_failing,
+                                   max_attempts=2, poll_interval=0.01).run()
+        # The healthy groups completed; the poisoned one was retried exactly
+        # max_attempts times, then quarantined -- and run() terminated
+        # instead of re-leasing it forever.
+        assert report.groups_completed == 3
+        assert report.groups_failed == 2
+        assert report.groups_quarantined == 1
+        quarantined = coordinator.queue.quarantined_ids()
+        assert len(quarantined) == 1
+        (gid,) = quarantined
+        assert coordinator.queue.attempts(gid) == 2
+        assert coordinator.queue.runnable_ids() == []
+        payload = json.loads(coordinator.queue.quarantine_path(gid).read_text())
+        assert payload["attempts"] == 2
+        assert "deterministic boom" in payload["error"]
+        assert "ValueError" in payload["traceback"]
+
+    def test_quarantine_surfaces_in_status_wait_and_merge(self, tmp_path):
+        coordinator = self._submitted(tmp_path)
+
+        def always_failing(cell):
+            if cell.method == "m1" and cell.repeat == 0:
+                raise ValueError("deterministic boom")
+            return StubRunner()(cell)
+
+        DistributedWorker(tmp_path / "q", "w1", cell_runner=always_failing,
+                          max_attempts=1, poll_interval=0.01).run()
+        status = coordinator.status()
+        assert status.groups_quarantined == 1
+        assert status.groups_done == 3
+        assert not status.complete
+        assert status.stalled
+        assert "quarantined: 1 group(s)" in status.summary()
+        # wait() must not spin forever on a sweep that can no longer finish.
+        assert coordinator.wait(poll_interval=0.01) is False
+        with pytest.raises(RuntimeError, match="quarantined"):
+            coordinator.merge()
+        # The surviving shards are still recoverable explicitly.
+        assert coordinator.merge(require_complete=False).records == 9
+
+    def test_another_worker_respects_the_quarantine(self, tmp_path):
+        coordinator = self._submitted(tmp_path)
+
+        def always_failing(cell):
+            if cell.method == "m1" and cell.repeat == 0:
+                raise ValueError("boom")
+            return StubRunner()(cell)
+
+        DistributedWorker(tmp_path / "q", "w1", cell_runner=always_failing,
+                          max_attempts=1, poll_interval=0.01).run()
+        # A healthy rival finds nothing claimable and exits without touching
+        # the quarantined group.
+        report = DistributedWorker(tmp_path / "q", "w2",
+                                   cell_runner=StubRunner(),
+                                   poll_interval=0.01).run()
+        assert report.groups_completed == 0
+        assert coordinator.queue.attempts(
+            next(iter(coordinator.queue.quarantined_ids()))) == 1
 
 
 class TestCoordinatorStatus:

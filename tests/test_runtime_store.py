@@ -208,6 +208,33 @@ class TestMergeStores:
         with pytest.raises(ValueError, match="outside the sweep"):
             merge_stores([shard], output, expected_keys=[result_key(a)])
 
+    def test_empty_shard_warns_and_is_reported(self, tmp_path):
+        """A worker that published nothing must be visible, not silently
+        folded into a smaller merge."""
+        shard1 = self._shard(tmp_path, "s1.jsonl", [_result(epsilon=1.0)])
+        empty = tmp_path / "s2.jsonl"
+        empty.write_text("")
+        output = tmp_path / "merged.jsonl"
+        with pytest.warns(RuntimeWarning, match="contributed no records"):
+            report = merge_stores([shard1, empty], output)
+        assert report.records == 1
+        assert report.empty_shards == (empty,)
+        assert "1 empty shard(s)" in report.summary()
+        assert "s2.jsonl" in report.summary()
+
+    def test_missing_shard_counts_as_empty(self, tmp_path):
+        shard1 = self._shard(tmp_path, "s1.jsonl", [_result(epsilon=1.0)])
+        missing = tmp_path / "never-published.jsonl"
+        with pytest.warns(RuntimeWarning, match="contributed no records"):
+            report = merge_stores([shard1, missing], tmp_path / "merged.jsonl")
+        assert report.empty_shards == (missing,)
+
+    def test_clean_merge_reports_no_empty_shards(self, tmp_path):
+        shard1 = self._shard(tmp_path, "s1.jsonl", [_result(epsilon=1.0)])
+        report = merge_stores([shard1], tmp_path / "merged.jsonl")
+        assert report.empty_shards == ()
+        assert "empty shard" not in report.summary()
+
     def test_tolerant_merge_survives_a_corrupt_interior_line(self, tmp_path):
         shard1 = self._shard(tmp_path, "s1.jsonl",
                              [_result(epsilon=1.0), _result(epsilon=2.0)])
@@ -220,3 +247,42 @@ class TestMergeStores:
         assert report.records == 2
         with pytest.raises(ValueError, match="corrupt record"):
             merge_stores([shard1], output, tolerant=False)
+
+
+class TestBestRecord:
+    """Winner selection behind ``repro publish``."""
+
+    def _records(self):
+        return [
+            _result(method="GCON", epsilon=0.5, score=0.60),
+            _result(method="GCON", epsilon=2.0, score=0.72),
+            _result(method="MLP", epsilon=0.5, score=0.80),
+            _result(method="GCON", dataset="citeseer", epsilon=2.0, score=0.95),
+        ]
+
+    def test_unfiltered_winner_is_global_max(self):
+        from repro.runtime.store import best_record
+
+        winner = best_record(self._records())
+        assert (winner.method, winner.dataset, winner.micro_f1) == \
+            ("GCON", "citeseer", 0.95)
+
+    def test_filters_restrict_the_pool(self):
+        from repro.runtime.store import best_record
+
+        winner = best_record(self._records(), method="GCON", dataset="cora_ml")
+        assert (winner.epsilon, winner.micro_f1) == (2.0, 0.72)
+        winner = best_record(self._records(), method="GCON", epsilon=0.5)
+        assert winner.micro_f1 == 0.60
+
+    def test_ties_keep_the_earliest_record(self):
+        from repro.runtime.store import best_record
+
+        records = [_result(epsilon=1.0, score=0.7), _result(epsilon=2.0, score=0.7)]
+        assert best_record(records).epsilon == 1.0
+
+    def test_no_match_raises(self):
+        from repro.runtime.store import best_record
+
+        with pytest.raises(ValueError, match="no records match"):
+            best_record(self._records(), method="GAT")

@@ -1,0 +1,194 @@
+"""Tests for the content-addressed model registry."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.core.persistence import release_arrays, release_digest
+from repro.exceptions import ConfigurationError
+from repro.graphs.datasets import load_dataset
+from repro.serving import ModelRegistry, parse_model_ref
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora_ml", scale=0.06, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    config = GCONConfig(epsilon=2.0, alpha=0.8, encoder_epochs=20,
+                        encoder_dim=8, encoder_hidden=16)
+    return GCON(config).fit(graph, seed=7)
+
+
+@pytest.fixture(scope="module")
+def other_model(graph):
+    config = GCONConfig(epsilon=0.5, alpha=0.8, encoder_epochs=20,
+                        encoder_dim=8, encoder_hidden=16)
+    return GCON(config).fit(graph, seed=7)
+
+
+class TestParseModelRef:
+    def test_bare_name_means_latest(self):
+        assert parse_model_ref("demo") == ("demo", "latest")
+        assert parse_model_ref("demo@latest") == ("demo", "latest")
+
+    def test_digest_prefix(self):
+        assert parse_model_ref("demo@AB12") == ("demo", "ab12")
+
+    def test_invalid_refs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_model_ref("")
+        with pytest.raises(ConfigurationError):
+            parse_model_ref("@abc")
+        with pytest.raises(ConfigurationError):
+            parse_model_ref("demo@not-hex!")
+
+
+class TestPublishResolve:
+    def test_publish_and_resolve_latest(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        assert record.name == "demo"
+        resolved = registry.resolve("demo@latest")
+        assert resolved.digest == record.digest
+        assert registry.resolve("demo").digest == record.digest
+
+    def test_digest_matches_release_content(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        assert record.digest == release_digest(release_arrays(model))
+
+    def test_publish_is_idempotent(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.publish(model, "demo")
+        again = registry.publish(model, "demo")
+        assert again.digest == first.digest
+        assert len(registry.list("demo")) == 1
+
+    def test_two_releases_coexist_and_latest_advances(self, tmp_path, model,
+                                                      other_model):
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.publish(model, "demo")
+        second = registry.publish(other_model, "demo")
+        assert first.digest != second.digest
+        assert len(registry.list("demo")) == 2
+        assert registry.resolve("demo@latest").digest == second.digest
+        # The first version stays addressable by digest prefix.
+        assert registry.resolve(f"demo@{first.digest[:10]}").digest == first.digest
+
+    def test_republishing_an_old_version_is_an_explicit_rollback(self, tmp_path,
+                                                                 model,
+                                                                 other_model):
+        registry = ModelRegistry(tmp_path / "reg")
+        first = registry.publish(model, "demo")
+        second = registry.publish(other_model, "demo")
+        assert registry.resolve("demo@latest").digest == second.digest
+        # Re-publishing v1 re-points latest at it (documented rollback path)
+        # without rewriting the stored bundle.
+        archive_mtime = first.archive_path.stat().st_mtime_ns
+        registry.publish(model, "demo")
+        assert registry.resolve("demo@latest").digest == first.digest
+        assert first.archive_path.stat().st_mtime_ns == archive_mtime
+
+    def test_prefix_resolution_errors(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(model, "demo")
+        with pytest.raises(ConfigurationError, match="no version"):
+            registry.resolve("demo@ffffffff")
+        with pytest.raises(ConfigurationError, match="not in the registry"):
+            registry.resolve("ghost@latest")
+
+    def test_manifest_records_privacy_stamp(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(
+            model, "demo", inference_mode="public",
+            training={"dataset": "cora_ml", "sweep_context": "abc123"})
+        privacy = record.manifest["privacy"]
+        assert privacy["epsilon"] == model.perturbation_.epsilon
+        assert privacy["delta"] == model.perturbation_.delta
+        assert "objective perturbation" in privacy["mechanism"]
+        assert record.manifest["inference"]["mode"] == "public"
+        assert record.manifest["inference"]["propagation_steps"] == [2]
+        assert record.manifest["training"]["sweep_context"] == "abc123"
+
+    def test_invalid_names_and_modes_rejected(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(ConfigurationError, match="invalid model name"):
+            registry.publish(model, "../evil")
+        with pytest.raises(ConfigurationError, match="inference_mode"):
+            registry.publish(model, "demo", inference_mode="telepathic")
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        from repro.exceptions import NotFittedError
+
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(NotFittedError):
+            registry.publish(GCON(GCONConfig()), "demo")
+
+
+class TestLoadVerify:
+    def test_load_round_trips_theta_and_predictions(self, tmp_path, model, graph):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        loaded, loaded_record = registry.load("demo@latest")
+        assert loaded_record.digest == record.digest
+        assert np.array_equal(loaded.theta_, model.theta_)
+        assert np.array_equal(loaded.decision_scores(graph, mode="public"),
+                              model.decision_scores(graph, mode="public"))
+
+    def test_verify_accepts_intact_archive(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        assert registry.verify("demo@latest").digest == record.digest
+
+    def test_verify_detects_tampering(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        # Flip the stored theta: same shapes, different bytes.
+        with np.load(record.archive_path, allow_pickle=False) as archive:
+            arrays = {key: archive[key].copy() for key in archive.files}
+        arrays["theta"] = arrays["theta"] + 1e-9
+        np.savez(record.archive_path, **arrays)
+        with pytest.raises(ConfigurationError, match="integrity check failed"):
+            registry.verify("demo@latest")
+
+    def test_verify_rejects_truncated_archive(self, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        data = record.archive_path.read_bytes()
+        record.archive_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ConfigurationError, match="integrity check failed"):
+            registry.verify("demo@latest")
+
+    def test_torn_publish_is_invisible(self, tmp_path, model):
+        """A version directory without a manifest (crash between archive and
+        manifest write) must not resolve."""
+        registry = ModelRegistry(tmp_path / "reg")
+        record = registry.publish(model, "demo")
+        torn = registry.version_dir("demo", "f" * 64)
+        torn.mkdir(parents=True)
+        (torn / "model.npz").write_bytes(record.archive_path.read_bytes())
+        assert len(registry.list("demo")) == 1
+        with pytest.raises(ConfigurationError, match="no version"):
+            registry.resolve("demo@" + "f" * 8)
+
+
+class TestListing:
+    def test_names_and_list_cover_all_committed_versions(self, tmp_path, model,
+                                                         other_model):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(model, "alpha")
+        registry.publish(other_model, "beta")
+        assert registry.names() == ["alpha", "beta"]
+        records = registry.list()
+        assert {record.name for record in records} == {"alpha", "beta"}
+        for record in records:
+            assert json.loads((record.path / "manifest.json").read_text())[
+                "digest"] == record.digest

@@ -1,0 +1,236 @@
+"""Tests for the inference service and its HTTP JSON API.
+
+The acceptance bar of the serving subsystem: served predictions — batched,
+cache-hit and cache-miss, coalesced and singleton — are **bitwise identical**
+to offline :meth:`GCON.decision_scores` on the same bundle and graph.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.exceptions import ConfigurationError
+from repro.graphs.datasets import load_dataset
+from repro.serving import InferenceService, ModelRegistry, serve_http
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora_ml", scale=0.06, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    config = GCONConfig(epsilon=2.0, alpha=0.8, encoder_epochs=20,
+                        encoder_dim=8, encoder_hidden=16)
+    return GCON(config).fit(graph, seed=7)
+
+
+@pytest.fixture()
+def registry(tmp_path, model):
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.publish(model, "demo", inference_mode="private",
+                     training={"dataset": "cora_ml", "scale": 0.06,
+                               "graph_seed": 0})
+    return registry
+
+
+@pytest.fixture()
+def service(registry, graph):
+    return InferenceService(registry, graph=graph)
+
+
+class TestOfflineEquivalence:
+    """Served == offline, bit for bit, miss and hit, private and public."""
+
+    @pytest.mark.parametrize("mode", ["private", "public"])
+    def test_cache_miss_then_hit_are_bitwise_offline(self, service, model,
+                                                     graph, mode):
+        offline = model.decision_scores(graph, mode=mode)
+        nodes = [0, 9, 3, 14, 3]
+        miss = service.predict_scores("demo@latest", nodes, mode=mode)
+        assert np.array_equal(miss, offline[nodes])
+        hit = service.predict_scores("demo@latest", nodes, mode=mode)
+        assert np.array_equal(hit, offline[nodes])
+        stats = service.stats()["feature_cache"]
+        assert stats["feature_misses"] == 1
+        assert stats["feature_hits"] == 1
+
+    def test_singleton_request_is_bitwise_offline(self, service, model, graph):
+        offline = model.decision_scores(graph, mode="private")
+        for node in (0, 5, graph.num_nodes - 1):
+            served = service.predict_scores("demo", [node])
+            assert np.array_equal(served, offline[[node]])
+
+    def test_predict_labels_match_offline_argmax(self, service, model, graph):
+        nodes = list(range(12))
+        offline = np.argmax(model.decision_scores(graph, mode="private")[nodes],
+                            axis=1)
+        assert np.array_equal(service.predict("demo", nodes), offline)
+
+    def test_coalesced_batch_is_bitwise_offline(self, service, model, graph):
+        """Many requests flushed as one stacked matmul score identically."""
+        offline = model.decision_scores(graph, mode="private")
+        tickets = [service.batcher.submit(
+            service._session("demo", None)[0], [i, i + 1]) for i in range(8)]
+        assert service.batcher.run_once() == 8
+        assert service.batcher.stats.matmuls == 1
+        for i, ticket in enumerate(tickets):
+            assert np.array_equal(ticket.result(1.0), offline[[i, i + 1]])
+
+    def test_default_mode_comes_from_the_manifest(self, service, model, graph):
+        # Published with inference_mode="private": no explicit mode must
+        # serve Eq. 16 scores.
+        offline = model.decision_scores(graph, mode="private")
+        assert np.array_equal(service.predict_scores("demo", [1, 2]),
+                              offline[[1, 2]])
+
+
+class TestServiceApi:
+    def test_predict_proba_rows_are_distributions(self, service):
+        proba = service.predict_proba("demo", [0, 1, 2])
+        assert proba.shape[0] == 3
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-12)
+        assert (proba >= 0).all()
+
+    def test_top_k_is_sorted_and_bounded(self, service, model):
+        top = service.top_k("demo", [0, 1], k=3)
+        assert len(top) == 2
+        for per_node in top:
+            assert len(per_node) == min(3, model.num_classes_)
+            scores = [entry["score"] for entry in per_node]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_bad_request_never_reaches_a_shared_batch(self, service, graph):
+        """Node validation runs before submit, so one caller's bad index can
+        never fail strangers coalesced into the same micro-batch."""
+        with pytest.raises(ConfigurationError, match="node indices"):
+            service.predict_batch("demo", [graph.num_nodes + 1])
+        assert service.batcher.stats.requests == 0  # nothing was enqueued
+
+    def test_predict_batch_names_the_scoring_version(self, service):
+        scores, record, mode = service.predict_batch("demo", [0, 1])
+        assert scores.shape[0] == 2
+        assert record.name == "demo"
+        assert mode == "private"
+
+    def test_bad_nodes_and_modes_rejected(self, service, graph):
+        with pytest.raises(ConfigurationError, match="node indices"):
+            service.predict_scores("demo", [graph.num_nodes + 5])
+        with pytest.raises(ConfigurationError, match="node indices"):
+            service.predict_scores("demo", [-1])
+        with pytest.raises(ConfigurationError, match="mode must be"):
+            service.predict_scores("demo", [0], mode="secret")
+        with pytest.raises(ConfigurationError, match="not in the registry"):
+            service.predict_scores("ghost", [0])
+
+    def test_graph_rebuilds_from_manifest_when_not_injected(self, registry,
+                                                            model, graph):
+        service = InferenceService(registry)  # no graph= injection
+        offline = model.decision_scores(graph, mode="private")
+        assert np.array_equal(service.predict_scores("demo", [0, 1]),
+                              offline[[0, 1]])
+
+    def test_health_and_stats_shapes(self, service):
+        service.predict("demo", [0])
+        health = service.health()
+        assert health["status"] == "ok"
+        assert any("demo@" in ref for ref in health["models_loaded"])
+        stats = service.stats()
+        assert stats["batcher"]["requests"] >= 1
+        assert stats["feature_cache"]["sessions"] >= 1
+
+
+class TestHttpApi:
+    @pytest.fixture()
+    def server(self, service):
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    def _get(self, server, path):
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+            return resp.status, json.loads(resp.read())
+
+    def _post(self, server, path, payload):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_healthz_models_and_stats(self, server):
+        status, health = self._get(server, "/healthz")
+        assert (status, health["status"]) == (200, "ok")
+        status, models = self._get(server, "/models")
+        assert status == 200
+        assert models["models"][0]["name"] == "demo"
+        assert "epsilon" in models["models"][0]["privacy"]
+        status, stats = self._get(server, "/stats")
+        assert status == 200 and "batcher" in stats
+
+    def test_predict_end_to_end_matches_offline(self, server, model, graph):
+        nodes = [0, 4, 2, 11]
+        status, body = self._post(server, "/v1/predict",
+                                  {"model": "demo@latest", "nodes": nodes,
+                                   "top_k": 2, "proba": True})
+        assert status == 200
+        offline = model.decision_scores(graph, mode="private")[nodes]
+        assert body["labels"] == [int(x) for x in np.argmax(offline, axis=1)]
+        # JSON round-trips float64 exactly (repr-based), so even over HTTP
+        # the scores stay bitwise.
+        assert np.array_equal(np.array(body["scores"]), offline)
+        assert len(body["top_k"][0]) == 2
+        np.testing.assert_allclose(np.array(body["proba"]).sum(axis=1), 1.0)
+
+    def test_http_error_codes(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/v1/predict", {"model": "ghost", "nodes": [0]})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/v1/predict", {"model": "demo", "nodes": []})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, "/v1/predict", {"model": "demo",
+                                               "nodes": ["zero"]})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_concurrent_http_requests_coalesce_and_agree(self, server, service,
+                                                         model, graph):
+        offline = np.argmax(model.decision_scores(graph, mode="private"), axis=1)
+        results: list = [None] * 12
+        errors: list = []
+
+        def query(i):
+            try:
+                _status, body = self._post(server, "/v1/predict",
+                                           {"model": "demo", "nodes": [i]})
+                results[i] = body["labels"][0]
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+
+        threads = [threading.Thread(target=query, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == [int(offline[i]) for i in range(12)]
