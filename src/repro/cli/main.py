@@ -485,28 +485,35 @@ def command_publish(args) -> int:
 
 
 def command_serve(args) -> int:
-    """Serve registry models over the batched HTTP JSON API."""
+    """Serve registry models over the selector-loop HTTP JSON API."""
     from repro.serving import InferenceService, serve_http
 
     service = InferenceService(
         args.registry, max_batch_size=args.batch_size,
         max_latency=args.max_latency_ms / 1000.0)
+    records = []
     try:
-        record = service.registry.verify(args.model)
-        # Warm the session (graph load, encoder forward pass, propagation)
-        # before binding the socket, so the first query pays only one matmul
-        # — and a bad manifest/graph fails here with a clean message instead
-        # of on the first request.
-        service.predict_scores(args.model, [0])
+        for ref in args.models:
+            records.append(service.registry.verify(ref))
+            # Warm each session (graph load, encoder forward pass,
+            # propagation) before binding the socket, so the first query pays
+            # only one matmul — and a bad manifest/graph fails here with a
+            # clean message instead of on the first request.  Warming also
+            # matters more now: a cold build would run on the selector loop.
+            service.predict_scores(ref, [0])
     except Exception as error:
         print(f"serve failed: {error}", file=sys.stderr)
         return 2
     server = serve_http(service, host=args.host, port=args.port,
-                        log_stream=None if args.quiet else sys.stderr)
+                        log_stream=None if args.quiet else sys.stderr,
+                        max_connections=args.max_connections,
+                        stats_interval=args.stats_interval)
     host, port = server.server_address[:2]
-    print(f"serving {record.ref} on http://{host}:{port} "
-          f"(mode={record.inference_mode}, batch<={args.batch_size}, "
-          f"latency<={args.max_latency_ms:g}ms)", file=sys.stderr, flush=True)
+    served = ", ".join(f"{record.ref} (mode={record.inference_mode})"
+                       for record in records)
+    print(f"serving {served} on http://{host}:{port} "
+          f"(batch<={args.batch_size}, latency<={args.max_latency_ms:g}ms, "
+          f"connections<={args.max_connections})", file=sys.stderr, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -756,17 +763,29 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve registry models over a batched HTTP JSON API")
     serve.add_argument("--registry", required=True, metavar="DIR",
                        help="model registry root directory")
-    serve.add_argument("--model", required=True,
-                       help="model reference, e.g. NAME@latest or NAME@<digest>")
+    serve.add_argument("--model", required=True, action="append",
+                       dest="models", metavar="REF",
+                       help="model reference, e.g. NAME@latest or "
+                            "NAME@<digest>; repeat to verify and pre-warm "
+                            "several models (each gets its own batch queue)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8151,
                        help="TCP port (0 binds an ephemeral port)")
     serve.add_argument("--batch-size", type=int, default=64, dest="batch_size",
-                       help="flush a micro-batch at this many queried rows")
+                       help="flush a model's micro-batch at this many "
+                            "queried rows (per-model queues)")
     serve.add_argument("--max-latency-ms", type=float, default=5.0,
                        dest="max_latency_ms",
-                       help="flush a forming micro-batch after this many "
-                            "milliseconds even if not full")
+                       help="flush a model's forming micro-batch after this "
+                            "many milliseconds even if not full")
+    serve.add_argument("--max-connections", type=int, default=512,
+                       dest="max_connections",
+                       help="concurrent connection bound of the selector "
+                            "frontend; excess accepts are answered 503")
+    serve.add_argument("--stats-interval", type=float, default=None,
+                       dest="stats_interval", metavar="SECONDS",
+                       help="log a per-model latency summary "
+                            "(n/p50/p95/p99) to stderr every SECONDS")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines on stderr")
     serve.set_defaults(func=command_serve)

@@ -1,4 +1,4 @@
-"""The serving data plane: model registry, micro-batching and the HTTP API.
+"""The serving data plane: registry, per-model batching and the HTTP API.
 
 Once Θ_priv is released, inference is pure post-processing — no privacy
 budget is spent answering queries — so serving is an ordinary data plane:
@@ -7,22 +7,46 @@ budget is spent answering queries — so serving is an ordinary data plane:
   model registry (`publish` / `resolve` / `verify`), turning sweep artefacts
   or live :class:`~repro.core.model.GCON` instances into versioned bundles;
 * :mod:`repro.serving.batcher` — a micro-batching request queue that
-  coalesces single-node queries into one stacked matmul per model, over an
-  LRU cache of propagated features;
-* :mod:`repro.serving.service` — the threaded :class:`InferenceService`
-  front end plus a dependency-free ``http.server`` JSON API.
+  coalesces concurrent queries into one stacked matmul;
+* :mod:`repro.serving.router` — one batch queue **per model version** (own
+  row budget, own deadline, own dispatch thread), so mixed traffic never
+  head-of-line blocks across models;
+* :mod:`repro.serving.metrics` — per-model latency histograms
+  (fixed log-spaced buckets, p50/p95/p99), batch-size and queue-depth
+  distributions — the ``/stats`` payload;
+* :mod:`repro.serving.service` — the :class:`InferenceService` control room
+  over an LRU of propagated-feature sessions;
+* :mod:`repro.serving.httpd` — a single-threaded ``selectors``-based HTTP
+  frontend (keep-alive, bounded connections, graceful drain) that parks
+  connections on batch tickets instead of blocking a thread per request.
 """
 
 from repro.serving.batcher import BatchStats, MicroBatcher
+from repro.serving.httpd import SelectorHTTPServer, serve_http
+from repro.serving.metrics import Histogram, ModelMetrics, ServingMetrics
 from repro.serving.registry import ModelRecord, ModelRegistry, parse_model_ref
-from repro.serving.service import InferenceService, serve_http
+from repro.serving.router import ModelRouter
+from repro.serving.service import (
+    InferenceService,
+    PredictRequest,
+    format_prediction,
+    parse_predict_payload,
+)
 
 __all__ = [
     "BatchStats",
+    "Histogram",
     "InferenceService",
     "MicroBatcher",
+    "ModelMetrics",
     "ModelRecord",
     "ModelRegistry",
+    "ModelRouter",
+    "PredictRequest",
+    "SelectorHTTPServer",
+    "ServingMetrics",
+    "format_prediction",
     "parse_model_ref",
+    "parse_predict_payload",
     "serve_http",
 ]

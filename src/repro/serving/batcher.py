@@ -36,15 +36,24 @@ import numpy as np
 
 @dataclass
 class BatchStats:
-    """Counters describing what the batcher has done so far."""
+    """Counters describing what the batcher has done so far.
+
+    Coalescing and batch-row extrema are accounted **per model**: two tickets
+    only count as coalesced when they share both a flush *and* a model (they
+    were answered by one stacked matmul), and ``max_batch_rows`` is the
+    largest single-model stack ever multiplied — not the row count of a
+    mixed-model flush, which never hits BLAS as one operation.
+    """
 
     requests: int = 0
     rows_requested: int = 0
     batches: int = 0
     matmuls: int = 0
-    coalesced_requests: int = 0   # requests that shared their batch with others
-    max_batch_rows: int = 0
+    coalesced_requests: int = 0   # tickets that shared a matmul with others
+    max_batch_rows: int = 0       # largest single-model stacked matmul
     per_model_matmuls: dict = field(default_factory=dict)
+    per_model_coalesced: dict = field(default_factory=dict)
+    per_model_max_rows: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -55,17 +64,41 @@ class BatchStats:
             "coalesced_requests": self.coalesced_requests,
             "max_batch_rows": self.max_batch_rows,
             "per_model_matmuls": dict(self.per_model_matmuls),
+            "per_model_coalesced": dict(self.per_model_coalesced),
+            "per_model_max_rows": dict(self.per_model_max_rows),
         }
+
+    def merge(self, other: "BatchStats") -> "BatchStats":
+        """Fold ``other`` into this aggregate (used by the router's view)."""
+        self.requests += other.requests
+        self.rows_requested += other.rows_requested
+        self.batches += other.batches
+        self.matmuls += other.matmuls
+        self.coalesced_requests += other.coalesced_requests
+        self.max_batch_rows = max(self.max_batch_rows, other.max_batch_rows)
+        for source, target in (
+                (other.per_model_matmuls, self.per_model_matmuls),
+                (other.per_model_coalesced, self.per_model_coalesced)):
+            for label, count in source.items():
+                target[label] = target.get(label, 0) + count
+        for label, rows in other.per_model_max_rows.items():
+            self.per_model_max_rows[label] = max(
+                self.per_model_max_rows.get(label, 0), rows)
+        return self
 
 
 class _Ticket:
-    """One submitted request: callers block on :meth:`result`."""
+    """One submitted request: callers block on :meth:`result` (or poll
+    :meth:`done`, which is what the selector HTTP frontend does)."""
 
-    __slots__ = ("nodes", "model_key", "_event", "_scores", "_error")
+    __slots__ = ("nodes", "model_key", "submitted_at", "on_done", "_event",
+                 "_scores", "_error")
 
-    def __init__(self, model_key, nodes: np.ndarray):
+    def __init__(self, model_key, nodes: np.ndarray, submitted_at: float = 0.0):
         self.model_key = model_key
         self.nodes = nodes
+        self.submitted_at = submitted_at
+        self.on_done = None  # optional wakeup hook, called after resolution
         self._event = threading.Event()
         self._scores = None
         self._error: BaseException | None = None
@@ -73,10 +106,24 @@ class _Ticket:
     def _resolve(self, scores) -> None:
         self._scores = scores
         self._event.set()
+        self._notify()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+        self._notify()
+
+    def _notify(self) -> None:
+        callback = self.on_done
+        if callback is not None:
+            try:
+                callback()
+            except Exception:  # a broken waker must not fail the batch
+                pass
+
+    def done(self) -> bool:
+        """True once the ticket is resolved or failed (never blocks)."""
+        return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> np.ndarray:
         """Block until the batch executes; raise what the scorer raised."""
@@ -102,18 +149,26 @@ class MicroBatcher:
     max_latency:
         Seconds the dispatch loop waits for more requests after the first
         one arrives before flushing regardless of size.
+    observer:
+        Optional metrics sink (duck-typed, see
+        :class:`repro.serving.metrics.ServingMetrics`): ``observe_queue_depth
+        (label, depth)`` at flush time and ``observe_batch(label, tickets,
+        completed_at, failed=...)`` after each per-model matmul.
     """
 
     def __init__(self, compute, *, max_batch_size: int = 64,
-                 max_latency: float = 0.005, clock=time.monotonic):
+                 max_latency: float = 0.005, clock=time.monotonic,
+                 observer=None, label=str):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_latency < 0:
             raise ValueError(f"max_latency must be >= 0, got {max_latency}")
         self._compute = compute
+        self._label = label  # model_key -> str for stats/metrics labels
         self.max_batch_size = int(max_batch_size)
         self.max_latency = float(max_latency)
         self._clock = clock
+        self._observer = observer
         self._queue: queue.Queue[_Ticket | None] = queue.Queue()
         self._thread: threading.Thread | None = None
         self._stopping = threading.Event()
@@ -128,7 +183,7 @@ class MicroBatcher:
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         if nodes.ndim != 1 or nodes.size == 0:
             raise ValueError("a request must name at least one node index")
-        ticket = _Ticket(model_key, nodes)
+        ticket = _Ticket(model_key, nodes, submitted_at=self._clock())
         with self._stats_lock:
             self.stats.requests += 1
             self.stats.rows_requested += int(nodes.size)
@@ -160,14 +215,16 @@ class MicroBatcher:
         return self
 
     def close(self) -> None:
-        """Stop the dispatch thread after flushing queued requests."""
-        if self._thread is None:
-            return
-        self._stopping.set()
-        self._queue.put(None)  # wake the blocked get()
-        self._thread.join()
-        self._thread = None
-        self.run_once()  # resolve anything that raced the shutdown
+        """Stop the dispatch thread after flushing queued requests.
+
+        Also flushes when no thread was ever started, so closing a queue in
+        inline/library use never strands submitted tickets."""
+        if self._thread is not None:
+            self._stopping.set()
+            self._queue.put(None)  # wake the blocked get()
+            self._thread.join()
+            self._thread = None
+        self.run_once()  # resolve anything queued or racing the shutdown
 
     def __enter__(self) -> "MicroBatcher":
         return self.start()
@@ -224,26 +281,58 @@ class MicroBatcher:
         by_model: dict = {}
         for ticket in batch:
             by_model.setdefault(ticket.model_key, []).append(ticket)
+        if self._observer is not None:
+            backlog = self._queue.qsize()  # still queued behind this flush
+            for model_key, tickets in by_model.items():
+                self._observer.observe_queue_depth(self._label(model_key),
+                                                   len(tickets) + backlog)
         with self._stats_lock:
             self.stats.batches += 1
-            self.stats.max_batch_rows = max(
-                self.stats.max_batch_rows,
-                sum(int(t.nodes.size) for t in batch))
-            if len(batch) > 1:
-                self.stats.coalesced_requests += len(batch)
-        for model_key, tickets in by_model.items():
-            stacked = np.concatenate([ticket.nodes for ticket in tickets])
-            try:
-                scores = self._compute(model_key, stacked)
-            except Exception as error:  # forwarded to the blocked callers
+            for model_key, tickets in by_model.items():
+                # Coalescing and row extrema are per model: tickets of
+                # different models in one flush still cost one matmul each,
+                # so nothing coalesced and no larger stack was multiplied.
+                label = self._label(model_key)
+                rows = sum(int(ticket.nodes.size) for ticket in tickets)
+                self.stats.max_batch_rows = max(self.stats.max_batch_rows, rows)
+                self.stats.per_model_max_rows[label] = max(
+                    self.stats.per_model_max_rows.get(label, 0), rows)
+                if len(tickets) > 1:
+                    self.stats.coalesced_requests += len(tickets)
+                    self.stats.per_model_coalesced[label] = \
+                        self.stats.per_model_coalesced.get(label, 0) + len(tickets)
+        try:
+            for model_key, tickets in by_model.items():
+                stacked = np.concatenate([ticket.nodes for ticket in tickets])
+                try:
+                    scores = self._compute(model_key, stacked)
+                except Exception as error:  # forwarded to the blocked callers
+                    for ticket in tickets:
+                        ticket._fail(error)
+                    self._observe(model_key, tickets, failed=True)
+                    continue
+                with self._stats_lock:
+                    self.stats.matmuls += 1
+                    label = self._label(model_key)
+                    per_model = self.stats.per_model_matmuls
+                    per_model[label] = per_model.get(label, 0) + 1
+                offset = 0
                 for ticket in tickets:
+                    ticket._resolve(scores[offset:offset + ticket.nodes.size])
+                    offset += ticket.nodes.size
+                self._observe(model_key, tickets, failed=False)
+        except BaseException as error:
+            # A non-Exception (KeyboardInterrupt, SystemExit, ...) from the
+            # compute hook must not strand callers blocked on their tickets
+            # until timeout: fail every still-unresolved ticket, then
+            # re-raise for the dispatch loop / inline caller to handle.
+            for ticket in batch:
+                if not ticket.done():
                     ticket._fail(error)
-                continue
-            with self._stats_lock:
-                self.stats.matmuls += 1
-                per_model = self.stats.per_model_matmuls
-                per_model[str(model_key)] = per_model.get(str(model_key), 0) + 1
-            offset = 0
-            for ticket in tickets:
-                ticket._resolve(scores[offset:offset + ticket.nodes.size])
-                offset += ticket.nodes.size
+            raise
+
+    def _observe(self, model_key, tickets: list[_Ticket], *, failed: bool) -> None:
+        if self._observer is None:
+            return
+        self._observer.observe_batch(self._label(model_key), tickets,
+                                     self._clock(), failed=failed)

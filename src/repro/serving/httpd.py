@@ -1,0 +1,541 @@
+"""A single-threaded, ``selectors``-based HTTP/1.1 frontend for serving.
+
+The PR 4 frontend was ``ThreadingHTTPServer``: one OS thread per connection,
+each parked in a blocking ``predict`` while its ticket waited on the batcher.
+That caps connection count at thread count and spends a context switch per
+request.  This frontend multiplexes every connection on **one** event loop
+(stdlib ``selectors``, no dependencies):
+
+* reads are non-blocking; complete requests are parsed out of per-connection
+  buffers (HTTP/1.1 keep-alive and pipelined requests included);
+* ``GET`` routes answer immediately;
+* ``POST /v1/predict`` *submits* a ticket to the service's per-model router
+  and parks the connection — the loop keeps serving other sockets while the
+  model's own micro-batch queue coalesces and executes the matmul on its
+  dispatch thread — then writes the response when the ticket resolves;
+* connections are bounded (``max_connections``; excess accepts get an
+  immediate 503), idle sockets are reaped, and ``shutdown()`` drains
+  in-flight tickets and buffered writes before returning (graceful drain).
+
+Because tickets are *polled*, never waited on, a slow model cannot stall the
+loop; the only blocking work on the loop is building a cold model session
+(first query to an unwarmed model), which ``repro serve`` avoids by warming
+sessions before binding the socket.
+
+The surface mirrors ``socketserver`` so existing callers and tests drop in:
+``serve_forever()`` / ``shutdown()`` / ``server_close()`` /
+``server_address``.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import sys
+import threading
+import time
+
+from repro.exceptions import ConfigurationError
+from repro.serving.service import (
+    InferenceService,
+    format_prediction,
+    parse_predict_payload,
+)
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+RECV_CHUNK = 64 * 1024
+
+_WAKER = object()  # selector data marker for the self-pipe read end
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing: respond with ``status`` and close."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class _Connection:
+    """Per-socket state: buffers, keep-alive flag and the parked ticket."""
+
+    __slots__ = ("sock", "addr", "inbuf", "outbuf", "close_after_write",
+                 "pending", "last_activity")
+
+    def __init__(self, sock: socket.socket, addr, now: float):
+        self.sock = sock
+        self.addr = addr
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.close_after_write = False
+        self.pending: dict | None = None  # parked /v1/predict ticket + context
+        self.last_activity = now
+
+
+class SelectorHTTPServer:
+    """One event loop, many connections, per-model batch queues underneath."""
+
+    def __init__(self, address, service: InferenceService, *,
+                 max_connections: int = 512, request_timeout: float = 30.0,
+                 idle_timeout: float = 120.0, drain_timeout: float = 5.0,
+                 stats_interval: float | None = None, log_stream=None):
+        self.service = service
+        self.max_connections = int(max_connections)
+        self.request_timeout = float(request_timeout)
+        self.idle_timeout = float(idle_timeout)
+        self.drain_timeout = float(drain_timeout)
+        self.stats_interval = stats_interval
+        self.log_stream = log_stream
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(address)
+        self._listener.listen(min(self.max_connections, 128))
+        self._listener.setblocking(False)
+        self.server_address = self._listener.getsockname()[:2]
+
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        # Self-pipe: batcher threads poke the write end when a parked ticket
+        # resolves, so the loop wakes exactly then instead of busy-polling.
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+        self._selector.register(self._waker_r, selectors.EVENT_READ, _WAKER)
+        self._connections: dict[socket.socket, _Connection] = {}
+        self._parked: set[_Connection] = set()
+
+        self._shutdown_request = False
+        self._is_shut_down = threading.Event()
+        self._is_shut_down.set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (the socketserver-shaped surface)
+    # ------------------------------------------------------------------ #
+    def serve_forever(self, poll_interval: float = 0.05) -> None:
+        self._is_shut_down.clear()
+        next_stats = (time.monotonic() + self.stats_interval
+                      if self.stats_interval else None)
+        last_sweep = time.monotonic()
+        try:
+            while not self._shutdown_request:
+                # Parked tickets wake the loop through the self-pipe the
+                # moment they resolve; the timeout only paces deadline
+                # checks, idle sweeps and the stats line.
+                self._tick(poll_interval)
+                now = time.monotonic()
+                if now - last_sweep >= 5.0:
+                    self._sweep_idle(now)
+                    last_sweep = now
+                if next_stats is not None and now >= next_stats:
+                    # Explicitly requested, so it prints even under --quiet
+                    # (which only nulls the per-request log_stream).
+                    stream = (self.log_stream if self.log_stream is not None
+                              else sys.stderr)
+                    print(f"[serve] stats: "
+                          f"{self.service.batcher.metrics.summary_line()}",
+                          file=stream, flush=True)
+                    next_stats = now + self.stats_interval
+            self._drain()
+        finally:
+            self._shutdown_request = False
+            self._is_shut_down.set()
+
+    def shutdown(self) -> None:
+        """Ask the loop to drain and stop; blocks until it has."""
+        self._shutdown_request = True
+        self._is_shut_down.wait()
+
+    def server_close(self) -> None:
+        """Close the listener and every remaining connection."""
+        for conn in list(self._connections.values()):
+            self._close_connection(conn)
+        for sock in (self._listener, self._waker_r, self._waker_w):
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            sock.close()
+        self._selector.close()
+
+    def __enter__(self) -> "SelectorHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server_close()
+
+    # ------------------------------------------------------------------ #
+    # the event loop body
+    # ------------------------------------------------------------------ #
+    def _tick(self, timeout: float) -> None:
+        for key, events in self._selector.select(timeout):
+            if key.data is None:
+                self._accept()
+                continue
+            if key.data is _WAKER:
+                try:  # drain every pending poke; completion runs below
+                    while self._waker_r.recv(4096):
+                        pass
+                except (BlockingIOError, InterruptedError):
+                    pass
+                continue
+            conn: _Connection = key.data
+            if events & selectors.EVENT_READ:
+                self._readable(conn)
+            if conn.sock in self._connections and events & selectors.EVENT_WRITE:
+                self._writable(conn)
+        self._complete_parked(time.monotonic())
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            if len(self._connections) >= self.max_connections:
+                # Bounded: tell the client to back off, immediately.
+                try:
+                    sock.setblocking(False)
+                    sock.send(_render(503, {"error": "connection limit reached"},
+                                      keep_alive=False))
+                except OSError:
+                    pass
+                sock.close()
+                self._log(f"{addr[0]} rejected (connection limit "
+                          f"{self.max_connections})")
+                continue
+            sock.setblocking(False)
+            conn = _Connection(sock, addr, time.monotonic())
+            self._connections[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_connection(conn)
+            return
+        if not data:
+            self._close_connection(conn)
+            return
+        conn.inbuf += data
+        conn.last_activity = time.monotonic()
+        self._process_input(conn)
+
+    def _writable(self, conn: _Connection) -> None:
+        try:
+            sent = conn.sock.send(conn.outbuf)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_connection(conn)
+            return
+        del conn.outbuf[:sent]
+        conn.last_activity = time.monotonic()
+        if conn.outbuf:
+            return
+        if conn.close_after_write:
+            self._close_connection(conn)
+            return
+        self._update_interest(conn)
+        self._process_input(conn)  # pipelined requests behind the response
+
+    def _process_input(self, conn: _Connection) -> None:
+        """Parse and dispatch as many buffered requests as possible.
+
+        Stops at the first parked predict (responses must stay in request
+        order on one connection) and while a response is still flushing.
+        """
+        while conn.pending is None and not conn.close_after_write:
+            try:
+                parsed = _parse_request(conn.inbuf)
+            except _BadRequest as error:
+                self._respond(conn, error.status, {"error": str(error)},
+                              keep_alive=False)
+                return
+            if parsed is None:
+                return
+            method, path, headers, body, keep_alive = parsed
+            self._dispatch(conn, method, path, headers, body, keep_alive)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, conn: _Connection, method: str, path: str,
+                  headers: dict, body: bytes, keep_alive: bool) -> None:
+        try:
+            if method == "GET":
+                status, payload = self._route_get(path)
+            elif method == "POST":
+                if path not in ("/v1/predict", "/predict"):
+                    status, payload = 404, {"error": f"unknown path {path!r}"}
+                elif self._submit_predict(conn, body, keep_alive):
+                    return  # parked: the completion pass responds
+                else:
+                    return  # _submit_predict already queued an error
+            else:
+                status, payload = 405, {"error": f"method {method} not allowed"}
+        except ConfigurationError as error:
+            status, payload = 400, {"error": str(error)}
+        except Exception as error:  # surfaced, not swallowed: 500 + message
+            status, payload = 500, {"error": repr(error)}
+        self._log_request(conn, method, path, status)
+        self._respond(conn, status, payload, keep_alive=keep_alive)
+
+    def _route_get(self, path: str) -> tuple[int, dict]:
+        if path in ("/healthz", "/health"):
+            return 200, self.service.health()
+        if path == "/stats":
+            return 200, self.service.stats()
+        if path == "/models":
+            return 200, {"models": [
+                {"ref": record.ref, "name": record.name, "digest": record.digest,
+                 "privacy": record.manifest.get("privacy", {}),
+                 "inference": record.manifest.get("inference", {})}
+                for record in self.service.registry.list()
+            ]}
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _submit_predict(self, conn: _Connection, body: bytes,
+                        keep_alive: bool) -> bool:
+        """Validate and submit; returns True when a ticket was parked."""
+        try:
+            payload = json.loads(body or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            self._log_request(conn, "POST", "/v1/predict", 400)
+            self._respond(conn, 400, {"error": "request body must be a JSON object"},
+                          keep_alive=keep_alive)
+            return False
+        try:
+            request = parse_predict_payload(payload)
+            ticket, record, mode = self.service.submit_batch(
+                request.ref, request.nodes, request.mode)
+        except ConfigurationError as error:
+            self._log_request(conn, "POST", "/v1/predict", 400)
+            self._respond(conn, 400, {"error": str(error)}, keep_alive=keep_alive)
+            return False
+        except Exception as error:
+            self._log_request(conn, "POST", "/v1/predict", 500)
+            self._respond(conn, 500, {"error": repr(error)}, keep_alive=keep_alive)
+            return False
+        conn.pending = {
+            "ticket": ticket, "request": request, "record": record,
+            "mode": mode, "keep_alive": keep_alive,
+            "deadline": time.monotonic() + self.request_timeout,
+        }
+        self._parked.add(conn)
+        ticket.on_done = self._wake
+        if ticket.done():  # resolved before the hook landed: wake ourselves
+            self._wake()
+        return True
+
+    def _wake(self) -> None:
+        """Poke the self-pipe (called from batcher dispatch threads)."""
+        try:
+            self._waker_w.send(b"\x00")
+        except (BlockingIOError, InterruptedError, OSError):
+            pass  # pipe already full (a wakeup is pending) or closing
+
+    def _complete_parked(self, now: float) -> None:
+        for conn in list(self._parked):
+            entry = conn.pending
+            if entry is None:  # connection died while parked
+                self._parked.discard(conn)
+                continue
+            ticket = entry["ticket"]
+            if ticket.done():
+                self._parked.discard(conn)
+                conn.pending = None
+                try:
+                    scores = ticket.result(0)
+                    status, payload = 200, format_prediction(
+                        entry["request"], scores, entry["record"], entry["mode"])
+                except ConfigurationError as error:
+                    status, payload = 400, {"error": str(error)}
+                except Exception as error:
+                    status, payload = 500, {"error": repr(error)}
+                self._log_request(conn, "POST", "/v1/predict", status)
+                self._respond(conn, status, payload,
+                              keep_alive=entry["keep_alive"])
+                if conn.sock in self._connections:
+                    self._process_input(conn)
+            elif now >= entry["deadline"]:
+                self._parked.discard(conn)
+                conn.pending = None
+                self._log_request(conn, "POST", "/v1/predict", 503)
+                self._respond(conn, 503,
+                              {"error": "inference request timed out waiting "
+                                        "for its batch"},
+                              keep_alive=False)
+
+    # ------------------------------------------------------------------ #
+    # responses / connection bookkeeping
+    # ------------------------------------------------------------------ #
+    def _respond(self, conn: _Connection, status: int, payload: dict, *,
+                 keep_alive: bool) -> None:
+        if conn.sock not in self._connections:
+            return
+        if not keep_alive:
+            conn.close_after_write = True
+        conn.outbuf += _render(status, payload, keep_alive=keep_alive)
+        self._flush_now(conn)
+
+    def _flush_now(self, conn: _Connection) -> None:
+        """Opportunistic synchronous send; the selector finishes the rest."""
+        try:
+            sent = conn.sock.send(conn.outbuf)
+            del conn.outbuf[:sent]
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self._close_connection(conn)
+            return
+        if not conn.outbuf and conn.close_after_write:
+            self._close_connection(conn)
+            return
+        self._update_interest(conn)
+
+    def _update_interest(self, conn: _Connection) -> None:
+        if conn.sock not in self._connections:
+            return
+        events = selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        self._selector.modify(conn.sock, events, conn)
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if self._connections.pop(conn.sock, None) is None:
+            return
+        self._parked.discard(conn)
+        conn.pending = None
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _sweep_idle(self, now: float) -> None:
+        for conn in list(self._connections.values()):
+            if conn.pending is None and not conn.outbuf \
+                    and now - conn.last_activity > self.idle_timeout:
+                self._close_connection(conn)
+
+    def _drain(self) -> None:
+        """Graceful close: stop accepting, finish parked tickets and writes."""
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        deadline = time.monotonic() + self.drain_timeout
+        while (self._parked or any(c.outbuf for c in self._connections.values())) \
+                and time.monotonic() < deadline:
+            self._tick(0.005)
+
+    # ------------------------------------------------------------------ #
+    # logging
+    # ------------------------------------------------------------------ #
+    def _log(self, message: str) -> None:
+        if self.log_stream is not None:
+            print(f"[serve] {message}", file=self.log_stream, flush=True)
+
+    def _log_request(self, conn: _Connection, method: str, path: str,
+                     status: int) -> None:
+        self._log(f"{conn.addr[0]} \"{method} {path}\" {status}")
+
+
+# --------------------------------------------------------------------------- #
+# HTTP framing helpers (module-level: pure bytes in, bytes out)
+# --------------------------------------------------------------------------- #
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 408: "Request Timeout",
+            413: "Payload Too Large", 431: "Request Header Fields Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def _render(status: int, payload: dict, *, keep_alive: bool) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Server: gcon-repro-serving\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def _parse_request(buf: bytearray):
+    """Pop one complete request off ``buf``.
+
+    Returns ``None`` while incomplete, else ``(method, path, headers, body,
+    keep_alive)``; raises :class:`_BadRequest` on malformed framing.
+    """
+    head_end = buf.find(b"\r\n\r\n")
+    if head_end < 0:
+        if len(buf) > MAX_HEADER_BYTES:
+            raise _BadRequest(431, "request headers too large")
+        return None
+    try:
+        head = buf[:head_end].decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes anything
+        raise _BadRequest(400, "undecodable request head")
+    lines = head.split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _BadRequest(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise _BadRequest(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise _BadRequest(400, "chunked request bodies are not supported")
+    try:
+        content_length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest(400, "invalid Content-Length") from None
+    if content_length < 0:
+        raise _BadRequest(400, "invalid Content-Length")
+    if content_length > MAX_BODY_BYTES:
+        raise _BadRequest(413, "request body too large")
+    total = head_end + 4 + content_length
+    if len(buf) < total:
+        return None
+    body = bytes(buf[head_end + 4:total])
+    del buf[:total]
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        keep_alive = connection == "keep-alive"
+    else:
+        keep_alive = connection != "close"
+    path = target.split("?", 1)[0]
+    return method, path, headers, body, keep_alive
+
+
+def serve_http(service: InferenceService, host: str = "127.0.0.1",
+               port: int = 8151, *, log_stream=None,
+               max_connections: int = 512,
+               stats_interval: float | None = None) -> SelectorHTTPServer:
+    """Bind a :class:`SelectorHTTPServer`; the caller runs ``serve_forever()``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address[1]`` — the tests do).  The service's router is
+    started so every model's queue coalesces on its own dispatch thread.
+    """
+    service.start()
+    return SelectorHTTPServer((host, port), service,
+                              max_connections=max_connections,
+                              stats_interval=stats_interval,
+                              log_stream=log_stream)

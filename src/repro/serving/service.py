@@ -1,4 +1,4 @@
-"""The inference front end: a threaded service plus a stdlib HTTP JSON API.
+"""The inference control room: sessions, per-model routing, the JSON API.
 
 :class:`InferenceService` is the in-process API — ``predict`` /
 ``predict_proba`` / ``top_k`` / ``health`` / ``stats`` — over models
@@ -7,20 +7,27 @@ model it keeps a *session*: the released Θ_priv plus the aggregated feature
 matrix ``F`` of the serving graph (encoder forward pass, L2 normalisation,
 Eq. 16/Eq. 11 propagation — the expensive, query-independent half of
 Algorithm 4), held in an LRU so repeated queries skip propagation entirely.
-Queries then flow through the :class:`~repro.serving.batcher.MicroBatcher`,
-which coalesces them into one row-selected matmul per model — bitwise
-identical to offline :func:`~repro.core.inference.private_inference_scores`
-/ :func:`~repro.core.inference.public_inference_scores` on the same bundle.
+Queries then flow through the :class:`~repro.serving.router.ModelRouter`:
+**each model version gets its own micro-batch queue** (own row budget, own
+deadline, own dispatch thread), so one model's burst can never head-of-line
+block another's tickets, and every answer stays bitwise identical to offline
+:func:`~repro.core.inference.private_inference_scores` /
+:func:`~repro.core.inference.public_inference_scores` on the same bundle.
 
-:func:`serve_http` wraps the service in a ``http.server``-based JSON API —
-zero dependencies beyond the standard library — with a threading server so
-concurrent requests actually coalesce in the batcher:
+The HTTP frontend lives in :mod:`repro.serving.httpd` (a single-threaded
+``selectors`` loop; ``serve_http`` is re-exported from :mod:`repro.serving`):
 
 * ``GET  /healthz``      liveness + loaded models
-* ``GET  /stats``        batcher/cache/request counters
+* ``GET  /stats``        per-model latency histograms (p50/p95/p99),
+  batch-size and queue-depth distributions, batcher/cache counters
 * ``GET  /models``       registry listing
 * ``POST /v1/predict``   ``{"model": "name@latest", "nodes": [..],
   "mode"?: "private"|"public", "top_k"?: int, "proba"?: bool}``
+
+This module also owns the transport-independent halves of that API:
+:func:`parse_predict_payload` (request validation) and
+:func:`format_prediction` (response shaping), so the frontend stays pure
+plumbing.
 
 The graph a model is served against defaults to the dataset preset recorded
 in its manifest at publish time (name, scale, seed); pass ``graph=`` or a
@@ -29,17 +36,17 @@ in its manifest at publish time (name, scale, seed); pass ``graph=`` or a
 
 from __future__ import annotations
 
-import json
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.inference import INFERENCE_MODES, batched_inference_scores
 from repro.exceptions import ConfigurationError
-from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
+from repro.serving.router import ModelRouter
 from repro.utils.lru import LRUDict
 
 
@@ -106,11 +113,24 @@ class InferenceService:
         self._graph_loader = graph_loader or _default_graph_loader
         self._sessions = LRUDict(max_entries=max_sessions)
         self._lock = threading.Lock()
-        self.batcher = MicroBatcher(self._score_rows,
-                                    max_batch_size=max_batch_size,
-                                    max_latency=max_latency)
+        self._labels: dict[tuple, str] = {}  # session key -> human label
+        self.metrics = ServingMetrics()
+        self.batcher = ModelRouter(self._score_rows,
+                                   max_batch_size=max_batch_size,
+                                   max_latency=max_latency,
+                                   metrics=self.metrics,
+                                   label=self._label_for)
         self.cache_stats = {"feature_hits": 0, "feature_misses": 0}
         self.started_at = time.time()
+
+    def _label_for(self, key: tuple) -> str:
+        """Human label for a session key: ``name@digest12:mode`` once the
+        session has been built, a digest fallback before that."""
+        label = self._labels.get(key)
+        if label is None:
+            digest, mode = key
+            label = f"{digest[:12]}:{mode}"
+        return label
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -159,6 +179,17 @@ class InferenceService:
                                 features=features)
         with self._lock:
             self._sessions.put(key, session)
+            self._labels[key] = f"{record.ref}:{mode}"
+            evicted = [old for old in self._labels if old not in self._sessions]
+        # Retire evicted versions' queues (flush + stop the dispatch thread)
+        # so a long-lived server whose "@latest" keeps advancing does not
+        # leak one thread per publish; labels drop only after the flush so
+        # the final observations still carry the human name.
+        for old in evicted:
+            self.batcher.retire(old)
+        with self._lock:
+            for old in evicted:
+                self._labels.pop(old, None)
         return key, session
 
     def _score_rows(self, session_key: tuple, nodes: np.ndarray) -> np.ndarray:
@@ -197,6 +228,20 @@ class InferenceService:
     # ------------------------------------------------------------------ #
     # the query API
     # ------------------------------------------------------------------ #
+    def submit_batch(self, ref: str, nodes, mode: str | None = None):
+        """The non-blocking half of :meth:`predict_batch`.
+
+        Resolves the session, validates nodes, enqueues on the model's own
+        queue and returns ``(ticket, record, mode)`` immediately — the
+        selector HTTP frontend parks the connection on the ticket instead of
+        blocking an OS thread per request.
+        """
+        key, session = self._session(ref, mode)
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        self._validate_nodes(nodes, session.features.shape[0])
+        ticket = self.batcher.submit(key, nodes)
+        return ticket, session.record, key[1]
+
     def predict_batch(self, ref: str, nodes, mode: str | None = None,
                       timeout: float | None = 30.0):
         """Scores plus the exact version and mode that produced them.
@@ -244,10 +289,19 @@ class InferenceService:
         }
 
     def stats(self) -> dict:
+        """Aggregate counters plus the per-model observability breakdown:
+        each served model's batch counters, effective limits, latency
+        histogram (p50/p95/p99 in ms) and batch/queue distributions."""
         with self._lock:
             cache = dict(self.cache_stats, sessions=len(self._sessions))
+        per_model = self.batcher.per_model_stats()
+        histograms = self.metrics.as_dict()
+        models = {label: {**per_model.get(label, {}),
+                          **histograms.get(label, {})}
+                  for label in set(per_model) | set(histograms)}
         return {
             "batcher": self.batcher.stats.as_dict(),
+            "models": models,
             "feature_cache": cache,
             "max_batch_size": self.batcher.max_batch_size,
             "max_latency_seconds": self.batcher.max_latency,
@@ -255,125 +309,63 @@ class InferenceService:
 
 
 # --------------------------------------------------------------------------- #
-# the HTTP layer (stdlib only)
+# the transport-independent halves of the JSON API
 # --------------------------------------------------------------------------- #
-class _Handler(BaseHTTPRequestHandler):
-    """JSON over HTTP/1.1; the service instance hangs off the server."""
+@dataclass(frozen=True)
+class PredictRequest:
+    """A validated ``/v1/predict`` payload."""
 
-    protocol_version = "HTTP/1.1"
-    server_version = "gcon-repro-serving"
-
-    # -- plumbing ------------------------------------------------------- #
-    @property
-    def service(self) -> InferenceService:
-        return self.server.service  # type: ignore[attr-defined]
-
-    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
-        stream = getattr(self.server, "log_stream", None)
-        if stream is not None:
-            print(f"[serve] {self.address_string()} {format % args}",
-                  file=stream, flush=True)
-
-    def _reply(self, status: int, payload: dict) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
-
-    # -- routes --------------------------------------------------------- #
-    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path in ("/healthz", "/health"):
-            self._reply(200, self.service.health())
-        elif self.path == "/stats":
-            self._reply(200, self.service.stats())
-        elif self.path == "/models":
-            records = self.service.registry.list()
-            self._reply(200, {"models": [
-                {"ref": record.ref, "name": record.name, "digest": record.digest,
-                 "privacy": record.manifest.get("privacy", {}),
-                 "inference": record.manifest.get("inference", {})}
-                for record in records
-            ]})
-        else:
-            self._error(404, f"unknown path {self.path!r}")
-
-    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        if self.path not in ("/v1/predict", "/predict"):
-            self._error(404, f"unknown path {self.path!r}")
-            return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError):
-            self._error(400, "request body must be a JSON object")
-            return
-        if not isinstance(payload, dict):
-            self._error(400, "request body must be a JSON object")
-            return
-        try:
-            self._reply(200, self._predict(payload))
-        except ConfigurationError as error:
-            self._error(400, str(error))
-        except TimeoutError as error:
-            self._error(503, str(error))
-        except Exception as error:  # surfaced, not swallowed: 500 + message
-            self._error(500, repr(error))
-
-    def _predict(self, payload: dict) -> dict:
-        ref = payload.get("model")
-        nodes = payload.get("nodes")
-        if not ref or not isinstance(ref, str):
-            raise ConfigurationError("'model' (e.g. 'name@latest') is required")
-        if not isinstance(nodes, list) or not nodes \
-                or not all(isinstance(node, int) and not isinstance(node, bool)
-                           for node in nodes):
-            raise ConfigurationError("'nodes' must be a non-empty list of integers")
-        # One resolve, shared with the scoring path: the response metadata
-        # names exactly the version that produced the scores, even if a
-        # concurrent publish advances "@latest" mid-request.
-        scores, record, mode = self.service.predict_batch(
-            ref, nodes, payload.get("mode"))
-        response = {
-            "model": record.ref,
-            "mode": mode,
-            "nodes": nodes,
-            "labels": [int(label) for label in np.argmax(scores, axis=1)],
-            "scores": [[float(value) for value in row] for row in scores],
-        }
-        if payload.get("proba"):
-            proba = softmax_scores(scores)
-            response["proba"] = [[float(value) for value in row] for row in proba]
-        top_k = payload.get("top_k")
-        if top_k is not None:
-            if not isinstance(top_k, int) or top_k < 1:
-                raise ConfigurationError("'top_k' must be a positive integer")
-            response["top_k"] = top_k_entries(scores, top_k)
-        return response
+    ref: str
+    nodes: list
+    mode: str | None
+    top_k: int | None
+    proba: bool
 
 
-class ServingServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`InferenceService`."""
+def parse_predict_payload(payload) -> PredictRequest:
+    """Validate a decoded ``/v1/predict`` body; raises
+    :class:`ConfigurationError` (→ HTTP 400) on every malformed shape, so a
+    client typo can never surface as a 500 traceback."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("request body must be a JSON object")
+    ref = payload.get("model")
+    nodes = payload.get("nodes")
+    if not ref or not isinstance(ref, str):
+        raise ConfigurationError("'model' (e.g. 'name@latest') is required")
+    if not isinstance(nodes, list) or not nodes \
+            or not all(isinstance(node, int) and not isinstance(node, bool)
+                       for node in nodes):
+        raise ConfigurationError("'nodes' must be a non-empty list of integers")
+    if not all(-(2 ** 63) <= node < 2 ** 63 for node in nodes):
+        # Keep the 400-never-500 contract: a node index that overflows int64
+        # would otherwise blow up inside np.asarray on the scoring path.
+        raise ConfigurationError("node indices must fit in a 64-bit integer")
+    mode = payload.get("mode")
+    if mode is not None and not isinstance(mode, str):
+        raise ConfigurationError(f"'mode' must be a string, got {mode!r}")
+    top_k = payload.get("top_k")
+    if top_k is not None and (isinstance(top_k, bool)
+                              or not isinstance(top_k, int) or top_k < 1):
+        raise ConfigurationError("'top_k' must be a positive integer")
+    return PredictRequest(ref=ref, nodes=list(nodes), mode=mode,
+                          top_k=top_k, proba=bool(payload.get("proba")))
 
-    daemon_threads = True
 
-    def __init__(self, address, service: InferenceService, log_stream=None):
-        super().__init__(address, _Handler)
-        self.service = service
-        self.log_stream = log_stream
-
-
-def serve_http(service: InferenceService, host: str = "127.0.0.1",
-               port: int = 8151, *, log_stream=None) -> ServingServer:
-    """Bind a :class:`ServingServer`; the caller runs ``serve_forever()``.
-
-    ``port=0`` binds an ephemeral port (read it back from
-    ``server.server_address[1]`` — the tests do).  The service's batcher is
-    started so concurrent HTTP requests coalesce.
-    """
-    service.start()
-    return ServingServer((host, port), service, log_stream=log_stream)
+def format_prediction(request: PredictRequest, scores: np.ndarray,
+                      record, mode: str) -> dict:
+    """Shape the ``/v1/predict`` response (pure post-processing: labels,
+    optional softmax and top-k); the metadata names exactly the version that
+    produced the scores, even if ``@latest`` advanced mid-request."""
+    response = {
+        "model": record.ref,
+        "mode": mode,
+        "nodes": request.nodes,
+        "labels": [int(label) for label in np.argmax(scores, axis=1)],
+        "scores": [[float(value) for value in row] for row in scores],
+    }
+    if request.proba:
+        proba = softmax_scores(scores)
+        response["proba"] = [[float(value) for value in row] for row in proba]
+    if request.top_k is not None:
+        response["top_k"] = top_k_entries(scores, request.top_k)
+    return response

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+_MISSING = object()  # distinguishes "absent" from a legitimately cached None
+
 
 class LRUDict(OrderedDict):
     """An ``OrderedDict`` that evicts its least-recently-used entries."""
@@ -32,9 +34,16 @@ class LRUDict(OrderedDict):
             self.popitem(last=False)
 
     def get_or_compute(self, key, compute):
-        """Return the cached value or ``compute()``, caching the result."""
-        value = self.get_or_none(key)
-        if value is None:
+        """Return the cached value or ``compute()``, caching the result.
+
+        Absence is tracked with a sentinel, not ``None``, so a computation
+        that legitimately returns ``None`` is cached like any other value
+        instead of being recomputed on every call.
+        """
+        value = super().get(key, _MISSING)
+        if value is _MISSING:
             value = compute()
             self.put(key, value)
+        else:
+            self.move_to_end(key)
         return value

@@ -1,0 +1,124 @@
+"""Tests for the serving observability layer (histograms + per-model metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Histogram,
+    ServingMetrics,
+)
+
+
+class _FakeTicket:
+    def __init__(self, size, submitted_at):
+        self.nodes = np.zeros(size, dtype=np.int64)
+        self.submitted_at = submitted_at
+
+
+class TestHistogram:
+    def test_buckets_are_fixed_and_log_spaced(self):
+        ratios = [LATENCY_BUCKETS[i + 1] / LATENCY_BUCKETS[i]
+                  for i in range(len(LATENCY_BUCKETS) - 1)]
+        np.testing.assert_allclose(ratios, ratios[0])
+        assert LATENCY_BUCKETS[0] <= 1e-4          # resolves fast matmuls
+        assert LATENCY_BUCKETS[-1] > 30.0          # covers request timeouts
+        assert list(SIZE_BUCKETS) == [float(2 ** i) for i in range(17)]
+
+    def test_count_sum_min_max(self):
+        hist = Histogram()
+        for value in (0.001, 0.004, 0.002):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min == 0.001
+        assert hist.max == 0.004
+        assert hist.mean == pytest.approx(7e-3 / 3)
+
+    def test_quantiles_bracket_the_data(self):
+        hist = Histogram()
+        values = [0.001 * (i + 1) for i in range(100)]  # 1ms .. 100ms
+        for value in values:
+            hist.observe(value)
+        # Bucketed estimates: right bucket, interpolated inside it.
+        for q, exact in ((0.5, 0.050), (0.95, 0.095), (0.99, 0.099)):
+            estimate = hist.quantile(q)
+            assert exact / 1.6 <= estimate <= exact * 1.6, (q, estimate)
+        # Monotone in q and clamped to the observed range.
+        assert hist.quantile(0.5) <= hist.quantile(0.95) <= hist.quantile(0.99)
+        assert hist.min <= hist.quantile(0.5) <= hist.max
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram().quantile(0.99) == 0.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == 50.0
+        assert hist.as_dict()["buckets"] == {"+Inf": 1}
+
+    def test_invalid_quantile_and_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.0)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_as_dict_scales_and_names_quantiles(self):
+        hist = Histogram()
+        hist.observe(0.010)
+        out = hist.as_dict(scale=1e3)
+        assert out["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(out)
+        assert out["max"] == pytest.approx(10.0)  # milliseconds
+
+
+class TestServingMetrics:
+    def test_observe_batch_records_latency_per_ticket(self):
+        metrics = ServingMetrics()
+        tickets = [_FakeTicket(2, submitted_at=1.0),
+                   _FakeTicket(3, submitted_at=1.5)]
+        metrics.observe_batch("m-a", tickets, completed_at=2.0)
+        model = metrics.model("m-a")
+        assert model.latency.count == 2
+        assert model.latency.max == pytest.approx(1.0)
+        assert model.batch_tickets.count == 1
+        assert model.batch_rows.max == 5.0
+        assert model.failures == 0
+
+    def test_failed_batches_count_failures_not_latency(self):
+        metrics = ServingMetrics()
+        metrics.observe_batch("m", [_FakeTicket(1, 0.0)], 1.0, failed=True)
+        model = metrics.model("m")
+        assert model.failures == 1
+        assert model.latency.count == 0
+
+    def test_models_are_isolated(self):
+        metrics = ServingMetrics()
+        metrics.observe_batch("a", [_FakeTicket(1, 0.0)], 0.5)
+        metrics.observe_batch("b", [_FakeTicket(1, 0.0)], 5.0)
+        assert metrics.model("a").latency.max == pytest.approx(0.5)
+        assert metrics.model("b").latency.max == pytest.approx(5.0)
+        assert metrics.labels() == ["a", "b"]
+
+    def test_queue_depth_distribution(self):
+        metrics = ServingMetrics()
+        for depth in (1, 4, 4, 9):
+            metrics.observe_queue_depth("m", depth)
+        assert metrics.model("m").queue_depth.count == 4
+        assert metrics.model("m").queue_depth.max == 9.0
+
+    def test_as_dict_and_summary_line(self):
+        metrics = ServingMetrics()
+        assert metrics.summary_line() == "no traffic yet"
+        metrics.observe_batch("demo@abc:private", [_FakeTicket(1, 0.0)], 0.002)
+        payload = metrics.as_dict()
+        assert set(payload) == {"demo@abc:private"}
+        latency = payload["demo@abc:private"]["latency_ms"]
+        assert latency["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(latency)
+        line = metrics.summary_line()
+        assert "demo@abc:private" in line and "p99=" in line

@@ -192,3 +192,31 @@ class TestListing:
         for record in records:
             assert json.loads((record.path / "manifest.json").read_text())[
                 "digest"] == record.digest
+
+
+class TestAmbiguousDigestPrefix:
+    """A prefix matching two committed versions must raise, never pick one."""
+
+    @staticmethod
+    def _write_version(registry, name, digest):
+        version_dir = registry.version_dir(name, digest)
+        version_dir.mkdir(parents=True)
+        (version_dir / "manifest.json").write_text(json.dumps({
+            "format": 1, "name": name, "digest": digest,
+            "privacy": {"epsilon": 1.0, "delta": 1e-5, "mechanism": "test"},
+            "inference": {"mode": "private"},
+            "training": {},
+        }))
+
+    def test_shared_prefix_raises_clear_error(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        self._write_version(registry, "demo", "deadbeef" + "0" * 56)
+        self._write_version(registry, "demo", "deadbeef" + "1" * 56)
+        with pytest.raises(ConfigurationError,
+                           match="ambiguous.*use more digits"):
+            registry.resolve("demo@deadbeef")
+        # One more digit disambiguates; the right version comes back.
+        record = registry.resolve("demo@deadbeef0")
+        assert record.digest == "deadbeef" + "0" * 56
+        record = registry.resolve("demo@deadbeef1")
+        assert record.digest == "deadbeef" + "1" * 56

@@ -234,3 +234,99 @@ class TestHttpApi:
             thread.join()
         assert not errors
         assert results == [int(offline[i]) for i in range(12)]
+
+
+@pytest.fixture(scope="module")
+def other_model(graph):
+    config = GCONConfig(epsilon=0.5, alpha=0.8, encoder_epochs=20,
+                        encoder_dim=8, encoder_hidden=16)
+    return GCON(config).fit(graph, seed=11)
+
+
+class TestMultiModelRouting:
+    """Two published models: own queues, own histograms, no shared budget."""
+
+    @pytest.fixture()
+    def two_model_service(self, tmp_path, model, other_model, graph):
+        registry = ModelRegistry(tmp_path / "reg2")
+        training = {"dataset": "cora_ml", "scale": 0.06, "graph_seed": 0}
+        registry.publish(model, "alpha", inference_mode="private",
+                         training=training)
+        registry.publish(other_model, "beta", inference_mode="private",
+                         training=training)
+        return InferenceService(registry, graph=graph)
+
+    def test_both_models_serve_bitwise_offline(self, two_model_service, model,
+                                               other_model, graph):
+        nodes = [0, 7, 3]
+        alpha = two_model_service.predict_scores("alpha", nodes)
+        beta = two_model_service.predict_scores("beta", nodes)
+        assert np.array_equal(alpha,
+                              model.decision_scores(graph, mode="private")[nodes])
+        assert np.array_equal(
+            beta, other_model.decision_scores(graph, mode="private")[nodes])
+        assert two_model_service.batcher.queue_count() == 2
+
+    def test_stats_expose_per_model_latency_histograms(self, two_model_service):
+        two_model_service.predict_scores("alpha", [0, 1])
+        two_model_service.predict_scores("beta", [2])
+        stats = two_model_service.stats()
+        labels = sorted(stats["models"])
+        assert len(labels) == 2
+        assert any(label.startswith("alpha@") for label in labels)
+        assert any(label.startswith("beta@") for label in labels)
+        for label in labels:
+            per_model = stats["models"][label]
+            latency = per_model["latency_ms"]
+            assert latency["count"] >= 1
+            assert {"p50", "p95", "p99"} <= set(latency)
+            assert per_model["matmuls"] == 1
+            assert {"batch_rows", "queue_depth", "max_batch_size"} <= set(per_model)
+
+    def test_one_models_burst_does_not_consume_the_others_budget(
+            self, two_model_service, other_model, graph):
+        """The head-of-line bug, pinned at the service level: alpha filling
+        its own batch budget leaves beta's queue untouched."""
+        alpha_key, alpha_session = two_model_service._session("alpha", None)
+        beta_key, _beta_session = two_model_service._session("beta", None)
+        budget = two_model_service.batcher.max_batch_size
+        for i in range(budget):
+            two_model_service.batcher.submit(alpha_key, [i % 5])
+        beta_ticket = two_model_service.batcher.submit(beta_key, [3])
+        assert two_model_service.batcher.run_once() == budget + 1
+        stats = two_model_service.batcher.stats
+        assert stats.matmuls == 2  # one stacked matmul per model
+        offline = other_model.decision_scores(graph, mode="private")
+        assert np.array_equal(beta_ticket.result(1.0), offline[[3]])
+
+    def test_session_eviction_retires_the_models_queue(self, tmp_path, model,
+                                                       other_model, graph):
+        """An evicted model version must not leak its queue (and, on a
+        started router, its dispatch thread): the router retires it and new
+        traffic recreates it on demand."""
+        registry = ModelRegistry(tmp_path / "reg3")
+        training = {"dataset": "cora_ml", "scale": 0.06, "graph_seed": 0}
+        registry.publish(model, "alpha", inference_mode="private",
+                         training=training)
+        registry.publish(other_model, "beta", inference_mode="private",
+                         training=training)
+        service = InferenceService(registry, graph=graph, max_sessions=1)
+        service.predict_scores("alpha", [0])
+        assert service.batcher.queue_count() == 1
+        service.predict_scores("beta", [0])  # evicts alpha's session
+        assert service.batcher.queue_count() == 1  # alpha's queue retired
+        # Alpha still serves (session + queue rebuilt transparently).
+        offline = model.decision_scores(graph, mode="private")
+        assert np.array_equal(service.predict_scores("alpha", [1]),
+                              offline[[1]])
+
+    def test_submit_batch_is_the_nonblocking_half(self, two_model_service,
+                                                  model, graph):
+        ticket, record, mode = two_model_service.submit_batch("alpha", [0, 4])
+        assert not ticket.done()
+        assert record.name == "alpha"
+        assert mode == "private"
+        two_model_service.batcher.run_once()
+        assert ticket.done()
+        offline = model.decision_scores(graph, mode="private")
+        assert np.array_equal(ticket.result(0.1), offline[[0, 4]])

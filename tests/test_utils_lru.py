@@ -1,0 +1,62 @@
+"""Tests for the bounded LRU mapping."""
+
+from __future__ import annotations
+
+from repro.utils.lru import LRUDict
+
+
+class TestEviction:
+    def test_oldest_entry_is_evicted_past_the_cap(self):
+        lru = LRUDict(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)
+        assert "a" not in lru
+        assert lru.get_or_none("b") == 2
+        assert lru.get_or_none("c") == 3
+
+    def test_get_refreshes_recency(self):
+        lru = LRUDict(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get_or_none("a")  # a is now most recent
+        lru.put("c", 3)
+        assert "a" in lru
+        assert "b" not in lru
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_caches(self):
+        calls = []
+        lru = LRUDict(max_entries=4)
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert lru.get_or_compute("k", compute) == 42
+        assert lru.get_or_compute("k", compute) == 42
+        assert len(calls) == 1
+
+    def test_cached_none_is_not_recomputed(self):
+        """A legitimately cached None must be a hit, not a permanent miss."""
+        calls = []
+        lru = LRUDict(max_entries=4)
+
+        def compute():
+            calls.append(1)
+            return None
+
+        assert lru.get_or_compute("k", compute) is None
+        assert lru.get_or_compute("k", compute) is None
+        assert lru.get_or_compute("k", compute) is None
+        assert len(calls) == 1
+
+    def test_get_or_compute_refreshes_recency(self):
+        lru = LRUDict(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get_or_compute("a", lambda: 99)  # hit: refresh, don't recompute
+        lru.put("c", 3)
+        assert lru.get_or_none("a") == 1
+        assert "b" not in lru
