@@ -486,11 +486,14 @@ def command_publish(args) -> int:
 
 def command_serve(args) -> int:
     """Serve registry models over the selector-loop HTTP JSON API."""
-    from repro.serving import InferenceService, serve_http
+    from repro.serving import InferenceService, SloController, serve_http
 
+    max_queue_depth = args.max_queue_depth if args.max_queue_depth > 0 else None
     service = InferenceService(
         args.registry, max_batch_size=args.batch_size,
-        max_latency=args.max_latency_ms / 1000.0)
+        max_latency=args.max_latency_ms / 1000.0,
+        max_queue_depth=max_queue_depth,
+        mmap_bundles=not args.no_mmap)
     records = []
     try:
         for ref in args.models:
@@ -504,6 +507,12 @@ def command_serve(args) -> int:
     except Exception as error:
         print(f"serve failed: {error}", file=sys.stderr)
         return 2
+    controller = None
+    if args.slo_p99_ms > 0 and not args.static_batching:
+        controller = SloController(service.batcher,
+                                   target_p99=args.slo_p99_ms / 1000.0)
+        service.attach_slo(controller)
+        controller.start()
     server = serve_http(service, host=args.host, port=args.port,
                         log_stream=None if args.quiet else sys.stderr,
                         max_connections=args.max_connections,
@@ -511,15 +520,22 @@ def command_serve(args) -> int:
     host, port = server.server_address[:2]
     served = ", ".join(f"{record.ref} (mode={record.inference_mode})"
                        for record in records)
+    slo_note = (f"slo p99<={args.slo_p99_ms:g}ms" if controller is not None
+                else "static batching")
+    depth_note = (f"queue<={max_queue_depth}" if max_queue_depth is not None
+                  else "no admission cap")
     print(f"serving {served} on http://{host}:{port} "
           f"(batch<={args.batch_size}, latency<={args.max_latency_ms:g}ms, "
-          f"connections<={args.max_connections})", file=sys.stderr, flush=True)
+          f"connections<={args.max_connections}, {slo_note}, {depth_note})",
+          file=sys.stderr, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        if controller is not None:
+            controller.close()
         service.close()
     return 0
 
@@ -786,6 +802,24 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="stats_interval", metavar="SECONDS",
                        help="log a per-model latency summary "
                             "(n/p50/p95/p99) to stderr every SECONDS")
+    serve.add_argument("--slo-p99-ms", type=float, default=50.0,
+                       dest="slo_p99_ms", metavar="MS",
+                       help="target request p99 in milliseconds; an AIMD "
+                            "controller tunes each model's batch budgets to "
+                            "hold it (0 disables, like --static-batching)")
+    serve.add_argument("--static-batching", action="store_true",
+                       dest="static_batching",
+                       help="disable the SLO controller and keep the "
+                            "--batch-size/--max-latency-ms limits fixed")
+    serve.add_argument("--max-queue-depth", type=int, default=512,
+                       dest="max_queue_depth", metavar="N",
+                       help="shed load with HTTP 429 + Retry-After once a "
+                            "model has this many requests in flight "
+                            "(0 disables admission control)")
+    serve.add_argument("--no-mmap", action="store_true", dest="no_mmap",
+                       help="load model bundles eagerly instead of "
+                            "memory-mapping them (scores are bitwise "
+                            "identical either way)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines on stderr")
     serve.set_defaults(func=command_serve)

@@ -134,6 +134,79 @@ def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
     return path
 
 
+def _mmap_npz_arrays(path: Path, mmap_mode: str = "r") -> dict[str, np.ndarray]:
+    """Memory-map every array member of an *uncompressed* ``.npz`` archive.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request for
+    ``.npz`` files (the NpzFile reader always copies members into fresh
+    arrays), so replica cold-start pays one full copy of every model array.
+    ``np.savez`` stores members with ``ZIP_STORED`` — raw, contiguous
+    ``.npy`` bytes inside the zip — so each array can be mapped in place:
+    parse the member's npy header through the zip reader, locate the raw
+    payload offset from the zip local-file header, and hand ``np.memmap``
+    the exact byte range.  The mapped bytes are the very bytes
+    :func:`atomic_savez` wrote, so a mapped array is bitwise identical to
+    its eager-loaded twin; raises ``ValueError`` on compressed or
+    object-dtype members (callers fall back to the copying loader).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"{path}:{info.filename} is compressed; cannot memory-map")
+            with archive.open(info) as member:
+                version = np.lib.format.read_magic(member)
+                if version == (1, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_1_0(member)
+                elif version == (2, 0):
+                    shape, fortran, dtype = \
+                        np.lib.format.read_array_header_2_0(member)
+                else:
+                    raise ValueError(
+                        f"{path}:{info.filename} has npy format {version}; "
+                        f"cannot memory-map")
+                header_length = member.tell()  # npy payload starts here
+            if dtype.hasobject:
+                raise ValueError(
+                    f"{path}:{info.filename} holds Python objects; "
+                    f"cannot memory-map")
+            # The zip local-file header length can differ from the central
+            # directory's record; read it to find where the member's raw
+            # (stored, uncompressed) bytes begin in the archive file.
+            raw.seek(info.header_offset)
+            local = raw.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                raise ValueError(
+                    f"{path}:{info.filename} has a malformed local header")
+            name_length = int.from_bytes(local[26:28], "little")
+            extra_length = int.from_bytes(local[28:30], "little")
+            payload = info.header_offset + 30 + name_length + extra_length
+            name = (info.filename[:-4] if info.filename.endswith(".npy")
+                    else info.filename)
+            arrays[name] = np.memmap(path, dtype=dtype, mode=mmap_mode,
+                                     offset=payload + header_length,
+                                     shape=shape,
+                                     order="F" if fortran else "C")
+    return arrays
+
+
+def load_release_arrays(path: str | Path,
+                        mmap_mode: str | None = None) -> dict[str, np.ndarray]:
+    """Read an ``.npz`` archive back as ``{name: array}``.
+
+    With ``mmap_mode`` (typically ``"r"``), arrays are :class:`np.memmap`
+    views onto the file — the zero-copy cold-start path the serving registry
+    uses — and are bitwise identical to the eager copies ``np.load`` makes.
+    """
+    path = Path(path)
+    if mmap_mode is not None:
+        return _mmap_npz_arrays(path, mmap_mode)
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
 def save_gcon(model: GCON, path: str | Path) -> Path:
     """Serialise a fitted :class:`GCON` (release + public encoder) to ``path``.
 
@@ -149,33 +222,47 @@ def save_gcon(model: GCON, path: str | Path) -> Path:
     return path
 
 
-def load_gcon(path: str | Path) -> GCON:
+def _as_float64(value: np.ndarray) -> np.ndarray:
+    """Ensure float64 without destroying a memmap: a mapped float64 array is
+    returned untouched (the zero-copy point of ``mmap_mode``); anything else
+    is converted the way ``np.asarray(..., dtype=np.float64)`` would."""
+    if value.dtype == np.float64:
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def load_gcon(path: str | Path, mmap_mode: str | None = None) -> GCON:
     """Restore a :class:`GCON` previously written by :func:`save_gcon`.
 
     The returned model is ready for Algorithm-4 inference via
     ``predict(graph, mode=...)``; a graph must be supplied explicitly because
     the (private) training graph is never stored in the release file.
+
+    With ``mmap_mode="r"`` the release arrays (Θ_priv and the encoder
+    parameters) are memory-mapped read-only instead of copied — the serving
+    registry's cold-start path — and every downstream score is bitwise
+    identical to the eager load (pinned by ``tests/test_serving_slo.py``).
     """
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"model file {path} does not exist")
-    with np.load(path, allow_pickle=False) as archive:
-        if "format_version" not in archive or "theta" not in archive:
-            raise ConfigurationError(f"{path} is not a saved GCON release")
-        version = int(archive["format_version"][0])
-        if version != _FORMAT_VERSION:
-            raise ConfigurationError(
-                f"unsupported GCON release format {version} (expected {_FORMAT_VERSION})"
-            )
-        config = _config_from_json(str(archive["config_json"]))
-        perturbation = PerturbationParameters(**json.loads(str(archive["perturbation_json"])))
-        encoder_settings = json.loads(str(archive["encoder_settings_json"]))
-        theta = np.asarray(archive["theta"], dtype=np.float64)
-        num_classes = int(archive["num_classes"][0])
-        encoder_state = {
-            key[len(_ENCODER_PREFIX):]: np.asarray(archive[key], dtype=np.float64)
-            for key in archive.files if key.startswith(_ENCODER_PREFIX)
-        }
+    arrays = load_release_arrays(path, mmap_mode)
+    if "format_version" not in arrays or "theta" not in arrays:
+        raise ConfigurationError(f"{path} is not a saved GCON release")
+    version = int(arrays["format_version"][0])
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported GCON release format {version} (expected {_FORMAT_VERSION})"
+        )
+    config = _config_from_json(str(arrays["config_json"]))
+    perturbation = PerturbationParameters(**json.loads(str(arrays["perturbation_json"])))
+    encoder_settings = json.loads(str(arrays["encoder_settings_json"]))
+    theta = _as_float64(arrays["theta"])
+    num_classes = int(arrays["num_classes"][0])
+    encoder_state = {
+        key[len(_ENCODER_PREFIX):]: _as_float64(arrays[key])
+        for key in arrays if key.startswith(_ENCODER_PREFIX)
+    }
 
     encoder = MLPEncoder(
         output_dim=int(encoder_settings["output_dim"]),

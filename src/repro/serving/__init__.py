@@ -18,7 +18,12 @@ budget is spent answering queries — so serving is an ordinary data plane:
   over an LRU of propagated-feature sessions;
 * :mod:`repro.serving.httpd` — a single-threaded ``selectors``-based HTTP
   frontend (keep-alive, bounded connections, graceful drain) that parks
-  connections on batch tickets instead of blocking a thread per request.
+  connections on batch tickets instead of blocking a thread per request;
+* :mod:`repro.serving.slo` — the feedback half: an AIMD
+  :class:`SloController` that tunes each model's batch budgets to hold a
+  target p99 against the live histograms, and the
+  :class:`OverloadedError` admission-control signal (queue-depth load
+  shedding → HTTP 429 with ``Retry-After``).
 """
 
 from repro.serving.batcher import BatchStats, MicroBatcher
@@ -30,8 +35,11 @@ from repro.serving.service import (
     InferenceService,
     PredictRequest,
     format_prediction,
+    format_prediction_body,
     parse_predict_payload,
+    render_scores_json,
 )
+from repro.serving.slo import OverloadedError, SloController
 
 __all__ = [
     "BatchStats",
@@ -42,11 +50,15 @@ __all__ = [
     "ModelRecord",
     "ModelRegistry",
     "ModelRouter",
+    "OverloadedError",
     "PredictRequest",
     "SelectorHTTPServer",
     "ServingMetrics",
+    "SloController",
     "format_prediction",
+    "format_prediction_body",
     "parse_model_ref",
     "parse_predict_payload",
+    "render_scores_json",
     "serve_http",
 ]

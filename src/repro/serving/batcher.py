@@ -159,21 +159,66 @@ class MicroBatcher:
     def __init__(self, compute, *, max_batch_size: int = 64,
                  max_latency: float = 0.005, clock=time.monotonic,
                  observer=None, label=str):
-        if max_batch_size < 1:
-            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
-        if max_latency < 0:
-            raise ValueError(f"max_latency must be >= 0, got {max_latency}")
         self._compute = compute
         self._label = label  # model_key -> str for stats/metrics labels
-        self.max_batch_size = int(max_batch_size)
-        self.max_latency = float(max_latency)
+        # Both batch limits live in ONE tuple that is swapped atomically and
+        # snapshotted once per forming batch, so a runtime reconfiguration
+        # (the SLO controller tunes limits while the dispatch thread is
+        # mid-flush) takes effect exactly at a batch boundary and the loop
+        # can never observe a torn (new size, old deadline) mix.
+        self._limits = self._checked_limits(max_batch_size, max_latency)
+        self._limits_lock = threading.Lock()
         self._clock = clock
         self._observer = observer
         self._queue: queue.Queue[_Ticket | None] = queue.Queue()
         self._thread: threading.Thread | None = None
         self._stopping = threading.Event()
+        self._inflight = 0  # submitted, not yet resolved/failed (queue depth)
         self.stats = BatchStats()
         self._stats_lock = threading.Lock()
+
+    @staticmethod
+    def _checked_limits(max_batch_size: int, max_latency: float) -> tuple[int, float]:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_latency < 0:
+            raise ValueError(f"max_latency must be >= 0, got {max_latency}")
+        return int(max_batch_size), float(max_latency)
+
+    # ------------------------------------------------------------------ #
+    # batch limits (atomically reconfigurable at batch boundaries)
+    # ------------------------------------------------------------------ #
+    def configure(self, *, max_batch_size: int | None = None,
+                  max_latency: float | None = None) -> tuple[int, float]:
+        """Swap the batch limits atomically; returns the new pair.
+
+        The dispatch loop snapshots both limits together when a batch starts
+        forming, so the new configuration applies from the next batch on —
+        never to the one mid-flush, and never as a half-old half-new mix.
+        """
+        with self._limits_lock:
+            size, latency = self._limits
+            limits = self._checked_limits(
+                size if max_batch_size is None else max_batch_size,
+                latency if max_latency is None else max_latency)
+            self._limits = limits
+        return limits
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._limits[0]
+
+    @max_batch_size.setter
+    def max_batch_size(self, value: int) -> None:
+        self.configure(max_batch_size=value)
+
+    @property
+    def max_latency(self) -> float:
+        return self._limits[1]
+
+    @max_latency.setter
+    def max_latency(self, value: float) -> None:
+        self.configure(max_latency=value)
 
     # ------------------------------------------------------------------ #
     # submission
@@ -187,8 +232,15 @@ class MicroBatcher:
         with self._stats_lock:
             self.stats.requests += 1
             self.stats.rows_requested += int(nodes.size)
+            self._inflight += 1
         self._queue.put(ticket)
         return ticket
+
+    def depth(self) -> int:
+        """Tickets submitted but not yet resolved or failed — the queue-depth
+        signal admission control sheds on (queued + forming + executing)."""
+        with self._stats_lock:
+            return self._inflight
 
     def predict_scores(self, model_key, nodes, timeout: float | None = 30.0) -> np.ndarray:
         """Submit and wait: the synchronous convenience used by the service.
@@ -240,10 +292,13 @@ class MicroBatcher:
                 continue
             if first is None:
                 continue
+            # One atomic snapshot of both limits per forming batch: a
+            # concurrent configure() applies cleanly from the next batch.
+            max_batch_size, max_latency = self._limits
             batch = [first]
             rows = int(first.nodes.size)
-            deadline = self._clock() + self.max_latency
-            while rows < self.max_batch_size:
+            deadline = self._clock() + max_latency
+            while rows < max_batch_size:
                 remaining = deadline - self._clock()
                 if remaining <= 0:
                     break
@@ -278,6 +333,13 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     def _execute(self, batch: list[_Ticket]) -> None:
         """One stacked matmul per distinct model in ``batch``."""
+        try:
+            self._execute_batch(batch)
+        finally:
+            with self._stats_lock:
+                self._inflight -= len(batch)
+
+    def _execute_batch(self, batch: list[_Ticket]) -> None:
         by_model: dict = {}
         for ticket in batch:
             by_model.setdefault(ticket.model_key, []).append(ticket)

@@ -39,9 +39,10 @@ import time
 from repro.exceptions import ConfigurationError
 from repro.serving.service import (
     InferenceService,
-    format_prediction,
+    format_prediction_body,
     parse_predict_payload,
 )
+from repro.serving.slo import OverloadedError
 
 MAX_HEADER_BYTES = 32 * 1024
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -316,6 +317,18 @@ class SelectorHTTPServer:
             request = parse_predict_payload(payload)
             ticket, record, mode = self.service.submit_batch(
                 request.ref, request.nodes, request.mode)
+        except OverloadedError as error:
+            # Shed-before-queue: the model's queue is at the admission cap,
+            # so the request is rejected *before* parking on a ticket — a
+            # cheap 429 with a drain-time hint instead of a queued matmul.
+            self._log_request(conn, "POST", "/v1/predict", 429)
+            self._respond(conn, 429,
+                          {"error": str(error),
+                           "retry_after_seconds": error.retry_after},
+                          keep_alive=keep_alive,
+                          extra_headers={"Retry-After":
+                                         str(error.retry_after_header)})
+            return False
         except ConfigurationError as error:
             self._log_request(conn, "POST", "/v1/predict", 400)
             self._respond(conn, 400, {"error": str(error)}, keep_alive=keep_alive)
@@ -352,17 +365,27 @@ class SelectorHTTPServer:
             if ticket.done():
                 self._parked.discard(conn)
                 conn.pending = None
+                body = None
                 try:
                     scores = ticket.result(0)
-                    status, payload = 200, format_prediction(
+                    # The zero-copy hot path: the response body is rendered
+                    # straight out of the ticket's view into the stacked
+                    # matmul buffer (no intermediate nested lists, no
+                    # second json.dumps walk).
+                    status = 200
+                    body = format_prediction_body(
                         entry["request"], scores, entry["record"], entry["mode"])
                 except ConfigurationError as error:
                     status, payload = 400, {"error": str(error)}
                 except Exception as error:
                     status, payload = 500, {"error": repr(error)}
                 self._log_request(conn, "POST", "/v1/predict", status)
-                self._respond(conn, status, payload,
-                              keep_alive=entry["keep_alive"])
+                if body is not None:
+                    self._respond_body(conn, status, body,
+                                       keep_alive=entry["keep_alive"])
+                else:
+                    self._respond(conn, status, payload,
+                                  keep_alive=entry["keep_alive"])
                 if conn.sock in self._connections:
                     self._process_input(conn)
             elif now >= entry["deadline"]:
@@ -378,12 +401,20 @@ class SelectorHTTPServer:
     # responses / connection bookkeeping
     # ------------------------------------------------------------------ #
     def _respond(self, conn: _Connection, status: int, payload: dict, *,
-                 keep_alive: bool) -> None:
+                 keep_alive: bool, extra_headers: dict | None = None) -> None:
+        self._respond_body(conn, status, _render_body(payload),
+                           keep_alive=keep_alive, extra_headers=extra_headers)
+
+    def _respond_body(self, conn: _Connection, status: int, body: bytes, *,
+                      keep_alive: bool, extra_headers: dict | None = None) -> None:
+        """Queue pre-rendered body bytes (the predict hot path hands the
+        fused zero-copy body straight in here)."""
         if conn.sock not in self._connections:
             return
         if not keep_alive:
             conn.close_after_write = True
-        conn.outbuf += _render(status, payload, keep_alive=keep_alive)
+        conn.outbuf += _render_head(status, len(body), keep_alive=keep_alive,
+                                    extra_headers=extra_headers) + body
         self._flush_now(conn)
 
     def _flush_now(self, conn: _Connection) -> None:
@@ -457,21 +488,33 @@ class SelectorHTTPServer:
 # --------------------------------------------------------------------------- #
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 408: "Request Timeout",
-            413: "Payload Too Large", 431: "Request Header Fields Too Large",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
             500: "Internal Server Error", 503: "Service Unavailable"}
 
 
-def _render(status: int, payload: dict, *, keep_alive: bool) -> bytes:
-    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-    head = (
+def _render_body(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _render_head(status: int, content_length: int, *, keep_alive: bool,
+                 extra_headers: dict | None = None) -> bytes:
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (extra_headers or {}).items())
+    return (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Server: gcon-repro-serving\r\n"
         f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
+        f"Content-Length: {content_length}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         f"\r\n"
     ).encode("latin-1")
-    return head + body
+
+
+def _render(status: int, payload: dict, *, keep_alive: bool) -> bytes:
+    body = _render_body(payload)
+    return _render_head(status, len(body), keep_alive=keep_alive) + body
 
 
 def _parse_request(buf: bytearray):

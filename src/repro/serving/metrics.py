@@ -35,6 +35,36 @@ SIZE_BUCKETS: tuple[float, ...] = tuple(float(2 ** i) for i in range(17))
 DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
 
 
+def bucket_quantile(bounds, counts, q: float, *,
+                    overflow_value: float | None = None) -> float:
+    """Interpolated ``q``-quantile of a raw bucket-count vector.
+
+    The standalone sibling of :meth:`Histogram.quantile`, usable on a
+    *difference* of two counts snapshots — which is how the SLO controller
+    reads a windowed p99 (latency shape since its last tick) out of
+    histograms that only ever accumulate.  ``overflow_value`` is reported
+    when the target rank lands in the overflow bucket (callers pass the
+    histogram's observed max); returns 0.0 when the window is empty.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if seen + bucket_count < rank:
+            seen += bucket_count
+            continue
+        if index >= len(bounds):  # overflow: no upper edge to lerp toward
+            break
+        lower = bounds[index - 1] if index > 0 else 0.0
+        upper = bounds[index]
+        return lower + (upper - lower) * ((rank - seen) / bucket_count)
+    return overflow_value if overflow_value is not None else float(bounds[-1])
+
+
 class Histogram:
     """A fixed-bucket histogram: observe values, read interpolated quantiles.
 
@@ -188,6 +218,20 @@ class ServingMetrics:
             metrics.queue_depth.observe(depth)
 
     # -- reading -------------------------------------------------------- #
+    def latency_snapshot(self) -> dict:
+        """Per model: ``(latency bucket counts, observed max, total count)``
+        at this instant, copied under the lock.
+
+        Two snapshots subtract into a *window*: the controller keeps the
+        previous one and feeds the count difference to
+        :func:`bucket_quantile` for an interval p99, so one overloaded
+        minute an hour ago can never dominate the current control decision.
+        """
+        with self._lock:
+            return {label: (tuple(metrics.latency.counts),
+                            metrics.latency.max, metrics.latency.count)
+                    for label, metrics in self._models.items()}
+
     def labels(self) -> list[str]:
         with self._lock:
             return sorted(self._models)

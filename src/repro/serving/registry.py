@@ -221,10 +221,20 @@ class ModelRegistry:
             raise ConfigurationError(f"no version of {name!r} matches {version!r}")
         return record
 
-    def load(self, ref: str):
-        """Load a served model: ``(GCON, ModelRecord)`` for ``ref``."""
+    def load(self, ref: str, *, mmap: bool = False):
+        """Load a served model: ``(GCON, ModelRecord)`` for ``ref``.
+
+        With ``mmap=True`` the bundle's arrays are memory-mapped read-only
+        (``np.load``-style ``mmap_mode="r"`` semantics, implemented for the
+        uncompressed ``.npz`` members the registry writes) instead of
+        copied: replica cold-start touches no array bytes until inference
+        does, and version directories are immutable (content-addressed), so
+        a mapped bundle can never change underneath a running session.
+        Scores from a mapped model are bitwise identical to an eager load.
+        """
         record = self.resolve(ref)
-        return load_gcon(record.archive_path), record
+        mode = "r" if mmap else None
+        return load_gcon(record.archive_path, mmap_mode=mode), record
 
     def _read_record(self, name: str, version_dir: Path) -> ModelRecord:
         manifest_path = version_dir / "manifest.json"

@@ -86,10 +86,29 @@ class ModelRouter:
             self._overrides.setdefault(label, {}).update(override)
             for model_key, queue in self._queues.items():
                 if self._label(model_key) == label:
-                    queue.max_batch_size = override.get(
-                        "max_batch_size", queue.max_batch_size)
-                    queue.max_latency = override.get(
-                        "max_latency", queue.max_latency)
+                    # One atomic swap per queue: the dispatch thread picks the
+                    # new pair up at its next batch boundary, never mid-flush
+                    # and never as a torn (new size, old deadline) mix.
+                    queue.configure(
+                        max_batch_size=override.get("max_batch_size"),
+                        max_latency=override.get("max_latency"))
+
+    def model_limits(self, label: str) -> tuple[int, float]:
+        """The effective ``(max_batch_size, max_latency)`` a queue for
+        ``label`` runs (or would be created) with — what the SLO controller
+        reads before deciding its next adjustment."""
+        with self._lock:
+            override = self._overrides.get(label, {})
+            return (override.get("max_batch_size", self.max_batch_size),
+                    override.get("max_latency", self.max_latency))
+
+    def depth(self, model_key) -> int:
+        """In-flight tickets on one model's queue (0 when it has no queue):
+        the signal admission control sheds on, read without creating a
+        queue so a rejected request costs no allocation."""
+        with self._lock:
+            queue = self._queues.get(model_key)
+        return queue.depth() if queue is not None else 0
 
     def queue_for(self, model_key) -> MicroBatcher:
         """The model's own queue, created (and started, if the router is

@@ -36,6 +36,7 @@ in its manifest at publish time (name, scale, seed); pass ``graph=`` or a
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from dataclasses import dataclass
@@ -47,6 +48,7 @@ from repro.exceptions import ConfigurationError
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import ModelRouter
+from repro.serving.slo import OverloadedError, estimate_drain_seconds
 from repro.utils.lru import LRUDict
 
 
@@ -106,7 +108,9 @@ class InferenceService:
 
     def __init__(self, registry: ModelRegistry | str, *, graph=None,
                  graph_loader=None, max_batch_size: int = 64,
-                 max_latency: float = 0.005, max_sessions: int = 8):
+                 max_latency: float = 0.005, max_sessions: int = 8,
+                 max_queue_depth: int | None = None,
+                 mmap_bundles: bool = True):
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self._graph = graph
@@ -120,8 +124,21 @@ class InferenceService:
                                    max_latency=max_latency,
                                    metrics=self.metrics,
                                    label=self._label_for)
+        # Admission control: queue depths past this cap are answered with
+        # OverloadedError (HTTP 429) instead of being parked on a ticket.
+        # None disables shedding (the library default).
+        self.max_queue_depth = (None if max_queue_depth is None
+                                else int(max_queue_depth))
+        self.shed_counts: dict[str, int] = {}
+        self.mmap_bundles = bool(mmap_bundles)
+        self.slo_controller = None  # attached by attach_slo() when serving
         self.cache_stats = {"feature_hits": 0, "feature_misses": 0}
         self.started_at = time.time()
+
+    def attach_slo(self, controller) -> None:
+        """Register the running SLO controller so ``stats()`` can surface
+        its budgets and attainment under the ``"slo"`` key."""
+        self.slo_controller = controller
 
     def _label_for(self, key: tuple) -> str:
         """Human label for a session key: ``name@digest12:mode`` once the
@@ -171,7 +188,7 @@ class InferenceService:
         # + propagation) must not stall the dispatch thread or hot models.
         # Two racing builders compute bitwise-identical sessions; last put
         # wins and the loser's work is garbage-collected.
-        model, record = self.registry.load(record.ref)
+        model, record = self.registry.load(record.ref, mmap=self.mmap_bundles)
         graph = self._graph if self._graph is not None \
             else self._graph_loader(record.manifest)
         features = model.inference_features(graph, mode=mode)
@@ -226,6 +243,32 @@ class InferenceService:
                 f"[{int(nodes.min())}, {int(nodes.max())}]")
 
     # ------------------------------------------------------------------ #
+    # admission control
+    # ------------------------------------------------------------------ #
+    def _admit(self, key: tuple) -> None:
+        """Shed-before-queue: raise :class:`OverloadedError` when the
+        model's queue is at the depth cap.
+
+        Runs *before* the request is parked on a ticket — the rejection
+        costs a dict lookup and a counter read, never a matmul — and the
+        retry hint is the queue's estimated drain time under its current
+        batch budgets."""
+        if self.max_queue_depth is None:
+            return
+        depth = self.batcher.depth(key)
+        if depth < self.max_queue_depth:
+            return
+        label = self._label_for(key)
+        size, latency = self.batcher.model_limits(label)
+        with self._lock:
+            self.shed_counts[label] = self.shed_counts.get(label, 0) + 1
+        raise OverloadedError(
+            f"model {label} is overloaded: queue depth {depth} >= "
+            f"{self.max_queue_depth}; retry later",
+            retry_after=estimate_drain_seconds(depth, size, latency),
+            label=label, depth=depth, max_queue_depth=self.max_queue_depth)
+
+    # ------------------------------------------------------------------ #
     # the query API
     # ------------------------------------------------------------------ #
     def submit_batch(self, ref: str, nodes, mode: str | None = None):
@@ -237,6 +280,7 @@ class InferenceService:
         blocking an OS thread per request.
         """
         key, session = self._session(ref, mode)
+        self._admit(key)
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         self._validate_nodes(nodes, session.features.shape[0])
         ticket = self.batcher.submit(key, nodes)
@@ -251,6 +295,7 @@ class InferenceService:
         can never fail the strangers coalesced into the same micro-batch.
         """
         key, session = self._session(ref, mode)
+        self._admit(key)
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         self._validate_nodes(nodes, session.features.shape[0])
         scores = self.batcher.predict_scores(key, nodes, timeout=timeout)
@@ -294,6 +339,7 @@ class InferenceService:
         histogram (p50/p95/p99 in ms) and batch/queue distributions."""
         with self._lock:
             cache = dict(self.cache_stats, sessions=len(self._sessions))
+            shed = dict(self.shed_counts)
         per_model = self.batcher.per_model_stats()
         histograms = self.metrics.as_dict()
         models = {label: {**per_model.get(label, {}),
@@ -305,6 +351,14 @@ class InferenceService:
             "feature_cache": cache,
             "max_batch_size": self.batcher.max_batch_size,
             "max_latency_seconds": self.batcher.max_latency,
+            "admission": {
+                "max_queue_depth": self.max_queue_depth,
+                "shed_total": sum(shed.values()),
+                "shed_per_model": shed,
+            },
+            "slo": ({"enabled": True, **self.slo_controller.state()}
+                    if self.slo_controller is not None
+                    else {"enabled": False}),
         }
 
 
@@ -355,12 +409,16 @@ def format_prediction(request: PredictRequest, scores: np.ndarray,
                       record, mode: str) -> dict:
     """Shape the ``/v1/predict`` response (pure post-processing: labels,
     optional softmax and top-k); the metadata names exactly the version that
-    produced the scores, even if ``@latest`` advanced mid-request."""
+    produced the scores, even if ``@latest`` advanced mid-request.
+
+    This is the structured (dict) form for library callers and tests; the
+    HTTP hot path uses :func:`format_prediction_body`, which renders the
+    identical bytes without materialising the nested score lists."""
     response = {
         "model": record.ref,
         "mode": mode,
         "nodes": request.nodes,
-        "labels": [int(label) for label in np.argmax(scores, axis=1)],
+        "labels": np.argmax(scores, axis=1).tolist(),
         "scores": [[float(value) for value in row] for row in scores],
     }
     if request.proba:
@@ -369,3 +427,47 @@ def format_prediction(request: PredictRequest, scores: np.ndarray,
     if request.top_k is not None:
         response["top_k"] = top_k_entries(scores, request.top_k)
     return response
+
+
+def render_scores_json(scores: np.ndarray) -> str:
+    """JSON text of a 2-D score matrix, straight out of the matmul buffer.
+
+    A ticket's scores are a *view* into the batch's stacked matmul output;
+    this renders that view in one fused pass — a single C-level buffer
+    conversion plus text formatting — instead of building the nested
+    list-of-lists payload and re-walking it with ``json.dumps``.  The text
+    is byte-identical to ``json.dumps`` of the nested-list form: both print
+    finite doubles via ``float.__repr__``, the shortest round-tripping
+    decimal, so the zero-copy path changes cost, never bytes (pinned by
+    ``tests/test_serving_slo.py``).
+    """
+    num_cols = int(scores.shape[1])
+    flat = scores.ravel().tolist()  # one C pass over the contiguous buffer
+    return "[" + ", ".join(
+        "[" + ", ".join(map(repr, flat[start:start + num_cols])) + "]"
+        for start in range(0, len(flat), num_cols)) + "]"
+
+
+def format_prediction_body(request: PredictRequest, scores: np.ndarray,
+                           record, mode: str) -> bytes:
+    """The HTTP hot path: render the full ``/v1/predict`` response body in
+    one pass, byte-identical to
+    ``json.dumps(format_prediction(...), sort_keys=True) + "\\n"``.
+
+    Keys are emitted in sorted order and the score (and optional proba)
+    matrices are serialised by :func:`render_scores_json` directly from the
+    stacked matmul buffer — no intermediate nested lists are built for the
+    response's numeric payload."""
+    parts = [
+        '"labels": ' + json.dumps(np.argmax(scores, axis=1).tolist()),
+        '"mode": ' + json.dumps(mode),
+        '"model": ' + json.dumps(record.ref),
+        '"nodes": ' + json.dumps(request.nodes),
+    ]
+    if request.proba:
+        parts.append('"proba": ' + render_scores_json(softmax_scores(scores)))
+    parts.append('"scores": ' + render_scores_json(scores))
+    if request.top_k is not None:
+        parts.append('"top_k": ' + json.dumps(
+            top_k_entries(scores, request.top_k), sort_keys=True))
+    return ("{" + ", ".join(parts) + "}\n").encode("utf-8")
