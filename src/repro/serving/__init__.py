@@ -23,10 +23,26 @@ budget is spent answering queries — so serving is an ordinary data plane:
   :class:`SloController` that tunes each model's batch budgets to hold a
   target p99 against the live histograms, and the
   :class:`OverloadedError` admission-control signal (queue-depth load
-  shedding → HTTP 429 with ``Retry-After``).
+  shedding → HTTP 429 with ``Retry-After``);
+* :mod:`repro.serving.hashring` + :mod:`repro.serving.fleet` — the
+  replica-sharded fleet: membership via heartbeat leases on a shared
+  directory, a consistent-hash ring routing each model digest to the
+  replica whose session cache is hot, and a registry watcher that
+  pre-warms a flipped ``@latest`` before retiring the old version.
 """
 
 from repro.serving.batcher import BatchStats, MicroBatcher
+from repro.serving.fleet import (
+    FleetMember,
+    FleetRouter,
+    FleetStatus,
+    FleetView,
+    RegistryWatcher,
+    Replica,
+    default_replica_id,
+    watch_models,
+)
+from repro.serving.hashring import HashRing
 from repro.serving.httpd import SelectorHTTPServer, serve_http
 from repro.serving.metrics import Histogram, ModelMetrics, ServingMetrics
 from repro.serving.registry import ModelRecord, ModelRegistry, parse_model_ref
@@ -43,6 +59,11 @@ from repro.serving.slo import OverloadedError, SloController
 
 __all__ = [
     "BatchStats",
+    "FleetMember",
+    "FleetRouter",
+    "FleetStatus",
+    "FleetView",
+    "HashRing",
     "Histogram",
     "InferenceService",
     "MicroBatcher",
@@ -52,13 +73,17 @@ __all__ = [
     "ModelRouter",
     "OverloadedError",
     "PredictRequest",
+    "RegistryWatcher",
+    "Replica",
     "SelectorHTTPServer",
     "ServingMetrics",
     "SloController",
+    "default_replica_id",
     "format_prediction",
     "format_prediction_body",
     "parse_model_ref",
     "parse_predict_payload",
     "render_scores_json",
     "serve_http",
+    "watch_models",
 ]

@@ -1,0 +1,446 @@
+"""The replica-sharded serving fleet over the shared-filesystem substrate.
+
+Several ``repro serve`` processes share one content-addressed registry and
+one *fleet directory*; this module turns them into a fleet the same way
+PR 3 turned processes into a sweep cluster — with nothing but atomic
+filesystem primitives:
+
+* **Membership is a lease.**  Each replica holds one heartbeat lease
+  (:class:`~repro.distributed.lease.LeaseManager`) in the fleet directory,
+  advertising its host, port and loaded model digests through the lease's
+  ``meta`` payload.  A replica whose heartbeat stops is *expired* after one
+  TTL and simply vanishes from the membership list — crash detection needs
+  no coordinator process.
+* **Routing is a consistent-hash ring over model digests**
+  (:class:`~repro.serving.hashring.HashRing`).  Every member computes the
+  same digest→replica ownership from the same lease directory, so each
+  replica's LRU session cache stays hot and a membership change moves only
+  ~1/N of the keys.  Ownership is an *optimisation*, never a correctness
+  boundary: any replica can serve any model (scores are bitwise pinned to
+  the offline reference), so routing falls back to local execution whenever
+  the ring is empty or a peer is unreachable.
+* **Rollout is pre-warm-then-retire.**  A :class:`RegistryWatcher` polls
+  each served name's ``latest.json``; when the pointer flips it builds the
+  new version's session *first* (bundle load, graph, propagation — the
+  expensive half) and only then retires the old version's queues, so a
+  rolling model rollout never pays a cold build on a live request and
+  ``@latest`` traffic flips with zero downtime.
+
+The lease races that PR 7 fixed are load-bearing here: ``release`` and
+``heartbeat`` verify acquisition nonces, so a replica that was partitioned
+and reaped can never clobber the membership entry of a replacement.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.distributed.lease import Lease, LeaseManager
+from repro.exceptions import ConfigurationError
+from repro.serving.hashring import DEFAULT_VNODES, HashRing
+
+DEFAULT_FLEET_TTL = 10.0
+
+
+def default_replica_id(host: str, port: int) -> str:
+    """A filename-safe, collision-resistant replica id for this process."""
+    safe_host = str(host).replace(":", "_").replace("/", "_")
+    return f"{safe_host}-{port}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One fleet member as advertised on its lease."""
+
+    replica_id: str
+    host: str
+    port: int
+    digests: tuple
+    heartbeat_at: float
+    ttl: float
+    expired: bool = False
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @classmethod
+    def from_lease(cls, lease: Lease, *, expired: bool = False) -> "Replica":
+        meta = lease.meta or {}
+        return cls(replica_id=lease.group_id,
+                   host=str(meta.get("host", "")),
+                   port=int(meta.get("port", 0)),
+                   digests=tuple(str(d) for d in meta.get("digests", ())),
+                   heartbeat_at=lease.heartbeat_at, ttl=lease.ttl,
+                   expired=expired)
+
+    def as_dict(self) -> dict:
+        return {"replica_id": self.replica_id, "host": self.host,
+                "port": self.port, "digests": list(self.digests),
+                "heartbeat_at": self.heartbeat_at, "ttl": self.ttl,
+                "expired": self.expired}
+
+
+class FleetMember:
+    """A replica's own membership: one lease plus its heartbeat pump.
+
+    ``join()`` claims the lease, ``start()`` launches a daemon thread that
+    refreshes it every ``ttl/3``; a lost lease (partition long enough to be
+    reaped) is re-acquired on the next beat — the replica keeps serving
+    throughout and its membership self-heals.  ``advertise()`` updates the
+    digest set the lease carries (the watcher calls it after a rollout).
+    """
+
+    def __init__(self, fleet_dir: str | os.PathLike, replica_id: str,
+                 host: str, port: int, *, ttl: float = DEFAULT_FLEET_TTL,
+                 clock=None):
+        self.replica_id = replica_id
+        self.host = host
+        self.port = int(port)
+        self.manager = LeaseManager(fleet_dir, ttl=ttl, clock=clock)
+        self._digests: tuple = ()
+        self._lease: Lease | None = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.rejoins = 0  # times the pump re-claimed a lost lease
+
+    def _meta(self) -> dict:
+        return {"host": self.host, "port": self.port,
+                "digests": list(self._digests)}
+
+    @property
+    def lease(self) -> Lease | None:
+        with self._lock:
+            return self._lease
+
+    # -- lifecycle ------------------------------------------------------ #
+    def join(self, digests=()) -> "FleetMember":
+        with self._lock:
+            self._digests = tuple(sorted(digests))
+            lease = self.manager.acquire(self.replica_id, self.replica_id,
+                                         meta=self._meta())
+            if lease is None:
+                raise ConfigurationError(
+                    f"replica id {self.replica_id!r} already holds a live "
+                    f"lease under {self.manager.root}; replica ids must be "
+                    f"unique per fleet")
+            self._lease = lease
+        return self
+
+    def start(self) -> "FleetMember":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"fleet-heartbeat-{self.replica_id}",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        interval = max(self.manager.ttl / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            self.heartbeat_now()
+
+    def heartbeat_now(self) -> bool:
+        """One pump beat: refresh the lease, re-joining if it was lost.
+
+        Exposed (rather than thread-only) so tests can drive the pump
+        deterministically under an injected clock.
+        """
+        with self._lock:
+            meta = self._meta()
+            if self._lease is not None:
+                refreshed = self.manager.heartbeat(self._lease, meta=meta)
+                if refreshed is not None:
+                    self._lease = refreshed
+                    return True
+                self._lease = None
+            fresh = self.manager.acquire(self.replica_id, self.replica_id,
+                                         meta=meta)
+            if fresh is None:
+                return False  # someone else holds our id; retry next beat
+            self._lease = fresh
+            self.rejoins += 1
+            return True
+
+    def advertise(self, digests) -> None:
+        """Replace the advertised digest set and push it out immediately."""
+        with self._lock:
+            self._digests = tuple(sorted(digests))
+        self.heartbeat_now()
+
+    def leave(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        with self._lock:
+            if self._lease is not None:
+                self.manager.release(self._lease)
+                self._lease = None
+
+    close = leave
+
+    def __enter__(self) -> "FleetMember":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.leave()
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """A census of the fleet directory (``repro fleet status``)."""
+
+    fleet_dir: Path
+    replicas: list = field(default_factory=list)  # live and expired
+    now: float = 0.0
+
+    @property
+    def live(self) -> list:
+        return [replica for replica in self.replicas if not replica.expired]
+
+    def summary(self) -> str:
+        lines = [f"fleet {self.fleet_dir}: {len(self.replicas)} replica(s), "
+                 f"{len(self.live)} live"]
+        for replica in sorted(self.replicas, key=lambda r: r.replica_id):
+            age = max(0.0, self.now - replica.heartbeat_at)
+            state = "EXPIRED" if replica.expired else "live"
+            digests = ",".join(d[:12] for d in replica.digests) or "-"
+            lines.append(f"  {replica.replica_id:<28} {replica.address:<21} "
+                         f"{state:<7} heartbeat {age:5.1f}s ago  "
+                         f"models {digests}")
+        ring = HashRing(replica.replica_id for replica in self.live)
+        digests = sorted({d for replica in self.live for d in replica.digests})
+        if digests and len(ring):
+            lines.append("  routing (consistent hash over model digests):")
+            for digest in digests:
+                lines.append(f"    {digest[:12]} -> {ring.owner(digest)}")
+        return "\n".join(lines)
+
+
+class FleetView:
+    """The read side of membership: who is alive, who owns which digest.
+
+    Stateless over the lease directory — every caller (each replica's
+    router, ``repro fleet status``, the ``/fleet`` endpoint) recomputes the
+    same view from the same files, so there is no membership cache to
+    invalidate and no coordinator to crash.
+    """
+
+    def __init__(self, fleet_dir: str | os.PathLike, *, clock=None,
+                 vnodes: int = DEFAULT_VNODES, cache_ttl: float = 0.0):
+        self.manager = LeaseManager(fleet_dir, clock=clock)
+        self.vnodes = int(vnodes)
+        # A sub-TTL membership cache: the per-request routing path must not
+        # re-scan the lease directory for every predict.  0 disables it
+        # (status/tests want the uncached truth).
+        self.cache_ttl = float(cache_ttl)
+        self._cached: tuple[float, list] | None = None
+
+    @property
+    def fleet_dir(self) -> Path:
+        return self.manager.root
+
+    def _scan(self) -> list[Replica]:
+        out = []
+        for group_id in self.manager.group_ids():
+            lease = self.manager.read(group_id)
+            if lease is None:
+                continue
+            out.append(Replica.from_lease(
+                lease, expired=self.manager.is_expired(lease)))
+        return out
+
+    def replicas(self, include_expired: bool = False) -> list[Replica]:
+        if self.cache_ttl > 0.0:
+            now = self.manager.clock()
+            if self._cached is None or now >= self._cached[0]:
+                self._cached = (now + self.cache_ttl, self._scan())
+            scanned = self._cached[1]
+        else:
+            scanned = self._scan()
+        return [replica for replica in scanned
+                if include_expired or not replica.expired]
+
+    def ring(self) -> HashRing:
+        return HashRing((replica.replica_id for replica in self.replicas()),
+                        vnodes=self.vnodes)
+
+    def route(self, digest: str, count: int = 2) -> list[Replica]:
+        """Live replicas for ``digest`` in failover order (owner first).
+
+        An expired lease never appears here, which is exactly the one-hop
+        failover rule: when the owner dies, the ring over the survivors
+        re-assigns its arc to the next replica within one TTL.
+        """
+        live = {replica.replica_id: replica for replica in self.replicas()}
+        ring = HashRing(live, vnodes=self.vnodes)
+        return [live[rid] for rid in ring.preference(digest, count)]
+
+    def owner(self, digest: str) -> Replica | None:
+        routed = self.route(digest, 1)
+        return routed[0] if routed else None
+
+    def status(self) -> FleetStatus:
+        return FleetStatus(fleet_dir=self.fleet_dir,
+                           replicas=self.replicas(include_expired=True),
+                           now=self.manager.clock())
+
+    def as_dict(self) -> dict:
+        """JSON shape shared by ``/fleet`` and ``repro fleet status``."""
+        replicas = self.replicas(include_expired=True)
+        live = [replica for replica in replicas if not replica.expired]
+        ring = HashRing((replica.replica_id for replica in live),
+                        vnodes=self.vnodes)
+        digests = sorted({d for replica in live for d in replica.digests})
+        return {
+            "fleet_dir": str(self.fleet_dir),
+            "replicas": [replica.as_dict() for replica in replicas],
+            "routing": {digest: ring.owner(digest) for digest in digests},
+        }
+
+
+class FleetRouter:
+    """One replica's routing decisions, as the HTTP frontend consumes them.
+
+    Wraps this replica's :class:`FleetMember` and a (briefly cached)
+    :class:`FleetView`: given a model digest, :meth:`peers_for` answers
+    "which live *peers* should serve this instead of me" — an empty list
+    means serve locally, either because this replica owns the digest's ring
+    arc or because no live peer does (the local fallback that keeps routing
+    an optimisation rather than a correctness boundary).
+    """
+
+    def __init__(self, member: FleetMember, *, proxy: bool = True,
+                 proxy_timeout: float = 10.0, cache_ttl: float = 0.25,
+                 vnodes: int = DEFAULT_VNODES):
+        self.member = member
+        self.view = FleetView(member.manager.root, clock=member.manager.clock,
+                              vnodes=vnodes, cache_ttl=cache_ttl)
+        self.proxy = bool(proxy)  # False: 307-redirect instead of proxying
+        self.proxy_timeout = float(proxy_timeout)
+
+    @property
+    def replica_id(self) -> str:
+        return self.member.replica_id
+
+    def peers_for(self, digest: str, count: int = 2) -> list[Replica]:
+        """Live peers for ``digest`` in failover order; ``[]`` = serve here.
+
+        ``count`` caps the forwarding chain: the owner plus at most one
+        backup (one-hop failover) — everything past that is the local
+        fallback, never a longer relay.
+        """
+        routed = self.view.route(digest, count=count)
+        if not routed or routed[0].replica_id == self.member.replica_id:
+            return []
+        return [replica for replica in routed
+                if replica.replica_id != self.member.replica_id]
+
+    def as_dict(self) -> dict:
+        payload = self.view.as_dict()
+        payload["self"] = self.member.replica_id
+        payload["rejoins"] = self.member.rejoins
+        payload["mode"] = "proxy" if self.proxy else "redirect"
+        return payload
+
+
+class RegistryWatcher:
+    """Hot-reload: poll ``latest.json`` per served name, pre-warm then retire.
+
+    Each poll resolves every watched name's ``@latest``; on a flip the new
+    version's session is built immediately (so the next ``@latest`` request
+    hits a warm cache — ``InferenceService`` resolves ``@latest`` per call,
+    so traffic switches by itself) and the superseded version's sessions
+    and queues are retired afterwards.  ``on_flip(name, old, new)`` lets the
+    serving process re-advertise its loaded digests on the fleet lease.
+    """
+
+    def __init__(self, registry, service, names, *, interval: float = 1.0,
+                 on_flip=None):
+        self.registry = registry
+        self.service = service
+        self.names = list(dict.fromkeys(names))
+        self.interval = float(interval)
+        self.on_flip = on_flip
+        self._latest: dict[str, str] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.flips = 0
+        # Prime with what is currently @latest so startup (the serve command
+        # already pre-warmed its models) does not count as a rollout.
+        for name in self.names:
+            digest = self._current_digest(name)
+            if digest is not None:
+                self._latest[name] = digest
+
+    def _current_digest(self, name: str) -> str | None:
+        try:
+            return self.registry.resolve(f"{name}@latest").digest
+        except ConfigurationError:
+            return None  # not published yet (or torn); check again next poll
+
+    def poll_once(self) -> list[tuple[str, str | None, str]]:
+        """One poll pass; returns the ``(name, old, new)`` flips handled."""
+        flips = []
+        for name in self.names:
+            new = self._current_digest(name)
+            old = self._latest.get(name)
+            if new is None or new == old:
+                continue
+            # Pre-warm first: the expensive session build happens here, off
+            # the request path, while old-version traffic keeps flowing.
+            self.service.prewarm(f"{name}@{new}")
+            self._latest[name] = new
+            if old is not None and old not in self._latest.values():
+                self.service.retire_version(old)
+            self.flips += 1
+            flips.append((name, old, new))
+            if self.on_flip is not None:
+                self.on_flip(name, old, new)
+        return flips
+
+    # -- lifecycle ------------------------------------------------------ #
+    def start(self) -> "RegistryWatcher":
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._run,
+                                            name="registry-watcher",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.poll_once()
+            except Exception:  # noqa: BLE001 - a torn publish mid-poll must
+                pass           # not kill the watcher; next poll retries.
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "RegistryWatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def watch_models(service, refs, **kwargs) -> RegistryWatcher:
+    """A watcher over the *names* behind ``refs`` (``name@version`` → name)."""
+    from repro.serving.registry import parse_model_ref
+
+    names = [parse_model_ref(ref)[0] for ref in refs]
+    return RegistryWatcher(service.registry, service, names, **kwargs)

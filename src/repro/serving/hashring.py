@@ -1,0 +1,104 @@
+"""Consistent hashing: a stable map from model digests to fleet replicas.
+
+The fleet routes each model digest to one owning replica so that replica's
+LRU session cache stays hot (every other replica would pay a cold
+``load``/pre-warm for the same model).  A plain ``hash(digest) % N`` map
+reshuffles almost every key whenever N changes; the classic fix is a
+*consistent-hash ring*: each node is hashed onto a circle at ``vnodes``
+pseudo-random positions, a key is owned by the first node position at or
+after the key's own position, and adding or removing one node moves only
+~1/N of the keys (the arcs that node's positions covered).
+
+Positions come from SHA-256, so the ring is deterministic across processes
+and Python runs — every replica computes the same ownership map from the
+same membership list, with no coordination beyond the lease directory.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+DEFAULT_VNODES = 64
+
+
+def ring_position(token: str) -> int:
+    """A stable 64-bit position on the ring for ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over opaque node names.
+
+    ``vnodes`` virtual positions per node trade a little memory for an even
+    key split (the stddev of per-node load shrinks like 1/sqrt(vnodes)).
+    """
+
+    def __init__(self, nodes=(), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._positions: list[int] = []   # sorted, parallel to _owners
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------- #
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for index in range(self.vnodes):
+            position = ring_position(f"{node}#{index}")
+            at = bisect.bisect(self._positions, position)
+            self._positions.insert(at, position)
+            self._owners.insert(at, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [(pos, owner) for pos, owner in zip(self._positions, self._owners)
+                if owner != node]
+        self._positions = [pos for pos, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # -- routing -------------------------------------------------------- #
+    def owner(self, key: str) -> str | None:
+        """The node owning ``key``; ``None`` on an empty ring."""
+        preferred = self.preference(key, 1)
+        return preferred[0] if preferred else None
+
+    def preference(self, key: str, count: int | None = None) -> list[str]:
+        """Distinct nodes for ``key`` in failover order.
+
+        The owner first, then the nodes whose positions follow clockwise —
+        the same order every member computes, so "try the next replica"
+        needs no coordination.  ``count=None`` returns all nodes.
+        """
+        if not self._positions:
+            return []
+        limit = len(self._nodes) if count is None else min(count, len(self._nodes))
+        start = bisect.bisect(self._positions, ring_position(key))
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._owners)):
+            owner = self._owners[(start + step) % len(self._owners)]
+            if owner not in seen:
+                seen.add(owner)
+                ordered.append(owner)
+                if len(ordered) >= limit:
+                    break
+        return ordered

@@ -17,6 +17,21 @@ request.  This frontend multiplexes every connection on **one** event loop
   immediate 503), idle sockets are reaped, and ``shutdown()`` drains
   in-flight tickets and buffered writes before returning (graceful drain).
 
+When the server is part of a fleet (``fleet=`` a
+:class:`~repro.serving.fleet.FleetRouter`), ``POST /v1/predict`` first asks
+the consistent-hash ring who owns the request's model digest.  A request
+for a peer-owned digest is *proxied* — forwarded on a short-lived worker
+thread (the loop parks the connection exactly like a batch ticket and the
+thread pokes the self-pipe when the upstream answers) — or answered with a
+``307`` redirect in redirect mode.  Forwarded requests carry an
+``X-Fleet-Forwarded`` header and are always served locally on arrival, so a
+membership disagreement can never create a proxy loop; if every routed peer
+is unreachable (a dead replica inside its lease-TTL window), the request
+falls back to local execution, which is always correct because served
+scores are bitwise-pinned to the offline reference on every replica.
+``GET /fleet`` exposes the membership census, digest routing table and
+forwarding counters.
+
 Because tickets are *polled*, never waited on, a slow model cannot stall the
 loop; the only blocking work on the loop is building a cold model session
 (first query to an unwarmed model), which ``repro serve`` avoids by warming
@@ -51,6 +66,68 @@ RECV_CHUNK = 64 * 1024
 _WAKER = object()  # selector data marker for the self-pipe read end
 
 
+class _ProxyJob:
+    """One forwarded ``/v1/predict``: targets in failover order, one thread.
+
+    Duck-types the parked-ticket contract the event loop already speaks
+    (``done()`` + an ``on_done`` self-pipe hook): the worker thread walks the
+    target list — the ring owner, then at most one backup — relaying the
+    first upstream *response* verbatim (including upstream 4xx/5xx, which
+    are authoritative), skipping peers that are unreachable at the socket
+    level.  ``failed`` means no target answered at all; the loop then falls
+    back to local execution.
+    """
+
+    __slots__ = ("targets", "path", "body", "timeout", "status", "resp_body",
+                 "target_id", "failed", "on_done", "_event")
+
+    def __init__(self, targets, path: str, body: bytes, timeout: float):
+        self.targets = list(targets)
+        self.path = path
+        self.body = body
+        self.timeout = timeout
+        self.status: int | None = None
+        self.resp_body = b""
+        self.target_id: str | None = None
+        self.failed = False
+        self.on_done = None
+        self._event = threading.Event()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def run(self) -> None:
+        import urllib.error
+        import urllib.request
+
+        for target in self.targets:
+            request = urllib.request.Request(
+                target.base_url + self.path, data=self.body, method="POST",
+                headers={"Content-Type": "application/json",
+                         "X-Fleet-Forwarded": "1", "Connection": "close"})
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=self.timeout) as response:
+                    self.status = int(response.status)
+                    self.resp_body = response.read()
+            except urllib.error.HTTPError as error:
+                self.status = int(error.code)
+                try:
+                    self.resp_body = error.read()
+                except OSError:
+                    self.resp_body = _render_body({"error": str(error)})
+            except (urllib.error.URLError, OSError):
+                continue  # unreachable peer: try the next routed target
+            self.target_id = target.replica_id
+            break
+        if self.status is None:
+            self.failed = True
+        self._event.set()
+        hook = self.on_done
+        if hook is not None:
+            hook()
+
+
 class _BadRequest(Exception):
     """Malformed HTTP framing: respond with ``status`` and close."""
 
@@ -81,8 +158,12 @@ class SelectorHTTPServer:
     def __init__(self, address, service: InferenceService, *,
                  max_connections: int = 512, request_timeout: float = 30.0,
                  idle_timeout: float = 120.0, drain_timeout: float = 5.0,
-                 stats_interval: float | None = None, log_stream=None):
+                 stats_interval: float | None = None, log_stream=None,
+                 fleet=None):
         self.service = service
+        self.fleet = fleet  # a FleetRouter, or None outside a fleet
+        self.fleet_stats = {"proxied": 0, "redirected": 0,
+                            "failover_local": 0, "received_forwards": 0}
         self.max_connections = int(max_connections)
         self.request_timeout = float(request_timeout)
         self.idle_timeout = float(idle_timeout)
@@ -276,6 +357,8 @@ class SelectorHTTPServer:
             elif method == "POST":
                 if path not in ("/v1/predict", "/predict"):
                     status, payload = 404, {"error": f"unknown path {path!r}"}
+                elif self._maybe_forward(conn, path, headers, body, keep_alive):
+                    return  # proxied/redirected to the owning replica
                 elif self._submit_predict(conn, body, keep_alive):
                     return  # parked: the completion pass responds
                 else:
@@ -301,7 +384,88 @@ class SelectorHTTPServer:
                  "inference": record.manifest.get("inference", {})}
                 for record in self.service.registry.list()
             ]}
+        if path == "/fleet":
+            if self.fleet is None:
+                return 200, {"enabled": False}
+            return 200, {"enabled": True, **self.fleet.as_dict(),
+                         "stats": dict(self.fleet_stats)}
         return 404, {"error": f"unknown path {path!r}"}
+
+    # ------------------------------------------------------------------ #
+    # fleet routing (proxy / redirect to the digest's owning replica)
+    # ------------------------------------------------------------------ #
+    def _maybe_forward(self, conn: _Connection, path: str, headers: dict,
+                       body: bytes, keep_alive: bool) -> bool:
+        """Route to the owning peer; False = serve locally.
+
+        Local service is the universal fallback: unparseable bodies and
+        unresolvable refs fall through so the local path produces its usual
+        400s, forwarded requests (``X-Fleet-Forwarded``) terminate here by
+        contract (no proxy loops), and an empty peer list means this
+        replica owns the digest — or is the last one standing.
+        """
+        if self.fleet is None:
+            return False
+        if headers.get("x-fleet-forwarded"):
+            self.fleet_stats["received_forwards"] += 1
+            return False
+        try:
+            ref = json.loads(body or b"{}").get("model")
+            if not ref or not isinstance(ref, str):
+                return False
+            digest = self.service.registry.resolve(ref).digest
+            peers = self.fleet.peers_for(digest)
+        except Exception:
+            return False
+        if not peers:
+            return False
+        if not self.fleet.proxy:
+            target = peers[0]
+            location = target.base_url + path
+            self.fleet_stats["redirected"] += 1
+            self._log_request(conn, "POST", path, 307)
+            self._respond(conn, 307,
+                          {"redirect": location, "owner": target.replica_id},
+                          keep_alive=keep_alive,
+                          extra_headers={"Location": location})
+            return True
+        job = _ProxyJob(peers, path, body, self.fleet.proxy_timeout)
+        conn.pending = {
+            "proxy": job, "path": path, "body": body, "keep_alive": keep_alive,
+            "deadline": time.monotonic() + self.request_timeout,
+        }
+        self._parked.add(conn)
+        job.on_done = self._wake
+        self.fleet_stats["proxied"] += 1
+        threading.Thread(target=job.run, name="fleet-proxy",
+                         daemon=True).start()
+        return True
+
+    def _complete_proxy(self, conn: _Connection, entry: dict,
+                        now: float) -> None:
+        job = entry["proxy"]
+        if job.done():
+            self._parked.discard(conn)
+            conn.pending = None
+            if job.failed:
+                # Every routed peer unreachable (dead replica inside its
+                # TTL window): any replica can serve any model bitwise, so
+                # execute locally rather than failing the request.
+                self.fleet_stats["failover_local"] += 1
+                self._submit_predict(conn, entry["body"], entry["keep_alive"])
+                return
+            self._log_request(conn, "POST", entry["path"], job.status)
+            self._respond_body(conn, job.status, job.resp_body,
+                               keep_alive=entry["keep_alive"])
+            if conn.sock in self._connections:
+                self._process_input(conn)
+        elif now >= entry["deadline"]:
+            self._parked.discard(conn)
+            conn.pending = None
+            self._log_request(conn, "POST", entry["path"], 503)
+            self._respond(conn, 503,
+                          {"error": "fleet proxy timed out"},
+                          keep_alive=False)
 
     def _submit_predict(self, conn: _Connection, body: bytes,
                         keep_alive: bool) -> bool:
@@ -360,6 +524,9 @@ class SelectorHTTPServer:
             entry = conn.pending
             if entry is None:  # connection died while parked
                 self._parked.discard(conn)
+                continue
+            if "proxy" in entry:
+                self._complete_proxy(conn, entry, now)
                 continue
             ticket = entry["ticket"]
             if ticket.done():
@@ -486,7 +653,8 @@ class SelectorHTTPServer:
 # --------------------------------------------------------------------------- #
 # HTTP framing helpers (module-level: pure bytes in, bytes out)
 # --------------------------------------------------------------------------- #
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+_REASONS = {200: "OK", 307: "Temporary Redirect",
+            400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 408: "Request Timeout",
             413: "Payload Too Large", 429: "Too Many Requests",
             431: "Request Header Fields Too Large",
@@ -570,15 +738,18 @@ def _parse_request(buf: bytearray):
 def serve_http(service: InferenceService, host: str = "127.0.0.1",
                port: int = 8151, *, log_stream=None,
                max_connections: int = 512,
-               stats_interval: float | None = None) -> SelectorHTTPServer:
+               stats_interval: float | None = None,
+               fleet=None) -> SelectorHTTPServer:
     """Bind a :class:`SelectorHTTPServer`; the caller runs ``serve_forever()``.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address[1]`` — the tests do).  The service's router is
     started so every model's queue coalesces on its own dispatch thread.
+    ``fleet`` (a :class:`~repro.serving.fleet.FleetRouter`) turns on
+    digest-sharded routing and the ``/fleet`` endpoint.
     """
     service.start()
     return SelectorHTTPServer((host, port), service,
                               max_connections=max_connections,
                               stats_interval=stats_interval,
-                              log_stream=log_stream)
+                              log_stream=log_stream, fleet=fleet)

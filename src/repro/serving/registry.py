@@ -253,20 +253,39 @@ class ModelRegistry:
     # listing / integrity
     # ------------------------------------------------------------------ #
     def names(self) -> list[str]:
+        """Model names with at least one committed version (sorted).
+
+        A name directory holding only torn publishes (version dirs without a
+        manifest) or nothing at all is invisible, matching :meth:`resolve`.
+        """
         if not self.models_dir.exists():
             return []
-        return sorted(path.name for path in self.models_dir.iterdir() if path.is_dir())
+        return sorted(
+            path.name for path in self.models_dir.iterdir()
+            if path.is_dir() and any(
+                child.is_dir() and (child / "manifest.json").exists()
+                for child in path.iterdir()))
 
     def list(self, name: str | None = None) -> list[ModelRecord]:
-        """All committed versions (manifest present), newest digest-dir last."""
+        """All committed versions (manifest present), newest publish last.
+
+        Ordered by the manifest's ``created_unix`` stamp (digest as the
+        tiebreaker), so ``repro models`` shows publish history in publish
+        order — not in the hash order the digest-named directories happen
+        to sort into lexicographically.
+        """
         records: list[ModelRecord] = []
         for model_name in ([name] if name is not None else self.names()):
             name_dir = self.name_dir(model_name)
             if not name_dir.exists():
                 continue
-            for version_dir in sorted(name_dir.iterdir()):
-                if version_dir.is_dir() and (version_dir / "manifest.json").exists():
-                    records.append(self._read_record(model_name, version_dir))
+            versions = [self._read_record(model_name, version_dir)
+                        for version_dir in name_dir.iterdir()
+                        if version_dir.is_dir()
+                        and (version_dir / "manifest.json").exists()]
+            versions.sort(key=lambda record: (
+                float(record.manifest.get("created_unix", 0.0)), record.digest))
+            records.extend(versions)
         return records
 
     def verify(self, ref: str) -> ModelRecord:

@@ -233,6 +233,46 @@ class InferenceService:
                 return session
         raise ConfigurationError(f"model version {digest[:12]} left the registry")
 
+    # ------------------------------------------------------------------ #
+    # hot-reload hooks (used by the fleet's registry watcher)
+    # ------------------------------------------------------------------ #
+    def prewarm(self, ref: str, mode: str | None = None):
+        """Build (or refresh) the session for ``ref`` and return its record.
+
+        This is the expensive half of serving a new version — bundle load,
+        graph rebuild, encoder forward pass, propagation — pulled forward so
+        a ``latest.json`` flip never pays the cold build on a live request.
+        """
+        _key, session = self._session(ref, mode)
+        return session.record
+
+    def retire_version(self, digest: str) -> int:
+        """Drop every cached session of ``digest`` and retire its queues.
+
+        The rolling-rollout back half: once the watcher has pre-warmed the
+        new version, the old one's sessions are evicted and their dispatch
+        queues flushed+stopped (in-flight tickets complete first — see
+        ``ModelRouter.retire``), so a long-lived replica does not keep one
+        thread and one feature matrix per superseded publish.  Returns the
+        number of sessions retired.
+        """
+        with self._lock:
+            keys = [key for key in self._sessions if key[0] == digest]
+            for key in keys:
+                self._sessions.pop(key, None)
+        for key in keys:
+            self.batcher.retire(key)
+        with self._lock:
+            for key in keys:
+                self._labels.pop(key, None)
+        return len(keys)
+
+    def loaded_digests(self) -> list[str]:
+        """Distinct content digests with a live session, sorted — what a
+        fleet replica advertises on its membership lease."""
+        with self._lock:
+            return sorted({key[0] for key in self._sessions})
+
     @staticmethod
     def _validate_nodes(nodes: np.ndarray, num_nodes: int) -> None:
         if nodes.size == 0:

@@ -188,6 +188,166 @@ class TestLeases:
         with pytest.raises(ValueError):
             LeaseManager(tmp_path, ttl=0.0)
 
+    def test_meta_payload_round_trips_and_heartbeat_carries_it(self, tmp_path):
+        clock = FakeClock()
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+        lease = manager.acquire("g1", "alice", meta={"host": "h", "port": 1})
+        assert manager.read("g1").meta == {"host": "h", "port": 1}
+        clock.advance(1.0)
+        refreshed = manager.heartbeat(lease, meta={"host": "h", "port": 2})
+        assert refreshed is not None
+        assert manager.read("g1").meta == {"host": "h", "port": 2}
+        clock.advance(1.0)
+        assert manager.heartbeat(refreshed) is not None  # keeps the meta
+        assert manager.read("g1").meta == {"host": "h", "port": 2}
+
+    def test_pre_nonce_lease_files_still_parse(self, tmp_path):
+        # Claim files written before acquisition nonces existed must keep
+        # reading (a rolling upgrade shares the queue with old workers).
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=FakeClock())
+        manager.path_for("g1").parent.mkdir(parents=True, exist_ok=True)
+        manager.path_for("g1").write_text(json.dumps({
+            "group_id": "g1", "worker_id": "alice", "acquired_at": 1000.0,
+            "heartbeat_at": 1000.0, "ttl": 10.0}))
+        lease = manager.read("g1")
+        assert lease is not None
+        assert lease.nonce == "" and lease.meta == {}
+        assert manager.holder("g1") == "alice"
+
+    def test_group_ids_lists_claim_files(self, tmp_path):
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=FakeClock())
+        assert manager.group_ids() == []
+        manager.acquire("g2", "alice")
+        manager.acquire("g1", "bob")
+        assert manager.group_ids() == ["g1", "g2"]
+
+
+class TestLeaseRaces:
+    """Deterministic reproducers for the check-then-act lease races.
+
+    The old ``release`` and ``heartbeat`` verified ownership with ``read()``
+    and then acted (unlink / atomic rewrite); a steal landing inside that
+    window was destroyed or silently overwritten.  These tests interleave
+    the steal at the exact racy point — by shimming the verification read or
+    the refresh write — so they fail on the check-then-act implementations
+    and pin the rename-to-token / nonce-verified ones.
+    """
+
+    @staticmethod
+    def _manager(tmp_path, clock):
+        return LeaseManager(tmp_path, ttl=10.0, clock=clock)
+
+    def test_release_in_the_steal_window_spares_the_fresh_claim(self, tmp_path):
+        clock = FakeClock()
+        manager = self._manager(tmp_path, clock)
+        stealer = self._manager(tmp_path, clock)
+        stale = manager.acquire("g1", "alice")
+        clock.advance(11.0)  # expired: bob is entitled to steal
+        state = {"stolen": False}
+
+        def steal_now():
+            if not state["stolen"]:
+                state["stolen"] = True
+                assert stealer.acquire("g1", "bob") is not None
+
+        # If release pre-verifies with read() (the old check-then-unlink),
+        # interleave bob's steal right inside that window; the old unlink
+        # then deleted bob's valid lease.  The fixed release never calls
+        # read() — it renames first — so the steal lands after it returns.
+        original_read = manager.read
+
+        def racing_read(group_id):
+            current = original_read(group_id)
+            steal_now()
+            return current
+
+        manager.read = racing_read
+        manager.release(stale)
+        steal_now()
+        assert stealer.holder("g1") == "bob"
+        assert stealer.read("g1").worker_id == "bob"
+
+    def test_release_of_a_stale_handle_spares_same_worker_reclaim(self, tmp_path):
+        # The same worker id re-acquires after expiry (a restart); a zombie
+        # thread still holding the *old* lease object releases.  Only the
+        # acquisition nonce distinguishes the two claims — matching on
+        # worker id alone deleted the new incarnation's lease.
+        clock = FakeClock()
+        manager = self._manager(tmp_path, clock)
+        stale = manager.acquire("g1", "alice")
+        clock.advance(11.0)
+        fresh = manager.acquire("g1", "alice")
+        assert fresh is not None
+        assert fresh.nonce != stale.nonce
+        manager.release(stale)
+        assert manager.holder("g1") == "alice"
+        assert manager.read("g1").nonce == fresh.nonce
+
+    def test_heartbeat_never_resurrects_an_expired_lease(self, tmp_path):
+        clock = FakeClock()
+        manager = self._manager(tmp_path, clock)
+        stealer = self._manager(tmp_path, clock)
+        stale = manager.acquire("g1", "alice")
+        clock.advance(11.0)
+        state = {"stolen": False}
+
+        def steal_now():
+            if not state["stolen"]:
+                state["stolen"] = True
+                assert stealer.acquire("g1", "bob") is not None
+
+        # Old heartbeat: read() saw alice's own (stale) claim, bob stole
+        # inside the window, and the atomic rewrite clobbered bob's fresh
+        # lease — resurrection.  Fixed heartbeat refuses to refresh an
+        # already-expired lease outright.
+        original_read = manager.read
+
+        def racing_read(group_id):
+            current = original_read(group_id)
+            steal_now()
+            return current
+
+        manager.read = racing_read
+        assert manager.heartbeat(stale) is None
+        steal_now()
+        assert stealer.holder("g1") == "bob"
+
+    def test_heartbeat_verifies_after_write(self, tmp_path, monkeypatch):
+        # The narrower window: the lease expires *between* the ownership
+        # read and the refresh rename, and a stealer reaps the freshly
+        # written file.  The post-write re-read sees the stealer's nonce
+        # and reports the lease lost instead of letting two workers hold
+        # the group.
+        import repro.distributed.lease as lease_module
+
+        clock = FakeClock()
+        manager = self._manager(tmp_path, clock)
+        stealer = self._manager(tmp_path, clock)
+        lease = manager.acquire("g1", "alice")
+        clock.advance(8.0)  # still fresh by alice's clock
+        real_write = lease_module.atomic_write_text
+
+        def racing_write(path, text):
+            real_write(path, text)
+            # The instant the refresh lands, a stealer whose clock already
+            # saw the lease expire reaps the file and claims the group.
+            assert stealer._reap("g1")
+            assert stealer._try_create("g1", "bob") is not None
+
+        monkeypatch.setattr(lease_module, "atomic_write_text", racing_write)
+        assert manager.heartbeat(lease) is None
+        assert stealer.holder("g1") == "bob"
+
+    def test_heartbeat_with_a_stale_same_worker_handle_is_rejected(self, tmp_path):
+        clock = FakeClock()
+        manager = self._manager(tmp_path, clock)
+        stale = manager.acquire("g1", "alice")
+        clock.advance(11.0)
+        fresh = manager.acquire("g1", "alice")  # new incarnation, new nonce
+        clock.advance(1.0)
+        assert manager.heartbeat(stale) is None
+        assert manager.read("g1").nonce == fresh.nonce
+
 
 class TestWorkerLoop:
     def _submitted(self, tmp_path, **overrides):

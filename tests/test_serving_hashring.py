@@ -1,0 +1,96 @@
+"""Tests for the consistent-hash ring the fleet routes model digests over."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.serving import HashRing
+
+KEYS = [hashlib.sha256(f"model-{i}".encode()).hexdigest() for i in range(2000)]
+
+
+def _owners(ring):
+    return {key: ring.owner(key) for key in KEYS}
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["r0", "r1", "r2"])
+        b = HashRing(["r2", "r0", "r1"])  # insertion order must not matter
+        assert _owners(a) == _owners(b)
+
+    def test_owner_is_always_a_member(self):
+        ring = HashRing(["r0", "r1", "r2"])
+        assert set(_owners(ring).values()) <= {"r0", "r1", "r2"}
+
+    def test_every_member_owns_a_fair_share(self):
+        ring = HashRing([f"r{i}" for i in range(5)])
+        counts = {}
+        for owner in _owners(ring).values():
+            counts[owner] = counts.get(owner, 0) + 1
+        # 64 vnodes: each of 5 nodes should land within a loose 2x band of
+        # the fair share (400 of 2000).
+        for node, count in counts.items():
+            assert 150 <= count <= 800, (node, count)
+
+    def test_adding_a_replica_moves_about_one_over_n_keys(self):
+        ring = HashRing([f"r{i}" for i in range(5)])
+        before = _owners(ring)
+        ring.add("r5")
+        after = _owners(ring)
+        moved = [key for key in KEYS if before[key] != after[key]]
+        # ~1/6 of 2000 ≈ 333 keys should move; a modulo map would move ~5/6.
+        assert 100 <= len(moved) <= 700, len(moved)
+        # Consistency: every moved key moved *to* the new node, none between
+        # the old nodes.
+        assert all(after[key] == "r5" for key in moved)
+
+    def test_removing_a_replica_restores_the_prior_map_exactly(self):
+        ring = HashRing([f"r{i}" for i in range(5)])
+        before = _owners(ring)
+        ring.add("r5")
+        ring.remove("r5")
+        assert _owners(ring) == before
+        # And removing an original member re-homes only that member's keys.
+        dead = "r2"
+        ring.remove(dead)
+        after = _owners(ring)
+        for key in KEYS:
+            if before[key] != dead:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != dead
+
+    def test_preference_lists_are_distinct_and_owner_first(self):
+        ring = HashRing(["r0", "r1", "r2", "r3"])
+        for key in KEYS[:50]:
+            preferred = ring.preference(key, 3)
+            assert len(preferred) == 3
+            assert len(set(preferred)) == 3
+            assert preferred[0] == ring.owner(key)
+        assert len(ring.preference(KEYS[0], None)) == 4
+        assert len(ring.preference(KEYS[0], 99)) == 4
+
+    def test_empty_and_single_node_rings(self):
+        empty = HashRing()
+        assert empty.owner("anything") is None
+        assert empty.preference("anything", 2) == []
+        solo = HashRing(["only"])
+        assert solo.owner("anything") == "only"
+        assert solo.preference("anything", 5) == ["only"]
+
+    def test_membership_surface(self):
+        ring = HashRing(["b", "a"])
+        assert ring.nodes == ["a", "b"]
+        assert len(ring) == 2
+        assert "a" in ring and "z" not in ring
+        ring.add("a")  # idempotent
+        assert len(ring) == 2
+        ring.remove("z")  # absent: no-op
+        assert ring.nodes == ["a", "b"]
+
+    def test_invalid_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)

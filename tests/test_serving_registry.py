@@ -193,6 +193,51 @@ class TestListing:
             assert json.loads((record.path / "manifest.json").read_text())[
                 "digest"] == record.digest
 
+    @staticmethod
+    def _write_version(registry, name, digest, created_unix=None):
+        version_dir = registry.version_dir(name, digest)
+        version_dir.mkdir(parents=True)
+        manifest = {
+            "format": 1, "name": name, "digest": digest,
+            "privacy": {"epsilon": 1.0, "delta": 1e-5, "mechanism": "test"},
+            "inference": {"mode": "private"},
+            "training": {},
+        }
+        if created_unix is not None:
+            manifest["created_unix"] = created_unix
+        (version_dir / "manifest.json").write_text(json.dumps(manifest))
+
+    def test_list_orders_by_publish_time_not_digest_hex(self, tmp_path):
+        """Publish history, not hash order: a later publish whose digest
+        sorts lexicographically *first* must still come last."""
+        registry = ModelRegistry(tmp_path / "reg")
+        self._write_version(registry, "demo", "f" * 64, created_unix=100.0)
+        self._write_version(registry, "demo", "0" * 64, created_unix=200.0)
+        self._write_version(registry, "demo", "a" * 64, created_unix=150.0)
+        digests = [record.digest for record in registry.list("demo")]
+        assert digests == ["f" * 64, "a" * 64, "0" * 64]
+
+    def test_list_breaks_publish_time_ties_by_digest(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        self._write_version(registry, "demo", "b" * 64, created_unix=100.0)
+        self._write_version(registry, "demo", "a" * 64, created_unix=100.0)
+        # And a pre-stamp manifest (no created_unix) sorts before both.
+        self._write_version(registry, "demo", "c" * 64)
+        digests = [record.digest for record in registry.list("demo")]
+        assert digests == ["c" * 64, "a" * 64, "b" * 64]
+
+    def test_names_skips_name_dirs_without_a_committed_version(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        self._write_version(registry, "good", "a" * 64, created_unix=1.0)
+        # A torn publish: version dir exists, manifest never landed.
+        torn = registry.version_dir("torn", "b" * 64)
+        torn.mkdir(parents=True)
+        (torn / "model.npz").write_bytes(b"partial")
+        # An empty name dir (all versions garbage-collected by hand).
+        (registry.models_dir / "empty").mkdir(parents=True)
+        assert registry.names() == ["good"]
+        assert [record.name for record in registry.list()] == ["good"]
+
 
 class TestAmbiguousDigestPrefix:
     """A prefix matching two committed versions must raise, never pick one."""
