@@ -527,7 +527,8 @@ def command_serve(args) -> int:
     server = serve_http(service, host=args.host, port=args.port,
                         log_stream=None if args.quiet else sys.stderr,
                         max_connections=args.max_connections,
-                        stats_interval=args.stats_interval)
+                        stats_interval=args.stats_interval,
+                        trace=not args.no_trace)
     host, port = server.server_address[:2]
 
     member = None
@@ -601,6 +602,40 @@ def command_fleet_status(args) -> int:
         print(f"fleet {view.fleet_dir}: no replicas (no lease files)")
         return 0
     print(status.summary())
+    if args.metrics:
+        from repro.obs.aggregate import fleet_metrics_report
+
+        print()
+        print(fleet_metrics_report(
+            [(replica.replica_id, replica.base_url)
+             for replica in status.live]))
+    return 0
+
+
+def command_trace(args) -> int:
+    """List recent traces, or pretty-print one trace as a span tree.
+
+    Spans are fetched from every ``--url`` and merged by trace id, so a
+    cross-replica trace (relay proxy hop + owner execution) renders as one
+    tree even though each replica stores only its own spans.
+    """
+    from repro.obs.aggregate import (
+        fetch_recent_traces,
+        fetch_trace_spans,
+        render_trace_list,
+        render_trace_tree,
+    )
+
+    if args.trace_id is None:
+        rows = fetch_recent_traces(args.urls, limit=args.limit)
+        print(render_trace_list(rows))
+        return 0
+    spans = fetch_trace_spans(args.urls, args.trace_id)
+    if not spans:
+        print(f"trace {args.trace_id} not found on any of "
+              f"{len(args.urls)} server(s)", file=sys.stderr)
+        return 1
+    print(render_trace_tree(spans))
     return 0
 
 
@@ -913,6 +948,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "one's queues retire (0 disables hot-reload)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines on stderr")
+    serve.add_argument("--no-trace", action="store_true", dest="no_trace",
+                       help="disable request tracing (/debug/traces and the "
+                            "per-stage histograms on /metrics; scores are "
+                            "bitwise identical either way)")
     serve.set_defaults(func=command_serve)
 
     fleet = subparsers.add_parser(
@@ -924,7 +963,24 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="DIR",
                               help="the membership directory the replicas "
                                    "share (their serve --fleet-dir)")
+    fleet_status.add_argument("--metrics", action="store_true",
+                              help="scrape every live replica's /metrics and "
+                                   "print fleet-wide per-model latency "
+                                   "quantiles (exact histogram merge)")
     fleet_status.set_defaults(func=command_fleet_status)
+
+    trace = subparsers.add_parser(
+        "trace", help="list or pretty-print request traces from servers")
+    trace.add_argument("trace_id", nargs="?", default=None,
+                       help="trace id to render as a span tree (omit to "
+                            "list recent traces)")
+    trace.add_argument("--url", required=True, action="append", dest="urls",
+                       metavar="URL",
+                       help="server base URL, e.g. http://127.0.0.1:8151; "
+                            "repeat to merge spans across fleet replicas")
+    trace.add_argument("--limit", type=int, default=10,
+                       help="how many recent traces to list per server")
+    trace.set_defaults(func=command_trace)
 
     figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("id", choices=("table2", "figure1", "figure2", "figure3",

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.distributed.lease import LeaseManager
 from repro.distributed.queue import GroupTask, WorkQueue
+from repro.obs.trace import get_tracer
 from repro.runtime.cells import result_key
 from repro.runtime.engine import run_cell_group
 from repro.runtime.store import JsonlResultStore
@@ -172,6 +173,7 @@ class DistributedWorker:
             if self.max_groups is not None \
                     and report.groups_completed >= self.max_groups:
                 break
+            claim_started_ns = time.monotonic_ns()
             claim = self._claim_next(report)
             if claim is None:
                 if not self.queue.runnable_ids():
@@ -183,7 +185,8 @@ class DistributedWorker:
                 time.sleep(self.poll_interval)
                 continue
             task, lease = claim
-            self._execute(task, lease, runner, context, report)
+            self._execute(task, lease, runner, context, report,
+                          claim_started_ns=claim_started_ns)
         report.elapsed_seconds = time.perf_counter() - start
         return report
 
@@ -209,7 +212,38 @@ class DistributedWorker:
     # executing one group
     # ------------------------------------------------------------------ #
     def _execute(self, task: GroupTask, lease, runner, context: str,
-                 report: WorkerReport) -> None:
+                 report: WorkerReport, *,
+                 claim_started_ns: int | None = None) -> None:
+        """Trace wrapper: one ``dist.group`` trace per executed group.
+
+        The worker shares the process-global tracer (:func:`get_tracer`);
+        ``repro trace`` and tests read its store.  Tracing failures never
+        fail the group — the root is always ended in ``finally``.
+        """
+        tracer = get_tracer()
+        root = tracer.start_trace("dist.group", attrs={
+            "group_id": task.group_id, "worker_id": self.worker_id,
+            "cells": len(task.cells)})
+        if claim_started_ns is not None:
+            # The claim walk (lease scan + acquire) happened just before
+            # this trace existed; backfill it from its captured start.
+            tracer.add_span("lease.claim", parent=root,
+                            start_ns=claim_started_ns,
+                            end_ns=tracer.clock_ns())
+        outcome = "failed"
+        try:
+            with tracer.activate(root):
+                outcome = self._execute_group(task, lease, runner, context,
+                                              report, tracer)
+        finally:
+            root.attrs["outcome"] = outcome
+            tracer.end(root,
+                       status="ok" if outcome == "completed" else "error")
+
+    def _execute_group(self, task: GroupTask, lease, runner, context: str,
+                       report: WorkerReport, tracer) -> str:
+        """Run one claimed group; returns the outcome recorded on the trace:
+        ``completed`` / ``failed`` / ``quarantined`` / ``lost``."""
         cells = list(task.cells)
         wip = self.queue.wip_shard_path(task.group_id, self.worker_id)
         wip.unlink(missing_ok=True)
@@ -217,7 +251,7 @@ class DistributedWorker:
         failing = cells[0]
         pump = _HeartbeatPump(self.leases, lease)
         try:
-            with pump:
+            with pump, tracer.span("group.run"):
                 if self._group_dispatch(runner, cells):
                     records = run_cell_group(runner, cells)
                     self._append(store, cells, records, context)
@@ -227,7 +261,9 @@ class DistributedWorker:
                         if pump.lost:
                             break
                         failing = cell
-                        record = runner(cell)
+                        with tracer.span("cell.run",
+                                         attrs={"cell": cell.key()}):
+                            record = runner(cell)
                         records.append(record)
                         self._append(store, [cell], [record], context)
         except Exception as error:
@@ -246,8 +282,10 @@ class DistributedWorker:
                 report.groups_quarantined += 1
                 self._log(f"quarantined {task.group_id} after "
                           f"{attempt} failed attempt(s)")
+                self.leases.release(pump.lease)
+                return "quarantined"
             self.leases.release(pump.lease)
-            return
+            return "failed"
         store.close()
         if pump.lost:
             # Partitioned long enough to be reaped: abandon the group, the
@@ -255,13 +293,17 @@ class DistributedWorker:
             report.groups_lost += 1
             self._log(f"lost lease on {task.group_id}; abandoning")
             wip.unlink(missing_ok=True)
-            return
-        if not self._publish(task.group_id, wip):
+            return "lost"
+        with tracer.span("shard.publish"):
+            published = self._publish(task.group_id, wip)
+            if published:
+                self.queue.mark_done(task.group_id, self.worker_id,
+                                     len(records))
+                self.queue.clean_wips(task.group_id)
+        if not published:
             report.groups_lost += 1
             self.leases.release(pump.lease)
-            return
-        self.queue.mark_done(task.group_id, self.worker_id, len(records))
-        self.queue.clean_wips(task.group_id)
+            return "lost"
         self.leases.release(pump.lease)
         report.groups_completed += 1
         report.cells_completed += len(records)
@@ -269,6 +311,7 @@ class DistributedWorker:
         first = cells[0]
         self._log(f"completed {task.group_id} "
                   f"({first.method}/{first.dataset}, {len(records)} cells)")
+        return "completed"
 
     def _publish(self, group_id: str, wip) -> bool:
         """Atomically promote our wip shard; False if a racing holder beat us.

@@ -1,0 +1,62 @@
+"""Observability: request tracing, Prometheus exposition, fleet telemetry.
+
+Three stdlib-only layers over the serving and distributed subsystems:
+
+* :mod:`repro.obs.trace` — spans (``trace_id``/``span_id``/``parent_id``,
+  monotonic-ns timestamps, attrs), a :class:`Tracer` with context-local
+  propagation, a bounded ring :class:`TraceStore`, and the
+  ``X-Repro-Trace`` header contract that stitches a fleet-proxied predict
+  into one trace across two replicas;
+* :mod:`repro.obs.prometheus` — the text exposition (format 0.0.4) renderer
+  behind ``GET /metrics`` and the strict parser the aggregator and CI
+  smoke checks use;
+* :mod:`repro.obs.aggregate` — fleet-wide merging: scrape every replica,
+  fold bucket counts into one histogram per model (exact, because buckets
+  are fixed), and the ``repro trace`` tree renderer.  Imported lazily by
+  the CLI (it pulls in :mod:`repro.serving`), so it is *not* re-exported
+  here.
+
+Tracing observes, never touches: spans never see scores, and every
+bitwise-equivalence pin holds with tracing on (the default).
+"""
+
+from repro.obs.process import process_rss_bytes, process_stats
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRenderer,
+    parse_prometheus_text,
+    render_server_metrics,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    StageMetrics,
+    Tracer,
+    TraceStore,
+    current_span,
+    current_trace_id,
+    format_trace_header,
+    get_tracer,
+    parse_trace_header,
+    set_tracer,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricsRenderer",
+    "Span",
+    "StageMetrics",
+    "TRACE_HEADER",
+    "TraceStore",
+    "Tracer",
+    "current_span",
+    "current_trace_id",
+    "format_trace_header",
+    "get_tracer",
+    "parse_prometheus_text",
+    "parse_trace_header",
+    "process_rss_bytes",
+    "process_stats",
+    "render_server_metrics",
+    "set_tracer",
+]

@@ -1,0 +1,36 @@
+"""Process-level gauges for ``/stats`` and ``/metrics``: uptime and RSS.
+
+``resource.getrusage`` is the only stdlib way to read resident memory
+without parsing ``/proc``; ``ru_maxrss`` is the *peak* RSS, reported in
+kibibytes on Linux and bytes on macOS (normalised here).  The module is
+import-safe on platforms without ``resource`` (it degrades to ``None``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None
+
+
+def process_rss_bytes() -> int | None:
+    """Peak resident set size in bytes, or ``None`` where unavailable."""
+    if resource is None:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def process_stats(started_at: float) -> dict:
+    """The ``/stats`` ``process`` section (the HTTP frontend overlays its
+    connection counts on top)."""
+    return {
+        "uptime_seconds": round(time.time() - started_at, 3),
+        "rss_bytes": process_rss_bytes(),
+    }

@@ -91,13 +91,22 @@ class _Ticket:
     """One submitted request: callers block on :meth:`result` (or poll
     :meth:`done`, which is what the selector HTTP frontend does)."""
 
-    __slots__ = ("nodes", "model_key", "submitted_at", "on_done", "_event",
-                 "_scores", "_error")
+    __slots__ = ("nodes", "model_key", "submitted_at", "execute_at",
+                 "compute_started_at", "compute_ended_at", "on_done",
+                 "_event", "_scores", "_error")
 
     def __init__(self, model_key, nodes: np.ndarray, submitted_at: float = 0.0):
         self.model_key = model_key
         self.nodes = nodes
         self.submitted_at = submitted_at
+        # Lifecycle timestamps (same clock as submitted_at), stamped by the
+        # dispatch thread as the ticket moves through its batch: flush time,
+        # matmul start, matmul end.  Pure observation — the HTTP frontend
+        # reconstructs queue/batch/compute trace spans from them, so the
+        # batcher itself never touches a tracer.  0.0 = not reached.
+        self.execute_at = 0.0
+        self.compute_started_at = 0.0
+        self.compute_ended_at = 0.0
         self.on_done = None  # optional wakeup hook, called after resolution
         self._event = threading.Event()
         self._scores = None
@@ -340,8 +349,10 @@ class MicroBatcher:
                 self._inflight -= len(batch)
 
     def _execute_batch(self, batch: list[_Ticket]) -> None:
+        flushed_at = self._clock()
         by_model: dict = {}
         for ticket in batch:
+            ticket.execute_at = flushed_at
             by_model.setdefault(ticket.model_key, []).append(ticket)
         if self._observer is not None:
             backlog = self._queue.qsize()  # still queued behind this flush
@@ -366,13 +377,21 @@ class MicroBatcher:
         try:
             for model_key, tickets in by_model.items():
                 stacked = np.concatenate([ticket.nodes for ticket in tickets])
+                compute_started = self._clock()
+                for ticket in tickets:
+                    ticket.compute_started_at = compute_started
                 try:
                     scores = self._compute(model_key, stacked)
                 except Exception as error:  # forwarded to the blocked callers
+                    compute_ended = self._clock()
                     for ticket in tickets:
+                        ticket.compute_ended_at = compute_ended
                         ticket._fail(error)
                     self._observe(model_key, tickets, failed=True)
                     continue
+                compute_ended = self._clock()
+                for ticket in tickets:
+                    ticket.compute_ended_at = compute_ended
                 with self._stats_lock:
                     self.stats.matmuls += 1
                     label = self._label(model_key)

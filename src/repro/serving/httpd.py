@@ -52,6 +52,13 @@ import threading
 import time
 
 from repro.exceptions import ConfigurationError
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Tracer,
+    format_trace_header,
+    parse_trace_header,
+)
 from repro.serving.service import (
     InferenceService,
     format_prediction_body,
@@ -78,14 +85,17 @@ class _ProxyJob:
     back to local execution.
     """
 
-    __slots__ = ("targets", "path", "body", "timeout", "status", "resp_body",
-                 "target_id", "failed", "on_done", "_event")
+    __slots__ = ("targets", "path", "body", "timeout", "trace_header",
+                 "status", "resp_body", "target_id", "failed", "on_done",
+                 "_event")
 
-    def __init__(self, targets, path: str, body: bytes, timeout: float):
+    def __init__(self, targets, path: str, body: bytes, timeout: float, *,
+                 trace_header: str | None = None):
         self.targets = list(targets)
         self.path = path
         self.body = body
         self.timeout = timeout
+        self.trace_header = trace_header  # X-Repro-Trace continuation value
         self.status: int | None = None
         self.resp_body = b""
         self.target_id: str | None = None
@@ -100,11 +110,16 @@ class _ProxyJob:
         import urllib.error
         import urllib.request
 
+        headers = {"Content-Type": "application/json",
+                   "X-Fleet-Forwarded": "1", "Connection": "close"}
+        if self.trace_header:
+            # Propagate the trace: the owner's root span becomes a child of
+            # this relay's proxy span, so the forwarded predict is one trace.
+            headers[TRACE_HEADER] = self.trace_header
         for target in self.targets:
             request = urllib.request.Request(
                 target.base_url + self.path, data=self.body, method="POST",
-                headers={"Content-Type": "application/json",
-                         "X-Fleet-Forwarded": "1", "Connection": "close"})
+                headers=headers)
             try:
                 with urllib.request.urlopen(request,
                                             timeout=self.timeout) as response:
@@ -159,8 +174,9 @@ class SelectorHTTPServer:
                  max_connections: int = 512, request_timeout: float = 30.0,
                  idle_timeout: float = 120.0, drain_timeout: float = 5.0,
                  stats_interval: float | None = None, log_stream=None,
-                 fleet=None):
+                 fleet=None, tracer: Tracer | None = None):
         self.service = service
+        self.tracer = tracer  # a repro.obs.trace.Tracer, or None (untraced)
         self.fleet = fleet  # a FleetRouter, or None outside a fleet
         self.fleet_stats = {"proxied": 0, "redirected": 0,
                             "failover_local": 0, "received_forwards": 0}
@@ -216,8 +232,11 @@ class SelectorHTTPServer:
                     # (which only nulls the per-request log_stream).
                     stream = (self.log_stream if self.log_stream is not None
                               else sys.stderr)
+                    shed = sum(dict(self.service.shed_counts).values())
                     print(f"[serve] stats: "
-                          f"{self.service.batcher.metrics.summary_line()}",
+                          f"{self.service.batcher.metrics.summary_line()} | "
+                          f"shed={shed} "
+                          f"proxied={self.fleet_stats['proxied']}",
                           file=stream, flush=True)
                     next_stats = now + self.stats_interval
             self._drain()
@@ -353,16 +372,20 @@ class SelectorHTTPServer:
                   headers: dict, body: bytes, keep_alive: bool) -> None:
         try:
             if method == "GET":
+                if path == "/metrics":
+                    self._serve_metrics(conn, keep_alive)
+                    return
                 status, payload = self._route_get(path)
             elif method == "POST":
                 if path not in ("/v1/predict", "/predict"):
                     status, payload = 404, {"error": f"unknown path {path!r}"}
-                elif self._maybe_forward(conn, path, headers, body, keep_alive):
-                    return  # proxied/redirected to the owning replica
-                elif self._submit_predict(conn, body, keep_alive):
-                    return  # parked: the completion pass responds
                 else:
-                    return  # _submit_predict already queued an error
+                    span = self._start_predict_trace(headers)
+                    if self._maybe_forward(conn, path, headers, body,
+                                           keep_alive, span):
+                        return  # proxied/redirected to the owning replica
+                    self._submit_predict(conn, body, keep_alive, span)
+                    return  # parked (the completion pass responds) or errored
             else:
                 status, payload = 405, {"error": f"method {method} not allowed"}
         except ConfigurationError as error:
@@ -376,7 +399,26 @@ class SelectorHTTPServer:
         if path in ("/healthz", "/health"):
             return 200, self.service.health()
         if path == "/stats":
-            return 200, self.service.stats()
+            payload = self.service.stats()
+            process = payload.get("process")
+            if isinstance(process, dict):
+                # Only the frontend knows its sockets; overlay them on the
+                # service's uptime/RSS section.
+                process["open_connections"] = len(self._connections)
+                process["parked_requests"] = len(self._parked)
+            return 200, payload
+        if path == "/debug/traces":
+            if self.tracer is None:
+                return 200, {"enabled": False, "traces": []}
+            return 200, {"enabled": True,
+                         "traces": self.tracer.store.recent()}
+        if path.startswith("/debug/traces/"):
+            trace_id = path[len("/debug/traces/"):]
+            trace = (self.tracer.store.get(trace_id)
+                     if self.tracer is not None else None)
+            if trace is None:
+                return 404, {"error": f"unknown trace {trace_id!r}"}
+            return 200, trace
         if path == "/models":
             return 200, {"models": [
                 {"ref": record.ref, "name": record.name, "digest": record.digest,
@@ -391,11 +433,83 @@ class SelectorHTTPServer:
                          "stats": dict(self.fleet_stats)}
         return 404, {"error": f"unknown path {path!r}"}
 
+    def _serve_metrics(self, conn: _Connection, keep_alive: bool) -> None:
+        """``GET /metrics``: Prometheus text, rendered from snapshots."""
+        from repro.obs.prometheus import render_server_metrics
+
+        try:
+            body = render_server_metrics(self.service, server=self,
+                                         tracer=self.tracer).encode("utf-8")
+        except Exception as error:  # surfaced, not swallowed
+            self._log_request(conn, "GET", "/metrics", 500)
+            self._respond(conn, 500, {"error": repr(error)},
+                          keep_alive=keep_alive)
+            return
+        self._log_request(conn, "GET", "/metrics", 200)
+        self._respond_body(conn, 200, body, keep_alive=keep_alive,
+                           content_type=PROMETHEUS_CONTENT_TYPE)
+
+    # ------------------------------------------------------------------ #
+    # tracing the predict path
+    # ------------------------------------------------------------------ #
+    def _start_predict_trace(self, headers: dict):
+        """Open the request's root span, continuing an ``X-Repro-Trace``
+        parent when the caller (a fleet peer, or an instrumented client)
+        sent one.  Returns ``None`` when tracing is off."""
+        if self.tracer is None:
+            return None
+        attrs = {}
+        if self.fleet is not None:
+            attrs["replica"] = self.fleet.replica_id
+        parent = parse_trace_header(headers.get(TRACE_HEADER.lower()))
+        if parent is not None:
+            trace_id, parent_id = parent
+            return self.tracer.start_trace("predict", trace_id=trace_id,
+                                           parent_id=parent_id, attrs=attrs)
+        return self.tracer.start_trace("predict", attrs=attrs)
+
+    def _finish_trace(self, span, status: int) -> None:
+        """End the request's root span with its HTTP outcome (idempotent)."""
+        if span is None or self.tracer is None:
+            return
+        span.attrs["http_status"] = int(status)
+        self.tracer.end(span,
+                        status="ok" if int(status) < 400 else "error")
+
+    def _add_ticket_spans(self, span, ticket, render_start_ns: int,
+                          render_end_ns: int) -> None:
+        """Reconstruct the queue → batch → compute spans from the monotonic
+        timestamps the batcher stamped on the ticket (same clock family as
+        ``time.monotonic_ns``), plus the render span measured inline.
+        Unset timestamps (a failed or short-circuited batch) drop their
+        span rather than fabricating an interval."""
+        tracer = self.tracer
+        as_ns = (lambda seconds: int(seconds * 1e9))
+        tracer.add_span("queue", parent=span,
+                        start_ns=as_ns(ticket.submitted_at),
+                        end_ns=as_ns(ticket.execute_at))
+        tracer.add_span("batch", parent=span,
+                        start_ns=as_ns(ticket.execute_at),
+                        end_ns=as_ns(ticket.compute_started_at))
+        tracer.add_span("compute", parent=span,
+                        start_ns=as_ns(ticket.compute_started_at),
+                        end_ns=as_ns(ticket.compute_ended_at),
+                        attrs={"rows": int(ticket.nodes.size)})
+        tracer.add_span("render", parent=span, start_ns=render_start_ns,
+                        end_ns=render_end_ns)
+
+    def _trace_echo_headers(self, span) -> dict | None:
+        """The response's ``X-Repro-Trace`` echo, so clients (and the CI
+        smoke test) can fetch the trace they just created."""
+        if span is None:
+            return None
+        return {TRACE_HEADER: format_trace_header(span)}
+
     # ------------------------------------------------------------------ #
     # fleet routing (proxy / redirect to the digest's owning replica)
     # ------------------------------------------------------------------ #
     def _maybe_forward(self, conn: _Connection, path: str, headers: dict,
-                       body: bytes, keep_alive: bool) -> bool:
+                       body: bytes, keep_alive: bool, span=None) -> bool:
         """Route to the owning peer; False = serve locally.
 
         Local service is the universal fallback: unparseable bodies and
@@ -424,15 +538,27 @@ class SelectorHTTPServer:
             location = target.base_url + path
             self.fleet_stats["redirected"] += 1
             self._log_request(conn, "POST", path, 307)
+            if span is not None:
+                span.attrs["redirect"] = target.replica_id
+            self._finish_trace(span, 307)
             self._respond(conn, 307,
                           {"redirect": location, "owner": target.replica_id},
                           keep_alive=keep_alive,
                           extra_headers={"Location": location})
             return True
-        job = _ProxyJob(peers, path, body, self.fleet.proxy_timeout)
+        proxy_span = None
+        trace_header = None
+        if span is not None:
+            proxy_span = self.tracer.start_span(
+                "proxy", parent=span,
+                attrs={"targets": [target.replica_id for target in peers]})
+            trace_header = format_trace_header(proxy_span)
+        job = _ProxyJob(peers, path, body, self.fleet.proxy_timeout,
+                        trace_header=trace_header)
         conn.pending = {
             "proxy": job, "path": path, "body": body, "keep_alive": keep_alive,
             "deadline": time.monotonic() + self.request_timeout,
+            "span": span, "proxy_span": proxy_span,
         }
         self._parked.add(conn)
         job.on_done = self._wake
@@ -444,47 +570,68 @@ class SelectorHTTPServer:
     def _complete_proxy(self, conn: _Connection, entry: dict,
                         now: float) -> None:
         job = entry["proxy"]
+        span = entry.get("span")
+        proxy_span = entry.get("proxy_span")
         if job.done():
             self._parked.discard(conn)
             conn.pending = None
             if job.failed:
+                if proxy_span is not None:
+                    proxy_span.attrs["failover"] = True
+                    self.tracer.end(proxy_span, status="error")
                 # Every routed peer unreachable (dead replica inside its
                 # TTL window): any replica can serve any model bitwise, so
                 # execute locally rather than failing the request.
                 self.fleet_stats["failover_local"] += 1
-                self._submit_predict(conn, entry["body"], entry["keep_alive"])
+                self._submit_predict(conn, entry["body"],
+                                     entry["keep_alive"], span)
                 return
+            if proxy_span is not None:
+                proxy_span.attrs["target"] = job.target_id
+                proxy_span.attrs["http_status"] = int(job.status)
+                self.tracer.end(proxy_span)
+            self._finish_trace(span, job.status)
             self._log_request(conn, "POST", entry["path"], job.status)
             self._respond_body(conn, job.status, job.resp_body,
-                               keep_alive=entry["keep_alive"])
+                               keep_alive=entry["keep_alive"],
+                               extra_headers=self._trace_echo_headers(span))
             if conn.sock in self._connections:
                 self._process_input(conn)
         elif now >= entry["deadline"]:
             self._parked.discard(conn)
             conn.pending = None
+            if proxy_span is not None:
+                self.tracer.end(proxy_span, status="error")
+            self._finish_trace(span, 503)
             self._log_request(conn, "POST", entry["path"], 503)
             self._respond(conn, 503,
                           {"error": "fleet proxy timed out"},
                           keep_alive=False)
 
     def _submit_predict(self, conn: _Connection, body: bytes,
-                        keep_alive: bool) -> bool:
+                        keep_alive: bool, span=None) -> bool:
         """Validate and submit; returns True when a ticket was parked."""
+        parse_start = time.monotonic_ns() if span is not None else 0
         try:
             payload = json.loads(body or b"{}")
         except (ValueError, json.JSONDecodeError):
+            self._finish_trace(span, 400)
             self._log_request(conn, "POST", "/v1/predict", 400)
             self._respond(conn, 400, {"error": "request body must be a JSON object"},
                           keep_alive=keep_alive)
             return False
         try:
             request = parse_predict_payload(payload)
+            parse_end = time.monotonic_ns() if span is not None else 0
             ticket, record, mode = self.service.submit_batch(
                 request.ref, request.nodes, request.mode)
         except OverloadedError as error:
             # Shed-before-queue: the model's queue is at the admission cap,
             # so the request is rejected *before* parking on a ticket — a
             # cheap 429 with a drain-time hint instead of a queued matmul.
+            if span is not None:
+                span.attrs["shed"] = True
+            self._finish_trace(span, 429)
             self._log_request(conn, "POST", "/v1/predict", 429)
             self._respond(conn, 429,
                           {"error": str(error),
@@ -494,16 +641,28 @@ class SelectorHTTPServer:
                                          str(error.retry_after_header)})
             return False
         except ConfigurationError as error:
+            self._finish_trace(span, 400)
             self._log_request(conn, "POST", "/v1/predict", 400)
             self._respond(conn, 400, {"error": str(error)}, keep_alive=keep_alive)
             return False
         except Exception as error:
+            self._finish_trace(span, 500)
             self._log_request(conn, "POST", "/v1/predict", 500)
             self._respond(conn, 500, {"error": repr(error)}, keep_alive=keep_alive)
             return False
+        if span is not None:
+            span.attrs["model"] = record.ref
+            span.attrs["nodes"] = len(request.nodes)
+            # Session resolution + admission control sit between parse end
+            # and the ticket entering its queue (= submitted_at).
+            self.tracer.add_span("parse", parent=span,
+                                 start_ns=parse_start, end_ns=parse_end)
+            self.tracer.add_span("admission", parent=span,
+                                 start_ns=parse_end,
+                                 end_ns=int(ticket.submitted_at * 1e9))
         conn.pending = {
             "ticket": ticket, "request": request, "record": record,
-            "mode": mode, "keep_alive": keep_alive,
+            "mode": mode, "keep_alive": keep_alive, "span": span,
             "deadline": time.monotonic() + self.request_timeout,
         }
         self._parked.add(conn)
@@ -529,10 +688,12 @@ class SelectorHTTPServer:
                 self._complete_proxy(conn, entry, now)
                 continue
             ticket = entry["ticket"]
+            span = entry.get("span")
             if ticket.done():
                 self._parked.discard(conn)
                 conn.pending = None
                 body = None
+                render_start = time.monotonic_ns() if span is not None else 0
                 try:
                     scores = ticket.result(0)
                     # The zero-copy hot path: the response body is rendered
@@ -546,18 +707,25 @@ class SelectorHTTPServer:
                     status, payload = 400, {"error": str(error)}
                 except Exception as error:
                     status, payload = 500, {"error": repr(error)}
+                if span is not None:
+                    self._add_ticket_spans(span, ticket, render_start,
+                                           time.monotonic_ns())
+                    self._finish_trace(span, status)
                 self._log_request(conn, "POST", "/v1/predict", status)
                 if body is not None:
                     self._respond_body(conn, status, body,
-                                       keep_alive=entry["keep_alive"])
+                                       keep_alive=entry["keep_alive"],
+                                       extra_headers=self._trace_echo_headers(span))
                 else:
                     self._respond(conn, status, payload,
-                                  keep_alive=entry["keep_alive"])
+                                  keep_alive=entry["keep_alive"],
+                                  extra_headers=self._trace_echo_headers(span))
                 if conn.sock in self._connections:
                     self._process_input(conn)
             elif now >= entry["deadline"]:
                 self._parked.discard(conn)
                 conn.pending = None
+                self._finish_trace(span, 503)
                 self._log_request(conn, "POST", "/v1/predict", 503)
                 self._respond(conn, 503,
                               {"error": "inference request timed out waiting "
@@ -573,7 +741,8 @@ class SelectorHTTPServer:
                            keep_alive=keep_alive, extra_headers=extra_headers)
 
     def _respond_body(self, conn: _Connection, status: int, body: bytes, *,
-                      keep_alive: bool, extra_headers: dict | None = None) -> None:
+                      keep_alive: bool, extra_headers: dict | None = None,
+                      content_type: str = "application/json") -> None:
         """Queue pre-rendered body bytes (the predict hot path hands the
         fused zero-copy body straight in here)."""
         if conn.sock not in self._connections:
@@ -581,7 +750,8 @@ class SelectorHTTPServer:
         if not keep_alive:
             conn.close_after_write = True
         conn.outbuf += _render_head(status, len(body), keep_alive=keep_alive,
-                                    extra_headers=extra_headers) + body
+                                    extra_headers=extra_headers,
+                                    content_type=content_type) + body
         self._flush_now(conn)
 
     def _flush_now(self, conn: _Connection) -> None:
@@ -666,13 +836,14 @@ def _render_body(payload: dict) -> bytes:
 
 
 def _render_head(status: int, content_length: int, *, keep_alive: bool,
-                 extra_headers: dict | None = None) -> bytes:
+                 extra_headers: dict | None = None,
+                 content_type: str = "application/json") -> bytes:
     extra = "".join(f"{name}: {value}\r\n"
                     for name, value in (extra_headers or {}).items())
     return (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Server: gcon-repro-serving\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {content_length}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"{extra}"
@@ -739,17 +910,22 @@ def serve_http(service: InferenceService, host: str = "127.0.0.1",
                port: int = 8151, *, log_stream=None,
                max_connections: int = 512,
                stats_interval: float | None = None,
-               fleet=None) -> SelectorHTTPServer:
+               fleet=None, tracer: Tracer | None = None,
+               trace: bool = True) -> SelectorHTTPServer:
     """Bind a :class:`SelectorHTTPServer`; the caller runs ``serve_forever()``.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address[1]`` — the tests do).  The service's router is
     started so every model's queue coalesces on its own dispatch thread.
     ``fleet`` (a :class:`~repro.serving.fleet.FleetRouter`) turns on
-    digest-sharded routing and the ``/fleet`` endpoint.
+    digest-sharded routing and the ``/fleet`` endpoint.  Tracing is on by
+    default (``trace=False`` disables it; an explicit ``tracer`` wins).
     """
     service.start()
+    if tracer is None and trace:
+        tracer = Tracer()
     return SelectorHTTPServer((host, port), service,
                               max_connections=max_connections,
                               stats_interval=stats_interval,
-                              log_stream=log_stream, fleet=fleet)
+                              log_stream=log_stream, fleet=fleet,
+                              tracer=tracer)

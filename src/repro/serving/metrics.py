@@ -46,8 +46,17 @@ def bucket_quantile(bounds, counts, q: float, *,
     when the target rank lands in the overflow bucket (callers pass the
     histogram's observed max); returns 0.0 when the window is empty.
     """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
     total = sum(counts)
     if total == 0:
+        return 0.0
+    if q == 0.0:
+        # Well-defined floor: the lower edge of the first occupied bucket
+        # (a counts vector carries no observed minimum to report).
+        for index, bucket_count in enumerate(counts):
+            if bucket_count:
+                return bounds[index - 1] if 0 < index <= len(bounds) else 0.0
         return 0.0
     rank = q * total
     seen = 0
@@ -103,17 +112,63 @@ class Histogram:
                 lo = mid + 1
         return lo
 
+    def merge(self, counts, *, total: float = 0.0) -> "Histogram":
+        """Fold a raw bucket-count vector into this histogram.
+
+        ``counts`` must have one entry per bucket — ``len(bounds) + 1``
+        including the overflow bucket, or ``len(bounds)`` when the source
+        had nothing above the last edge.  This is how the fleet aggregator
+        combines replicas: the merge is exact because every replica buckets
+        into the same fixed bounds.  The observed extrema are widened to
+        the merged data's bucket *edges* (the true min/max did not travel),
+        keeping :meth:`quantile`'s clamping sound after a merge.
+        """
+        counts = [int(value) for value in counts]
+        if len(counts) == len(self.bounds):
+            counts.append(0)
+        if len(counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"counts must have {len(self.bounds) + 1} buckets "
+                f"(or {len(self.bounds)} without overflow), got {len(counts)}")
+        if any(value < 0 for value in counts):
+            raise ValueError("bucket counts must be non-negative")
+        merged = sum(counts)
+        if merged == 0:
+            return self
+        for index, value in enumerate(counts):
+            self.counts[index] += value
+        self.count += merged
+        self.total += float(total)
+        first = next(i for i, value in enumerate(counts) if value)
+        last = next(i for i in range(len(counts) - 1, -1, -1) if counts[i])
+        self.min = min(self.min,
+                       self.bounds[first - 1] if first > 0 else 0.0)
+        self.max = max(self.max, self.bounds[min(last, len(self.bounds) - 1)])
+        return self
+
+    def snapshot(self) -> dict:
+        """Raw state for the Prometheus renderer: bounds, a counts *copy*,
+        sum and count (callers copy under their own lock)."""
+        return {"bounds": self.bounds, "counts": tuple(self.counts),
+                "sum": self.total, "count": self.count}
+
     def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (0 < q <= 1) from bucket counts.
+        """Estimate the ``q``-quantile (0 <= q <= 1) from bucket counts.
 
         Linear interpolation inside the bucket that crosses the target rank;
         the overflow bucket reports the observed maximum (there is no upper
-        edge to interpolate toward).  Returns 0.0 when empty.
+        edge to interpolate toward).  The edges are exact, not interpolation
+        artifacts: ``q=0.0`` is the observed minimum, ``q=1.0`` the observed
+        maximum, and every quantile of an empty histogram is 0.0.
         """
-        if not 0.0 < q <= 1.0:
-            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * self.count
         seen = 0
         for index, bucket_count in enumerate(self.counts):
@@ -231,6 +286,19 @@ class ServingMetrics:
             return {label: (tuple(metrics.latency.counts),
                             metrics.latency.max, metrics.latency.count)
                     for label, metrics in self._models.items()}
+
+    def export(self) -> dict:
+        """Per model: raw histogram snapshots plus the failure counter,
+        copied under the lock — what the Prometheus renderer serialises
+        (cumulative buckets are computed outside the lock)."""
+        with self._lock:
+            return {label: {
+                "latency": metrics.latency.snapshot(),
+                "batch_tickets": metrics.batch_tickets.snapshot(),
+                "batch_rows": metrics.batch_rows.snapshot(),
+                "queue_depth": metrics.queue_depth.snapshot(),
+                "failures": metrics.failures,
+            } for label, metrics in sorted(self._models.items())}
 
     def labels(self) -> list[str]:
         with self._lock:

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.inference import INFERENCE_MODES, batched_inference_scores
 from repro.exceptions import ConfigurationError
+from repro.obs.process import process_stats
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import ModelRouter
@@ -399,6 +400,9 @@ class InferenceService:
             "slo": ({"enabled": True, **self.slo_controller.state()}
                     if self.slo_controller is not None
                     else {"enabled": False}),
+            # uptime + RSS; the HTTP frontend overlays its connection
+            # counts (open/parked) before serialising /stats.
+            "process": process_stats(self.started_at),
         }
 
 

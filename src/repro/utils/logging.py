@@ -1,16 +1,95 @@
-"""Lightweight logging configuration for the repro package.
+"""Structured logging for the repro package, trace-correlated.
 
-The library never configures the root logger; it only exposes a helper to get
-namespaced loggers so applications keep full control of handlers/levels.
+The library still never touches the *root* logger — applications keep full
+control of their own handlers.  What it does own is the ``repro`` namespace
+logger: :func:`configure_logging` installs exactly one stream handler on it
+(tagged so repeated calls — every ``get_logger`` invokes it — never stack
+duplicates), with a formatter that carries the active trace id so a log line
+emitted anywhere under a traced request or worker group can be joined
+against ``/debug/traces/<id>`` output.
+
+* Level comes from ``REPRO_LOG_LEVEL`` (name or number; default ``INFO``)
+  unless the caller passes one explicitly.
+* ``record.trace_id`` is injected by a filter from the context-local
+  current span (:func:`repro.obs.trace.current_trace_id`), ``-`` when no
+  trace is active, so the format string never KeyErrors.
+* ``force=True`` replaces the existing handler — tests use it to redirect
+  ``stream``.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import sys
+
+_HANDLER_TAG = "_repro_structured_handler"
+_FORMAT = ("%(asctime)s %(levelname)s %(name)s "
+           "trace=%(trace_id)s :: %(message)s")
+
+
+class _TraceContextFilter(logging.Filter):
+    """Stamp every record with the context's active trace id (or ``-``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        try:
+            # Imported lazily: logging must stay importable even while
+            # repro.obs is mid-import (or absent in a trimmed install).
+            from repro.obs.trace import current_trace_id
+            record.trace_id = current_trace_id() or "-"
+        except Exception:
+            record.trace_id = "-"
+        return True
+
+
+def _resolve_level(level) -> int:
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    if isinstance(level, int):
+        return level
+    text = str(level).strip().upper()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text)
+    return resolved if isinstance(resolved, int) else logging.INFO
+
+
+def configure_logging(level=None, stream=None, *,
+                      force: bool = False) -> logging.Logger:
+    """Configure the ``repro`` namespace logger; idempotent by default.
+
+    Returns the namespace logger.  Safe to call from every module import
+    path: an already-installed handler is kept (only its level follows the
+    requested/env level) unless ``force=True`` swaps it out.
+    """
+    logger = logging.getLogger("repro")
+    existing = [handler for handler in logger.handlers
+                if getattr(handler, _HANDLER_TAG, False)]
+    # An idempotent re-entry (every get_logger call) must not clobber a
+    # level someone set explicitly: only (re)apply on first install, on
+    # force, or when a level was actually passed.
+    if level is not None or not existing or force:
+        logger.setLevel(_resolve_level(level))
+    if existing and not force:
+        return logger
+    for handler in existing:
+        logger.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(_TraceContextFilter())
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    # The namespace logger is the boundary: nothing propagates up to the
+    # root logger, so embedding applications never see duplicate lines.
+    logger.propagate = False
+    return logger
 
 
 def get_logger(name: str) -> logging.Logger:
-    """Return a logger under the ``repro`` namespace."""
+    """Return a configured logger under the ``repro`` namespace."""
+    configure_logging()
     if not name.startswith("repro"):
         name = f"repro.{name}"
     return logging.getLogger(name)

@@ -1,0 +1,240 @@
+"""Tests for Prometheus exposition: render, strict parse, round-trip, and
+the fleet-wide histogram merge + trace tree rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.aggregate import (
+    merge_latency_histograms,
+    render_trace_list,
+    render_trace_tree,
+)
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRenderer,
+    escape_label_value,
+    format_le,
+    histogram_series,
+    parse_prometheus_text,
+)
+from repro.serving.metrics import LATENCY_BUCKETS, Histogram
+
+
+def _snapshot(histogram: Histogram) -> dict:
+    return histogram.snapshot()
+
+
+class TestRenderer:
+    def test_counter_gauge_histogram_families(self):
+        out = MetricsRenderer()
+        out.counter("repro_requests_total", 7, "Requests.")
+        out.gauge("repro_sessions_loaded", 2, "Sessions.")
+        hist = Histogram(bounds=(0.01, 0.1))
+        hist.observe(0.005)
+        hist.observe(0.5)
+        out.histogram("repro_latency_seconds", _snapshot(hist), "Latency.",
+                      {"model": "demo"})
+        text = out.render()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_sessions_loaded gauge" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        # Cumulative buckets end at +Inf == _count.
+        assert 'le="+Inf"} 2' in text
+        assert "repro_latency_seconds_count{model=\"demo\"} 2" in text
+
+    def test_help_type_emitted_once_per_family(self):
+        out = MetricsRenderer()
+        out.counter("repro_x_total", 1, "X.", {"model": "a"})
+        out.counter("repro_x_total", 2, "X.", {"model": "b"})
+        text = out.render()
+        assert text.count("# HELP repro_x_total") == 1
+        assert text.count("# TYPE repro_x_total") == 1
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRenderer().counter("bad name", 1, "nope")
+
+    def test_label_escaping_round_trips(self):
+        tricky = 'demo"with\\quotes\nand newline'
+        assert '"' not in escape_label_value(tricky).replace('\\"', "")
+        out = MetricsRenderer()
+        out.counter("repro_x_total", 1, "X.", {"model": tricky})
+        samples = parse_prometheus_text(out.render())
+        assert samples == [("repro_x_total", {"model": tricky}, 1.0)]
+
+    def test_format_le_round_trips_through_float(self):
+        for edge in LATENCY_BUCKETS:
+            assert float(format_le(edge)) == edge
+
+    def test_content_type_names_the_exposition_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestParser:
+    def test_parses_values_and_labels(self):
+        samples = parse_prometheus_text(
+            "# HELP x X.\n# TYPE x counter\n"
+            'x{a="1",b="two"} 3\n'
+            "y 4.5\n\n")
+        assert samples == [("x", {"a": "1", "b": "two"}, 3.0),
+                          ("y", {}, 4.5)]
+
+    @pytest.mark.parametrize("bad", [
+        "x{unterminated 3",
+        "x{a=unquoted} 3",
+        "just some words here",
+        "x notanumber",
+    ])
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_histogram_series_decumulates(self):
+        hist = Histogram(bounds=(0.01, 0.1))
+        for value in (0.005, 0.05, 0.05, 5.0):
+            hist.observe(value)
+        out = MetricsRenderer()
+        out.histogram("m", _snapshot(hist), "M.", {"model": "demo"})
+        series = histogram_series(parse_prometheus_text(out.render()), "m")
+        (key, data), = series.items()
+        assert dict(key) == {"model": "demo"}
+        assert data["bounds"] == [0.01, 0.1]
+        assert data["counts"] == [1, 2, 1]  # raw again, overflow included
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(5.105)
+
+    def test_histogram_series_requires_inf_and_monotonicity(self):
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            histogram_series([("m_bucket", {"le": "0.1"}, 1.0)], "m")
+        with pytest.raises(ValueError, match="non-monotone"):
+            histogram_series([("m_bucket", {"le": "0.1"}, 5.0),
+                              ("m_bucket", {"le": "+Inf"}, 3.0)], "m")
+
+
+class TestServerPage:
+    def test_render_server_metrics_parses_clean(self):
+        """The renderer's full page is valid exposition text end to end,
+        even against a stub service that never saw traffic."""
+        from repro.obs.prometheus import render_server_metrics
+        from repro.obs.trace import Tracer
+        from repro.serving.metrics import ServingMetrics
+
+        class _Stats:
+            requests = rows_requested = batches = 0
+            matmuls = coalesced_requests = 0
+
+        class _Batcher:
+            metrics = ServingMetrics()
+            stats = _Stats()
+
+        class _Service:
+            metrics = _Batcher.metrics
+            batcher = _Batcher()
+            shed_counts = {}
+            cache_stats = {"feature_hits": 3, "feature_misses": 1}
+            started_at = 0.0
+
+            @staticmethod
+            def loaded_digests():
+                return ["d" * 64]
+
+        service = _Service()
+        service.metrics.observe_queue_depth("demo", 4)
+        tracer = Tracer()
+        with tracer.span("predict"):
+            pass
+        text = render_server_metrics(service, tracer=tracer)
+        samples = parse_prometheus_text(text)
+        names = {name for name, _labels, _value in samples}
+        assert "repro_requests_total" in names
+        assert "repro_feature_cache_hits_total" in names
+        assert "repro_uptime_seconds" in names
+        assert "repro_stage_duration_seconds_bucket" in names
+        assert "repro_traces_active" in names
+        # Families are contiguous blocks: each family header appears once.
+        assert text.count("# TYPE repro_queue_depth histogram") == 1
+
+
+class TestFleetMerge:
+    def _page(self, values, model="demo"):
+        hist = Histogram(LATENCY_BUCKETS)
+        for value in values:
+            hist.observe(value)
+        out = MetricsRenderer()
+        out.histogram("repro_request_latency_seconds", _snapshot(hist),
+                      "Latency.", {"model": model})
+        return parse_prometheus_text(out.render())
+
+    def test_merge_across_replicas_is_exact(self):
+        values = [0.001 * (i + 1) for i in range(100)]
+        left = self._page(values[::2])
+        right = self._page(values[1::2])
+        merged, replicas = merge_latency_histograms([left, right])
+        assert replicas == {"demo": 2}
+        whole = Histogram(LATENCY_BUCKETS)
+        for value in values:
+            whole.observe(value)
+        assert merged["demo"].counts == whole.counts
+        assert merged["demo"].count == 100
+        for q in (0.5, 0.95, 0.99):
+            assert whole.quantile(q) / 1.5 <= merged["demo"].quantile(q) \
+                <= whole.quantile(q) * 1.5
+
+    def test_models_stay_separate(self):
+        merged, replicas = merge_latency_histograms(
+            [self._page([0.001], model="a"), self._page([1.0], model="b")])
+        assert set(merged) == {"a", "b"}
+        assert replicas == {"a": 1, "b": 1}
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(1.5)
+        out = MetricsRenderer()
+        out.histogram("repro_request_latency_seconds", _snapshot(hist),
+                      "L.", {"model": "demo"})
+        odd = parse_prometheus_text(out.render())
+        with pytest.raises(ValueError, match="bucket bounds disagree"):
+            merge_latency_histograms([self._page([0.1]), odd])
+
+
+class TestTraceRendering:
+    def test_tree_nests_by_parent_links(self):
+        spans = [
+            {"trace_id": "t" * 32, "span_id": "root0000root0000",
+             "parent_id": None, "name": "predict", "start_ns": 1,
+             "duration_ms": 5.0, "status": "ok",
+             "attrs": {"model": "demo"}},
+            {"trace_id": "t" * 32, "span_id": "child000child000",
+             "parent_id": "root0000root0000", "name": "compute",
+             "start_ns": 2, "duration_ms": 3.0, "status": "ok",
+             "attrs": {"rows": 4}},
+            {"trace_id": "t" * 32, "span_id": "orphan00orphan00",
+             "parent_id": "missing0missing0", "name": "remote",
+             "start_ns": 3, "duration_ms": 1.0, "status": "error",
+             "attrs": {}},
+        ]
+        text = render_trace_tree(spans)
+        lines = text.splitlines()
+        assert "3 spans" in lines[0]
+        predict = next(line for line in lines if "predict" in line)
+        compute = next(line for line in lines if "compute" in line)
+        assert "model=demo" in predict
+        assert "rows=4" in compute
+        # The child is indented under its parent; the orphan is promoted
+        # to a root and carries its non-ok status.
+        assert compute.index("compute") > predict.index("predict")
+        assert "[error]" in next(line for line in lines if "remote" in line)
+
+    def test_empty_inputs_have_friendly_renderings(self):
+        assert render_trace_tree([]) == "trace has no spans"
+        assert render_trace_list([]) == "no traces recorded"
+
+    def test_list_renders_rows_and_errors(self):
+        text = render_trace_list([
+            {"server": "http://a", "trace_id": "t1", "root": "predict",
+             "span_count": 3, "duration_ms": 1.25},
+            {"server": "http://b", "error": "connection refused"},
+        ])
+        assert "t1" in text and "predict" in text and "http://a" in text
+        assert "!! http://b: connection refused" in text

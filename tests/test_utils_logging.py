@@ -1,0 +1,76 @@
+"""Tests for structured, trace-correlated logging."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.trace import Tracer
+from repro.utils.logging import configure_logging, get_logger
+
+
+def _fresh(stream=None, **kwargs):
+    return configure_logging(stream=stream or io.StringIO(), force=True,
+                             **kwargs)
+
+
+class TestConfigureLogging:
+    def test_single_tagged_handler_no_duplicates(self):
+        logger = _fresh()
+        for _ in range(3):
+            configure_logging()  # every get_logger call re-enters this
+        tagged = [handler for handler in logger.handlers
+                  if getattr(handler, "_repro_structured_handler", False)]
+        assert len(tagged) == 1
+        assert logger.propagate is False
+
+    def test_log_line_carries_level_name_and_dash_without_trace(self):
+        stream = io.StringIO()
+        _fresh(stream)
+        get_logger("tuning").info("trial done")
+        line = stream.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.tuning" in line
+        assert "trace=-" in line
+        assert "trial done" in line
+
+    def test_log_line_carries_the_active_trace_id(self):
+        stream = io.StringIO()
+        _fresh(stream)
+        tracer = Tracer()
+        with tracer.span("predict") as span:
+            get_logger("serving").info("inside the request")
+        line = stream.getvalue().strip()
+        assert f"trace={span.trace_id}" in line
+
+    def test_level_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "warning")
+        stream = io.StringIO()
+        _fresh(stream)
+        logger = get_logger("x")
+        logger.info("hidden")
+        logger.warning("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_explicit_level_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+        stream = io.StringIO()
+        _fresh(stream, level="DEBUG")
+        get_logger("y").debug("visible")
+        assert "visible" in stream.getvalue()
+
+    def test_numeric_and_garbage_levels(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        assert _fresh(level="15").level == 15
+        assert _fresh(level=logging.DEBUG).level == logging.DEBUG
+        assert _fresh(level="NOT_A_LEVEL").level == logging.INFO
+
+    def test_get_logger_namespaces_and_configures(self):
+        _fresh()
+        assert get_logger("tuning").name == "repro.tuning"
+        assert get_logger("repro.serving").name == "repro.serving"
+        tagged = [handler
+                  for handler in logging.getLogger("repro").handlers
+                  if getattr(handler, "_repro_structured_handler", False)]
+        assert len(tagged) == 1
