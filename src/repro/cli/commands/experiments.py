@@ -1,0 +1,256 @@
+"""Single-machine experiment commands: ``datasets``, ``train``,
+``baselines``, ``figure``, ``tune``, ``sensitivity`` and ``attack``."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.cli.commands.shared import (
+    add_dataset_arguments,
+    add_gcon_arguments,
+    add_preparation_cache_argument,
+    build_gcon,
+    load_graph,
+    parse_steps,
+)
+
+
+def command_datasets(args) -> int:
+    """List the dataset presets and their generated-versus-paper statistics."""
+    from repro.evaluation.reporting import render_table
+    from repro.graphs.datasets import dataset_statistics, list_datasets, reference_statistics
+
+    names = list_datasets()
+    generated = dataset_statistics(names, scale=args.scale, seed=args.seed)
+    reference = reference_statistics()
+    headers = ["dataset", "nodes", "edges", "features", "classes", "homophily",
+               "paper nodes", "paper edges", "paper homophily"]
+    rows = []
+    for stats in generated:
+        name = stats["name"]
+        paper = reference[name]
+        rows.append([
+            name, stats["nodes"], stats["edges"], stats["features"], stats["classes"],
+            f"{stats['homophily']:.3f}", paper["nodes"], paper["edges"],
+            f"{paper['homophily']:.2f}",
+        ])
+    print(render_table(headers, rows, title=f"Dataset presets (scale={args.scale})"))
+    return 0
+
+
+def command_train(args) -> int:
+    """Train a single GCON model and report train/validation/test micro-F1."""
+    graph = load_graph(args)
+    model = build_gcon(args, graph).fit(graph, seed=args.seed)
+    epsilon, delta = model.privacy_spent
+    print(f"dataset: {graph.name} (n={graph.num_nodes}, |E|={graph.num_edges})")
+    print(f"privacy: epsilon={epsilon:g}, delta={delta:.3g}")
+    for split_name, idx in (("train", graph.train_idx), ("val", graph.val_idx),
+                            ("test", graph.test_idx)):
+        if idx.size == 0:
+            continue
+        score = model.score(graph, idx=idx, mode=args.inference_mode)
+        print(f"{split_name} micro-F1 ({args.inference_mode} inference): {score:.4f}")
+    return 0
+
+
+def command_baselines(args) -> int:
+    """Train every Figure-1 method once at a single epsilon and print a comparison table."""
+    from repro.evaluation.figures import FigureSettings, build_method_registry
+    from repro.evaluation.reporting import render_table
+    from repro.runtime.cells import SweepCell
+    from repro.runtime.engine import ParallelExperimentRunner
+    from repro.runtime.workers import FigureCellRunner
+
+    settings = FigureSettings(scale=args.scale, repeats=1, seed=args.seed,
+                              epochs=args.epochs)
+    registry = build_method_registry(settings)
+    cells = [
+        SweepCell(index=position, method=name, dataset=args.dataset,
+                  epsilon=args.epsilon, repeat=0, seed=args.seed, group=position)
+        for position, name in enumerate(registry)
+    ]
+    engine = ParallelExperimentRunner(
+        FigureCellRunner(settings=settings, delta=args.delta,
+                         preparation_cache=args.preparation_cache),
+        jobs=args.jobs)
+    results = engine.run(cells)
+    rows = [[result.method, f"{result.micro_f1:.4f}"] for result in results]
+    print(render_table(["method", "test micro-F1"], rows,
+                       title=f"{args.dataset} @ epsilon={args.epsilon:g}"))
+    return 0
+
+
+def command_figure(args) -> int:
+    """Regenerate one of the paper's tables/figures and export text/CSV/JSON."""
+    from repro.evaluation.export import export_figure
+    from repro.evaluation.figures import (
+        FigureSettings,
+        attack_auc_vs_epsilon,
+        figure1_accuracy_vs_epsilon,
+        figure23_propagation_step,
+        figure4_restart_probability,
+        table2_dataset_statistics,
+    )
+    from repro.evaluation.reporting import render_series, render_table
+
+    settings = FigureSettings(scale=args.scale, repeats=args.repeats, seed=args.seed,
+                              datasets=tuple(args.datasets.split(",")),
+                              jobs=args.jobs,
+                              preparation_cache=args.preparation_cache)
+    output_dir = Path(args.output_dir)
+
+    if args.id == "table2":
+        result = table2_dataset_statistics(settings)
+        headers = ["dataset", "nodes", "edges", "features", "classes", "homophily"]
+        rows = [[s["name"], s["nodes"], s["edges"], s["features"], s["classes"],
+                 f"{s['homophily']:.3f}"] for s in result["generated"]]
+        text = render_table(headers, rows, title="Table II (generated presets)")
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / "table2.txt").write_text(text + "\n")
+        print(text)
+        return 0
+
+    generators = {
+        "figure1": lambda: figure1_accuracy_vs_epsilon(settings),
+        "figure2": lambda: figure23_propagation_step(settings, inference_mode="private"),
+        "figure3": lambda: figure23_propagation_step(settings, inference_mode="public"),
+        "figure4": lambda: figure4_restart_probability(settings),
+        "attack": lambda: attack_auc_vs_epsilon(settings),
+    }
+    series = generators[args.id]()
+    paths = export_figure(series, output_dir, args.id,
+                          title=f"{args.id} (scale={args.scale}, repeats={args.repeats})",
+                          metadata={"scale": args.scale, "repeats": args.repeats,
+                                    "seed": args.seed})
+    print(render_series(series, title=args.id))
+    print(f"\nwritten: {', '.join(str(p) for p in paths.values())}")
+    return 0
+
+
+def command_tune(args) -> int:
+    """Random/grid search over the Appendix-Q hyperparameter grid for GCON."""
+    from repro.evaluation.reporting import render_table
+    from repro.tuning import GridSearch, RandomSearch, gcon_quick_space, gcon_search_space, \
+        make_gcon_factory
+
+    graph = load_graph(args)
+    factory = make_gcon_factory(args.epsilon, args.delta, encoder_epochs=args.encoder_epochs)
+    if args.space == "full":
+        space = gcon_search_space(args.dataset)
+    else:
+        space = gcon_quick_space()
+    if args.strategy == "grid":
+        search = GridSearch(factory, space, repeats=args.repeats, seed=args.seed)
+    else:
+        search = RandomSearch(factory, space, num_trials=args.trials,
+                              repeats=args.repeats, seed=args.seed)
+    result = search.run(graph)
+    headers, rows = result.to_rows(top_k=args.top_k)
+    print(render_table(headers, rows,
+                       title=f"Validation leaderboard ({len(result)} trials)"))
+    print(f"\nbest params: {result.best_params}")
+    print(f"best validation micro-F1: {result.best_score:.4f}")
+    return 0
+
+
+def command_sensitivity(args) -> int:
+    """Print the closed-form Lemma-2 sensitivity for a grid of (alpha, m) settings."""
+    from repro.core.sensitivity import aggregate_sensitivity
+    from repro.evaluation.reporting import render_table
+
+    alphas = [float(a) for a in args.alphas.split(",")]
+    steps = list(parse_steps(args.m_values))
+    headers = ["alpha"] + [("inf" if math.isinf(m) else str(m)) for m in steps]
+    rows = []
+    for alpha in alphas:
+        rows.append([f"{alpha:g}"] + [f"{aggregate_sensitivity(alpha, m):.4f}" for m in steps])
+    print(render_table(headers, rows, title="Psi(Z_m) = 2(1-a)/a (1-(1-a)^m)"))
+    return 0
+
+
+def command_attack(args) -> int:
+    """Run the link-stealing attack suite against GCON and the non-private GCN."""
+    from repro.attacks import attack_auc, sample_edge_candidates
+    from repro.attacks.similarity import strongest_attack_auc
+    from repro.baselines import GCNClassifier
+    from repro.evaluation.reporting import render_table
+
+    graph = load_graph(args)
+    pairs, labels = sample_edge_candidates(graph, num_pairs=args.pairs, rng=args.seed)
+    rows = []
+
+    gcn = GCNClassifier(epochs=args.epochs).fit(graph, seed=args.seed)
+    name, auc = strongest_attack_auc(gcn.decision_scores(graph), pairs, labels)
+    rows.append(["GCN (non-DP)", name, f"{auc:.4f}"])
+
+    model = build_gcon(args, graph).fit(graph, seed=args.seed)
+    scores = model.decision_scores(graph, mode="private")
+    name, auc = strongest_attack_auc(scores, pairs, labels)
+    rows.append([f"GCON (eps={args.epsilon:g})", name, f"{auc:.4f}"])
+
+    print(render_table(["model", "best metric", "attack AUC"], rows,
+                       title=f"Link-stealing attack on {graph.name} ({args.pairs} pairs)"))
+    _ = attack_auc  # re-exported for API discoverability
+    return 0
+
+
+def configure(subparsers) -> None:
+    datasets = subparsers.add_parser("datasets", help="list dataset presets and statistics")
+    add_dataset_arguments(datasets)
+    datasets.set_defaults(func=command_datasets)
+
+    train = subparsers.add_parser("train", help="train one GCON model")
+    add_dataset_arguments(train)
+    add_gcon_arguments(train)
+    train.set_defaults(func=command_train)
+
+    baselines = subparsers.add_parser("baselines", help="compare all methods at one epsilon")
+    add_dataset_arguments(baselines)
+    baselines.add_argument("--epsilon", type=float, default=1.0)
+    baselines.add_argument("--delta", type=float, default=None)
+    baselines.add_argument("--epochs", type=int, default=100)
+    baselines.add_argument("--jobs", type=int, default=1,
+                           help="number of parallel worker processes")
+    add_preparation_cache_argument(baselines)
+    baselines.set_defaults(func=command_baselines)
+
+    figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
+    figure.add_argument("id", choices=("table2", "figure1", "figure2", "figure3",
+                                       "figure4", "attack"))
+    figure.add_argument("--scale", type=float, default=0.25)
+    figure.add_argument("--repeats", type=int, default=1)
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--datasets", default="cora_ml",
+                        help="comma-separated dataset presets")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="number of parallel worker processes")
+    figure.add_argument("--output-dir", default="benchmarks/output", dest="output_dir")
+    add_preparation_cache_argument(figure)
+    figure.set_defaults(func=command_figure)
+
+    tune = subparsers.add_parser("tune", help="hyperparameter search for GCON")
+    add_dataset_arguments(tune)
+    tune.add_argument("--epsilon", type=float, default=1.0)
+    tune.add_argument("--delta", type=float, default=None)
+    tune.add_argument("--strategy", choices=("grid", "random"), default="random")
+    tune.add_argument("--space", choices=("quick", "full"), default="quick")
+    tune.add_argument("--trials", type=int, default=8)
+    tune.add_argument("--repeats", type=int, default=1)
+    tune.add_argument("--top-k", type=int, default=10, dest="top_k")
+    tune.add_argument("--encoder-epochs", type=int, default=100, dest="encoder_epochs")
+    tune.set_defaults(func=command_tune)
+
+    sensitivity = subparsers.add_parser("sensitivity",
+                                        help="print the Lemma-2 sensitivity table")
+    sensitivity.add_argument("--alphas", default="0.2,0.4,0.6,0.8")
+    sensitivity.add_argument("--m-values", default="1,2,5,10,inf", dest="m_values")
+    sensitivity.set_defaults(func=command_sensitivity)
+
+    attack = subparsers.add_parser("attack", help="run the link-stealing attack suite")
+    add_dataset_arguments(attack)
+    add_gcon_arguments(attack)
+    attack.add_argument("--pairs", type=int, default=300)
+    attack.add_argument("--epochs", type=int, default=100)
+    attack.set_defaults(func=command_attack)

@@ -1,0 +1,387 @@
+"""The ``publish`` and ``serve`` commands: release a sweep winner into the
+model registry and serve registry models over the batched HTTP JSON API."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.cli.commands.shared import (
+    add_sweep_grid_arguments,
+    resolve_sweep_names,
+    sweep_spec_from_args,
+)
+
+
+def command_publish(args) -> int:
+    """Publish the winning GCON cell of a sweep store into a model registry.
+
+    The sweep grid arguments must repeat the knobs of the sweep that produced
+    ``--store`` (they default to the sweep defaults); the rebuilt context
+    fingerprint is checked against the stamp on the winning record, so a
+    store cannot silently be published under different settings.  The cell is
+    refit from its deterministic seed — the released theta is recomputed, not
+    read from the store, which only ever holds scores.
+    """
+    from repro.graphs.datasets import load_dataset
+    from repro.runtime.cells import derive_cell_seed
+    from repro.runtime.store import JsonlResultStore, best_record
+    from repro.runtime.workers import score_estimator
+    from repro.serving import ModelRegistry
+
+    methods, error = resolve_sweep_names(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    store = JsonlResultStore(args.store)
+    records = store.load()
+    if not records:
+        print(f"store {args.store} holds no records", file=sys.stderr)
+        return 2
+    try:
+        winner = best_record(records, method=args.select_method,
+                             dataset=args.select_dataset,
+                             epsilon=args.select_epsilon)
+    except ValueError as error:
+        print(f"publish failed: {error}", file=sys.stderr)
+        return 2
+    if winner.method != "GCON":
+        print(f"publish failed: the winning record is {winner.method!r}; only "
+              f"GCON releases are publishable (narrow with --method)",
+              file=sys.stderr)
+        return 2
+
+    spec = sweep_spec_from_args(args, methods)
+    stamped = winner.extra.get("sweep_context")
+    if stamped is not None and stamped != spec.context_digest():
+        print(f"publish failed: the store was produced under sweep context "
+              f"{stamped}, but the given grid arguments fingerprint to "
+              f"{spec.context_digest()}; repeat the original sweep's knobs",
+              file=sys.stderr)
+        return 2
+    if stamped is None:
+        print("warning: the winning record carries no sweep-context stamp; "
+              "trusting the given grid arguments", file=sys.stderr)
+
+    from repro.core.model import GCON
+    from repro.evaluation.figures import default_gcon_config
+
+    settings = spec.settings()
+    graph = load_dataset(winner.dataset, scale=spec.scale, seed=spec.seed)
+    delta = spec.delta if spec.delta is not None else 1.0 / max(graph.num_edges, 1)
+    cell_seed = derive_cell_seed(spec.seed, winner.dataset, winner.method,
+                                 winner.repeat)
+    model = GCON(default_gcon_config(winner.epsilon, delta, settings))
+    model.fit(graph, seed=cell_seed)
+    refit_score = score_estimator(model, graph, args.inference_mode)
+
+    registry = ModelRegistry(args.registry)
+    record = registry.publish(model, args.name, inference_mode=args.inference_mode,
+                              training={
+                                  "dataset": winner.dataset,
+                                  "scale": spec.scale,
+                                  "graph_seed": spec.seed,
+                                  "cell_seed": cell_seed,
+                                  "repeat": winner.repeat,
+                                  "epsilon": winner.epsilon,
+                                  "store_micro_f1": winner.micro_f1,
+                                  "refit_micro_f1": refit_score,
+                                  "sweep_context": stamped,
+                                  "store": str(args.store),
+                              })
+    epsilon, delta_spent = model.privacy_spent
+    print(f"published {record.ref} (digest {record.digest[:16]}…)")
+    print(f"  source cell: {winner.method}/{winner.dataset} "
+          f"epsilon={winner.epsilon:g} repeat={winner.repeat} "
+          f"(store micro-F1 {winner.micro_f1:.4f})")
+    print(f"  privacy: epsilon={epsilon:g}, delta={delta_spent:.3g}")
+    print(f"  refit test micro-F1 ({args.inference_mode} inference): {refit_score:.4f}")
+    if abs(refit_score - winner.micro_f1) > 0.02:
+        print("  note: refit score differs from the store record by more than "
+              "0.02 — the record may come from the vectorised sweep fast path "
+              "(solver-tolerance-level drift is expected)", file=sys.stderr)
+    print(f"serve it with:  repro serve --registry {args.registry} "
+          f"--model {args.name}@latest")
+    return 0
+
+
+def _parse_advertise(advertise: str | None, host: str, port: int) -> tuple[str, int]:
+    """``--advertise HOST[:PORT]`` → the address peers dial; defaults to the
+    actually bound host:port (so ``--port 0`` advertises the ephemeral one)."""
+    if not advertise:
+        return host, port
+    adv_host, sep, adv_port = advertise.rpartition(":")
+    if sep and adv_port.isdigit():
+        return adv_host or host, int(adv_port)
+    return advertise, port
+
+
+def _build_telemetry(args):
+    """Validate the ``--telemetry-dir`` configuration up front, before the
+    socket binds: the store root, the rule set (file or defaults) and the
+    scrape interval all fail here with a clean message, never mid-serve.
+    Returns ``(store, rules, error_message)``."""
+    from repro.obs.alerts import default_rules, load_rules
+    from repro.obs.tsdb import TelemetryStore
+
+    if args.scrape_interval <= 0:
+        return None, None, f"--scrape-interval must be > 0, got {args.scrape_interval:g}"
+    try:
+        store = TelemetryStore(Path(args.telemetry_dir))
+        rules = (load_rules(args.alert_rules) if args.alert_rules
+                 else default_rules())
+    except (OSError, ValueError) as error:
+        return None, None, str(error)
+    return store, rules, None
+
+
+def command_serve(args) -> int:
+    """Serve registry models over the selector-loop HTTP JSON API."""
+    from repro.serving import InferenceService, SloController, serve_http
+
+    telemetry_store = rules = None
+    if args.telemetry_dir:
+        telemetry_store, rules, error = _build_telemetry(args)
+        if error:
+            print(f"serve failed: {error}", file=sys.stderr)
+            return 2
+
+    max_queue_depth = args.max_queue_depth if args.max_queue_depth > 0 else None
+    service = InferenceService(
+        args.registry, max_batch_size=args.batch_size,
+        max_latency=args.max_latency_ms / 1000.0,
+        max_queue_depth=max_queue_depth,
+        mmap_bundles=not args.no_mmap)
+    records = []
+    try:
+        for ref in args.models:
+            records.append(service.registry.verify(ref))
+            # Warm each session (graph load, encoder forward pass,
+            # propagation) before binding the socket, so the first query pays
+            # only one matmul — and a bad manifest/graph fails here with a
+            # clean message instead of on the first request.  Warming also
+            # matters more now: a cold build would run on the selector loop.
+            service.predict_scores(ref, [0])
+    except Exception as error:
+        print(f"serve failed: {error}", file=sys.stderr)
+        return 2
+    controller = None
+    if args.slo_p99_ms > 0 and not args.static_batching:
+        controller = SloController(service.batcher,
+                                   target_p99=args.slo_p99_ms / 1000.0)
+        service.attach_slo(controller)
+        controller.start()
+    server = serve_http(service, host=args.host, port=args.port,
+                        log_stream=None if args.quiet else sys.stderr,
+                        max_connections=args.max_connections,
+                        stats_interval=args.stats_interval,
+                        trace=not args.no_trace)
+    host, port = server.server_address[:2]
+
+    member = None
+    if args.fleet_dir:
+        from repro.serving import FleetMember, FleetRouter, default_replica_id
+
+        adv_host, adv_port = _parse_advertise(args.advertise, host, port)
+        replica_id = args.replica_id or default_replica_id(adv_host, adv_port)
+        try:
+            member = FleetMember(args.fleet_dir, replica_id, adv_host,
+                                 adv_port, ttl=args.fleet_ttl)
+            member.join(service.loaded_digests())
+        except Exception as error:
+            server.server_close()
+            if controller is not None:
+                controller.close()
+            service.close()
+            print(f"serve failed: {error}", file=sys.stderr)
+            return 2
+        member.start()
+        server.fleet = FleetRouter(member, proxy=not args.fleet_redirect)
+
+    collector = None
+    if telemetry_store is not None:
+        from repro.obs.alerts import AlertEngine, fleet_down_signal
+        from repro.obs.collector import TelemetryCollector
+        from repro.obs.prometheus import render_server_metrics
+
+        instants = {}
+        if args.fleet_dir:
+            instants["fleet_replicas_down"] = fleet_down_signal(args.fleet_dir)
+        engine = AlertEngine(
+            rules, telemetry_store, instants=instants,
+            history_path=Path(args.telemetry_dir) / "alerts.jsonl")
+        server.alerts = engine  # GET /alerts serves the latest evaluation
+        collector = TelemetryCollector(
+            telemetry_store,
+            lambda: render_server_metrics(service, server=server,
+                                          tracer=server.tracer),
+            interval=args.scrape_interval,
+            replica=member.replica_id if member is not None else "local",
+            engine=engine)
+        collector.start()
+
+    watcher = None
+    if args.reload_interval and args.reload_interval > 0:
+        from repro.serving import watch_models
+
+        def _readvertise(_name, _old, _new):
+            if member is not None:
+                member.advertise(service.loaded_digests())
+
+        watcher = watch_models(service, args.models,
+                               interval=args.reload_interval,
+                               on_flip=_readvertise).start()
+
+    served = ", ".join(f"{record.ref} (mode={record.inference_mode})"
+                       for record in records)
+    slo_note = (f"slo p99<={args.slo_p99_ms:g}ms" if controller is not None
+                else "static batching")
+    depth_note = (f"queue<={max_queue_depth}" if max_queue_depth is not None
+                  else "no admission cap")
+    fleet_note = (f", fleet {member.replica_id} in {args.fleet_dir} "
+                  f"(ttl {args.fleet_ttl:g}s)" if member is not None else "")
+    telemetry_note = (f", telemetry in {args.telemetry_dir} "
+                      f"(scrape {args.scrape_interval:g}s, "
+                      f"{len(rules)} alert rule(s))"
+                      if collector is not None else "")
+    print(f"serving {served} on http://{host}:{port} "
+          f"(batch<={args.batch_size}, latency<={args.max_latency_ms:g}ms, "
+          f"connections<={args.max_connections}, {slo_note}, {depth_note})"
+          f"{fleet_note}{telemetry_note}",
+          file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if watcher is not None:
+            watcher.close()
+        if collector is not None:
+            collector.close()
+        if member is not None:
+            member.leave()  # graceful: the census drops us immediately
+        server.server_close()
+        if controller is not None:
+            controller.close()
+        service.close()
+    return 0
+
+
+def configure(subparsers) -> None:
+    publish = subparsers.add_parser(
+        "publish", help="publish the winning sweep cell into a model registry")
+    publish.add_argument("--store", required=True,
+                         help="JSONL result store of the finished sweep")
+    publish.add_argument("--registry", required=True, metavar="DIR",
+                         help="model registry root directory")
+    publish.add_argument("--name", required=True,
+                         help="model name to publish under (versions are "
+                              "content-addressed; latest advances)")
+    publish.add_argument("--method", default="GCON", dest="select_method",
+                         help="restrict winner selection to this method "
+                              "(default: GCON, the only publishable release)")
+    publish.add_argument("--dataset", default=None, dest="select_dataset",
+                         help="restrict winner selection to this dataset")
+    publish.add_argument("--epsilon", type=float, default=None, dest="select_epsilon",
+                         help="restrict winner selection to this privacy budget")
+    publish.add_argument("--inference-mode", choices=("private", "public"),
+                         default="private", dest="inference_mode",
+                         help="default Algorithm-4 mode stamped into the manifest")
+    add_sweep_grid_arguments(publish)
+    publish.set_defaults(func=command_publish)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve registry models over a batched HTTP JSON API")
+    serve.add_argument("--registry", required=True, metavar="DIR",
+                       help="model registry root directory")
+    serve.add_argument("--model", required=True, action="append",
+                       dest="models", metavar="REF",
+                       help="model reference, e.g. NAME@latest or "
+                            "NAME@<digest>; repeat to verify and pre-warm "
+                            "several models (each gets its own batch queue)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--batch-size", type=int, default=64, dest="batch_size",
+                       help="flush a model's micro-batch at this many "
+                            "queried rows (per-model queues)")
+    serve.add_argument("--max-latency-ms", type=float, default=5.0,
+                       dest="max_latency_ms",
+                       help="flush a model's forming micro-batch after this "
+                            "many milliseconds even if not full")
+    serve.add_argument("--max-connections", type=int, default=512,
+                       dest="max_connections",
+                       help="concurrent connection bound of the selector "
+                            "frontend; excess accepts are answered 503")
+    serve.add_argument("--stats-interval", type=float, default=None,
+                       dest="stats_interval", metavar="SECONDS",
+                       help="log a per-model latency summary "
+                            "(n/p50/p95/p99) to stderr every SECONDS")
+    serve.add_argument("--slo-p99-ms", type=float, default=50.0,
+                       dest="slo_p99_ms", metavar="MS",
+                       help="target request p99 in milliseconds; an AIMD "
+                            "controller tunes each model's batch budgets to "
+                            "hold it (0 disables, like --static-batching)")
+    serve.add_argument("--static-batching", action="store_true",
+                       dest="static_batching",
+                       help="disable the SLO controller and keep the "
+                            "--batch-size/--max-latency-ms limits fixed")
+    serve.add_argument("--max-queue-depth", type=int, default=512,
+                       dest="max_queue_depth", metavar="N",
+                       help="shed load with HTTP 429 + Retry-After once a "
+                            "model has this many requests in flight "
+                            "(0 disables admission control)")
+    serve.add_argument("--no-mmap", action="store_true", dest="no_mmap",
+                       help="load model bundles eagerly instead of "
+                            "memory-mapping them (scores are bitwise "
+                            "identical either way)")
+    serve.add_argument("--fleet-dir", default=None, dest="fleet_dir",
+                       metavar="DIR",
+                       help="join the replica fleet coordinated under DIR: "
+                            "hold a membership lease there and route each "
+                            "model digest to its owning replica over a "
+                            "consistent-hash ring")
+    serve.add_argument("--advertise", default=None, metavar="HOST[:PORT]",
+                       help="address peers should reach this replica at "
+                            "(default: the bound host:port)")
+    serve.add_argument("--replica-id", default=None, dest="replica_id",
+                       help="fleet replica id (default: derived from the "
+                            "advertised address and pid; must be unique "
+                            "per fleet)")
+    serve.add_argument("--fleet-ttl", type=float, default=10.0,
+                       dest="fleet_ttl", metavar="SECONDS",
+                       help="membership lease TTL: a replica that misses "
+                            "heartbeats this long is expired and its ring "
+                            "arcs move to the survivors (default: 10)")
+    serve.add_argument("--fleet-redirect", action="store_true",
+                       dest="fleet_redirect",
+                       help="answer peer-owned digests with a 307 redirect "
+                            "instead of proxying server-side")
+    serve.add_argument("--reload-interval", type=float, default=1.0,
+                       dest="reload_interval", metavar="SECONDS",
+                       help="poll the registry's latest pointers this often; "
+                            "a flipped version is pre-warmed before the old "
+                            "one's queues retire (0 disables hot-reload)")
+    serve.add_argument("--telemetry-dir", default=None, dest="telemetry_dir",
+                       metavar="DIR",
+                       help="retain this replica's own /metrics scrapes in an "
+                            "append-only telemetry store under DIR and run "
+                            "the alert rule engine over them; GET /alerts "
+                            "and 'repro alerts' read the verdicts")
+    serve.add_argument("--scrape-interval", type=float, default=5.0,
+                       dest="scrape_interval", metavar="SECONDS",
+                       help="seconds between telemetry self-scrapes (and "
+                            "alert rule evaluations) when --telemetry-dir "
+                            "is set (default: 5)")
+    serve.add_argument("--alert-rules", default=None, dest="alert_rules",
+                       metavar="FILE",
+                       help="JSON alert rule file evaluated by the telemetry "
+                            "collector (default: the built-in SLO burn-rate, "
+                            "shed-rate, trace-loss and census rules)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines on stderr")
+    serve.add_argument("--no-trace", action="store_true", dest="no_trace",
+                       help="disable request tracing (/debug/traces and the "
+                            "per-stage histograms on /metrics; scores are "
+                            "bitwise identical either way)")
+    serve.set_defaults(func=command_serve)

@@ -1,761 +1,22 @@
-"""Argument parsing and sub-command dispatch for the ``gcon-repro`` CLI."""
+"""Argument parsing and sub-command dispatch for the ``gcon-repro`` CLI.
+
+The sub-commands themselves live in :mod:`repro.cli.commands`, one module
+per family (experiments, sweep, dist, serving, fleet, obs); each registers
+its parsers through ``configure(subparsers)``.  This module only assembles
+the tree and dispatches — ``build_parser``/``main`` stay importable from
+here, which is the surface the console scripts, ``python -m repro.cli``
+and the test suite bind to.
+"""
 
 from __future__ import annotations
 
 import argparse
-import math
 import sys
-from pathlib import Path
 
+from repro.cli.commands import COMMAND_MODULES
 from repro.version import __version__
 
 
-# --------------------------------------------------------------------------- #
-# helpers
-# --------------------------------------------------------------------------- #
-def _parse_steps(raw: str) -> tuple:
-    """Parse a comma-separated propagation-step list such as ``"1,2,inf"``."""
-    steps = []
-    for token in raw.split(","):
-        token = token.strip().lower()
-        if not token:
-            continue
-        steps.append(math.inf if token in ("inf", "infinity") else int(token))
-    if not steps:
-        raise argparse.ArgumentTypeError("at least one propagation step is required")
-    return tuple(steps)
-
-
-def _add_preparation_cache_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--preparation-cache", default=None, dest="preparation_cache", metavar="DIR",
-        help="directory of the content-addressed preparation store: fitted "
-             "encoder weights and propagated features are cached by "
-             "(config, graph, seed), so repeats and resumed sweeps skip the "
-             "preparation phase (default: $REPRO_PREPARATION_CACHE when set)")
-
-
-def _add_sweep_grid_arguments(parser: argparse.ArgumentParser) -> None:
-    """The sweep grid plus every numerical knob, shared by ``sweep`` and
-    ``dist submit`` so a distributed spec means exactly what a local sweep
-    means (same defaults, same resume context)."""
-    parser.add_argument("--datasets", type=_parse_name_list, default=["cora_ml"],
-                        help="comma-separated dataset presets")
-    parser.add_argument("--methods", type=_parse_name_list, default=None,
-                        help="comma-separated method names (default: all registered)")
-    parser.add_argument("--epsilons", type=_parse_float_list,
-                        default=[0.5, 1.0, 2.0, 3.0, 4.0],
-                        help="comma-separated privacy budgets")
-    parser.add_argument("--repeats", type=int, default=1,
-                        help="independent repeats per cell")
-    parser.add_argument("--scale", type=float, default=0.25,
-                        help="dataset down-scaling factor (1.0 = paper size)")
-    parser.add_argument("--seed", type=int, default=0, help="master random seed")
-    parser.add_argument("--delta", type=float, default=None,
-                        help="privacy parameter delta (default: 1/|E| per graph)")
-    parser.add_argument("--epochs", type=int, default=120,
-                        help="training epochs of the non-convex baselines")
-    parser.add_argument("--encoder-epochs", type=int, default=150, dest="encoder_epochs",
-                        help="GCON public-encoder training epochs")
-    parser.add_argument("--serial-cells", action="store_true", dest="serial_cells",
-                        help="run every cell through the per-cell reference path "
-                             "instead of the vectorised epsilon-sweep solver")
-
-
-def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", default="cora_ml",
-                        help="dataset preset name (see 'datasets' sub-command)")
-    parser.add_argument("--scale", type=float, default=0.25,
-                        help="down-scaling factor of the synthetic preset (1.0 = paper size)")
-    parser.add_argument("--seed", type=int, default=0, help="master random seed")
-
-
-def _add_gcon_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--epsilon", type=float, default=1.0, help="privacy budget epsilon")
-    parser.add_argument("--delta", type=float, default=None,
-                        help="privacy parameter delta (default: 1/|E|)")
-    parser.add_argument("--alpha", type=float, default=0.8, help="restart probability")
-    parser.add_argument("--steps", type=_parse_steps, default=(2,),
-                        help="comma-separated propagation steps, e.g. '2' or '1,2,inf'")
-    parser.add_argument("--loss", choices=("soft_margin", "pseudo_huber"),
-                        default="soft_margin", help="convex per-class loss")
-    parser.add_argument("--lambda-reg", type=float, default=0.2, dest="lambda_reg",
-                        help="regularisation coefficient Lambda")
-    parser.add_argument("--encoder-dim", type=int, default=16, dest="encoder_dim",
-                        help="encoder output dimension d1")
-    parser.add_argument("--pseudo-labels", action="store_true", dest="pseudo_labels",
-                        help="expand the training set with encoder pseudo-labels (n1 = n)")
-    parser.add_argument("--inference-mode", choices=("private", "public"),
-                        default="private", help="Algorithm-4 inference mode")
-
-
-def _load_graph(args):
-    from repro.graphs.datasets import load_dataset
-
-    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-
-
-def _build_gcon(args, graph):
-    from repro.core.config import GCONConfig
-    from repro.core.model import GCON
-
-    config = GCONConfig(
-        epsilon=args.epsilon,
-        delta=args.delta,
-        alpha=args.alpha,
-        propagation_steps=args.steps,
-        loss=args.loss,
-        lambda_reg=args.lambda_reg,
-        encoder_dim=args.encoder_dim,
-        use_pseudo_labels=args.pseudo_labels,
-    )
-    return GCON(config)
-
-
-# --------------------------------------------------------------------------- #
-# sub-commands
-# --------------------------------------------------------------------------- #
-def command_datasets(args) -> int:
-    """List the dataset presets and their generated-versus-paper statistics."""
-    from repro.evaluation.reporting import render_table
-    from repro.graphs.datasets import dataset_statistics, list_datasets, reference_statistics
-
-    names = list_datasets()
-    generated = dataset_statistics(names, scale=args.scale, seed=args.seed)
-    reference = reference_statistics()
-    headers = ["dataset", "nodes", "edges", "features", "classes", "homophily",
-               "paper nodes", "paper edges", "paper homophily"]
-    rows = []
-    for stats in generated:
-        name = stats["name"]
-        paper = reference[name]
-        rows.append([
-            name, stats["nodes"], stats["edges"], stats["features"], stats["classes"],
-            f"{stats['homophily']:.3f}", paper["nodes"], paper["edges"],
-            f"{paper['homophily']:.2f}",
-        ])
-    print(render_table(headers, rows, title=f"Dataset presets (scale={args.scale})"))
-    return 0
-
-
-def command_train(args) -> int:
-    """Train a single GCON model and report train/validation/test micro-F1."""
-    graph = _load_graph(args)
-    model = _build_gcon(args, graph).fit(graph, seed=args.seed)
-    epsilon, delta = model.privacy_spent
-    print(f"dataset: {graph.name} (n={graph.num_nodes}, |E|={graph.num_edges})")
-    print(f"privacy: epsilon={epsilon:g}, delta={delta:.3g}")
-    for split_name, idx in (("train", graph.train_idx), ("val", graph.val_idx),
-                            ("test", graph.test_idx)):
-        if idx.size == 0:
-            continue
-        score = model.score(graph, idx=idx, mode=args.inference_mode)
-        print(f"{split_name} micro-F1 ({args.inference_mode} inference): {score:.4f}")
-    return 0
-
-
-def command_baselines(args) -> int:
-    """Train every Figure-1 method once at a single epsilon and print a comparison table."""
-    from repro.evaluation.figures import FigureSettings, build_method_registry
-    from repro.evaluation.reporting import render_table
-    from repro.runtime.cells import SweepCell
-    from repro.runtime.engine import ParallelExperimentRunner
-    from repro.runtime.workers import FigureCellRunner
-
-    settings = FigureSettings(scale=args.scale, repeats=1, seed=args.seed,
-                              epochs=args.epochs)
-    registry = build_method_registry(settings)
-    cells = [
-        SweepCell(index=position, method=name, dataset=args.dataset,
-                  epsilon=args.epsilon, repeat=0, seed=args.seed, group=position)
-        for position, name in enumerate(registry)
-    ]
-    engine = ParallelExperimentRunner(
-        FigureCellRunner(settings=settings, delta=args.delta,
-                         preparation_cache=args.preparation_cache),
-        jobs=args.jobs)
-    results = engine.run(cells)
-    rows = [[result.method, f"{result.micro_f1:.4f}"] for result in results]
-    print(render_table(["method", "test micro-F1"], rows,
-                       title=f"{args.dataset} @ epsilon={args.epsilon:g}"))
-    return 0
-
-
-def _parse_name_list(raw: str) -> list[str]:
-    names = [token.strip() for token in raw.split(",") if token.strip()]
-    if not names:
-        raise argparse.ArgumentTypeError("at least one name is required")
-    return names
-
-
-def _parse_float_list(raw: str) -> list[float]:
-    try:
-        values = [float(token) for token in raw.split(",") if token.strip()]
-    except ValueError as error:
-        raise argparse.ArgumentTypeError(str(error)) from None
-    if not values:
-        raise argparse.ArgumentTypeError("at least one value is required")
-    return values
-
-
-def _resolve_sweep_names(args) -> tuple[list[str] | None, str | None]:
-    """Validate --methods/--datasets; returns (methods, error message)."""
-    from repro.evaluation.figures import FigureSettings, build_method_registry
-    from repro.graphs.datasets import list_datasets
-
-    registry = build_method_registry(FigureSettings())
-    methods = args.methods if args.methods is not None else list(registry)
-    unknown = [name for name in methods if name not in registry]
-    if unknown:
-        return None, (f"unknown methods: {', '.join(unknown)} "
-                      f"(available: {', '.join(registry)})")
-    known_datasets = list_datasets()
-    unknown = [name for name in args.datasets if name not in known_datasets]
-    if unknown:
-        return None, (f"unknown datasets: {', '.join(unknown)} "
-                      f"(available: {', '.join(known_datasets)})")
-    return methods, None
-
-
-def _sweep_spec_from_args(args, methods: list[str]):
-    """The distributed :class:`SweepSpec` equivalent of this ``sweep`` run."""
-    from repro.distributed import SweepSpec
-
-    return SweepSpec(
-        methods=tuple(methods), datasets=tuple(args.datasets),
-        epsilons=tuple(args.epsilons), repeats=args.repeats, seed=args.seed,
-        scale=args.scale, delta=args.delta, epochs=args.epochs,
-        encoder_epochs=args.encoder_epochs,
-        fast_sweep=not getattr(args, "serial_cells", False),
-    )
-
-
-def _print_sweep_summary(results, jobs, output) -> None:
-    from repro.evaluation.reporting import render_series, render_table
-    from repro.evaluation.runner import aggregate_results, series_from_results
-
-    aggregated = aggregate_results(results)
-    rows = [
-        [method, dataset, f"{epsilon:g}", f"{stats['mean']:.4f}", f"{stats['std']:.4f}",
-         f"{stats['min']:.4f}", f"{stats['max']:.4f}", stats["count"]]
-        for (method, dataset, epsilon), stats in sorted(aggregated.items())
-    ]
-    print(render_table(
-        ["method", "dataset", "epsilon", "mean", "std", "min", "max", "repeats"],
-        rows, title=f"sweep ({len(results)} cells, jobs={jobs})"))
-    print()
-    print(render_series(series_from_results(results), title="mean micro-F1 series"))
-    if output:
-        print(f"\nresults stored in: {output}")
-
-
-def command_sweep(args) -> int:
-    """Run a full method x dataset x epsilon x repeat sweep on the parallel engine."""
-    from repro.evaluation.figures import FigureSettings
-    from repro.runtime.cells import expand_cells
-    from repro.runtime.engine import ParallelExperimentRunner
-    from repro.runtime.store import JsonlResultStore
-    from repro.runtime.workers import FigureCellRunner
-
-    methods, error = _resolve_sweep_names(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    if args.dist_dir:
-        return _sweep_distributed(args, methods)
-
-    settings = FigureSettings(
-        scale=args.scale, repeats=args.repeats, seed=args.seed, epochs=args.epochs,
-        encoder_epochs=args.encoder_epochs, datasets=tuple(args.datasets),
-        epsilons=tuple(args.epsilons), jobs=args.jobs,
-    )
-    cells = expand_cells(methods, settings.datasets, settings.epsilons,
-                         settings.repeats, seed=settings.seed)
-    store = JsonlResultStore(args.output) if args.output else None
-    engine = ParallelExperimentRunner(
-        FigureCellRunner(settings=settings, delta=args.delta,
-                         fast_sweep=not args.serial_cells,
-                         preparation_cache=args.preparation_cache),
-        jobs=args.jobs, store=store, progress=not args.quiet,
-        resume_context=dict(settings.resume_context(), delta=args.delta),
-    )
-    results = engine.run(cells)
-    _print_sweep_summary(results, args.jobs, args.output)
-    return 0
-
-
-def _sweep_distributed(args, methods: list[str]) -> int:
-    """The ``sweep --dist-dir`` fast path: submit, fan out local workers, merge."""
-    from repro.distributed import Coordinator, start_local_workers
-    from repro.runtime.store import JsonlResultStore
-
-    spec = _sweep_spec_from_args(args, methods)
-    coordinator = Coordinator(args.dist_dir)
-    report = coordinator.submit(spec)
-    print(f"dist queue {args.dist_dir}: {report.summary()}", file=sys.stderr)
-
-    workers = start_local_workers(
-        args.dist_dir, jobs=args.jobs,
-        preparation_cache=args.preparation_cache)
-    try:
-        completed = coordinator.wait(
-            progress=not args.quiet,
-            should_abort=lambda: not any(p.is_alive() for p in workers))
-    finally:
-        for process in workers:
-            process.join()
-    if not completed and coordinator.queue.pending_ids():
-        print("distributed sweep did not complete (see the failed/ directory "
-              "of the queue); rerun to resume", file=sys.stderr)
-        return 1
-
-    merge_report = coordinator.merge(args.output or None)
-    print(merge_report.summary(), file=sys.stderr)
-    results = JsonlResultStore(merge_report.output).load()
-    _print_sweep_summary(results, args.jobs, str(merge_report.output))
-    return 0
-
-
-# --------------------------------------------------------------------------- #
-# dist sub-commands
-# --------------------------------------------------------------------------- #
-def command_dist_submit(args) -> int:
-    """Expand a sweep into the distributed queue (idempotent)."""
-    from repro.distributed import Coordinator
-    from repro.exceptions import ConfigurationError
-
-    methods, error = _resolve_sweep_names(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    spec = _sweep_spec_from_args(args, methods)
-    try:
-        report = Coordinator(args.dist_dir).submit(spec)
-    except ConfigurationError as error:
-        print(f"submit failed: {error}", file=sys.stderr)
-        return 2
-    print(f"spec {spec.digest()[:12]}: {spec.describe()}")
-    print(report.summary())
-    print(f"start workers with:  repro dist work --dist-dir {args.dist_dir}")
-    return 0
-
-
-def command_dist_work(args) -> int:
-    """Run one worker loop against a queue until the sweep completes."""
-    from repro.distributed import DistributedWorker
-    from repro.exceptions import ConfigurationError
-
-    worker = DistributedWorker(
-        args.dist_dir, args.worker_id, lease_ttl=args.lease_ttl,
-        poll_interval=args.poll_interval, max_groups=args.max_groups,
-        wait_for_completion=not args.no_wait,
-        preparation_cache=args.preparation_cache,
-        max_attempts=args.max_attempts,
-        log_stream=None if args.quiet else sys.stderr)
-    try:
-        report = worker.run()
-    except ConfigurationError as error:
-        print(f"worker failed to start: {error}", file=sys.stderr)
-        return 2
-    print(report.summary())
-    return 1 if report.groups_quarantined else 0
-
-
-def command_dist_status(args) -> int:
-    """Print the queue census: groups done/leased/expired, per-worker holds."""
-    from repro.distributed import Coordinator
-    from repro.exceptions import ConfigurationError
-
-    coordinator = Coordinator(args.dist_dir)
-    try:
-        spec = coordinator.spec()
-    except ConfigurationError as error:
-        print(f"status failed: {error}", file=sys.stderr)
-        return 2
-    print(f"spec {spec.digest()[:12]}: {spec.describe()}")
-    print(coordinator.status().summary())
-    return 0
-
-
-def command_dist_merge(args) -> int:
-    """Merge completed shards into one deduplicated, fingerprint-checked store."""
-    from repro.distributed import Coordinator
-
-    coordinator = Coordinator(args.dist_dir)
-    try:
-        report = coordinator.merge(args.output or None,
-                                   require_complete=not args.partial)
-    except (RuntimeError, ValueError) as error:
-        print(f"merge failed: {error}", file=sys.stderr)
-        return 1
-    print(report.summary())
-    return 0
-
-
-def command_publish(args) -> int:
-    """Publish the winning GCON cell of a sweep store into a model registry.
-
-    The sweep grid arguments must repeat the knobs of the sweep that produced
-    ``--store`` (they default to the sweep defaults); the rebuilt context
-    fingerprint is checked against the stamp on the winning record, so a
-    store cannot silently be published under different settings.  The cell is
-    refit from its deterministic seed — the released theta is recomputed, not
-    read from the store, which only ever holds scores.
-    """
-    from repro.graphs.datasets import load_dataset
-    from repro.runtime.cells import derive_cell_seed
-    from repro.runtime.store import JsonlResultStore, best_record
-    from repro.runtime.workers import score_estimator
-    from repro.serving import ModelRegistry
-
-    methods, error = _resolve_sweep_names(args)
-    if error:
-        print(error, file=sys.stderr)
-        return 2
-    store = JsonlResultStore(args.store)
-    records = store.load()
-    if not records:
-        print(f"store {args.store} holds no records", file=sys.stderr)
-        return 2
-    try:
-        winner = best_record(records, method=args.select_method,
-                             dataset=args.select_dataset,
-                             epsilon=args.select_epsilon)
-    except ValueError as error:
-        print(f"publish failed: {error}", file=sys.stderr)
-        return 2
-    if winner.method != "GCON":
-        print(f"publish failed: the winning record is {winner.method!r}; only "
-              f"GCON releases are publishable (narrow with --method)",
-              file=sys.stderr)
-        return 2
-
-    spec = _sweep_spec_from_args(args, methods)
-    stamped = winner.extra.get("sweep_context")
-    if stamped is not None and stamped != spec.context_digest():
-        print(f"publish failed: the store was produced under sweep context "
-              f"{stamped}, but the given grid arguments fingerprint to "
-              f"{spec.context_digest()}; repeat the original sweep's knobs",
-              file=sys.stderr)
-        return 2
-    if stamped is None:
-        print("warning: the winning record carries no sweep-context stamp; "
-              "trusting the given grid arguments", file=sys.stderr)
-
-    from repro.core.model import GCON
-    from repro.evaluation.figures import default_gcon_config
-
-    settings = spec.settings()
-    graph = load_dataset(winner.dataset, scale=spec.scale, seed=spec.seed)
-    delta = spec.delta if spec.delta is not None else 1.0 / max(graph.num_edges, 1)
-    cell_seed = derive_cell_seed(spec.seed, winner.dataset, winner.method,
-                                 winner.repeat)
-    model = GCON(default_gcon_config(winner.epsilon, delta, settings))
-    model.fit(graph, seed=cell_seed)
-    refit_score = score_estimator(model, graph, args.inference_mode)
-
-    registry = ModelRegistry(args.registry)
-    record = registry.publish(model, args.name, inference_mode=args.inference_mode,
-                              training={
-                                  "dataset": winner.dataset,
-                                  "scale": spec.scale,
-                                  "graph_seed": spec.seed,
-                                  "cell_seed": cell_seed,
-                                  "repeat": winner.repeat,
-                                  "epsilon": winner.epsilon,
-                                  "store_micro_f1": winner.micro_f1,
-                                  "refit_micro_f1": refit_score,
-                                  "sweep_context": stamped,
-                                  "store": str(args.store),
-                              })
-    epsilon, delta_spent = model.privacy_spent
-    print(f"published {record.ref} (digest {record.digest[:16]}…)")
-    print(f"  source cell: {winner.method}/{winner.dataset} "
-          f"epsilon={winner.epsilon:g} repeat={winner.repeat} "
-          f"(store micro-F1 {winner.micro_f1:.4f})")
-    print(f"  privacy: epsilon={epsilon:g}, delta={delta_spent:.3g}")
-    print(f"  refit test micro-F1 ({args.inference_mode} inference): {refit_score:.4f}")
-    if abs(refit_score - winner.micro_f1) > 0.02:
-        print("  note: refit score differs from the store record by more than "
-              "0.02 — the record may come from the vectorised sweep fast path "
-              "(solver-tolerance-level drift is expected)", file=sys.stderr)
-    print(f"serve it with:  repro serve --registry {args.registry} "
-          f"--model {args.name}@latest")
-    return 0
-
-
-def _parse_advertise(advertise: str | None, host: str, port: int) -> tuple[str, int]:
-    """``--advertise HOST[:PORT]`` → the address peers dial; defaults to the
-    actually bound host:port (so ``--port 0`` advertises the ephemeral one)."""
-    if not advertise:
-        return host, port
-    adv_host, sep, adv_port = advertise.rpartition(":")
-    if sep and adv_port.isdigit():
-        return adv_host or host, int(adv_port)
-    return advertise, port
-
-
-def command_serve(args) -> int:
-    """Serve registry models over the selector-loop HTTP JSON API."""
-    from repro.serving import InferenceService, SloController, serve_http
-
-    max_queue_depth = args.max_queue_depth if args.max_queue_depth > 0 else None
-    service = InferenceService(
-        args.registry, max_batch_size=args.batch_size,
-        max_latency=args.max_latency_ms / 1000.0,
-        max_queue_depth=max_queue_depth,
-        mmap_bundles=not args.no_mmap)
-    records = []
-    try:
-        for ref in args.models:
-            records.append(service.registry.verify(ref))
-            # Warm each session (graph load, encoder forward pass,
-            # propagation) before binding the socket, so the first query pays
-            # only one matmul — and a bad manifest/graph fails here with a
-            # clean message instead of on the first request.  Warming also
-            # matters more now: a cold build would run on the selector loop.
-            service.predict_scores(ref, [0])
-    except Exception as error:
-        print(f"serve failed: {error}", file=sys.stderr)
-        return 2
-    controller = None
-    if args.slo_p99_ms > 0 and not args.static_batching:
-        controller = SloController(service.batcher,
-                                   target_p99=args.slo_p99_ms / 1000.0)
-        service.attach_slo(controller)
-        controller.start()
-    server = serve_http(service, host=args.host, port=args.port,
-                        log_stream=None if args.quiet else sys.stderr,
-                        max_connections=args.max_connections,
-                        stats_interval=args.stats_interval,
-                        trace=not args.no_trace)
-    host, port = server.server_address[:2]
-
-    member = None
-    if args.fleet_dir:
-        from repro.serving import FleetMember, FleetRouter, default_replica_id
-
-        adv_host, adv_port = _parse_advertise(args.advertise, host, port)
-        replica_id = args.replica_id or default_replica_id(adv_host, adv_port)
-        try:
-            member = FleetMember(args.fleet_dir, replica_id, adv_host,
-                                 adv_port, ttl=args.fleet_ttl)
-            member.join(service.loaded_digests())
-        except Exception as error:
-            server.server_close()
-            if controller is not None:
-                controller.close()
-            service.close()
-            print(f"serve failed: {error}", file=sys.stderr)
-            return 2
-        member.start()
-        server.fleet = FleetRouter(member, proxy=not args.fleet_redirect)
-
-    watcher = None
-    if args.reload_interval and args.reload_interval > 0:
-        from repro.serving import watch_models
-
-        def _readvertise(_name, _old, _new):
-            if member is not None:
-                member.advertise(service.loaded_digests())
-
-        watcher = watch_models(service, args.models,
-                               interval=args.reload_interval,
-                               on_flip=_readvertise).start()
-
-    served = ", ".join(f"{record.ref} (mode={record.inference_mode})"
-                       for record in records)
-    slo_note = (f"slo p99<={args.slo_p99_ms:g}ms" if controller is not None
-                else "static batching")
-    depth_note = (f"queue<={max_queue_depth}" if max_queue_depth is not None
-                  else "no admission cap")
-    fleet_note = (f", fleet {member.replica_id} in {args.fleet_dir} "
-                  f"(ttl {args.fleet_ttl:g}s)" if member is not None else "")
-    print(f"serving {served} on http://{host}:{port} "
-          f"(batch<={args.batch_size}, latency<={args.max_latency_ms:g}ms, "
-          f"connections<={args.max_connections}, {slo_note}, {depth_note})"
-          f"{fleet_note}",
-          file=sys.stderr, flush=True)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        if watcher is not None:
-            watcher.close()
-        if member is not None:
-            member.leave()  # graceful: the census drops us immediately
-        server.server_close()
-        if controller is not None:
-            controller.close()
-        service.close()
-    return 0
-
-
-def command_fleet_status(args) -> int:
-    """Print the fleet census: replicas, lease ages, digest routing."""
-    from repro.serving import FleetView
-
-    view = FleetView(args.fleet_dir)
-    status = view.status()
-    if not status.replicas:
-        print(f"fleet {view.fleet_dir}: no replicas (no lease files)")
-        return 0
-    print(status.summary())
-    if args.metrics:
-        from repro.obs.aggregate import fleet_metrics_report
-
-        print()
-        print(fleet_metrics_report(
-            [(replica.replica_id, replica.base_url)
-             for replica in status.live]))
-    return 0
-
-
-def command_trace(args) -> int:
-    """List recent traces, or pretty-print one trace as a span tree.
-
-    Spans are fetched from every ``--url`` and merged by trace id, so a
-    cross-replica trace (relay proxy hop + owner execution) renders as one
-    tree even though each replica stores only its own spans.
-    """
-    from repro.obs.aggregate import (
-        fetch_recent_traces,
-        fetch_trace_spans,
-        render_trace_list,
-        render_trace_tree,
-    )
-
-    if args.trace_id is None:
-        rows = fetch_recent_traces(args.urls, limit=args.limit)
-        print(render_trace_list(rows))
-        return 0
-    spans = fetch_trace_spans(args.urls, args.trace_id)
-    if not spans:
-        print(f"trace {args.trace_id} not found on any of "
-              f"{len(args.urls)} server(s)", file=sys.stderr)
-        return 1
-    print(render_trace_tree(spans))
-    return 0
-
-
-def command_figure(args) -> int:
-    """Regenerate one of the paper's tables/figures and export text/CSV/JSON."""
-    from repro.evaluation.export import export_figure
-    from repro.evaluation.figures import (
-        FigureSettings,
-        attack_auc_vs_epsilon,
-        figure1_accuracy_vs_epsilon,
-        figure23_propagation_step,
-        figure4_restart_probability,
-        table2_dataset_statistics,
-    )
-    from repro.evaluation.reporting import render_series, render_table
-
-    settings = FigureSettings(scale=args.scale, repeats=args.repeats, seed=args.seed,
-                              datasets=tuple(args.datasets.split(",")),
-                              jobs=args.jobs,
-                              preparation_cache=args.preparation_cache)
-    output_dir = Path(args.output_dir)
-
-    if args.id == "table2":
-        result = table2_dataset_statistics(settings)
-        headers = ["dataset", "nodes", "edges", "features", "classes", "homophily"]
-        rows = [[s["name"], s["nodes"], s["edges"], s["features"], s["classes"],
-                 f"{s['homophily']:.3f}"] for s in result["generated"]]
-        text = render_table(headers, rows, title="Table II (generated presets)")
-        output_dir.mkdir(parents=True, exist_ok=True)
-        (output_dir / "table2.txt").write_text(text + "\n")
-        print(text)
-        return 0
-
-    generators = {
-        "figure1": lambda: figure1_accuracy_vs_epsilon(settings),
-        "figure2": lambda: figure23_propagation_step(settings, inference_mode="private"),
-        "figure3": lambda: figure23_propagation_step(settings, inference_mode="public"),
-        "figure4": lambda: figure4_restart_probability(settings),
-        "attack": lambda: attack_auc_vs_epsilon(settings),
-    }
-    series = generators[args.id]()
-    paths = export_figure(series, output_dir, args.id,
-                          title=f"{args.id} (scale={args.scale}, repeats={args.repeats})",
-                          metadata={"scale": args.scale, "repeats": args.repeats,
-                                    "seed": args.seed})
-    print(render_series(series, title=args.id))
-    print(f"\nwritten: {', '.join(str(p) for p in paths.values())}")
-    return 0
-
-
-def command_tune(args) -> int:
-    """Random/grid search over the Appendix-Q hyperparameter grid for GCON."""
-    from repro.evaluation.reporting import render_table
-    from repro.tuning import GridSearch, RandomSearch, gcon_quick_space, gcon_search_space, \
-        make_gcon_factory
-
-    graph = _load_graph(args)
-    factory = make_gcon_factory(args.epsilon, args.delta, encoder_epochs=args.encoder_epochs)
-    if args.space == "full":
-        space = gcon_search_space(args.dataset)
-    else:
-        space = gcon_quick_space()
-    if args.strategy == "grid":
-        search = GridSearch(factory, space, repeats=args.repeats, seed=args.seed)
-    else:
-        search = RandomSearch(factory, space, num_trials=args.trials,
-                              repeats=args.repeats, seed=args.seed)
-    result = search.run(graph)
-    headers, rows = result.to_rows(top_k=args.top_k)
-    print(render_table(headers, rows,
-                       title=f"Validation leaderboard ({len(result)} trials)"))
-    print(f"\nbest params: {result.best_params}")
-    print(f"best validation micro-F1: {result.best_score:.4f}")
-    return 0
-
-
-def command_sensitivity(args) -> int:
-    """Print the closed-form Lemma-2 sensitivity for a grid of (alpha, m) settings."""
-    from repro.core.sensitivity import aggregate_sensitivity
-    from repro.evaluation.reporting import render_table
-
-    alphas = [float(a) for a in args.alphas.split(",")]
-    steps = list(_parse_steps(args.m_values))
-    headers = ["alpha"] + [("inf" if math.isinf(m) else str(m)) for m in steps]
-    rows = []
-    for alpha in alphas:
-        rows.append([f"{alpha:g}"] + [f"{aggregate_sensitivity(alpha, m):.4f}" for m in steps])
-    print(render_table(headers, rows, title="Psi(Z_m) = 2(1-a)/a (1-(1-a)^m)"))
-    return 0
-
-
-def command_attack(args) -> int:
-    """Run the link-stealing attack suite against GCON and the non-private GCN."""
-    from repro.attacks import attack_auc, sample_edge_candidates
-    from repro.attacks.similarity import strongest_attack_auc
-    from repro.baselines import GCNClassifier
-    from repro.evaluation.reporting import render_table
-
-    graph = _load_graph(args)
-    pairs, labels = sample_edge_candidates(graph, num_pairs=args.pairs, rng=args.seed)
-    rows = []
-
-    gcn = GCNClassifier(epochs=args.epochs).fit(graph, seed=args.seed)
-    name, auc = strongest_attack_auc(gcn.decision_scores(graph), pairs, labels)
-    rows.append(["GCN (non-DP)", name, f"{auc:.4f}"])
-
-    model = _build_gcon(args, graph).fit(graph, seed=args.seed)
-    scores = model.decision_scores(graph, mode="private")
-    name, auc = strongest_attack_auc(scores, pairs, labels)
-    rows.append([f"GCON (eps={args.epsilon:g})", name, f"{auc:.4f}"])
-
-    print(render_table(["model", "best metric", "attack AUC"], rows,
-                       title=f"Link-stealing attack on {graph.name} ({args.pairs} pairs)"))
-    _ = attack_auc  # re-exported for API discoverability
-    return 0
-
-
-# --------------------------------------------------------------------------- #
-# parser construction
-# --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gcon-repro",
@@ -763,264 +24,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
-
-    datasets = subparsers.add_parser("datasets", help="list dataset presets and statistics")
-    _add_dataset_arguments(datasets)
-    datasets.set_defaults(func=command_datasets)
-
-    train = subparsers.add_parser("train", help="train one GCON model")
-    _add_dataset_arguments(train)
-    _add_gcon_arguments(train)
-    train.set_defaults(func=command_train)
-
-    baselines = subparsers.add_parser("baselines", help="compare all methods at one epsilon")
-    _add_dataset_arguments(baselines)
-    baselines.add_argument("--epsilon", type=float, default=1.0)
-    baselines.add_argument("--delta", type=float, default=None)
-    baselines.add_argument("--epochs", type=int, default=100)
-    baselines.add_argument("--jobs", type=int, default=1,
-                           help="number of parallel worker processes")
-    _add_preparation_cache_argument(baselines)
-    baselines.set_defaults(func=command_baselines)
-
-    sweep = subparsers.add_parser(
-        "sweep", help="run a method x dataset x epsilon x repeat sweep in parallel")
-    _add_sweep_grid_arguments(sweep)
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="number of parallel worker processes")
-    sweep.add_argument("--output", default=None,
-                       help="JSONL result store; rerunning with the same path "
-                            "resumes an interrupted sweep")
-    sweep.add_argument("--quiet", action="store_true",
-                       help="suppress progress reporting on stderr")
-    sweep.add_argument("--dist-dir", default=None, dest="dist_dir", metavar="DIR",
-                       help="run the sweep through the distributed queue in DIR "
-                            "instead of an in-process pool: submit the spec, "
-                            "fan out --jobs local worker processes, merge the "
-                            "shards (other machines may join with "
-                            "'repro dist work --dist-dir DIR')")
-    _add_preparation_cache_argument(sweep)
-    sweep.set_defaults(func=command_sweep)
-
-    dist = subparsers.add_parser(
-        "dist", help="shard a sweep across machines via a shared-filesystem queue")
-    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
-
-    dist_submit = dist_sub.add_parser(
-        "submit", help="expand a sweep spec into the queue (idempotent)")
-    dist_submit.add_argument("--dist-dir", required=True, dest="dist_dir",
-                             metavar="DIR", help="queue directory (shared filesystem)")
-    _add_sweep_grid_arguments(dist_submit)
-    dist_submit.set_defaults(func=command_dist_submit)
-
-    dist_work = dist_sub.add_parser(
-        "work", help="claim and execute groups until the sweep completes")
-    dist_work.add_argument("--dist-dir", required=True, dest="dist_dir", metavar="DIR")
-    dist_work.add_argument("--worker-id", default=None, dest="worker_id",
-                           help="stable worker identity (default: host-pid-nonce)")
-    dist_work.add_argument("--lease-ttl", type=float, default=60.0, dest="lease_ttl",
-                           help="seconds without a heartbeat before this worker's "
-                                "claims may be re-leased by others")
-    dist_work.add_argument("--poll-interval", type=float, default=0.5,
-                           dest="poll_interval",
-                           help="seconds between queue polls when nothing is claimable")
-    dist_work.add_argument("--max-groups", type=int, default=None, dest="max_groups",
-                           help="stop after completing this many groups")
-    dist_work.add_argument("--max-attempts", type=int, default=3, dest="max_attempts",
-                           help="failed executions of one group before it is "
-                                "quarantined (moved out of the claimable set "
-                                "with its traceback under failed/)")
-    dist_work.add_argument("--no-wait", action="store_true", dest="no_wait",
-                           help="exit when nothing is claimable instead of waiting "
-                                "for the whole sweep to complete")
-    dist_work.add_argument("--quiet", action="store_true",
-                           help="suppress per-group progress lines on stderr")
-    _add_preparation_cache_argument(dist_work)
-    dist_work.set_defaults(func=command_dist_work)
-
-    dist_status = dist_sub.add_parser("status", help="print the queue census")
-    dist_status.add_argument("--dist-dir", required=True, dest="dist_dir", metavar="DIR")
-    dist_status.set_defaults(func=command_dist_status)
-
-    dist_merge = dist_sub.add_parser(
-        "merge", help="merge completed shards into one result store")
-    dist_merge.add_argument("--dist-dir", required=True, dest="dist_dir", metavar="DIR")
-    dist_merge.add_argument("--output", default=None,
-                            help="merged JSONL path (default: DIR/merged.jsonl)")
-    dist_merge.add_argument("--partial", action="store_true",
-                            help="merge whatever shards exist instead of requiring "
-                                 "a complete sweep")
-    dist_merge.set_defaults(func=command_dist_merge)
-
-    publish = subparsers.add_parser(
-        "publish", help="publish the winning sweep cell into a model registry")
-    publish.add_argument("--store", required=True,
-                         help="JSONL result store of the finished sweep")
-    publish.add_argument("--registry", required=True, metavar="DIR",
-                         help="model registry root directory")
-    publish.add_argument("--name", required=True,
-                         help="model name to publish under (versions are "
-                              "content-addressed; latest advances)")
-    publish.add_argument("--method", default="GCON", dest="select_method",
-                         help="restrict winner selection to this method "
-                              "(default: GCON, the only publishable release)")
-    publish.add_argument("--dataset", default=None, dest="select_dataset",
-                         help="restrict winner selection to this dataset")
-    publish.add_argument("--epsilon", type=float, default=None, dest="select_epsilon",
-                         help="restrict winner selection to this privacy budget")
-    publish.add_argument("--inference-mode", choices=("private", "public"),
-                         default="private", dest="inference_mode",
-                         help="default Algorithm-4 mode stamped into the manifest")
-    _add_sweep_grid_arguments(publish)
-    publish.set_defaults(func=command_publish)
-
-    serve = subparsers.add_parser(
-        "serve", help="serve registry models over a batched HTTP JSON API")
-    serve.add_argument("--registry", required=True, metavar="DIR",
-                       help="model registry root directory")
-    serve.add_argument("--model", required=True, action="append",
-                       dest="models", metavar="REF",
-                       help="model reference, e.g. NAME@latest or "
-                            "NAME@<digest>; repeat to verify and pre-warm "
-                            "several models (each gets its own batch queue)")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8151,
-                       help="TCP port (0 binds an ephemeral port)")
-    serve.add_argument("--batch-size", type=int, default=64, dest="batch_size",
-                       help="flush a model's micro-batch at this many "
-                            "queried rows (per-model queues)")
-    serve.add_argument("--max-latency-ms", type=float, default=5.0,
-                       dest="max_latency_ms",
-                       help="flush a model's forming micro-batch after this "
-                            "many milliseconds even if not full")
-    serve.add_argument("--max-connections", type=int, default=512,
-                       dest="max_connections",
-                       help="concurrent connection bound of the selector "
-                            "frontend; excess accepts are answered 503")
-    serve.add_argument("--stats-interval", type=float, default=None,
-                       dest="stats_interval", metavar="SECONDS",
-                       help="log a per-model latency summary "
-                            "(n/p50/p95/p99) to stderr every SECONDS")
-    serve.add_argument("--slo-p99-ms", type=float, default=50.0,
-                       dest="slo_p99_ms", metavar="MS",
-                       help="target request p99 in milliseconds; an AIMD "
-                            "controller tunes each model's batch budgets to "
-                            "hold it (0 disables, like --static-batching)")
-    serve.add_argument("--static-batching", action="store_true",
-                       dest="static_batching",
-                       help="disable the SLO controller and keep the "
-                            "--batch-size/--max-latency-ms limits fixed")
-    serve.add_argument("--max-queue-depth", type=int, default=512,
-                       dest="max_queue_depth", metavar="N",
-                       help="shed load with HTTP 429 + Retry-After once a "
-                            "model has this many requests in flight "
-                            "(0 disables admission control)")
-    serve.add_argument("--no-mmap", action="store_true", dest="no_mmap",
-                       help="load model bundles eagerly instead of "
-                            "memory-mapping them (scores are bitwise "
-                            "identical either way)")
-    serve.add_argument("--fleet-dir", default=None, dest="fleet_dir",
-                       metavar="DIR",
-                       help="join the replica fleet coordinated under DIR: "
-                            "hold a membership lease there and route each "
-                            "model digest to its owning replica over a "
-                            "consistent-hash ring")
-    serve.add_argument("--advertise", default=None, metavar="HOST[:PORT]",
-                       help="address peers should reach this replica at "
-                            "(default: the bound host:port)")
-    serve.add_argument("--replica-id", default=None, dest="replica_id",
-                       help="fleet replica id (default: derived from the "
-                            "advertised address and pid; must be unique "
-                            "per fleet)")
-    serve.add_argument("--fleet-ttl", type=float, default=10.0,
-                       dest="fleet_ttl", metavar="SECONDS",
-                       help="membership lease TTL: a replica that misses "
-                            "heartbeats this long is expired and its ring "
-                            "arcs move to the survivors (default: 10)")
-    serve.add_argument("--fleet-redirect", action="store_true",
-                       dest="fleet_redirect",
-                       help="answer peer-owned digests with a 307 redirect "
-                            "instead of proxying server-side")
-    serve.add_argument("--reload-interval", type=float, default=1.0,
-                       dest="reload_interval", metavar="SECONDS",
-                       help="poll the registry's latest pointers this often; "
-                            "a flipped version is pre-warmed before the old "
-                            "one's queues retire (0 disables hot-reload)")
-    serve.add_argument("--quiet", action="store_true",
-                       help="suppress per-request log lines on stderr")
-    serve.add_argument("--no-trace", action="store_true", dest="no_trace",
-                       help="disable request tracing (/debug/traces and the "
-                            "per-stage histograms on /metrics; scores are "
-                            "bitwise identical either way)")
-    serve.set_defaults(func=command_serve)
-
-    fleet = subparsers.add_parser(
-        "fleet", help="inspect a serving fleet's shared membership directory")
-    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
-    fleet_status = fleet_sub.add_parser(
-        "status", help="print the replica census and digest routing table")
-    fleet_status.add_argument("--fleet-dir", required=True, dest="fleet_dir",
-                              metavar="DIR",
-                              help="the membership directory the replicas "
-                                   "share (their serve --fleet-dir)")
-    fleet_status.add_argument("--metrics", action="store_true",
-                              help="scrape every live replica's /metrics and "
-                                   "print fleet-wide per-model latency "
-                                   "quantiles (exact histogram merge)")
-    fleet_status.set_defaults(func=command_fleet_status)
-
-    trace = subparsers.add_parser(
-        "trace", help="list or pretty-print request traces from servers")
-    trace.add_argument("trace_id", nargs="?", default=None,
-                       help="trace id to render as a span tree (omit to "
-                            "list recent traces)")
-    trace.add_argument("--url", required=True, action="append", dest="urls",
-                       metavar="URL",
-                       help="server base URL, e.g. http://127.0.0.1:8151; "
-                            "repeat to merge spans across fleet replicas")
-    trace.add_argument("--limit", type=int, default=10,
-                       help="how many recent traces to list per server")
-    trace.set_defaults(func=command_trace)
-
-    figure = subparsers.add_parser("figure", help="regenerate a paper table/figure")
-    figure.add_argument("id", choices=("table2", "figure1", "figure2", "figure3",
-                                       "figure4", "attack"))
-    figure.add_argument("--scale", type=float, default=0.25)
-    figure.add_argument("--repeats", type=int, default=1)
-    figure.add_argument("--seed", type=int, default=0)
-    figure.add_argument("--datasets", default="cora_ml",
-                        help="comma-separated dataset presets")
-    figure.add_argument("--jobs", type=int, default=1,
-                        help="number of parallel worker processes")
-    figure.add_argument("--output-dir", default="benchmarks/output", dest="output_dir")
-    _add_preparation_cache_argument(figure)
-    figure.set_defaults(func=command_figure)
-
-    tune = subparsers.add_parser("tune", help="hyperparameter search for GCON")
-    _add_dataset_arguments(tune)
-    tune.add_argument("--epsilon", type=float, default=1.0)
-    tune.add_argument("--delta", type=float, default=None)
-    tune.add_argument("--strategy", choices=("grid", "random"), default="random")
-    tune.add_argument("--space", choices=("quick", "full"), default="quick")
-    tune.add_argument("--trials", type=int, default=8)
-    tune.add_argument("--repeats", type=int, default=1)
-    tune.add_argument("--top-k", type=int, default=10, dest="top_k")
-    tune.add_argument("--encoder-epochs", type=int, default=100, dest="encoder_epochs")
-    tune.set_defaults(func=command_tune)
-
-    sensitivity = subparsers.add_parser("sensitivity",
-                                        help="print the Lemma-2 sensitivity table")
-    sensitivity.add_argument("--alphas", default="0.2,0.4,0.6,0.8")
-    sensitivity.add_argument("--m-values", default="1,2,5,10,inf", dest="m_values")
-    sensitivity.set_defaults(func=command_sensitivity)
-
-    attack = subparsers.add_parser("attack", help="run the link-stealing attack suite")
-    _add_dataset_arguments(attack)
-    _add_gcon_arguments(attack)
-    attack.add_argument("--pairs", type=int, default=300)
-    attack.add_argument("--epochs", type=int, default=100)
-    attack.set_defaults(func=command_attack)
-
+    for module in COMMAND_MODULES:
+        module.configure(subparsers)
     return parser
 
 

@@ -1,0 +1,132 @@
+"""The ``repro fleet watch`` terminal dashboard.
+
+Pure rendering over the same primitives everything else uses: a
+:class:`~repro.obs.tsdb.TelemetryStore` (in-memory — the watcher scrapes
+live replicas each tick and keeps only its own short window) queried with
+the windowed verbs, a :class:`~repro.serving.fleet.FleetView` census, and
+an optional :class:`~repro.obs.alerts.AlertEngine` whose verdicts are shown
+verbatim.  :func:`render_dashboard` takes those plus an explicit ``now``
+and returns one frame as text, so a single golden test covers the whole
+surface without a terminal.
+"""
+
+from __future__ import annotations
+
+import time
+
+REQUESTS_METRIC = "repro_requests_total"
+SHED_METRIC = "repro_shed_requests_total"
+LATENCY_METRIC = "repro_request_latency_seconds"
+UPTIME_METRIC = "repro_uptime_seconds"
+RSS_METRIC = "repro_process_resident_memory_bytes"
+BUDGET_METRIC = "repro_slo_error_budget_remaining_ratio"
+BURN_METRIC = "repro_slo_burn_rate"
+TARGET_METRIC = "repro_slo_target_p99_seconds"
+
+
+def _fmt(value, spec: str = ".2f", dash: str = "-") -> str:
+    if value is None:
+        return dash
+    return format(value, spec)
+
+
+def _age(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(seconds)
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def render_dashboard(status, store, engine=None, *, now=None,
+                     window: float = 60.0, unreachable=()) -> str:
+    """One dashboard frame: replica table, model table, firing alerts.
+
+    ``status`` is a :class:`~repro.serving.fleet.FleetStatus`; ``store`` the
+    telemetry store the watcher fed this tick; ``engine`` an already
+    evaluated alert engine or None; ``unreachable`` the replica ids whose
+    scrape failed this tick (live lease, dead endpoint).
+    """
+    now = float(time.time() if now is None else now)
+    unreachable = set(unreachable)
+    live = [replica.replica_id for replica in status.live]
+    firing = len(engine.firing()) if engine is not None else 0
+    clock = time.strftime("%H:%M:%S", time.localtime(now))
+
+    lines = [f"fleet watch — {len(live)} live / {len(status.replicas)} "
+             f"replica(s), {firing} alert(s) firing, window {window:g}s "
+             f"[{clock}]"]
+
+    uptime = store.latest(UPTIME_METRIC, by="replica", at=now, max_age=window)
+    rss = store.latest(RSS_METRIC, by="replica", at=now, max_age=window)
+    req_rate = store.rate(REQUESTS_METRIC, window=window, by="replica", at=now)
+    shed_rate = store.rate(SHED_METRIC, window=window, by="replica", at=now)
+    p99 = store.quantile_over_time(LATENCY_METRIC, 0.99, window=window,
+                                   by="replica", at=now)
+
+    lines.append("")
+    lines.append(f"  {'replica':<28} {'state':<12} {'uptime':>8} "
+                 f"{'rss MB':>8} {'req/s':>8} {'shed/s':>8} {'p99 ms':>8}")
+    for replica in status.replicas:
+        rid = replica.replica_id
+        state = ("expired" if replica.expired
+                 else "unreachable" if rid in unreachable else "live")
+        rss_mb = rss.get(rid)
+        quantile = p99.get(rid)
+        lines.append(
+            f"  {rid:<28} {state:<12} {_age(uptime.get(rid)):>8} "
+            f"{_fmt(None if rss_mb is None else rss_mb / 2**20, '.1f'):>8} "
+            f"{_fmt(req_rate.get(rid), '.2f'):>8} "
+            f"{_fmt(shed_rate.get(rid), '.2f'):>8} "
+            f"{_fmt(None if quantile is None else quantile * 1e3, '.3f'):>8}")
+    if not status.replicas:
+        lines.append("  (no replicas hold a lease)")
+
+    def _mean_gauge(name, model=None):
+        # latest() sums gauges within a group; per-replica grouping recovers
+        # the per-replica values, and the fleet figure is their mean.
+        labels = None if model is None else {"model": model}
+        values = store.latest(name, by="replica", at=now,
+                              max_age=window, labels=labels)
+        if not values:
+            return None
+        return sum(values.values()) / len(values)
+
+    # The request counter is a replica-wide family; the per-model view
+    # comes from the latency histogram, whose count is the request count.
+    model_hist = store.histogram_window(LATENCY_METRIC, window=window,
+                                        by="model", at=now) or {}
+    model_rate = {model: data["count"] / window
+                  for model, data in model_hist.items()}
+    model_p99 = store.quantile_over_time(LATENCY_METRIC, 0.99, window=window,
+                                         by="model", at=now)
+    budget_models = store.latest(BUDGET_METRIC, by="model", at=now,
+                                 max_age=window) or {}
+    target = _mean_gauge(TARGET_METRIC)
+    models = sorted(set(model_rate) | set(budget_models), key=str)
+    models = [model for model in models if model]
+    if models:
+        target_note = _fmt(None if target is None else target * 1e3, "g")
+        lines.append("")
+        lines.append(f"  {'model':<40} {'req/s':>8} {'p99 ms':>8} "
+                     f"{'target':>8} {'burn':>8} {'budget':>8}")
+        for model in models:
+            quantile = model_p99.get(model)
+            remaining = _mean_gauge(BUDGET_METRIC, model)
+            burn = _mean_gauge(BURN_METRIC, model)
+            lines.append(
+                f"  {model:<40} {_fmt(model_rate.get(model), '.2f'):>8} "
+                f"{_fmt(None if quantile is None else quantile * 1e3, '.3f'):>8} "
+                f"{target_note:>8} "
+                f"{_fmt(burn, '.2f'):>8} "
+                f"{_fmt(remaining, '.2f'):>8}")
+
+    if engine is not None:
+        from repro.obs.alerts import format_alert_table
+
+        lines.append("")
+        lines.append(format_alert_table(engine.as_dict()))
+    return "\n".join(lines)

@@ -179,6 +179,17 @@ def render_server_metrics(service, *, server=None, tracer=None) -> str:
     out.gauge("repro_sessions_loaded", len(service.loaded_digests()),
               "Distinct model digests with a live session.")
 
+    # Series other subsystems published into the registry — today the SLO
+    # controller's error-budget accounting (repro_slo_*).
+    external = getattr(service.metrics, "external_families", None)
+    if external is not None:
+        for name, kind, help_text, entries in external():
+            for labels, value in entries:
+                if kind == "counter":
+                    out.counter(name, value, help_text, labels or None)
+                else:
+                    out.gauge(name, value, help_text, labels or None)
+
     process = process_stats(service.started_at)
     out.gauge("repro_uptime_seconds", process["uptime_seconds"],
               "Seconds since the service started.")

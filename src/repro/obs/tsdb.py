@@ -1,0 +1,503 @@
+"""An append-only, crash-tolerant time-series store over ``/metrics`` scrapes.
+
+PR 8 made every metric *instantaneously* observable; this module makes them
+observable **over time** without an external Prometheus.  A
+:class:`TelemetryStore` is a directory of time-bucketed JSONL segment files:
+
+    telemetry/
+      seg-000001754640000.jsonl      # records with t in [bucket, bucket+len)
+      seg-000001754640600.jsonl
+      alerts.jsonl                   # alert transition history (alerts.py)
+
+Each ``append_scrape`` writes one line per sample as parsed from the strict
+exposition parser (:func:`repro.obs.prometheus.parse_prometheus_text`):
+counters and histogram bucket vectors are stored **raw and cumulative**,
+exactly as scraped.  Deltas are derived at *query* time by walking
+consecutive samples of one underlying series (one ``(replica, name,
+labels)``), so a replica restart — the counter drops below its predecessor —
+is detected as a monotonic reset and the post-restart value is taken as the
+increase, the standard ``increase()`` treatment.  Storing raw values keeps
+appends stateless: a collector restart, a torn final line after a crash
+(skipped on read, like ``JsonlResultStore.load(on_corrupt="skip")``), or two
+collectors sharing one directory never corrupt derived rates.
+
+Retention is bounded by construction: records land in the segment file of
+their timestamp's bucket, and :meth:`TelemetryStore.sweep_retention` unlinks
+whole segments older than the retention horizon — no rewrite, no index.
+
+The windowed query API mirrors the PromQL verbs the alert rules need:
+
+* :meth:`window_sum` / :meth:`rate` — counter increase over a trailing
+  window (reset-aware, summed across replicas, optionally grouped ``by`` a
+  label);
+* :meth:`quantile_over_time` — merge histogram bucket *increases* across
+  the window and all replicas (exact: fixed data-independent bounds) and
+  read an interpolated quantile via
+  :func:`repro.serving.metrics.bucket_quantile`;
+* :meth:`latest` — most recent gauge value (summed across replicas, or
+  grouped).
+
+``root=None`` gives an in-memory store with the same API — what
+``repro fleet watch`` feeds from live scrapes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.prometheus import histogram_series, parse_prometheus_text
+from repro.serving.metrics import bucket_quantile
+
+DEFAULT_SEGMENT_SECONDS = 600.0
+DEFAULT_RETENTION_SECONDS = 6 * 3600.0
+
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def parse_metric_types(text: str) -> dict[str, str]:
+    """``{family_name: kind}`` from the ``# TYPE`` comment lines of an
+    exposition page.  The strict sample parser discards comments; the store
+    needs them to tell a counter (delta semantics) from a gauge (raw)."""
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("# TYPE "):
+            continue
+        parts = stripped.split()
+        if len(parts) >= 4:
+            types[parts[2]] = parts[3]
+    return types
+
+
+def infer_metric_types(samples) -> dict[str, str]:
+    """Fallback classification when no ``# TYPE`` metadata is available:
+    ``*_bucket``/``*_sum``/``*_count`` triples are histogram families,
+    ``*_total`` are counters, everything else is a gauge."""
+    names = {name for name, _labels, _value in samples}
+    types: dict[str, str] = {}
+    for name in names:
+        if name.endswith("_bucket") and name[:-len("_bucket")]:
+            types[name[: -len("_bucket")]] = "histogram"
+    for name in names:
+        family = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == \
+                    "histogram":
+                family = name[: -len(suffix)]
+                break
+        if family is not None:
+            continue
+        types[name] = "counter" if name.endswith("_total") else "gauge"
+    return types
+
+
+def counter_increase(points) -> tuple[float, int]:
+    """``(increase, resets)`` over ``[(t, value), ...]`` sorted by ``t``.
+
+    Consecutive differences are summed; a drop (``cur < prev``) means the
+    process restarted and its counter began again from zero, so the current
+    value *is* the increase since the reset.
+    """
+    total = 0.0
+    resets = 0
+    for (_, prev), (_, cur) in zip(points, points[1:]):
+        delta = cur - prev
+        if delta < 0:
+            total += cur
+            resets += 1
+        else:
+            total += delta
+    return total, resets
+
+
+def vector_increase(vectors) -> tuple[list[float], int]:
+    """Componentwise :func:`counter_increase` over ``[(t, counts), ...]``;
+    any component dropping marks the whole vector as reset (the buckets of
+    one histogram restart together)."""
+    total: list[float] | None = None
+    resets = 0
+    for (_, prev), (_, cur) in zip(vectors, vectors[1:]):
+        if len(prev) != len(cur):
+            raise ValueError("histogram bucket count changed mid-series")
+        if any(c < p for p, c in zip(prev, cur)):
+            delta = list(cur)
+            resets += 1
+        else:
+            delta = [c - p for p, c in zip(prev, cur)]
+        if total is None:
+            total = delta
+        else:
+            total = [a + b for a, b in zip(total, delta)]
+    if total is None and vectors:
+        total = [0.0] * len(vectors[0][1])
+    return total or [], resets
+
+
+def _labels_match(labels: dict, want: dict | None) -> bool:
+    if not want:
+        return True
+    return all(labels.get(key) == value for key, value in want.items())
+
+
+class TelemetryStore:
+    """See module docstring.  ``clock`` is injectable for tests."""
+
+    def __init__(self, root=None, *,
+                 segment_seconds: float = DEFAULT_SEGMENT_SECONDS,
+                 retention: float = DEFAULT_RETENTION_SECONDS,
+                 clock=time.time):
+        if segment_seconds <= 0:
+            raise ValueError("segment_seconds must be positive")
+        if retention < segment_seconds:
+            raise ValueError("retention must cover at least one segment")
+        self.root = Path(root) if root is not None else None
+        self.segment_seconds = float(segment_seconds)
+        self.retention = float(retention)
+        self.clock = clock
+        self.corrupt_lines = 0
+        self._memory: list[dict] = []
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def append_page(self, text: str, *, replica: str = "local",
+                    at: float | None = None) -> int:
+        """Parse one exposition page (strictly) and append every sample."""
+        samples = parse_prometheus_text(text)
+        types = parse_metric_types(text) or None
+        return self.append_scrape(samples, types, replica=replica, at=at)
+
+    def append_scrape(self, samples, types: dict[str, str] | None = None, *,
+                      replica: str = "local", at: float | None = None) -> int:
+        """Append one scrape's samples; returns the number of records.
+
+        ``samples`` is ``[(name, labels, value), ...]`` from
+        :func:`parse_prometheus_text`; ``types`` maps family names to
+        ``counter`` / ``gauge`` / ``histogram`` (inferred from naming
+        conventions when absent).
+        """
+        t = float(self.clock() if at is None else at)
+        if types is None:
+            types = infer_metric_types(samples)
+        records: list[dict] = [
+            {"t": t, "r": replica, "k": "s", "n": "__scrape__",
+             "v": float(len(samples))}]
+        histogram_families = sorted(
+            name for name, kind in types.items() if kind == "histogram")
+        histogram_sample_names = set()
+        for family in histogram_families:
+            histogram_sample_names.update(
+                (f"{family}_bucket", f"{family}_sum", f"{family}_count"))
+            for label_items, data in histogram_series(samples, family).items():
+                records.append({
+                    "t": t, "r": replica, "k": "h", "n": family,
+                    "l": dict(label_items),
+                    "b": [float(edge) for edge in data["bounds"]],
+                    "c": [float(count) for count in data["counts"]],
+                    "sm": float(data["sum"]), "ct": float(data["count"]),
+                })
+        for name, labels, value in samples:
+            if name in histogram_sample_names:
+                continue
+            kind = types.get(name, "counter" if name.endswith("_total")
+                             else "gauge")
+            records.append({
+                "t": t, "r": replica, "k": "c" if kind == "counter" else "g",
+                "n": name, "l": dict(labels), "v": float(value)})
+        self._write(records)
+        return len(records)
+
+    def _write(self, records: list[dict]) -> None:
+        if self.root is None:
+            self._memory.extend(records)
+            horizon = max((rec["t"] for rec in self._memory),
+                          default=0.0) - self.retention
+            if self._memory and self._memory[0]["t"] < horizon:
+                self._memory = [rec for rec in self._memory
+                                if rec["t"] >= horizon]
+            return
+        by_segment: dict[float, list[dict]] = {}
+        for rec in records:
+            by_segment.setdefault(self._bucket(rec["t"]), []).append(rec)
+        for bucket, bucket_records in sorted(by_segment.items()):
+            path = self._segment_path(bucket)
+            with path.open("a", encoding="utf-8") as handle:
+                for rec in bucket_records:
+                    handle.write(json.dumps(rec, separators=(",", ":")))
+                    handle.write("\n")
+
+    def _bucket(self, t: float) -> float:
+        return (t // self.segment_seconds) * self.segment_seconds
+
+    def _segment_path(self, bucket: float) -> Path:
+        return self.root / (
+            f"{_SEGMENT_PREFIX}{int(bucket):015d}{_SEGMENT_SUFFIX}")
+
+    # ------------------------------------------------------------------ #
+    # retention
+    # ------------------------------------------------------------------ #
+    def segments(self) -> list[Path]:
+        if self.root is None:
+            return []
+        return sorted(path for path in self.root.glob(
+            f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+    def sweep_retention(self, now: float | None = None) -> int:
+        """Unlink segments that end before ``now - retention``; returns the
+        number removed.  In-memory stores trim on every append instead."""
+        if self.root is None:
+            return 0
+        now = float(self.clock() if now is None else now)
+        horizon = now - self.retention
+        removed = 0
+        for path in self.segments():
+            bucket = self._segment_bucket(path)
+            if bucket is not None and bucket + self.segment_seconds < horizon:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @staticmethod
+    def _segment_bucket(path: Path) -> float | None:
+        stem = path.name[len(_SEGMENT_PREFIX): -len(_SEGMENT_SUFFIX)]
+        try:
+            return float(int(stem))
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def _records(self, start: float, end: float):
+        """Every record with ``start <= t <= end`` (tolerant read: a torn or
+        garbage line — a crash mid-append — is counted and skipped)."""
+        if self.root is None:
+            for rec in self._memory:
+                if start <= rec["t"] <= end:
+                    yield rec
+            return
+        for path in self.segments():
+            bucket = self._segment_bucket(path)
+            if bucket is None:
+                continue
+            if bucket + self.segment_seconds <= start or bucket > end:
+                continue
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(rec, dict) or "t" not in rec \
+                        or "k" not in rec or "n" not in rec:
+                    self.corrupt_lines += 1
+                    continue
+                if start <= rec["t"] <= end:
+                    yield rec
+
+    def _series(self, name: str, kind: str, start: float, end: float,
+                labels: dict | None, replica: str | None):
+        """Group matching records into underlying series:
+        ``{(replica, label_items): [(t, record), ...]} `` sorted by time."""
+        series: dict[tuple, list] = {}
+        for rec in self._records(start, end):
+            if rec["n"] != name or rec["k"] != kind:
+                continue
+            if replica is not None and rec.get("r") != replica:
+                continue
+            rec_labels = rec.get("l") or {}
+            if not _labels_match(rec_labels, labels):
+                continue
+            key = (rec.get("r", ""), tuple(sorted(rec_labels.items())))
+            series.setdefault(key, []).append((rec["t"], rec))
+        for points in series.values():
+            points.sort(key=lambda pair: pair[0])
+        return series
+
+    def _group_key(self, series_key: tuple, by: str | None):
+        if by is None:
+            return None
+        replica_id, label_items = series_key
+        if by == "replica":
+            return replica_id
+        return dict(label_items).get(by, "")
+
+    def window_sum(self, name: str, *, window: float,
+                   at: float | None = None, labels: dict | None = None,
+                   replica: str | None = None, by: str | None = None):
+        """Counter increase over ``(at - window, at]``, reset-aware.
+
+        The sample just *before* the window start anchors the first delta
+        (one extra segment of lookback), so a window that contains k scrapes
+        accounts for k increases, not k - 1.  Summed across every matching
+        underlying series; ``by`` groups the result by a label key (or the
+        special key ``"replica"``) into a dict.
+        """
+        at = float(self.clock() if at is None else at)
+        start = at - float(window)
+        lookback = start - self.segment_seconds
+        groups: dict = {}
+        for key, points in self._series(
+                name, "c", lookback, at, labels, replica).items():
+            values = [(t, rec["v"]) for t, rec in points]
+            anchored = self._anchor(values, start)
+            increase, _resets = counter_increase(anchored)
+            group = self._group_key(key, by)
+            groups[group] = groups.get(group, 0.0) + increase
+        if by is None:
+            return groups.get(None, 0.0)
+        return groups
+
+    def counter_resets(self, name: str, *, window: float,
+                       at: float | None = None, labels: dict | None = None,
+                       replica: str | None = None) -> int:
+        """Monotonic resets (replica restarts) detected in the window."""
+        at = float(self.clock() if at is None else at)
+        start = at - float(window)
+        total = 0
+        for points in self._series(name, "c", start - self.segment_seconds,
+                                   at, labels, replica).values():
+            values = self._anchor([(t, rec["v"]) for t, rec in points], start)
+            _increase, resets = counter_increase(values)
+            total += resets
+        return total
+
+    @staticmethod
+    def _anchor(points, start: float):
+        """Drop points before ``start`` except the last one (the anchor for
+        the first in-window delta)."""
+        anchor = None
+        in_window = []
+        for t, value in points:
+            if t <= start:
+                anchor = (t, value)
+            else:
+                in_window.append((t, value))
+        return ([anchor] if anchor is not None else []) + in_window
+
+    def rate(self, name: str, *, window: float, at: float | None = None,
+             labels: dict | None = None, replica: str | None = None,
+             by: str | None = None):
+        """Per-second counter rate: :meth:`window_sum` / ``window``."""
+        result = self.window_sum(name, window=window, at=at, labels=labels,
+                                 replica=replica, by=by)
+        if by is None:
+            return result / float(window)
+        return {key: value / float(window) for key, value in result.items()}
+
+    def histogram_window(self, name: str, *, window: float,
+                         at: float | None = None, labels: dict | None = None,
+                         replica: str | None = None, by: str | None = None):
+        """Merged ``{"bounds", "counts", "count", "sum"}`` of the histogram
+        *increase* over the window, exact across replicas because all series
+        share the fixed bounds (mismatched bounds raise)."""
+        at = float(self.clock() if at is None else at)
+        start = at - float(window)
+        groups: dict = {}
+        for key, points in self._series(
+                name, "h", start - self.segment_seconds, at,
+                labels, replica).items():
+            vectors = self._anchor(
+                [(t, rec["c"]) for t, rec in points], start)
+            counts, _resets = vector_increase(vectors)
+            sums = self._anchor([(t, rec["sm"]) for t, rec in points], start)
+            sum_increase, _ = counter_increase(sums)
+            bounds = points[-1][1]["b"]
+            group = self._group_key(key, by)
+            merged = groups.get(group)
+            if merged is None:
+                groups[group] = {"bounds": list(bounds),
+                                 "counts": list(counts),
+                                 "count": sum(counts), "sum": sum_increase}
+            else:
+                if merged["bounds"] != list(bounds):
+                    raise ValueError(
+                        f"histogram bounds differ across series of {name}")
+                if len(counts) != len(merged["counts"]):
+                    raise ValueError(
+                        f"histogram arity differs across series of {name}")
+                merged["counts"] = [a + b for a, b in
+                                    zip(merged["counts"], counts)]
+                merged["count"] = sum(merged["counts"])
+                merged["sum"] += sum_increase
+        if by is None:
+            return groups.get(None)
+        return groups
+
+    def quantile_over_time(self, name: str, q: float, *, window: float,
+                           at: float | None = None,
+                           labels: dict | None = None,
+                           replica: str | None = None,
+                           by: str | None = None):
+        """Interpolated quantile of the merged histogram increase over the
+        window (0.0 when the window is empty; None when no series exist)."""
+        merged = self.histogram_window(name, window=window, at=at,
+                                       labels=labels, replica=replica, by=by)
+        if by is None:
+            if merged is None:
+                return None
+            return bucket_quantile(merged["bounds"], merged["counts"], q)
+        return {key: bucket_quantile(data["bounds"], data["counts"], q)
+                for key, data in merged.items()}
+
+    def latest(self, name: str, *, at: float | None = None,
+               max_age: float | None = None, labels: dict | None = None,
+               replica: str | None = None, by: str | None = None):
+        """Most recent gauge value per underlying series, **summed** within
+        each group (so ``by=None`` over a fleet is the fleet total; use
+        ``by="replica"`` for per-replica values).  ``None`` / ``{}`` when
+        nothing matched within ``max_age`` (default: retention)."""
+        at = float(self.clock() if at is None else at)
+        age = self.retention if max_age is None else float(max_age)
+        groups: dict = {}
+        for key, points in self._series(
+                name, "g", at - age, at, labels, replica).items():
+            value = points[-1][1]["v"]
+            group = self._group_key(key, by)
+            groups[group] = groups.get(group, 0.0) + value
+        if by is None:
+            return groups.get(None)
+        return groups
+
+    def scrape_times(self, *, start: float | None = None,
+                     end: float | None = None,
+                     replica: str | None = None) -> list[float]:
+        """Distinct scrape timestamps recorded in ``[start, end]`` — the
+        evaluation points ``repro alerts`` replays the rule engine over."""
+        end = float(self.clock() if end is None else end)
+        start = end - self.retention if start is None else float(start)
+        times = set()
+        for rec in self._records(start, end):
+            if rec["k"] != "s":
+                continue
+            if replica is not None and rec.get("r") != replica:
+                continue
+            times.add(float(rec["t"]))
+        return sorted(times)
+
+    def series_names(self, *, window: float | None = None,
+                     at: float | None = None) -> dict[str, str]:
+        """``{name: kind}`` of every series seen in the window (debugging
+        and dashboard discovery)."""
+        at = float(self.clock() if at is None else at)
+        start = at - (self.retention if window is None else float(window))
+        kinds = {"c": "counter", "g": "gauge", "h": "histogram"}
+        names: dict[str, str] = {}
+        for rec in self._records(start, at):
+            if rec["k"] in kinds:
+                names[rec["n"]] = kinds[rec["k"]]
+        return names

@@ -178,6 +178,9 @@ class SelectorHTTPServer:
         self.service = service
         self.tracer = tracer  # a repro.obs.trace.Tracer, or None (untraced)
         self.fleet = fleet  # a FleetRouter, or None outside a fleet
+        # A repro.obs.alerts.AlertEngine when `repro serve --telemetry-dir`
+        # runs a collector; answers GET /alerts from its last evaluation.
+        self.alerts = None
         self.fleet_stats = {"proxied": 0, "redirected": 0,
                             "failover_local": 0, "received_forwards": 0}
         self.max_connections = int(max_connections)
@@ -431,6 +434,10 @@ class SelectorHTTPServer:
                 return 200, {"enabled": False}
             return 200, {"enabled": True, **self.fleet.as_dict(),
                          "stats": dict(self.fleet_stats)}
+        if path == "/alerts":
+            if self.alerts is None:
+                return 200, {"enabled": False, "alerts": []}
+            return 200, {"enabled": True, **self.alerts.as_dict()}
         return 404, {"error": f"unknown path {path!r}"}
 
     def _serve_metrics(self, conn: _Connection, keep_alive: bool) -> None:

@@ -1,0 +1,305 @@
+"""Tests for the alert rule engine (repro.obs.alerts)."""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    format_alert_table,
+    load_rules,
+    rule_from_dict,
+)
+from repro.obs.tsdb import TelemetryStore
+
+GOOD = "repro_slo_good_requests_total"
+BAD = "repro_slo_bad_requests_total"
+
+
+def _memory_store():
+    return TelemetryStore(None, segment_seconds=60.0, retention=7200.0)
+
+
+def _append_slo(store, at, good, bad, model="m"):
+    store.append_scrape(
+        [(GOOD, {"model": model}, float(good)),
+         (BAD, {"model": model}, float(bad))],
+        {GOOD: "counter", BAD: "counter"}, at=at)
+
+
+def _burn_rule(**kwargs):
+    kwargs.setdefault("name", "slo-burn-rate")
+    kwargs.setdefault("kind", "burn_rate")
+    kwargs.setdefault("fast_window", 60.0)
+    kwargs.setdefault("slow_window", 300.0)
+    kwargs.setdefault("threshold", 4.0)
+    kwargs.setdefault("objective", 0.99)
+    return AlertRule(**kwargs)
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown alert rule kind"):
+            AlertRule(name="x", kind="nope")
+
+    def test_ratio_requires_both_metrics(self):
+        with pytest.raises(ValueError, match="numerator"):
+            AlertRule(name="x", kind="ratio", numerator="a")
+
+    def test_unknown_json_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown alert rule key"):
+            rule_from_dict({"name": "x", "kind": "burn_rate", "typo": 1})
+
+    def test_for_alias_maps_to_for_seconds(self):
+        rule = rule_from_dict({"name": "x", "kind": "burn_rate", "for": 30})
+        assert rule.for_seconds == 30
+
+    def test_load_rules_file(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "burn", "kind": "burn_rate", "threshold": 2.0},
+            {"name": "shed", "kind": "ratio",
+             "numerator": "repro_shed_requests_total",
+             "denominator": "repro_requests_total", "threshold": 0.1},
+        ]}))
+        rules = load_rules(path)
+        assert [rule.name for rule in rules] == ["burn", "shed"]
+
+    def test_load_rules_rejects_duplicates_and_garbage(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="malformed"):
+            load_rules(path)
+        path.write_text(json.dumps({"rules": []}))
+        with pytest.raises(ValueError, match="non-empty"):
+            load_rules(path)
+        path.write_text(json.dumps({"rules": [
+            {"name": "a", "kind": "burn_rate"},
+            {"name": "a", "kind": "burn_rate"}]}))
+        with pytest.raises(ValueError, match="duplicate"):
+            load_rules(path)
+
+    def test_default_rules_cover_the_issue_set(self):
+        names = {rule.name for rule in default_rules()}
+        assert names == {"slo-burn-rate", "shed-rate", "incomplete-traces",
+                         "replica-down", "worker-quarantine"}
+
+
+class TestBurnRateGoldenValues:
+    """Hand-computed burn rates from a known scrape sequence.
+
+    Objective 0.99 -> budget 1%.  Scrapes at t=0,60,120 with cumulative
+    (good, bad): (0,0) -> (90,10) -> (180,20).  Every 60 s window holds
+    100 requests of which 10 are bad: error rate 0.10, burn 10x.
+    """
+
+    def test_burn_rate_value_and_fire(self):
+        store = _memory_store()
+        for t, good, bad in [(0, 0, 0), (60, 90, 10), (120, 180, 20)]:
+            _append_slo(store, t, good, bad)
+        engine = AlertEngine([_burn_rule()], store, clock=lambda: 120.0)
+        statuses = engine.evaluate()
+        assert len(statuses) == 1
+        status = statuses[0]
+        assert status["labels"] == {"model": "m"}
+        # fast (60 s) window: 100 requests, 10 bad -> burn 10.0
+        # slow (300 s) window: 200 requests, 20 bad -> burn 10.0
+        assert status["value"] == pytest.approx(10.0)
+        assert status["state"] == "firing"  # for_seconds defaults to 0
+
+    def test_burn_rate_requires_both_windows(self):
+        # A short spike inside an otherwise healthy slow window must NOT
+        # fire: fast burn is high but slow burn stays under threshold.
+        store = _memory_store()
+        scrapes = [(0, 0, 0), (60, 1000, 0), (120, 2000, 0),
+                   (180, 3000, 0), (240, 3090, 10)]
+        for t, good, bad in scrapes:
+            _append_slo(store, t, good, bad)
+        rule = _burn_rule(threshold=4.0)
+        engine = AlertEngine([rule], store, clock=lambda: 240.0)
+        status = engine.evaluate()[0]
+        # fast: 100 requests, 10 bad -> burn 10x (over threshold)
+        # slow: 3100 requests, 10 bad -> burn ~0.32x (under threshold)
+        assert status["value"] == pytest.approx((10 / 3100) / 0.01)
+        assert status["state"] == "ok"
+
+    def test_insufficient_data_never_fires(self):
+        store = _memory_store()
+        _append_slo(store, 0, 0, 0)  # single scrape: no increase yet
+        engine = AlertEngine([_burn_rule()], store, clock=lambda: 0.0)
+        status = engine.evaluate()[0]
+        assert status["state"] == "ok"
+        assert status["detail"] == "insufficient data"
+
+    def test_per_model_instances(self):
+        store = _memory_store()
+        for t in (0, 60):
+            factor = t / 60.0
+            store.append_scrape(
+                [(GOOD, {"model": "healthy"}, 100.0 * factor),
+                 (BAD, {"model": "healthy"}, 0.0),
+                 (GOOD, {"model": "burning"}, 50.0 * factor),
+                 (BAD, {"model": "burning"}, 50.0 * factor)],
+                {GOOD: "counter", BAD: "counter"}, at=t)
+        engine = AlertEngine([_burn_rule()], store, clock=lambda: 60.0)
+        by_model = {status["labels"]["model"]: status
+                    for status in engine.evaluate()}
+        assert by_model["burning"]["state"] == "firing"
+        assert by_model["burning"]["value"] == pytest.approx(50.0)
+        assert by_model["healthy"]["state"] == "ok"
+
+
+class TestStateMachine:
+    """pending -> firing -> resolved under a fake clock."""
+
+    def _engine(self, tmp_path, for_seconds=30.0):
+        self.store = _memory_store()
+        rule = _burn_rule(for_seconds=for_seconds)
+        history = tmp_path / "alerts.jsonl"
+        engine = AlertEngine([rule], self.store, history_path=history)
+        return engine, history
+
+    def test_hold_then_fire_then_resolve(self, tmp_path):
+        engine, history = self._engine(tmp_path, for_seconds=30.0)
+        _append_slo(self.store, 0, 0, 0)
+        _append_slo(self.store, 10, 50, 50)  # all-bad traffic begins
+        status = engine.evaluate(10)[0]
+        assert status["state"] == "pending"
+        assert status["since"] == 10
+
+        _append_slo(self.store, 20, 100, 100)
+        assert engine.evaluate(20)[0]["state"] == "pending"  # hold not met
+
+        _append_slo(self.store, 45, 150, 150)
+        status = engine.evaluate(45)[0]
+        assert status["state"] == "firing"
+        assert status["fired_at"] == 45
+
+        # Recovery: only good traffic; the fast window drains the spike.
+        for t in (100, 130):
+            _append_slo(self.store, t, 5000 + t * 10, 150)
+        status = engine.evaluate(130)[0]
+        assert status["state"] == "ok"
+        assert status["resolved_at"] == 130
+
+        events = [json.loads(line)
+                  for line in history.read_text().splitlines()]
+        assert [event["event"] for event in events] == ["firing", "resolved"]
+        assert events[0]["rule"] == "slo-burn-rate"
+        assert events[0]["t"] == 45
+
+    def test_blip_shorter_than_hold_never_fires(self, tmp_path):
+        engine, history = self._engine(tmp_path, for_seconds=30.0)
+        _append_slo(self.store, 0, 0, 0)
+        _append_slo(self.store, 10, 0, 100)
+        assert engine.evaluate(10)[0]["state"] == "pending"
+        # Condition clears before the hold elapses.
+        _append_slo(self.store, 20, 100000, 100)
+        assert engine.evaluate(20)[0]["state"] == "ok"
+        # The hold restarts from scratch on the next breach.
+        _append_slo(self.store, 30, 100000, 200000)
+        assert engine.evaluate(30)[0]["state"] == "pending"
+        assert engine.evaluate(30)[0]["since"] == 30
+        assert not history.exists()  # nothing ever fired
+
+    def test_for_zero_fires_within_one_evaluation(self, tmp_path):
+        engine, _history = self._engine(tmp_path, for_seconds=0.0)
+        _append_slo(self.store, 0, 0, 0)
+        _append_slo(self.store, 10, 0, 100)
+        assert engine.evaluate(10)[0]["state"] == "firing"
+
+    def test_vanished_series_resolves(self, tmp_path):
+        engine, history = self._engine(tmp_path, for_seconds=0.0)
+        _append_slo(self.store, 0, 0, 0)
+        _append_slo(self.store, 10, 0, 100)
+        assert engine.evaluate(10)[0]["state"] == "firing"
+        # Far future: the model's series aged out of every window.
+        status = engine.evaluate(100000)[0]
+        assert status["state"] == "ok"
+        events = [json.loads(line)["event"]
+                  for line in history.read_text().splitlines()]
+        assert events == ["firing", "resolved"]
+
+    def test_replay_reconstructs_holds_from_scrape_times(self, tmp_path):
+        engine, _history = self._engine(tmp_path, for_seconds=30.0)
+        for t, good, bad in [(0, 0, 0), (10, 0, 100), (20, 0, 200),
+                             (45, 0, 400)]:
+            _append_slo(self.store, t, good, bad)
+        statuses = engine.replay(self.store.scrape_times(start=0, end=50))
+        assert statuses[0]["state"] == "firing"
+        assert statuses[0]["fired_at"] == 45
+
+
+class TestOtherRuleKinds:
+    def test_ratio_rule_shed_rate(self):
+        store = _memory_store()
+        store.append_scrape(
+            [("repro_shed_requests_total", {}, 0.0),
+             ("repro_requests_total", {}, 0.0)], at=0)
+        store.append_scrape(
+            [("repro_shed_requests_total", {}, 30.0),
+             ("repro_requests_total", {}, 100.0)], at=10)
+        rule = AlertRule(name="shed", kind="ratio",
+                         numerator="repro_shed_requests_total",
+                         denominator="repro_requests_total",
+                         window=60.0, threshold=0.05)
+        engine = AlertEngine([rule], store, clock=lambda: 10.0)
+        status = engine.evaluate()[0]
+        assert status["value"] == pytest.approx(0.3)
+        assert status["state"] == "firing"
+
+    def test_instant_rule_replica_down(self):
+        census = {"down": 0.0}
+        rule = AlertRule(name="replica-down", kind="instant",
+                         signal="fleet_replicas_down", threshold=0, op=">")
+        engine = AlertEngine(
+            [rule], _memory_store(),
+            instants={"fleet_replicas_down": lambda: census["down"]},
+            clock=lambda: 0.0)
+        assert engine.evaluate(0)[0]["state"] == "ok"
+        census["down"] = 2.0
+        status = engine.evaluate(1)[0]
+        assert status["state"] == "firing"
+        assert status["value"] == 2.0
+        census["down"] = 0.0
+        assert engine.evaluate(2)[0]["state"] == "ok"
+
+    def test_instant_rule_without_source_is_inert(self):
+        rule = AlertRule(name="worker-quarantine", kind="instant",
+                         signal="dist_groups_quarantined", threshold=0)
+        engine = AlertEngine([rule], _memory_store(), clock=lambda: 0.0)
+        status = engine.evaluate()[0]
+        assert status["state"] == "ok"
+        assert "unavailable" in status["detail"]
+
+    def test_gauge_rule(self):
+        store = _memory_store()
+        store.append_scrape([("repro_parked_requests", {}, 900.0)],
+                            {"repro_parked_requests": "gauge"}, at=0)
+        rule = AlertRule(name="parked", kind="gauge",
+                         metric="repro_parked_requests", threshold=500,
+                         op=">", window=60.0)
+        engine = AlertEngine([rule], store, clock=lambda: 1.0)
+        assert engine.evaluate()[0]["state"] == "firing"
+
+
+class TestPayloads:
+    def test_as_dict_and_firing(self):
+        store = _memory_store()
+        _append_slo(store, 0, 0, 0)
+        _append_slo(store, 10, 0, 100)
+        engine = AlertEngine([_burn_rule()], store, clock=lambda: 10.0)
+        engine.evaluate()
+        payload = engine.as_dict()
+        assert payload["firing"] == 1
+        assert payload["evaluated_at"] == 10.0
+        assert payload["rules"] == ["slo-burn-rate"]
+        assert engine.firing()[0]["rule"] == "slo-burn-rate"
+        table = format_alert_table(payload)
+        assert "FIRING" in table
+        assert "slo-burn-rate{model=m}" in table
+
+    def test_format_alert_table_empty(self):
+        assert "no alert instances" in format_alert_table({"alerts": []})

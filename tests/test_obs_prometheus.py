@@ -238,3 +238,76 @@ class TestTraceRendering:
         ])
         assert "t1" in text and "predict" in text and "http://a" in text
         assert "!! http://b: connection refused" in text
+
+
+class TestExternalSeries:
+    def test_external_families_render_and_parse(self):
+        """Series published via ServingMetrics.set_series (the SLO error
+        budget) appear on the page with their declared TYPE."""
+        from repro.obs.prometheus import render_server_metrics
+        from repro.serving.metrics import ServingMetrics
+
+        class _Stats:
+            requests = rows_requested = batches = 0
+            matmuls = coalesced_requests = 0
+
+        class _Batcher:
+            metrics = ServingMetrics()
+            stats = _Stats()
+
+        class _Service:
+            metrics = _Batcher.metrics
+            batcher = _Batcher()
+            shed_counts = {}
+            cache_stats = {}
+            started_at = 0.0
+
+            @staticmethod
+            def loaded_digests():
+                return []
+
+        service = _Service()
+        service.metrics.set_series(
+            "repro_slo_good_requests_total", 42, kind="counter",
+            labels={"model": "m"}, help_text="good")
+        service.metrics.set_series(
+            "repro_slo_burn_rate", 1.5, labels={"model": "m"},
+            help_text="burn")
+        text = render_server_metrics(service)
+        samples = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in parse_prometheus_text(text)}
+        key = (("model", "m"),)
+        assert samples[("repro_slo_good_requests_total", key)] == 42.0
+        assert samples[("repro_slo_burn_rate", key)] == 1.5
+        assert "# TYPE repro_slo_good_requests_total counter" in text
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+
+    def test_set_series_rejects_bad_kind(self):
+        from repro.serving.metrics import ServingMetrics
+        with pytest.raises(ValueError, match="kind"):
+            ServingMetrics().set_series("x", 1, kind="summary")
+
+
+class TestSloBudgetMerge:
+    def test_merge_slo_budgets_sums_replicas(self):
+        from repro.obs.aggregate import merge_slo_budgets
+
+        def _page(good, bad):
+            return [("repro_slo_good_requests_total", {"model": "m"}, good),
+                    ("repro_slo_bad_requests_total", {"model": "m"}, bad),
+                    ("repro_slo_objective_ratio", {}, 0.99),
+                    ("repro_slo_target_p99_seconds", {}, 0.05)]
+
+        budgets = merge_slo_budgets([_page(90.0, 10.0), _page(99.0, 1.0)])
+        assert set(budgets) == {"m"}
+        merged = budgets["m"]
+        assert merged["good"] == 189.0
+        assert merged["bad"] == 11.0
+        assert merged["attainment"] == pytest.approx(189.0 / 200.0)
+        # error rate 5.5% against a 1% allowance: 5.5x budget
+        assert merged["budget_used"] == pytest.approx(5.5)
+        assert merged["target_p99_seconds"] == 0.05
+
+    def test_merge_slo_budgets_empty_without_controller(self):
+        from repro.obs.aggregate import merge_slo_budgets
+        assert merge_slo_budgets([[("repro_requests_total", {}, 5.0)]]) == {}

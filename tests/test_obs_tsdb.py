@@ -1,0 +1,277 @@
+"""Tests for the on-disk telemetry time-series store (repro.obs.tsdb)."""
+
+import json
+
+import pytest
+
+from repro.obs.prometheus import MetricsRenderer
+from repro.obs.tsdb import (
+    TelemetryStore,
+    counter_increase,
+    infer_metric_types,
+    parse_metric_types,
+    vector_increase,
+)
+
+
+def _store(tmp_path, **kwargs):
+    kwargs.setdefault("segment_seconds", 60.0)
+    kwargs.setdefault("retention", 600.0)
+    return TelemetryStore(tmp_path / "tsdb", **kwargs)
+
+
+def _counter(name, value, labels=None):
+    return (name, dict(labels or {}), float(value))
+
+
+def _histogram_samples(name, labels, cumulative, bounds=(0.1, 0.2),
+                       total=None, sum_value=0.0):
+    """Build exposition-parsed samples for one histogram series."""
+    samples = []
+    for edge, count in zip(list(bounds) + ["+Inf"], cumulative):
+        le = "+Inf" if edge == "+Inf" else repr(float(edge))
+        samples.append((f"{name}_bucket", {**labels, "le": le}, float(count)))
+    samples.append((f"{name}_sum", dict(labels), float(sum_value)))
+    samples.append((f"{name}_count", dict(labels),
+                    float(cumulative[-1] if total is None else total)))
+    return samples
+
+
+class TestIncreaseHelpers:
+    def test_counter_increase_monotone(self):
+        total, resets = counter_increase([(0, 10.0), (1, 15.0), (2, 21.0)])
+        assert total == 11.0
+        assert resets == 0
+
+    def test_counter_increase_detects_reset(self):
+        # A replica restart drops the counter to near zero; the post-restart
+        # value is the increase since the reset.
+        total, resets = counter_increase([(0, 100.0), (1, 110.0), (2, 4.0)])
+        assert total == 14.0  # 10 before the restart + 4 after
+        assert resets == 1
+
+    def test_vector_increase_reset_resets_whole_vector(self):
+        vectors = [(0, [5.0, 5.0]), (1, [6.0, 7.0]), (2, [1.0, 0.0])]
+        total, resets = vector_increase(vectors)
+        assert total == [2.0, 2.0]  # [1,2] pre-reset + [1,0] post
+        assert resets == 1
+
+    def test_single_point_has_no_increase(self):
+        assert counter_increase([(0, 42.0)]) == (0.0, 0)
+
+
+class TestTypeClassification:
+    def test_parse_metric_types_reads_type_comments(self):
+        out = MetricsRenderer()
+        out.counter("x_total", 1, "a counter")
+        out.gauge("y", 2.0, "a gauge")
+        types = parse_metric_types(out.render())
+        assert types == {"x_total": "counter", "y": "gauge"}
+
+    def test_infer_metric_types_by_convention(self):
+        samples = [
+            _counter("repro_requests_total", 5),
+            ("repro_sessions_loaded", {}, 2.0),
+            ("lat_bucket", {"le": "+Inf"}, 3.0),
+            ("lat_sum", {}, 0.5),
+            ("lat_count", {}, 3.0),
+        ]
+        types = infer_metric_types(samples)
+        assert types["repro_requests_total"] == "counter"
+        assert types["repro_sessions_loaded"] == "gauge"
+        assert types["lat"] == "histogram"
+        assert "lat_bucket" not in types
+
+
+class TestWindowQueries:
+    def test_window_sum_counts_all_in_window_deltas(self, tmp_path):
+        store = _store(tmp_path)
+        for t, value in [(100, 10), (110, 14), (120, 20), (130, 21)]:
+            store.append_scrape([_counter("req_total", value)],
+                                {"req_total": "counter"}, at=t)
+        # Window (100, 130]: the t=100 sample anchors the first delta.
+        assert store.window_sum("req_total", window=30, at=130) == 11.0
+        assert store.rate("req_total", window=30, at=130) == \
+            pytest.approx(11.0 / 30.0)
+
+    def test_window_sum_reset_across_replica_restart(self, tmp_path):
+        store = _store(tmp_path)
+        for t, value in [(100, 50), (110, 60), (120, 5), (130, 8)]:
+            store.append_scrape([_counter("req_total", value)],
+                                {"req_total": "counter"}, at=t)
+        # 10 before the restart, 5 at restart, 3 after = 18.
+        assert store.window_sum("req_total", window=30, at=130) == 18.0
+        assert store.counter_resets("req_total", window=30, at=130) == 1
+
+    def test_window_sum_sums_across_replicas_and_groups_by(self, tmp_path):
+        store = _store(tmp_path)
+        for t, a_value, b_value in [(100, 0, 0), (110, 4, 6)]:
+            store.append_scrape([_counter("req_total", a_value)],
+                                {"req_total": "counter"}, replica="a", at=t)
+            store.append_scrape([_counter("req_total", b_value)],
+                                {"req_total": "counter"}, replica="b", at=t)
+        assert store.window_sum("req_total", window=20, at=110) == 10.0
+        per_replica = store.window_sum("req_total", window=20, at=110,
+                                       by="replica")
+        assert per_replica == {"a": 4.0, "b": 6.0}
+
+    def test_window_sum_groups_by_label(self, tmp_path):
+        store = _store(tmp_path)
+        for t, x_value, y_value in [(100, 0, 0), (110, 3, 9)]:
+            store.append_scrape(
+                [_counter("good_total", x_value, {"model": "x"}),
+                 _counter("good_total", y_value, {"model": "y"})],
+                {"good_total": "counter"}, at=t)
+        assert store.window_sum("good_total", window=20, at=110,
+                                by="model") == {"x": 3.0, "y": 9.0}
+        assert store.window_sum("good_total", window=20, at=110,
+                                labels={"model": "y"}) == 9.0
+
+    def test_latest_gauge_and_scrape_times(self, tmp_path):
+        store = _store(tmp_path)
+        store.append_scrape([("rss", {}, 100.0)], {"rss": "gauge"},
+                            replica="a", at=100)
+        store.append_scrape([("rss", {}, 200.0)], {"rss": "gauge"},
+                            replica="a", at=110)
+        store.append_scrape([("rss", {}, 50.0)], {"rss": "gauge"},
+                            replica="b", at=110)
+        assert store.latest("rss", at=120) == 250.0  # fleet total
+        assert store.latest("rss", at=120, by="replica") == \
+            {"a": 200.0, "b": 50.0}
+        assert store.scrape_times(start=0, end=200) == [100.0, 110.0]
+        assert store.scrape_times(start=0, end=200, replica="b") == [110.0]
+
+    def test_quantile_over_time_merges_bucket_deltas(self, tmp_path):
+        store = _store(tmp_path)
+        types = {"lat": "histogram"}
+        # Scrape 1: 1 obs <=0.1; scrape 2 adds 2 obs in (0.1, 0.2].
+        store.append_scrape(
+            _histogram_samples("lat", {"model": "m"}, [1, 1, 1]),
+            types, at=100)
+        store.append_scrape(
+            _histogram_samples("lat", {"model": "m"}, [1, 3, 3]),
+            types, at=110)
+        merged = store.histogram_window("lat", window=20, at=110)
+        assert merged["counts"] == [0.0, 2.0, 0.0]
+        q50 = store.quantile_over_time("lat", 0.5, window=20, at=110)
+        assert 0.1 < q50 <= 0.2
+        by_model = store.quantile_over_time("lat", 0.5, window=20, at=110,
+                                            by="model")
+        assert set(by_model) == {"m"}
+        # No histogram data at all -> None, not a crash.
+        assert store.quantile_over_time("other", 0.99, window=20,
+                                        at=110) is None
+
+    def test_histogram_window_reset_across_restart(self, tmp_path):
+        store = _store(tmp_path)
+        types = {"lat": "histogram"}
+        store.append_scrape(
+            _histogram_samples("lat", {"model": "m"}, [5, 9, 9]),
+            types, at=100)
+        # Restart: cumulative counts fall back below the previous scrape.
+        store.append_scrape(
+            _histogram_samples("lat", {"model": "m"}, [1, 1, 2]),
+            types, at=110)
+        merged = store.histogram_window("lat", window=20, at=110)
+        assert merged["counts"] == [1.0, 0.0, 1.0]
+
+
+class TestSegmentsAndRetention:
+    def test_records_land_in_time_bucketed_segments(self, tmp_path):
+        store = _store(tmp_path)  # 60 s segments
+        store.append_scrape([_counter("c_total", 1)], at=30)
+        store.append_scrape([_counter("c_total", 2)], at=90)
+        names = [path.name for path in store.segments()]
+        assert names == ["seg-000000000000000.jsonl",
+                         "seg-000000000000060.jsonl"]
+
+    def test_sweep_retention_unlinks_old_segments(self, tmp_path):
+        store = _store(tmp_path)  # retention 600 s
+        store.append_scrape([_counter("c_total", 1)], at=0)
+        store.append_scrape([_counter("c_total", 2)], at=1000)
+        assert len(store.segments()) == 2
+        removed = store.sweep_retention(now=1000)
+        assert removed == 1
+        assert store.window_sum("c_total", window=1000, at=1000) == 0.0
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        store = _store(tmp_path)
+        for t, value in [(100, 10), (110, 14), (120, 20)]:
+            store.append_scrape([_counter("req_total", value)],
+                                {"req_total": "counter"}, at=t)
+        segment = store.segments()[-1]
+        with segment.open("a", encoding="utf-8") as handle:
+            handle.write('{"t": 130, "r": "local", "k": "c", "n": "req_t')
+        # A fresh store reads through the torn line without losing the
+        # intact records, like JsonlResultStore.load(on_corrupt="skip").
+        reopened = TelemetryStore(store.root, segment_seconds=60.0,
+                                  retention=600.0)
+        assert reopened.window_sum("req_total", window=30, at=130) == 10.0
+        assert reopened.corrupt_lines == 1
+
+    def test_garbage_interior_line_is_counted_and_skipped(self, tmp_path):
+        store = _store(tmp_path)
+        store.append_scrape([_counter("req_total", 1)], at=100)
+        segment = store.segments()[-1]
+        lines = segment.read_text().splitlines()
+        lines.insert(1, "not json at all")
+        lines.insert(2, json.dumps({"v": 1.0}))  # missing required keys
+        segment.write_text("\n".join(lines) + "\n")
+        reopened = TelemetryStore(store.root, segment_seconds=60.0,
+                                  retention=600.0)
+        assert reopened.scrape_times(start=0, end=200) == [100.0]
+        assert reopened.corrupt_lines == 2
+
+    def test_append_survives_store_reopen(self, tmp_path):
+        """Raw cumulative storage means a collector restart mid-window
+        changes nothing about derived increases."""
+        root = tmp_path / "tsdb"
+        first = TelemetryStore(root, segment_seconds=60.0, retention=600.0)
+        first.append_scrape([_counter("req_total", 10)], at=100)
+        second = TelemetryStore(root, segment_seconds=60.0, retention=600.0)
+        second.append_scrape([_counter("req_total", 25)], at=110)
+        assert second.window_sum("req_total", window=20, at=110) == 15.0
+
+
+class TestInMemoryStore:
+    def test_in_memory_mode_has_same_query_api(self):
+        store = TelemetryStore(None, segment_seconds=60.0, retention=600.0)
+        store.append_scrape([_counter("req_total", 0)], at=100)
+        store.append_scrape([_counter("req_total", 7)], at=110)
+        assert store.segments() == []
+        assert store.window_sum("req_total", window=20, at=110) == 7.0
+        assert store.sweep_retention() == 0
+
+    def test_in_memory_mode_trims_to_retention(self):
+        store = TelemetryStore(None, segment_seconds=60.0, retention=600.0)
+        store.append_scrape([_counter("req_total", 1)], at=0)
+        store.append_scrape([_counter("req_total", 2)], at=1000)
+        assert store.scrape_times(start=0, end=2000) == [1000.0]
+
+
+class TestAppendPage:
+    def test_append_page_round_trips_rendered_metrics(self, tmp_path):
+        store = _store(tmp_path)
+        out = MetricsRenderer()
+        out.counter("repro_requests_total", 5, "requests")
+        out.gauge("repro_sessions_loaded", 2, "sessions")
+        store.append_page(out.render(), replica="r1", at=100)
+        out = MetricsRenderer()
+        out.counter("repro_requests_total", 9, "requests")
+        out.gauge("repro_sessions_loaded", 3, "sessions")
+        store.append_page(out.render(), replica="r1", at=110)
+        assert store.window_sum("repro_requests_total",
+                                window=20, at=110) == 4.0
+        assert store.latest("repro_sessions_loaded", at=110) == 3.0
+        assert store.series_names(at=110)["repro_requests_total"] == "counter"
+
+    def test_append_page_is_strict(self, tmp_path):
+        store = _store(tmp_path)
+        with pytest.raises(ValueError):
+            store.append_page("this is not exposition text {{{", at=100)
+
+    def test_bad_constructor_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetryStore(tmp_path, segment_seconds=0)
+        with pytest.raises(ValueError):
+            TelemetryStore(tmp_path, segment_seconds=60, retention=30)

@@ -490,3 +490,92 @@ class TestBucketQuantile:
         counts = [0, 100, 0, 0]  # uniform inside (1, 2]
         p50 = bucket_quantile(bounds, counts, 0.50)
         assert 1.0 < p50 <= 2.0
+
+
+# --------------------------------------------------------------------------- #
+# SLO error-budget accounting (burn rate, budget gauges, /metrics series)
+# --------------------------------------------------------------------------- #
+class TestErrorBudget:
+    def _controller(self, *, objective=0.9, budget_window=100.0,
+                    target_p99=0.050):
+        from repro.serving.metrics import ServingMetrics
+
+        self.now = [0.0]
+        router = FakeRouter()
+        metrics = ServingMetrics()
+        ctl = SloController(router, target_p99=target_p99, metrics=metrics,
+                            objective=objective, budget_window=budget_window,
+                            clock=lambda: self.now[0])
+        return ctl, metrics
+
+    def _observe(self, metrics, label, seconds, n):
+        hist = metrics.model(label).latency
+        for _ in range(n):
+            hist.observe(seconds)
+
+    def test_good_bad_split_burn_and_remaining(self):
+        # Objective 90% under 50ms -> budget 10%.  100 requests, 20 over
+        # target: error rate 0.20, burn 2x, budget consumed 2x (overspent).
+        ctl, metrics = self._controller(objective=0.9)
+        self._observe(metrics, "m", 0.001, 80)
+        self._observe(metrics, "m", 0.200, 20)
+        ctl.tick()
+        state = ctl.state()["models"]["m"]
+        assert state["good_requests"] == 80
+        assert state["bad_requests"] == 20
+        assert state["burn_rate"] == pytest.approx(2.0)
+        assert state["error_budget_consumed"] == pytest.approx(2.0)
+        assert state["error_budget_remaining"] == pytest.approx(-1.0)
+
+    def test_counters_accumulate_and_ride_metrics_registry(self):
+        ctl, metrics = self._controller(objective=0.9)
+        self._observe(metrics, "m", 0.001, 50)
+        ctl.tick()
+        self.now[0] = 10.0
+        self._observe(metrics, "m", 0.200, 50)
+        ctl.tick()
+        families = {name: (kind, dict(
+            (tuple(sorted(labels.items())), value)
+            for labels, value in entries))
+            for name, kind, _help, entries in metrics.external_families()}
+        good_kind, good = families["repro_slo_good_requests_total"]
+        bad_kind, bad = families["repro_slo_bad_requests_total"]
+        assert good_kind == bad_kind == "counter"
+        key = (("model", "m"),)
+        assert good[key] == 50.0
+        assert bad[key] == 50.0
+        assert families["repro_slo_target_p99_seconds"][1][()] == 0.050
+        assert families["repro_slo_objective_ratio"][1][()] == 0.9
+        remaining = families["repro_slo_error_budget_remaining_ratio"][1][key]
+        # 100 requests in the window, 50 bad, 10% allowance -> 5x consumed.
+        assert remaining == pytest.approx(1.0 - 5.0)
+
+    def test_budget_window_rolls_off_old_spend(self):
+        ctl, metrics = self._controller(objective=0.9, budget_window=100.0)
+        self._observe(metrics, "m", 0.200, 100)  # all bad at t=0
+        ctl.tick()
+        assert ctl.state()["models"]["m"]["burn_rate"] == pytest.approx(10.0)
+        # 200s later the spike has aged out of the window; a clean window
+        # restores the full budget even though cumulative counters remember.
+        self.now[0] = 200.0
+        self._observe(metrics, "m", 0.001, 100)
+        ctl.tick()
+        state = ctl.state()["models"]["m"]
+        assert state["burn_rate"] == pytest.approx(0.0)
+        assert state["error_budget_remaining"] == pytest.approx(1.0)
+        assert state["bad_requests"] == 100  # cumulative history intact
+
+    def test_idle_windows_do_not_charge_the_budget(self):
+        ctl, metrics = self._controller()
+        self._observe(metrics, "m", 0.001, 10)
+        ctl.tick()
+        ctl.tick()  # idle window
+        state = ctl.state()["models"]["m"]
+        assert state["good_requests"] == 10
+        assert state["error_budget_remaining"] == pytest.approx(1.0)
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            controller(objective=1.5)
+        with pytest.raises(ValueError, match="budget_window"):
+            controller(budget_window=0.0)
