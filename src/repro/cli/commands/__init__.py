@@ -12,6 +12,7 @@ from repro.cli.commands import (
     dist,
     experiments,
     fleet,
+    graph,
     obs,
     serving,
     sweep,
@@ -22,6 +23,7 @@ COMMAND_MODULES = (
     sweep,
     dist,
     serving,
+    graph,
     fleet,
     obs,
 )

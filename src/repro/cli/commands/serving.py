@@ -64,6 +64,7 @@ def command_publish(args) -> int:
               "trusting the given grid arguments", file=sys.stderr)
 
     from repro.core.model import GCON
+    from repro.core.propagation import graph_fingerprint
     from repro.evaluation.figures import default_gcon_config
 
     settings = spec.settings()
@@ -81,6 +82,11 @@ def command_publish(args) -> int:
                                   "dataset": winner.dataset,
                                   "scale": spec.scale,
                                   "graph_seed": spec.seed,
+                                  # Epoch-0 digest of the training graph:
+                                  # /v1/graph/status reports the serving
+                                  # digest, so drift is detectable.
+                                  "graph_digest": graph_fingerprint(
+                                      graph.adjacency),
                                   "cell_seed": cell_seed,
                                   "repeat": winner.repeat,
                                   "epsilon": winner.epsilon,
@@ -187,7 +193,8 @@ def command_serve(args) -> int:
         try:
             member = FleetMember(args.fleet_dir, replica_id, adv_host,
                                  adv_port, ttl=args.fleet_ttl)
-            member.join(service.loaded_digests())
+            member.join(service.loaded_digests(),
+                        graph_epochs=service.graph_epochs())
         except Exception as error:
             server.server_close()
             if controller is not None:
@@ -197,6 +204,14 @@ def command_serve(args) -> int:
             return 2
         member.start()
         server.fleet = FleetRouter(member, proxy=not args.fleet_redirect)
+
+        def _advertise_epochs(_result):
+            # An applied edge delta re-advertises the new epoch map on the
+            # membership lease, so `repro fleet status` shows agreement.
+            member.advertise(service.loaded_digests(),
+                             graph_epochs=service.graph_epochs())
+
+        service.on_graph_update = _advertise_epochs
 
     collector = None
     if telemetry_store is not None:
@@ -226,7 +241,8 @@ def command_serve(args) -> int:
 
         def _readvertise(_name, _old, _new):
             if member is not None:
-                member.advertise(service.loaded_digests())
+                member.advertise(service.loaded_digests(),
+                                 graph_epochs=service.graph_epochs())
 
         watcher = watch_models(service, args.models,
                                interval=args.reload_interval,

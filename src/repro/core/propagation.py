@@ -297,3 +297,175 @@ class Propagator:
             operator = self.inference_matrix(steps, inference_alpha)
             blocks.append(np.asarray(operator @ features))
         return np.concatenate(blocks, axis=1) / len(blocks)
+
+
+# --------------------------------------------------------------------------- #
+# incremental re-propagation (live graph mutation)
+# --------------------------------------------------------------------------- #
+def bfs_neighborhood(matrix: sp.csr_matrix, seeds, radius: int) -> np.ndarray:
+    """Sorted node ids within ``radius`` hops of ``seeds`` on ``matrix``.
+
+    The closed neighbourhood ``N^radius[seeds]`` over the sparsity pattern:
+    the seeds themselves at radius 0, one frontier expansion per hop.  On a
+    row-stochastic transition (which carries self-loops) a hop automatically
+    re-includes the frontier, but seeds are marked explicitly so the helper
+    is correct for plain adjacencies too.
+    """
+    seeds = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    num_nodes = matrix.shape[0]
+    if seeds.size and (seeds.min() < 0 or seeds.max() >= num_nodes):
+        raise ConfigurationError(
+            f"seed nodes must be in [0, {num_nodes}), got "
+            f"[{int(seeds.min())}, {int(seeds.max())}]")
+    reached = np.zeros(num_nodes, dtype=bool)
+    reached[seeds] = True
+    frontier = seeds
+    indptr, indices = matrix.indptr, matrix.indices
+    for _ in range(int(radius)):
+        if frontier.size == 0 or reached.all():
+            break
+        fresh = np.zeros(num_nodes, dtype=bool)
+        for node in frontier:
+            fresh[indices[indptr[node]:indptr[node + 1]]] = True
+        frontier = np.flatnonzero(fresh & ~reached)
+        reached |= fresh
+    return np.flatnonzero(reached)
+
+
+def _appr_rows(propagator: Propagator, features: np.ndarray,
+               rows: np.ndarray, steps: int) -> np.ndarray:
+    """``Z_m`` restricted to ``rows``, bitwise equal to the full recursion.
+
+    Level-by-level halo recomputation: to produce ``Z_k`` at a row set
+    ``L_k``, the recursion reads ``Z_{k-1}`` at the closed neighbourhood
+    ``N[L_k]``, so the level sets ``L_k = N^{m-k}[rows]`` shrink towards the
+    target rows while every level's inputs stay covered by the previous
+    one.  Each level is a CSR *row slice* of the same transition matrix the
+    full path multiplies with — row slicing preserves each row's stored
+    element order, so the per-row accumulation sequence (and hence every
+    last bit) matches ``_propagate_appr``.
+    """
+    transition = propagator.transition
+    num_nodes = transition.shape[0]
+    levels = [rows]
+    for _ in range(steps - 1):
+        levels.append(bfs_neighborhood(transition, levels[-1], 1))
+    levels.reverse()  # levels[k-1] is L_k = N^{m-k}[rows]
+    decayed = 1.0 - propagator.alpha
+    # One full-size scratch: level k writes Z_k into its rows; level k+1
+    # reads only columns inside level k's row set, so the stale rows outside
+    # it are never consulted.
+    scratch = features.copy()
+    for level_rows in levels:
+        if level_rows.size == num_nodes:
+            scratch = decayed * (transition @ scratch) \
+                + propagator.alpha * features
+            continue
+        sub = transition[level_rows] @ scratch
+        scratch[level_rows] = decayed * sub \
+            + propagator.alpha * features[level_rows]
+    return scratch[rows]
+
+
+def incremental_inference_features(propagator: Propagator,
+                                   encoded: np.ndarray,
+                                   old_features: np.ndarray,
+                                   endpoints,
+                                   steps_list,
+                                   mode: str = "private",
+                                   inference_alpha: float | None = None,
+                                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Push-based re-propagation after an edge-delta batch.
+
+    ``propagator`` is built on the *new* graph; ``old_features`` is the
+    previous epoch's aggregated matrix for the same ``encoded`` inputs (the
+    encoder output does not depend on edges, so it carries across epochs);
+    ``endpoints`` is the set of nodes incident to any inserted or deleted
+    edge between the two epochs.
+
+    Returns ``(new_features, touched_rows)``.  The contract — pinned by the
+    property tests and the CI graph-smoke job — is that ``new_features`` is
+    *bitwise identical* to recomputing
+    :func:`repro.core.inference.inference_features` from scratch on the new
+    graph, while every row outside ``touched_rows`` is byte-copied from
+    ``old_features``.
+
+    Why only a neighbourhood needs recomputing: a row-stochastic row
+    ``Ã[i]`` depends on node i's own degree and neighbour set alone, so only
+    the delta endpoints' rows change.  By induction over the APPR recursion
+    ``Z_k = (1-α) Ã Z_{k-1} + α X``, a row further than ``k`` hops from
+    every endpoint reads only unchanged operator rows over unchanged inputs,
+    hence ``Z_m`` changes only within distance ``m-1`` of the endpoints (on
+    either graph — an untouched row also has an identical neighbour list).
+    Private inference applies a single-hop operator, so exactly the endpoint
+    rows change; the exact PPR limit has unbounded radius and falls back to
+    the reference solve for its block.
+    """
+    steps_list = list(steps_list)
+    if not steps_list:
+        raise ConfigurationError("steps_list must contain at least one entry")
+    encoded = np.asarray(encoded, dtype=np.float64)
+    num_nodes = propagator.num_nodes
+    if encoded.shape[0] != num_nodes:
+        raise ConfigurationError(
+            f"encoded features have {encoded.shape[0]} rows but the graph "
+            f"has {num_nodes} nodes")
+    width = encoded.shape[1]
+    scale = len(steps_list)
+    if old_features.shape != (num_nodes, width * scale):
+        raise ConfigurationError(
+            f"old features have shape {old_features.shape}; expected "
+            f"({num_nodes}, {width * scale}) for {scale} concat block(s)")
+    if mode not in ("private", "public"):
+        raise ConfigurationError(
+            f"mode must be 'private' or 'public', got {mode!r}")
+    if mode == "private" and inference_alpha is None:
+        raise ConfigurationError("private inference requires inference_alpha")
+
+    endpoints = np.unique(np.asarray(list(endpoints), dtype=np.int64))
+    new_features = old_features.copy()
+    if endpoints.size == 0:
+        return new_features, np.array([], dtype=np.int64)
+    if endpoints.min() < 0 or endpoints.max() >= num_nodes:
+        raise ConfigurationError(
+            f"delta endpoints must be in [0, {num_nodes}), got "
+            f"[{int(endpoints.min())}, {int(endpoints.max())}]")
+
+    touched = np.zeros(num_nodes, dtype=bool)
+    for block, steps in enumerate(steps_list):
+        start = block * width
+        if steps == 0:
+            continue  # the identity block is X/s in every epoch
+        if mode == "private":
+            # Eq. 16 is single-hop for every m > 0: only the endpoint rows
+            # of R̂ differ, whatever the step count.  The operator rows are
+            # assembled directly — never the full n×n R̂ — so the cost is
+            # proportional to the touched set.  Bitwise safety: sparse
+            # addition canonicalises (sorts) column indices exactly like
+            # the full ``inference_matrix`` construction, so each row's
+            # matmul accumulation order matches the reference path.
+            if not 0.0 <= inference_alpha <= 1.0:
+                raise ConfigurationError(
+                    f"inference_alpha must be in [0, 1], got "
+                    f"{inference_alpha}")
+            rows = endpoints
+            eye_rows = sp.csr_matrix(
+                (np.ones(rows.size),
+                 (np.arange(rows.size), rows)),
+                shape=(rows.size, num_nodes))
+            operator_rows = ((1.0 - inference_alpha)
+                             * propagator.transition[rows]
+                             + inference_alpha * eye_rows)
+            block_rows = np.asarray(operator_rows @ encoded)
+        elif steps == math.inf:
+            # The PPR limit mixes globally; recompute the block via the
+            # reference solve (still bitwise: it IS the reference path).
+            rows = np.arange(num_nodes, dtype=np.int64)
+            block_rows = propagator.propagate(encoded, math.inf)
+        else:
+            rows = bfs_neighborhood(propagator.transition, endpoints,
+                                    int(steps) - 1)
+            block_rows = _appr_rows(propagator, encoded, rows, int(steps))
+        new_features[rows, start:start + width] = block_rows / scale
+        touched[rows] = True
+    return new_features, np.flatnonzero(touched)

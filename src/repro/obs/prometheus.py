@@ -179,6 +179,48 @@ def render_server_metrics(service, *, server=None, tracer=None) -> str:
     out.gauge("repro_sessions_loaded", len(service.loaded_digests()),
               "Distinct model digests with a live session.")
 
+    # The versioned serving graph: current epoch per store, update counter
+    # and the incremental-vs-full session rebuild split.
+    graph_epochs = getattr(service, "graph_epochs", None)
+    if graph_epochs is not None:
+        for key, epoch in graph_epochs().items():
+            out.gauge("repro_graph_epoch", epoch,
+                      "Current epoch of each versioned serving graph.",
+                      {"graph": key})
+        graph_stats = dict(service.graph_stats)
+        out.counter("repro_graph_updates_total",
+                    graph_stats.get("updates", 0),
+                    "Edge-delta batches applied to serving graphs.")
+        for strategy in ("incremental", "full"):
+            out.counter("repro_graph_session_rebuilds_total",
+                        graph_stats.get(f"sessions_rebuilt_{strategy}", 0),
+                        "Session rebuilds after an epoch advance, by "
+                        "strategy.", {"strategy": strategy})
+        out.counter("repro_graph_rows_recomputed_total",
+                    graph_stats.get("rows_recomputed", 0),
+                    "Feature rows re-propagated by incremental rebuilds.")
+        out.counter("repro_graph_rows_reused_total",
+                    graph_stats.get("rows_reused", 0),
+                    "Feature rows reused bitwise by incremental rebuilds.")
+
+    # The propagation cache behind session builds (transition matrices,
+    # LU solvers, propagated features), per layer.
+    propagation = getattr(service, "propagation", None)
+    if propagation is not None:
+        info = propagation.info()
+        for counter, help_text in (
+            ("hits", "Propagation-cache hits per layer."),
+            ("misses", "Propagation-cache misses per layer."),
+        ):
+            for layer in sorted(info):
+                out.counter(f"repro_propagation_cache_{counter}_total",
+                            info[layer][counter], help_text, {"layer": layer})
+        for layer in sorted(info):
+            out.gauge("repro_propagation_cache_entries",
+                      info[layer]["entries"],
+                      "Propagation-cache entries currently held per layer.",
+                      {"layer": layer})
+
     # Series other subsystems published into the registry — today the SLO
     # controller's error-budget accounting (repro_slo_*).
     external = getattr(service.metrics, "external_families", None)

@@ -42,6 +42,7 @@ from repro.serving.fleet import (
     default_replica_id,
     watch_models,
 )
+from repro.serving.graphstore import EdgeDelta, GraphStore
 from repro.serving.hashring import HashRing
 from repro.serving.httpd import SelectorHTTPServer, serve_http
 from repro.serving.metrics import Histogram, ModelMetrics, ServingMetrics
@@ -52,6 +53,7 @@ from repro.serving.service import (
     PredictRequest,
     format_prediction,
     format_prediction_body,
+    parse_graph_update_payload,
     parse_predict_payload,
     render_scores_json,
 )
@@ -59,10 +61,12 @@ from repro.serving.slo import OverloadedError, SloController
 
 __all__ = [
     "BatchStats",
+    "EdgeDelta",
     "FleetMember",
     "FleetRouter",
     "FleetStatus",
     "FleetView",
+    "GraphStore",
     "HashRing",
     "Histogram",
     "InferenceService",
@@ -81,6 +85,7 @@ __all__ = [
     "default_replica_id",
     "format_prediction",
     "format_prediction_body",
+    "parse_graph_update_payload",
     "parse_model_ref",
     "parse_predict_payload",
     "render_scores_json",

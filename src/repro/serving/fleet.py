@@ -63,6 +63,10 @@ class Replica:
     heartbeat_at: float
     ttl: float
     expired: bool = False
+    # Sorted (graph key, epoch) pairs — which version of each serving graph
+    # this replica is answering against.  Agreement across the fleet means
+    # every live replica applied the same edge-delta sequence.
+    graph_epochs: tuple = ()
 
     @property
     def address(self) -> str:
@@ -75,18 +79,24 @@ class Replica:
     @classmethod
     def from_lease(cls, lease: Lease, *, expired: bool = False) -> "Replica":
         meta = lease.meta or {}
+        epochs = meta.get("graph_epochs", {}) or {}
         return cls(replica_id=lease.group_id,
                    host=str(meta.get("host", "")),
                    port=int(meta.get("port", 0)),
                    digests=tuple(str(d) for d in meta.get("digests", ())),
                    heartbeat_at=lease.heartbeat_at, ttl=lease.ttl,
-                   expired=expired)
+                   expired=expired,
+                   graph_epochs=tuple(sorted(
+                       (str(key), int(epoch))
+                       for key, epoch in epochs.items())))
 
     def as_dict(self) -> dict:
         return {"replica_id": self.replica_id, "host": self.host,
                 "port": self.port, "digests": list(self.digests),
                 "heartbeat_at": self.heartbeat_at, "ttl": self.ttl,
-                "expired": self.expired}
+                "expired": self.expired,
+                "graph_epochs": {key: epoch
+                                 for key, epoch in self.graph_epochs}}
 
 
 class FleetMember:
@@ -107,6 +117,7 @@ class FleetMember:
         self.port = int(port)
         self.manager = LeaseManager(fleet_dir, ttl=ttl, clock=clock)
         self._digests: tuple = ()
+        self._graph_epochs: dict[str, int] = {}
         self._lease: Lease | None = None
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -115,7 +126,8 @@ class FleetMember:
 
     def _meta(self) -> dict:
         return {"host": self.host, "port": self.port,
-                "digests": list(self._digests)}
+                "digests": list(self._digests),
+                "graph_epochs": dict(self._graph_epochs)}
 
     @property
     def lease(self) -> Lease | None:
@@ -123,9 +135,12 @@ class FleetMember:
             return self._lease
 
     # -- lifecycle ------------------------------------------------------ #
-    def join(self, digests=()) -> "FleetMember":
+    def join(self, digests=(), graph_epochs=None) -> "FleetMember":
         with self._lock:
             self._digests = tuple(sorted(digests))
+            if graph_epochs is not None:
+                self._graph_epochs = {str(key): int(epoch)
+                                      for key, epoch in graph_epochs.items()}
             lease = self.manager.acquire(self.replica_id, self.replica_id,
                                          meta=self._meta())
             if lease is None:
@@ -171,10 +186,14 @@ class FleetMember:
             self.rejoins += 1
             return True
 
-    def advertise(self, digests) -> None:
-        """Replace the advertised digest set and push it out immediately."""
+    def advertise(self, digests, graph_epochs=None) -> None:
+        """Replace the advertised digest set (and, when given, the graph
+        epoch map) and push the new meta out immediately."""
         with self._lock:
             self._digests = tuple(sorted(digests))
+            if graph_epochs is not None:
+                self._graph_epochs = {str(key): int(epoch)
+                                      for key, epoch in graph_epochs.items()}
         self.heartbeat_now()
 
     def leave(self) -> None:
@@ -215,15 +234,28 @@ class FleetStatus:
             age = max(0.0, self.now - replica.heartbeat_at)
             state = "EXPIRED" if replica.expired else "live"
             digests = ",".join(d[:12] for d in replica.digests) or "-"
+            epochs = ",".join(f"{key}@e{epoch}"
+                              for key, epoch in replica.graph_epochs) or "-"
             lines.append(f"  {replica.replica_id:<28} {replica.address:<21} "
                          f"{state:<7} heartbeat {age:5.1f}s ago  "
-                         f"models {digests}")
+                         f"models {digests}  graphs {epochs}")
         ring = HashRing(replica.replica_id for replica in self.live)
         digests = sorted({d for replica in self.live for d in replica.digests})
         if digests and len(ring):
             lines.append("  routing (consistent hash over model digests):")
             for digest in digests:
                 lines.append(f"    {digest[:12]} -> {ring.owner(digest)}")
+        graph_keys = sorted({key for replica in self.live
+                             for key, _epoch in replica.graph_epochs})
+        if graph_keys:
+            lines.append("  graph epochs (fleet agreement):")
+            for key in graph_keys:
+                seen = sorted({epoch for replica in self.live
+                               for k, epoch in replica.graph_epochs
+                               if k == key})
+                state = (f"agreed @e{seen[0]}" if len(seen) == 1
+                         else f"DISAGREE {seen}")
+                lines.append(f"    {key} -> {state}")
         return "\n".join(lines)
 
 
@@ -302,10 +334,18 @@ class FleetView:
         ring = HashRing((replica.replica_id for replica in live),
                         vnodes=self.vnodes)
         digests = sorted({d for replica in live for d in replica.digests})
+        graph_keys = sorted({key for replica in live
+                             for key, _epoch in replica.graph_epochs})
+        graph_epochs = {}
+        for key in graph_keys:
+            seen = sorted({epoch for replica in live
+                           for k, epoch in replica.graph_epochs if k == key})
+            graph_epochs[key] = {"epochs": seen, "agreed": len(seen) == 1}
         return {
             "fleet_dir": str(self.fleet_dir),
             "replicas": [replica.as_dict() for replica in replicas],
             "routing": {digest: ring.owner(digest) for digest in digests},
+            "graph_epochs": graph_epochs,
         }
 
 

@@ -51,7 +51,7 @@ import sys
 import threading
 import time
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, GraphDataError
 from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE
 from repro.obs.trace import (
     TRACE_HEADER,
@@ -62,6 +62,7 @@ from repro.obs.trace import (
 from repro.serving.service import (
     InferenceService,
     format_prediction_body,
+    parse_graph_update_payload,
     parse_predict_payload,
 )
 from repro.serving.slo import OverloadedError
@@ -143,6 +144,45 @@ class _ProxyJob:
             hook()
 
 
+class _UpdateJob:
+    """One admitted ``/v1/graph/update``: apply + re-propagate off-loop.
+
+    Same duck-typed parked contract as :class:`_ProxyJob` (``done()`` + an
+    ``on_done`` self-pipe hook).  The service call runs on its own thread
+    because re-propagation is a real computation; the event loop keeps
+    serving predict traffic — pinned to the previous epoch — meanwhile.
+    Updates are admitted one at a time (the server rejects a second with
+    429 while one is in flight), which keeps the epoch sequence linear.
+    """
+
+    __slots__ = ("service", "kwargs", "result", "error", "status",
+                 "on_done", "_event")
+
+    def __init__(self, service: InferenceService, kwargs: dict):
+        self.service = service
+        self.kwargs = kwargs
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.status = 200
+        self.on_done = None
+        self._event = threading.Event()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def run(self) -> None:
+        try:
+            self.result = self.service.apply_graph_update(**self.kwargs)
+        except (ConfigurationError, GraphDataError) as error:
+            self.status, self.error = 400, str(error)
+        except Exception as error:  # surfaced, not swallowed
+            self.status, self.error = 500, repr(error)
+        self._event.set()
+        hook = self.on_done
+        if hook is not None:
+            hook()
+
+
 class _BadRequest(Exception):
     """Malformed HTTP framing: respond with ``status`` and close."""
 
@@ -207,6 +247,9 @@ class SelectorHTTPServer:
         self._selector.register(self._waker_r, selectors.EVENT_READ, _WAKER)
         self._connections: dict[socket.socket, _Connection] = {}
         self._parked: set[_Connection] = set()
+        # The in-flight /v1/graph/update, if any: updates are admitted one
+        # at a time so the serving graph's epoch sequence stays linear.
+        self._graph_update: _UpdateJob | None = None
 
         self._shutdown_request = False
         self._is_shut_down = threading.Event()
@@ -380,6 +423,9 @@ class SelectorHTTPServer:
                     return
                 status, payload = self._route_get(path)
             elif method == "POST":
+                if path == "/v1/graph/update":
+                    self._submit_graph_update(conn, headers, body, keep_alive)
+                    return  # parked (the completion pass responds) or errored
                 if path not in ("/v1/predict", "/predict"):
                     status, payload = 404, {"error": f"unknown path {path!r}"}
                 else:
@@ -422,6 +468,8 @@ class SelectorHTTPServer:
             if trace is None:
                 return 404, {"error": f"unknown trace {trace_id!r}"}
             return 200, trace
+        if path == "/v1/graph/status":
+            return 200, self.service.graph_status()
         if path == "/models":
             return 200, {"models": [
                 {"ref": record.ref, "name": record.name, "digest": record.digest,
@@ -459,7 +507,7 @@ class SelectorHTTPServer:
     # ------------------------------------------------------------------ #
     # tracing the predict path
     # ------------------------------------------------------------------ #
-    def _start_predict_trace(self, headers: dict):
+    def _start_predict_trace(self, headers: dict, name: str = "predict"):
         """Open the request's root span, continuing an ``X-Repro-Trace``
         parent when the caller (a fleet peer, or an instrumented client)
         sent one.  Returns ``None`` when tracing is off."""
@@ -471,9 +519,9 @@ class SelectorHTTPServer:
         parent = parse_trace_header(headers.get(TRACE_HEADER.lower()))
         if parent is not None:
             trace_id, parent_id = parent
-            return self.tracer.start_trace("predict", trace_id=trace_id,
+            return self.tracer.start_trace(name, trace_id=trace_id,
                                            parent_id=parent_id, attrs=attrs)
-        return self.tracer.start_trace("predict", attrs=attrs)
+        return self.tracer.start_trace(name, attrs=attrs)
 
     def _finish_trace(self, span, status: int) -> None:
         """End the request's root span with its HTTP outcome (idempotent)."""
@@ -615,6 +663,109 @@ class SelectorHTTPServer:
                           {"error": "fleet proxy timed out"},
                           keep_alive=False)
 
+    # ------------------------------------------------------------------ #
+    # live graph mutation (POST /v1/graph/update)
+    # ------------------------------------------------------------------ #
+    def _submit_graph_update(self, conn: _Connection, headers: dict,
+                             body: bytes, keep_alive: bool) -> None:
+        """Validate, admit (one update in flight) and park the connection
+        while an off-loop thread applies the delta and re-propagates."""
+        span = self._start_predict_trace(headers, name="graph_update")
+        parse_start = time.monotonic_ns() if span is not None else 0
+        try:
+            payload = json.loads(body or b"{}")
+            kwargs = parse_graph_update_payload(payload)
+        except ConfigurationError as error:
+            # ConfigurationError IS a ValueError — catch it first so the
+            # caller sees the specific validation message, not the generic
+            # malformed-JSON one.
+            self._finish_trace(span, 400)
+            self._log_request(conn, "POST", "/v1/graph/update", 400)
+            self._respond(conn, 400, {"error": str(error)},
+                          keep_alive=keep_alive)
+            return
+        except (ValueError, json.JSONDecodeError):
+            self._finish_trace(span, 400)
+            self._log_request(conn, "POST", "/v1/graph/update", 400)
+            self._respond(conn, 400,
+                          {"error": "request body must be a JSON object"},
+                          keep_alive=keep_alive)
+            return
+        parse_end = time.monotonic_ns() if span is not None else 0
+        active = self._graph_update
+        if active is not None and not active.done():
+            # Admission control: one epoch advance at a time.  The epoch
+            # sequence stays linear and a second writer gets a cheap 429
+            # instead of queueing a re-propagation behind the first.
+            if span is not None:
+                span.attrs["shed"] = True
+            self._finish_trace(span, 429)
+            self._log_request(conn, "POST", "/v1/graph/update", 429)
+            self._respond(conn, 429,
+                          {"error": "a graph update is already in flight; "
+                                    "retry later"},
+                          keep_alive=keep_alive,
+                          extra_headers={"Retry-After": "1"})
+            return
+        if span is not None:
+            self.tracer.add_span("parse", parent=span,
+                                 start_ns=parse_start, end_ns=parse_end)
+        job = _UpdateJob(self.service, kwargs)
+        self._graph_update = job
+        conn.pending = {
+            "graph_update": job, "keep_alive": keep_alive, "span": span,
+            # Re-propagation is a real computation on large graphs; give
+            # the update more headroom than a predict ticket.
+            "deadline": time.monotonic() + max(self.request_timeout, 60.0),
+        }
+        self._parked.add(conn)
+        job.on_done = self._wake
+        threading.Thread(target=job.run, name="graph-update",
+                         daemon=True).start()
+
+    def _complete_graph_update(self, conn: _Connection, entry: dict,
+                               now: float) -> None:
+        job = entry["graph_update"]
+        span = entry.get("span")
+        if job.done():
+            self._parked.discard(conn)
+            conn.pending = None
+            if job.error is not None:
+                status, payload = job.status, {"error": job.error}
+            else:
+                status = 200
+                payload = dict(job.result)
+                timings = payload.pop("timings_ns", {})
+                payload["timings_ms"] = {
+                    stage: round((end - start) / 1e6, 3)
+                    for stage, (start, end) in timings.items()}
+                if span is not None:
+                    span.attrs["epoch"] = payload.get("epoch")
+                    span.attrs["graph"] = payload.get("graph")
+                    for stage in ("apply", "repropagate"):
+                        bounds = timings.get(stage)
+                        if bounds:
+                            self.tracer.add_span(stage, parent=span,
+                                                 start_ns=bounds[0],
+                                                 end_ns=bounds[1])
+            self._finish_trace(span, status)
+            self._log_request(conn, "POST", "/v1/graph/update", status)
+            self._respond(conn, status, payload,
+                          keep_alive=entry["keep_alive"],
+                          extra_headers=self._trace_echo_headers(span))
+            if conn.sock in self._connections:
+                self._process_input(conn)
+        elif now >= entry["deadline"]:
+            # The connection gives up, the job thread finishes regardless —
+            # admission keeps further updates out until it does.
+            self._parked.discard(conn)
+            conn.pending = None
+            self._finish_trace(span, 503)
+            self._log_request(conn, "POST", "/v1/graph/update", 503)
+            self._respond(conn, 503,
+                          {"error": "graph update timed out"},
+                          keep_alive=False)
+
     def _submit_predict(self, conn: _Connection, body: bytes,
                         keep_alive: bool, span=None) -> bool:
         """Validate and submit; returns True when a ticket was parked."""
@@ -693,6 +844,9 @@ class SelectorHTTPServer:
                 continue
             if "proxy" in entry:
                 self._complete_proxy(conn, entry, now)
+                continue
+            if "graph_update" in entry:
+                self._complete_graph_update(conn, entry, now)
                 continue
             ticket = entry["ticket"]
             span = entry.get("span")

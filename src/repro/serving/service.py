@@ -14,20 +14,33 @@ block another's tickets, and every answer stays bitwise identical to offline
 :func:`~repro.core.inference.private_inference_scores` /
 :func:`~repro.core.inference.public_inference_scores` on the same bundle.
 
+The serving graph is **versioned**: each graph lives in a
+:class:`~repro.serving.graphstore.GraphStore` as a sequence of epochs, and
+sessions are keyed by ``(model digest, graph epoch, mode)``.  A request pins
+the epoch current at submit time — a concurrent ``apply_graph_update`` never
+mixes old and new features into one answer — and sessions for a new epoch
+are rebuilt *incrementally* via
+:func:`~repro.core.propagation.incremental_inference_features`: only rows
+inside the propagation radius of the touched edges are recomputed, every
+other row is reused bitwise from the previous epoch.
+
 The HTTP frontend lives in :mod:`repro.serving.httpd` (a single-threaded
 ``selectors`` loop; ``serve_http`` is re-exported from :mod:`repro.serving`):
 
-* ``GET  /healthz``      liveness + loaded models
+* ``GET  /healthz``      liveness + loaded models + graph epochs
 * ``GET  /stats``        per-model latency histograms (p50/p95/p99),
   batch-size and queue-depth distributions, batcher/cache counters
 * ``GET  /models``       registry listing
+* ``GET  /v1/graph/status``  per-graph epoch, digest and delta-log summary
 * ``POST /v1/predict``   ``{"model": "name@latest", "nodes": [..],
   "mode"?: "private"|"public", "top_k"?: int, "proba"?: bool}``
+* ``POST /v1/graph/update``  ``{"insert": [[u, v], ..], "delete": [..],
+  "sample_insert"?: int, "sample_delete"?: int, "seed"?: int}``
 
 This module also owns the transport-independent halves of that API:
-:func:`parse_predict_payload` (request validation) and
-:func:`format_prediction` (response shaping), so the frontend stays pure
-plumbing.
+:func:`parse_predict_payload` / :func:`parse_graph_update_payload` (request
+validation) and :func:`format_prediction` (response shaping), so the
+frontend stays pure plumbing.
 
 The graph a model is served against defaults to the dataset preset recorded
 in its manifest at publish time (name, scale, seed); pass ``graph=`` or a
@@ -45,14 +58,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.inference import INFERENCE_MODES, batched_inference_scores
+from repro.core.inference import (INFERENCE_MODES, batched_inference_scores,
+                                  inference_features)
+from repro.core.propagation import (PropagationCache,
+                                    incremental_inference_features)
 from repro.exceptions import ConfigurationError
 from repro.obs.process import process_stats
+from repro.serving.graphstore import EdgeDelta, GraphStore
 from repro.serving.metrics import ServingMetrics
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import ModelRouter
 from repro.serving.slo import OverloadedError, estimate_drain_seconds
 from repro.utils.lru import LRUDict
+from repro.utils.math import row_normalize_l2
 
 # Fault injection for operational drills (the CI alerts-smoke latency
 # spike): when this env var names a file, every batch sleeps the number of
@@ -106,16 +124,41 @@ def _default_graph_loader(manifest: dict):
                         seed=int(training.get("graph_seed", 0)))
 
 
+def _store_key_for(manifest: dict) -> str:
+    """Stable store key for a manifest's training provenance."""
+    training = (manifest or {}).get("training", {})
+    dataset = training.get("dataset")
+    if not dataset:
+        return "default"
+    return (f"{dataset}:{float(training.get('scale', 1.0)):g}"
+            f":{int(training.get('graph_seed', 0))}")
+
+
 class _ModelSession:
-    """One served (model version, graph, mode): theta + cached features."""
+    """One served (model version, graph epoch, mode): theta + features.
 
-    __slots__ = ("record", "theta", "features", "num_classes")
+    Beyond the scoring pair (``theta``, ``features``) a session keeps the
+    inputs of the *next* incremental rebuild: the encoded ``X`` (epoch
+    independent — edge deltas never touch node features), its epoch and
+    store, and the propagation hyper-parameters from the model config.
+    """
 
-    def __init__(self, record, theta: np.ndarray, features: np.ndarray):
+    __slots__ = ("record", "theta", "features", "num_classes", "encoded",
+                 "epoch", "store_key", "alpha", "steps", "inference_alpha")
+
+    def __init__(self, record, theta: np.ndarray, features: np.ndarray, *,
+                 encoded: np.ndarray, epoch: int, store_key: str,
+                 alpha: float, steps: tuple, inference_alpha: float):
         self.record = record
         self.theta = theta
         self.features = features
         self.num_classes = theta.shape[1]
+        self.encoded = encoded
+        self.epoch = int(epoch)
+        self.store_key = store_key
+        self.alpha = float(alpha)
+        self.steps = tuple(steps)
+        self.inference_alpha = float(inference_alpha)
 
 
 class InferenceService:
@@ -135,8 +178,15 @@ class InferenceService:
                  mmap_bundles: bool = True):
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
-        self._graph = graph
         self._graph_loader = graph_loader or _default_graph_loader
+        # Serving graphs, each a versioned epoch sequence.  An injected
+        # graph= becomes the single "default" store every model serves
+        # against; otherwise stores materialise lazily per manifest
+        # provenance on first use.
+        self._graph_lock = threading.Lock()
+        self._graphs: dict[str, GraphStore] = {}
+        if graph is not None:
+            self._graphs["default"] = GraphStore(graph)
         self._sessions = LRUDict(max_entries=max_sessions)
         self._lock = threading.Lock()
         self._labels: dict[tuple, str] = {}  # session key -> human label
@@ -155,6 +205,21 @@ class InferenceService:
         self.mmap_bundles = bool(mmap_bundles)
         self.slo_controller = None  # attached by attach_slo() when serving
         self.cache_stats = {"feature_hits": 0, "feature_misses": 0}
+        # The service owns its propagation cache (transition / LU solver /
+        # features layers) instead of touching the process-global one:
+        # session builds run on arbitrary request threads and must not race
+        # a sweep's `propagation_cache(...)` context swap.
+        self.propagation = PropagationCache()
+        self.graph_stats = {
+            "updates": 0,
+            "sessions_rebuilt_incremental": 0,
+            "sessions_rebuilt_full": 0,
+            "rows_recomputed": 0,
+            "rows_reused": 0,
+        }
+        # Called with the update result dict after every applied graph
+        # update (the serve command re-advertises fleet epochs here).
+        self.on_graph_update = None
         self.started_at = time.time()
 
     def attach_slo(self, controller) -> None:
@@ -163,12 +228,12 @@ class InferenceService:
         self.slo_controller = controller
 
     def _label_for(self, key: tuple) -> str:
-        """Human label for a session key: ``name@digest12:mode`` once the
-        session has been built, a digest fallback before that."""
+        """Human label for a session key: ``name@digest12:g<epoch>:mode``
+        once the session has been built, a digest fallback before that."""
         label = self._labels.get(key)
         if label is None:
-            digest, mode = key
-            label = f"{digest[:12]}:{mode}"
+            digest, epoch, mode = key
+            label = f"{digest[:12]}:g{epoch}:{mode}"
         return label
 
     # ------------------------------------------------------------------ #
@@ -188,37 +253,109 @@ class InferenceService:
         self.close()
 
     # ------------------------------------------------------------------ #
-    # sessions (model digest, mode) -> theta + cached features
+    # graph stores
     # ------------------------------------------------------------------ #
-    def _session(self, ref: str, mode: str | None) -> tuple[tuple, _ModelSession]:
+    def _store_for(self, manifest: dict) -> GraphStore:
+        """The graph store a model serves against (built on first use)."""
+        with self._graph_lock:
+            default = self._graphs.get("default")
+            if default is not None:
+                return default
+            key = _store_key_for(manifest)
+            store = self._graphs.get(key)
+            if store is not None:
+                return store
+        # Load outside the lock: dataset construction is the expensive part.
+        graph = self._graph_loader(manifest)
+        with self._graph_lock:
+            return self._graphs.setdefault(key,
+                                           GraphStore(graph, key=key))
+
+    def _resolve_store(self, name: str | None) -> GraphStore:
+        """The store a graph update targets (by key, or the only one)."""
+        with self._graph_lock:
+            stores = dict(self._graphs)
+        if name:
+            store = stores.get(name)
+            if store is None:
+                raise ConfigurationError(
+                    f"unknown graph {name!r}; loaded graphs: "
+                    f"{sorted(stores) or 'none'}")
+            return store
+        if not stores:
+            raise ConfigurationError(
+                "no serving graph is loaded yet; serve a prediction first "
+                "(or construct the service with graph=)")
+        if len(stores) > 1:
+            raise ConfigurationError(
+                f"multiple graphs are loaded ({sorted(stores)}); name one "
+                f"with 'graph'")
+        return next(iter(stores.values()))
+
+    def graph_epochs(self) -> dict[str, int]:
+        """Current epoch per loaded graph — what a fleet replica advertises
+        on its membership lease next to its model digests."""
+        with self._graph_lock:
+            stores = dict(self._graphs)
+        return {key: store.epoch for key, store in sorted(stores.items())}
+
+    def graph_status(self) -> dict:
+        """The ``GET /v1/graph/status`` payload: per-graph epoch state plus
+        the service-level rebuild counters."""
+        with self._graph_lock:
+            stores = dict(self._graphs)
+        with self._lock:
+            stats = dict(self.graph_stats)
+        return {
+            "graphs": {key: store.status()
+                       for key, store in sorted(stores.items())},
+            "stats": stats,
+        }
+
+    # ------------------------------------------------------------------ #
+    # sessions (model digest, graph epoch, mode) -> theta + features
+    # ------------------------------------------------------------------ #
+    def _session(self, ref: str, mode: str | None,
+                 epoch: int | None = None) -> tuple[tuple, _ModelSession]:
         # The registry resolve runs per call on purpose: "@latest" must pick
         # up a concurrent publish.  The expensive part (loading the bundle,
-        # building the graph, propagation) is cached by content digest.
+        # building the graph, propagation) is cached by content digest and
+        # graph epoch.
         record = self.registry.resolve(ref)
         mode = mode or record.inference_mode
         if mode not in INFERENCE_MODES:
             raise ConfigurationError(
                 f"mode must be one of {INFERENCE_MODES}, got {mode!r}")
-        key = (record.digest, mode)
+        return self._session_for_record(record, mode, epoch)
+
+    def _session_for_record(self, record, mode: str,
+                            epoch: int | None = None
+                            ) -> tuple[tuple, _ModelSession]:
+        store = self._store_for(record.manifest)
+        if epoch is None:
+            # Pin the epoch *now*: the returned key keeps scoring against
+            # this epoch's features even if an update lands mid-request.
+            epoch = store.epoch
+        key = (record.digest, int(epoch), mode)
         with self._lock:
             session = self._sessions.get_or_none(key)
             if session is not None:
                 self.cache_stats["feature_hits"] += 1
                 return key, session
             self.cache_stats["feature_misses"] += 1
+            base = self._incremental_base(record.digest, mode, store.key,
+                                          int(epoch))
         # Build outside the lock: a cold load (npz + graph + encoder forward
         # + propagation) must not stall the dispatch thread or hot models.
         # Two racing builders compute bitwise-identical sessions; last put
         # wins and the loser's work is garbage-collected.
-        model, record = self.registry.load(record.ref, mmap=self.mmap_bundles)
-        graph = self._graph if self._graph is not None \
-            else self._graph_loader(record.manifest)
-        features = model.inference_features(graph, mode=mode)
-        session = _ModelSession(record=record, theta=model.theta_,
-                                features=features)
+        session = (self._build_incremental(base, store, int(epoch), mode)
+                   if base is not None else None)
+        if session is None:
+            session = self._build_full(record, store, int(epoch), mode)
         with self._lock:
             self._sessions.put(key, session)
-            self._labels[key] = f"{record.ref}:{mode}"
+            self._labels[key] = f"{session.record.ref}:g{epoch}:{mode}"
             evicted = [old for old in self._labels if old not in self._sessions]
         # Retire evicted versions' queues (flush + stop the dispatch thread)
         # so a long-lived server whose "@latest" keeps advancing does not
@@ -231,6 +368,67 @@ class InferenceService:
                 self._labels.pop(old, None)
         return key, session
 
+    def _incremental_base(self, digest: str, mode: str, store_key: str,
+                          epoch: int) -> _ModelSession | None:
+        """The newest cached session of the same (model, graph, mode) at an
+        older epoch — the bitwise starting point of an incremental rebuild.
+        Caller holds ``self._lock``."""
+        best = None
+        for (key_digest, key_epoch, key_mode), session in self._sessions.items():
+            if (key_digest == digest and key_mode == mode
+                    and session.store_key == store_key
+                    and key_epoch < epoch
+                    and (best is None or key_epoch > best.epoch)):
+                best = session
+        return best
+
+    def _build_incremental(self, base: _ModelSession, store: GraphStore,
+                           epoch: int, mode: str) -> _ModelSession | None:
+        """Advance ``base`` to ``epoch`` by re-propagating only the rows the
+        intervening edge deltas can reach; ``None`` falls back to a full
+        build (e.g. the base epoch's graph left the history window)."""
+        try:
+            graph = store.graph_at(epoch)
+            endpoints = store.endpoints_between(base.epoch, epoch)
+        except ConfigurationError:
+            return None
+        propagator = self.propagation.propagator(graph.adjacency, base.alpha)
+        features, touched = incremental_inference_features(
+            propagator, base.encoded, base.features, endpoints, base.steps,
+            mode=mode, inference_alpha=base.inference_alpha)
+        with self._lock:
+            self.graph_stats["sessions_rebuilt_incremental"] += 1
+            self.graph_stats["rows_recomputed"] += int(touched.size)
+            self.graph_stats["rows_reused"] += \
+                int(features.shape[0] - touched.size)
+        return _ModelSession(record=base.record, theta=base.theta,
+                             features=features, encoded=base.encoded,
+                             epoch=epoch, store_key=store.key,
+                             alpha=base.alpha, steps=base.steps,
+                             inference_alpha=base.inference_alpha)
+
+    def _build_full(self, record, store: GraphStore, epoch: int,
+                    mode: str) -> _ModelSession:
+        """The reference path: bundle load, encoder forward pass and a full
+        propagation against the epoch's graph (bitwise identical to
+        :meth:`~repro.core.model.GCON.inference_features`)."""
+        model, record = self.registry.load(record.ref, mmap=self.mmap_bundles)
+        graph = store.graph_at(epoch)
+        encoded = row_normalize_l2(model.encoder_.encode(graph.features))
+        propagator = self.propagation.propagator(graph.adjacency,
+                                                 model.config.alpha)
+        steps = tuple(model.config.normalized_steps)
+        inference_alpha = model.config.effective_inference_alpha
+        features = inference_features(propagator, encoded, steps, mode=mode,
+                                      inference_alpha=inference_alpha)
+        if epoch > 0:
+            with self._lock:
+                self.graph_stats["sessions_rebuilt_full"] += 1
+        return _ModelSession(record=record, theta=model.theta_,
+                             features=features, encoded=encoded, epoch=epoch,
+                             store_key=store.key, alpha=model.config.alpha,
+                             steps=steps, inference_alpha=inference_alpha)
+
     def _score_rows(self, session_key: tuple, nodes: np.ndarray) -> np.ndarray:
         """The batcher's compute hook: one stacked matmul over cached rows."""
         delay = _fault_compute_delay()
@@ -239,8 +437,8 @@ class InferenceService:
         with self._lock:
             session = self._sessions.get_or_none(session_key)
         if session is None:  # evicted between submit and dispatch; rebuild
-            digest, mode = session_key
-            session = self._rebuild(digest, mode)
+            digest, epoch, mode = session_key
+            session = self._rebuild(digest, epoch, mode)
         self._validate_nodes(nodes, session.features.shape[0])
         if nodes.size == 1:
             # A one-row product may dispatch to a GEMV kernel whose last bit
@@ -251,12 +449,72 @@ class InferenceService:
             return batched_inference_scores(padded, session.theta)[:1]
         return batched_inference_scores(session.features[nodes], session.theta)
 
-    def _rebuild(self, digest: str, mode: str) -> _ModelSession:
+    def _rebuild(self, digest: str, epoch: int, mode: str) -> _ModelSession:
+        # Rebuild at the *pinned* epoch: the graph store's bounded history
+        # keeps recent epochs alive exactly so an evicted in-flight ticket
+        # still scores against the epoch it was submitted under.
         for record in self.registry.list():
             if record.digest == digest:
-                _key, session = self._session(record.ref, mode)
+                _key, session = self._session(record.ref, mode, epoch=epoch)
                 return session
         raise ConfigurationError(f"model version {digest[:12]} left the registry")
+
+    # ------------------------------------------------------------------ #
+    # live graph mutation
+    # ------------------------------------------------------------------ #
+    def apply_graph_update(self, *, inserts=(), deletes=(),
+                           sample_insert: int = 0, sample_delete: int = 0,
+                           seed=None, graph: str | None = None) -> dict:
+        """Apply one edge-delta batch and refresh the affected sessions.
+
+        Two stages, both timed for the request trace: **apply** validates
+        the batch and atomically advances the store's epoch; **repropagate**
+        rebuilds every cached session that served the previous epoch,
+        incrementally (touched rows recomputed, the rest reused bitwise).
+        Requests already in flight keep their pinned epoch — the previous
+        epoch's sessions and graph stay available until evicted.
+        """
+        store = self._resolve_store(graph)
+        apply_start = time.monotonic_ns()
+        delta = EdgeDelta(inserts, deletes)
+        if sample_insert or sample_delete:
+            sampled = store.sample_delta(sample_insert, sample_delete, seed)
+            delta = EdgeDelta(delta.inserts + sampled.inserts,
+                              delta.deletes + sampled.deletes)
+        previous_epoch = store.epoch
+        entry = store.apply(delta)
+        apply_end = time.monotonic_ns()
+        with self._lock:
+            self.graph_stats["updates"] += 1
+            refresh = [
+                (key, session) for key, session in self._sessions.items()
+                if session.store_key == store.key
+                and session.epoch == previous_epoch
+            ]
+        # Rebuild eagerly so the next query hits a warm session; each
+        # rebuild takes the incremental path off the session we just found.
+        for (_digest, _epoch, mode), session in refresh:
+            self._session_for_record(session.record, mode,
+                                     epoch=entry["epoch"])
+        repropagate_end = time.monotonic_ns()
+        result = {
+            "graph": store.key,
+            "epoch": entry["epoch"],
+            "previous_epoch": previous_epoch,
+            "digest": entry["digest"],
+            "inserted": len(delta.inserts),
+            "deleted": len(delta.deletes),
+            "endpoints": entry["endpoints"],
+            "sessions_refreshed": len(refresh),
+            "timings_ns": {
+                "apply": (apply_start, apply_end),
+                "repropagate": (apply_end, repropagate_end),
+            },
+        }
+        hook = self.on_graph_update
+        if hook is not None:
+            hook(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # hot-reload hooks (used by the fleet's registry watcher)
@@ -336,35 +594,38 @@ class InferenceService:
     # ------------------------------------------------------------------ #
     # the query API
     # ------------------------------------------------------------------ #
-    def submit_batch(self, ref: str, nodes, mode: str | None = None):
+    def submit_batch(self, ref: str, nodes, mode: str | None = None, *,
+                     epoch: int | None = None):
         """The non-blocking half of :meth:`predict_batch`.
 
-        Resolves the session, validates nodes, enqueues on the model's own
-        queue and returns ``(ticket, record, mode)`` immediately — the
-        selector HTTP frontend parks the connection on the ticket instead of
-        blocking an OS thread per request.
+        Resolves the session (pinning the current graph epoch unless an
+        explicit ``epoch`` is requested), validates nodes, enqueues on the
+        model's own queue and returns ``(ticket, record, mode)`` immediately
+        — the selector HTTP frontend parks the connection on the ticket
+        instead of blocking an OS thread per request.
         """
-        key, session = self._session(ref, mode)
+        key, session = self._session(ref, mode, epoch=epoch)
         self._admit(key)
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         self._validate_nodes(nodes, session.features.shape[0])
         ticket = self.batcher.submit(key, nodes)
-        return ticket, session.record, key[1]
+        return ticket, session.record, key[2]
 
     def predict_batch(self, ref: str, nodes, mode: str | None = None,
-                      timeout: float | None = 30.0):
+                      timeout: float | None = 30.0, *,
+                      epoch: int | None = None):
         """Scores plus the exact version and mode that produced them.
 
         Returns ``(scores, record, mode)``.  Node indices are validated
         *before* the request enters the batcher, so one caller's bad index
         can never fail the strangers coalesced into the same micro-batch.
         """
-        key, session = self._session(ref, mode)
+        key, session = self._session(ref, mode, epoch=epoch)
         self._admit(key)
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
         self._validate_nodes(nodes, session.features.shape[0])
         scores = self.batcher.predict_scores(key, nodes, timeout=timeout)
-        return scores, session.record, key[1]
+        return scores, session.record, key[2]
 
     def predict_scores(self, ref: str, nodes, mode: str | None = None,
                        timeout: float | None = 30.0) -> np.ndarray:
@@ -395,6 +656,7 @@ class InferenceService:
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "models_loaded": loaded,
+            "graph_epochs": self.graph_epochs(),
             "registry": str(self.registry.root),
         }
 
@@ -405,6 +667,7 @@ class InferenceService:
         with self._lock:
             cache = dict(self.cache_stats, sessions=len(self._sessions))
             shed = dict(self.shed_counts)
+            graph_stats = dict(self.graph_stats)
         per_model = self.batcher.per_model_stats()
         histograms = self.metrics.as_dict()
         models = {label: {**per_model.get(label, {}),
@@ -414,6 +677,8 @@ class InferenceService:
             "batcher": self.batcher.stats.as_dict(),
             "models": models,
             "feature_cache": cache,
+            "propagation_cache": self.propagation.info(),
+            "graph": {**graph_stats, "epochs": self.graph_epochs()},
             "max_batch_size": self.batcher.max_batch_size,
             "max_latency_seconds": self.batcher.max_latency,
             "admission": {
@@ -471,6 +736,52 @@ def parse_predict_payload(payload) -> PredictRequest:
         raise ConfigurationError("'top_k' must be a positive integer")
     return PredictRequest(ref=ref, nodes=list(nodes), mode=mode,
                           top_k=top_k, proba=bool(payload.get("proba")))
+
+
+def parse_graph_update_payload(payload) -> dict:
+    """Validate a decoded ``/v1/graph/update`` body into
+    :meth:`InferenceService.apply_graph_update` keyword arguments; raises
+    :class:`ConfigurationError` (→ HTTP 400) on every malformed shape.
+    Per-edge validation (self-loops, duplicates, phantom deletes) happens
+    in :class:`~repro.serving.graphstore.EdgeDelta` and the store."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("request body must be a JSON object")
+
+    def _edges(name: str) -> list:
+        value = payload.get(name, [])
+        if not isinstance(value, list):
+            raise ConfigurationError(
+                f"'{name}' must be a list of [u, v] pairs")
+        return value
+
+    def _count(name: str) -> int:
+        value = payload.get(name, 0)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"'{name}' must be a non-negative integer")
+        return value
+
+    seed = payload.get("seed")
+    if seed is not None and (isinstance(seed, bool)
+                             or not isinstance(seed, int)):
+        raise ConfigurationError("'seed' must be an integer")
+    graph = payload.get("graph")
+    if graph is not None and not isinstance(graph, str):
+        raise ConfigurationError("'graph' must be a string store key")
+    kwargs = {
+        "inserts": _edges("insert"),
+        "deletes": _edges("delete"),
+        "sample_insert": _count("sample_insert"),
+        "sample_delete": _count("sample_delete"),
+        "seed": seed,
+        "graph": graph,
+    }
+    if not (kwargs["inserts"] or kwargs["deletes"]
+            or kwargs["sample_insert"] or kwargs["sample_delete"]):
+        raise ConfigurationError(
+            "the update must name edges ('insert'/'delete') or sample "
+            "counts ('sample_insert'/'sample_delete')")
+    return kwargs
 
 
 def format_prediction(request: PredictRequest, scores: np.ndarray,

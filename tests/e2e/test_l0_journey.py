@@ -1,0 +1,112 @@
+"""The L0 user journey, end to end in one test module:
+
+train → publish → serve → ``POST /v1/predict`` → ``POST /v1/graph/update``
+→ re-query and observe the new epoch.
+
+Everything runs over real HTTP against the selector frontend; scores are
+checked **bitwise** against offline :meth:`GCON.decision_scores` on the
+exact graph version each response claims to serve.  This is the journey the
+CI graph-smoke job replays with the packaged CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.graphs.datasets import load_dataset
+from repro.serving import InferenceService, ModelRegistry, serve_http
+
+NODES = [0, 7, 21, 3]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora_ml", scale=0.06, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    # Step 1 — train: a small private GCON release, the same recipe the
+    # quickstart walks through.
+    config = GCONConfig(epsilon=2.0, alpha=0.8, encoder_epochs=20,
+                        encoder_dim=8, encoder_hidden=16)
+    return GCON(config).fit(graph, seed=7)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory, model, graph):
+    # Step 2 — publish: the bundle lands in a content-addressed registry.
+    registry = ModelRegistry(tmp_path_factory.mktemp("l0") / "registry")
+    registry.publish(model, "journey", inference_mode="private",
+                     training={"dataset": "cora_ml", "scale": 0.06,
+                               "graph_seed": 0})
+    # Step 3 — serve: real sockets, the production HTTP frontend.
+    service = InferenceService(registry, graph=graph)
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _call(server, path, body=None):
+    url = f"http://127.0.0.1:{server.server_address[1]}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if body else {})
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def test_l0_journey(server, model, graph):
+    # Step 4 — query: served scores are bitwise the offline Algorithm-4
+    # scores on the published graph (epoch 0).
+    answer = _call(server, "/v1/predict", {"model": "journey",
+                                           "nodes": NODES})
+    assert answer["model"].startswith("journey@")
+    assert answer["mode"] == "private"
+    offline = model.decision_scores(graph)
+    assert np.array_equal(np.asarray(answer["scores"]), offline[NODES])
+
+    status = _call(server, "/v1/graph/status")
+    assert status["graphs"]["default"]["epoch"] == 0
+
+    # Step 5 — mutate: one sampled edge-delta batch advances the epoch
+    # atomically and refreshes the warm session incrementally.
+    update = _call(server, "/v1/graph/update",
+                   {"sample_insert": 2, "sample_delete": 1, "seed": 13})
+    assert update["previous_epoch"] == 0
+    assert update["epoch"] == 1
+    assert update["sessions_refreshed"] == 1
+
+    # Step 6 — re-query: the answer now comes from epoch 1, and it is
+    # bitwise the offline recompute on the *mutated* graph.
+    status = _call(server, "/v1/graph/status")
+    assert status["graphs"]["default"]["epoch"] == 1
+    assert status["stats"]["updates"] == 1
+
+    service = server.service
+    _epoch, new_graph = service._resolve_store(None).current()
+    assert new_graph.num_edges == graph.num_edges + 1  # +2 edges, -1 edge
+    answer = _call(server, "/v1/predict", {"model": "journey",
+                                           "nodes": NODES})
+    offline_new = model.decision_scores(new_graph)
+    assert np.array_equal(np.asarray(answer["scores"]), offline_new[NODES])
+
+    # The per-model stats carry both epochs' sessions: the pinned history
+    # and the freshly re-propagated one.
+    stats = _call(server, "/stats")
+    labels = set(stats["models"])
+    assert any(label.endswith(":g0:private") for label in labels)
+    assert any(label.endswith(":g1:private") for label in labels)

@@ -46,6 +46,18 @@ class TestEdgeSampling:
         with pytest.raises(GraphDataError):
             sample_present_edge(graph, rng=0)
 
+    def test_absent_edge_rejects_single_node_graph(self):
+        graph = GraphDataset(adjacency=np.zeros((1, 1)), features=np.eye(1),
+                             labels=np.zeros(1, dtype=int))
+        with pytest.raises(GraphDataError, match="at least two nodes"):
+            sample_absent_edge(graph, rng=0)
+
+    def test_absent_edge_on_edgeless_graph_is_fine(self):
+        graph = GraphDataset(adjacency=np.zeros((4, 4)), features=np.eye(4),
+                             labels=np.zeros(4, dtype=int))
+        u, v = sample_absent_edge(graph, rng=0)
+        assert 0 <= u < v < 4
+
 
 class TestNeighboringPairs:
     def test_remove_pair_differs_by_one_edge(self, tiny_graph):
@@ -116,9 +128,23 @@ class TestBulkPerturbations:
         rewired = rewire_edges(graph, fraction=0.8, rng=0)
         assert edge_homophily_ratio(rewired) < edge_homophily_ratio(graph)
 
+    def test_remove_full_fraction_leaves_no_edges(self, tiny_graph):
+        perturbed = remove_random_edges(tiny_graph, fraction=1.0, rng=0)
+        assert perturbed.num_edges == 0
+        assert edge_flip_distance(tiny_graph, perturbed) == tiny_graph.num_edges
+
+    def test_add_zero_edges_is_identity(self, tiny_graph):
+        assert add_random_edges(tiny_graph, count=0, rng=0) is tiny_graph
+
     def test_edge_flip_distance_requires_same_node_count(self, tiny_graph, path_graph):
         with pytest.raises(GraphDataError):
             edge_flip_distance(tiny_graph, path_graph)
+
+    def test_edge_flip_distance_is_symmetric_and_zero_on_self(self, tiny_graph):
+        perturbed = remove_random_edges(tiny_graph, fraction=0.1, rng=0)
+        assert edge_flip_distance(tiny_graph, tiny_graph) == 0
+        assert edge_flip_distance(tiny_graph, perturbed) \
+            == edge_flip_distance(perturbed, tiny_graph)
 
 
 class TestPerturbationProperties:

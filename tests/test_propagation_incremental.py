@@ -1,0 +1,216 @@
+"""Property tests for incremental re-propagation after live edge deltas.
+
+The acceptance bar of the graph-mutation subsystem: for insert, delete and
+mixed edge batches, :func:`incremental_inference_features` on the *new*
+graph is **bitwise identical** to recomputing
+:func:`repro.core.inference.inference_features` from scratch, while every
+row outside the reported touched set is byte-copied from the old epoch's
+matrix.  The claims are exercised property-style across sampling seeds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.inference import inference_features
+from repro.core.propagation import (
+    Propagator,
+    bfs_neighborhood,
+    incremental_inference_features,
+)
+from repro.exceptions import ConfigurationError
+from repro.graphs.perturbations import sample_absent_edge, sample_present_edge
+from repro.utils.math import row_normalize_l2
+from repro.utils.random import as_rng
+
+ALPHA = 0.8
+INFERENCE_ALPHA = 0.6
+
+
+def _encoded(graph, seed: int = 11) -> np.ndarray:
+    """A stand-in for the encoder output: any row-normalised dense matrix.
+
+    The propagation algebra never looks inside the feature values, so a
+    random matrix exercises exactly the same code paths as a trained
+    encoder while keeping the tests fast and deterministic."""
+    rng = np.random.default_rng(seed)
+    return row_normalize_l2(rng.standard_normal((graph.num_nodes, 6)))
+
+
+def _delta(graph, kind: str, seed: int):
+    """Apply a small edge-delta batch of the given kind; return
+    ``(new_graph, endpoints)``."""
+    rng = as_rng(seed)
+    perturbed = graph
+    endpoints: set[int] = set()
+    inserts = {"insert": 3, "mixed": 2}.get(kind, 0)
+    deletes = {"delete": 3, "mixed": 2}.get(kind, 0)
+    for _ in range(inserts):
+        u, v = sample_absent_edge(perturbed, rng)
+        perturbed = perturbed.with_edge(u, v)
+        endpoints.update((u, v))
+    for _ in range(deletes):
+        u, v = sample_present_edge(perturbed, rng)
+        perturbed = perturbed.without_edge(u, v)
+        endpoints.update((u, v))
+    return perturbed, sorted(endpoints)
+
+
+class TestBfsNeighborhood:
+    def test_radius_zero_is_the_seed_set(self, tiny_graph):
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        rows = bfs_neighborhood(propagator.transition, [5, 2, 5], 0)
+        assert rows.tolist() == [2, 5]
+
+    def test_each_hop_is_monotone(self, tiny_graph):
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        previous = bfs_neighborhood(propagator.transition, [0], 0)
+        for radius in (1, 2, 3):
+            current = bfs_neighborhood(propagator.transition, [0], radius)
+            assert set(previous) <= set(current)
+            previous = current
+
+    def test_large_radius_reaches_the_component(self, path_graph):
+        rows = bfs_neighborhood(path_graph.adjacency.tocsr(), [0], 10)
+        assert rows.tolist() == list(range(6))
+
+    def test_empty_seeds_reach_nothing(self, tiny_graph):
+        rows = bfs_neighborhood(tiny_graph.adjacency, [], 3)
+        assert rows.size == 0
+
+    def test_out_of_range_seed_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            bfs_neighborhood(tiny_graph.adjacency, [tiny_graph.num_nodes], 1)
+
+
+class TestBitwiseEquivalence:
+    """incremental == full recompute, bit for bit, across seeds and kinds."""
+
+    @pytest.mark.parametrize("kind", ["insert", "delete", "mixed"])
+    @pytest.mark.parametrize("mode,steps_list", [
+        ("private", [2]),
+        ("private", [0, 2, 4]),
+        ("public", [2]),
+        ("public", [0, 2, 4]),
+        ("public", [2, math.inf]),
+    ])
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_incremental_matches_full_recompute(self, tiny_graph, kind, mode,
+                                                steps_list, seed):
+        encoded = _encoded(tiny_graph)
+        inference_alpha = INFERENCE_ALPHA if mode == "private" else None
+        old = inference_features(Propagator(tiny_graph.adjacency, ALPHA),
+                                 encoded, steps_list, mode=mode,
+                                 inference_alpha=inference_alpha)
+        new_graph, endpoints = _delta(tiny_graph, kind, seed)
+        propagator = Propagator(new_graph.adjacency, ALPHA)
+        incremental, touched = incremental_inference_features(
+            propagator, encoded, old, endpoints, steps_list, mode=mode,
+            inference_alpha=inference_alpha)
+        full = inference_features(propagator, encoded, steps_list, mode=mode,
+                                  inference_alpha=inference_alpha)
+        assert np.array_equal(incremental, full)
+        untouched = np.setdiff1d(np.arange(tiny_graph.num_nodes), touched)
+        assert np.array_equal(incremental[untouched], old[untouched])
+
+    def test_private_touches_exactly_the_endpoints(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        old = inference_features(Propagator(tiny_graph.adjacency, ALPHA),
+                                 encoded, [0, 2, 4], mode="private",
+                                 inference_alpha=INFERENCE_ALPHA)
+        new_graph, endpoints = _delta(tiny_graph, "mixed", seed=3)
+        _features, touched = incremental_inference_features(
+            Propagator(new_graph.adjacency, ALPHA), encoded, old, endpoints,
+            [0, 2, 4], mode="private", inference_alpha=INFERENCE_ALPHA)
+        assert touched.tolist() == endpoints
+
+    def test_public_touch_radius_is_steps_minus_one(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        steps = 3
+        old = inference_features(Propagator(tiny_graph.adjacency, ALPHA),
+                                 encoded, [steps], mode="public")
+        new_graph, endpoints = _delta(tiny_graph, "insert", seed=4)
+        propagator = Propagator(new_graph.adjacency, ALPHA)
+        _features, touched = incremental_inference_features(
+            propagator, encoded, old, endpoints, [steps], mode="public")
+        halo = bfs_neighborhood(propagator.transition, endpoints, steps - 1)
+        assert touched.tolist() == halo.tolist()
+
+    def test_identity_block_is_never_touched(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        old = inference_features(Propagator(tiny_graph.adjacency, ALPHA),
+                                 encoded, [0], mode="public")
+        new_graph, endpoints = _delta(tiny_graph, "mixed", seed=5)
+        features, touched = incremental_inference_features(
+            Propagator(new_graph.adjacency, ALPHA), encoded, old, endpoints,
+            [0], mode="public")
+        assert touched.size == 0
+        assert np.array_equal(features, old)
+
+    def test_empty_endpoints_return_a_copy(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        old = inference_features(propagator, encoded, [2], mode="public")
+        features, touched = incremental_inference_features(
+            propagator, encoded, old, [], [2], mode="public")
+        assert touched.size == 0
+        assert features is not old
+        assert np.array_equal(features, old)
+
+    def test_infinite_steps_recompute_every_row(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        old = inference_features(Propagator(tiny_graph.adjacency, ALPHA),
+                                 encoded, [math.inf], mode="public")
+        new_graph, endpoints = _delta(tiny_graph, "insert", seed=6)
+        propagator = Propagator(new_graph.adjacency, ALPHA)
+        features, touched = incremental_inference_features(
+            propagator, encoded, old, endpoints, [math.inf], mode="public")
+        assert touched.size == tiny_graph.num_nodes
+        full = inference_features(propagator, encoded, [math.inf],
+                                  mode="public")
+        assert np.array_equal(features, full)
+
+
+class TestValidation:
+    def test_rejects_shape_mismatch(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        wrong = np.zeros((tiny_graph.num_nodes, 5))
+        with pytest.raises(ConfigurationError):
+            incremental_inference_features(propagator, encoded, wrong, [0, 1],
+                                           [2], mode="public")
+
+    def test_rejects_out_of_range_endpoints(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        old = inference_features(propagator, encoded, [2], mode="public")
+        with pytest.raises(ConfigurationError):
+            incremental_inference_features(propagator, encoded, old,
+                                           [tiny_graph.num_nodes], [2],
+                                           mode="public")
+
+    def test_rejects_bad_mode_and_missing_alpha(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        old = inference_features(propagator, encoded, [2], mode="public")
+        with pytest.raises(ConfigurationError):
+            incremental_inference_features(propagator, encoded, old, [0],
+                                           [2], mode="both")
+        with pytest.raises(ConfigurationError):
+            incremental_inference_features(propagator, encoded, old, [0],
+                                           [2], mode="private")
+
+    def test_rejects_empty_steps_list(self, tiny_graph):
+        encoded = _encoded(tiny_graph)
+        propagator = Propagator(tiny_graph.adjacency, ALPHA)
+        old = inference_features(propagator, encoded, [2], mode="public")
+        with pytest.raises(ConfigurationError):
+            incremental_inference_features(propagator, encoded, old, [0], [],
+                                           mode="public")

@@ -1,0 +1,344 @@
+"""Tests for live graph mutation end to end in the serving layer.
+
+The two load-bearing claims of the versioned-graph refactor:
+
+* after an epoch advance, served scores are **bitwise identical** to
+  offline :meth:`GCON.decision_scores` on the *new* graph, while requests
+  pinned to an older epoch (explicitly, or in flight when the update
+  landed) keep scoring against *their* epoch — no torn reads;
+* the control surfaces (``POST /v1/graph/update``, ``GET /v1/graph/status``,
+  fleet lease epochs, ``/metrics`` gauges) tell the truth about which epoch
+  each replica serves.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import GCONConfig
+from repro.core.model import GCON
+from repro.exceptions import ConfigurationError, GraphDataError
+from repro.graphs.datasets import load_dataset
+from repro.serving import (
+    FleetMember,
+    FleetView,
+    InferenceService,
+    ModelRegistry,
+    parse_graph_update_payload,
+    serve_http,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora_ml", scale=0.06, seed=0)
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    config = GCONConfig(epsilon=2.0, alpha=0.8, encoder_epochs=20,
+                        encoder_dim=8, encoder_hidden=16)
+    return GCON(config).fit(graph, seed=7)
+
+
+@pytest.fixture()
+def registry(tmp_path, model):
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.publish(model, "demo", inference_mode="private",
+                     training={"dataset": "cora_ml", "scale": 0.06,
+                               "graph_seed": 0})
+    return registry
+
+
+@pytest.fixture()
+def service(registry, graph):
+    return InferenceService(registry, graph=graph)
+
+
+@pytest.fixture()
+def server(service):
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _http(server, path, body=None, timeout=30.0):
+    """One JSON round-trip against the test server; 4xx/5xx bodies are
+    decoded too so tests can assert on the error shapes."""
+    url = f"http://127.0.0.1:{server.server_address[1]}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"} if body else {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestServiceGraphUpdate:
+    def test_update_advances_epoch_and_serves_the_new_graph_bitwise(
+            self, service, model, graph):
+        nodes = list(range(12))
+        before = service.predict_scores("demo", nodes)
+        assert np.array_equal(before,
+                              model.decision_scores(graph)[nodes])
+
+        result = service.apply_graph_update(sample_insert=2, sample_delete=1,
+                                            seed=5)
+        assert result["previous_epoch"] == 0
+        assert result["epoch"] == 1
+        assert result["inserted"] == 2
+        assert result["deleted"] == 1
+        assert result["sessions_refreshed"] == 1
+        assert set(result["timings_ns"]) == {"apply", "repropagate"}
+
+        store = service._resolve_store(None)
+        epoch, new_graph = store.current()
+        assert epoch == 1
+        offline_new = model.decision_scores(new_graph)
+        after = service.predict_scores("demo", nodes)
+        assert np.array_equal(after, offline_new[nodes])
+
+        stats = service.stats()["graph"]
+        assert stats["updates"] == 1
+        assert stats["sessions_rebuilt_incremental"] == 1
+        assert stats["sessions_rebuilt_full"] == 0
+        assert stats["rows_recomputed"] + stats["rows_reused"] \
+            == graph.num_nodes
+        assert stats["epochs"] == {"default": 1}
+
+    def test_pinned_epoch_queries_keep_serving_their_graph(self, service,
+                                                           model, graph):
+        nodes = [0, 5, 9]
+        old_offline = model.decision_scores(graph)
+        service.predict_scores("demo", nodes)  # warm epoch 0
+        service.apply_graph_update(sample_insert=2, seed=3)
+
+        scores, _record, _mode = service.predict_batch("demo", nodes,
+                                                       epoch=0)
+        assert np.array_equal(scores, old_offline[nodes])
+        # The default (unpinned) path serves the new epoch.
+        _epoch, new_graph = service._resolve_store(None).current()
+        fresh = service.predict_scores("demo", nodes)
+        assert np.array_equal(fresh, model.decision_scores(new_graph)[nodes])
+
+    def test_in_flight_ticket_scores_against_its_pinned_epoch(self, service,
+                                                              model, graph):
+        """The no-torn-reads proof: a request submitted *before* an epoch
+        advance executes *after* it and still returns the old epoch's
+        scores, bit for bit."""
+        nodes = [1, 4, 7, 30]
+        ticket, _record, _mode = service.submit_batch("demo", nodes)
+        service.apply_graph_update(sample_insert=1, sample_delete=1, seed=11)
+        executed = service.batcher.run_once()
+        assert executed >= 1
+        scores = ticket.result(5.0)
+        assert np.array_equal(scores, model.decision_scores(graph)[nodes])
+        # ... while a ticket submitted after the advance sees the new epoch.
+        _epoch, new_graph = service._resolve_store(None).current()
+        later, _record, _mode = service.submit_batch("demo", nodes)
+        service.batcher.run_once()
+        assert np.array_equal(later.result(5.0),
+                              model.decision_scores(new_graph)[nodes])
+
+    def test_explicit_edges_and_atomic_rejection(self, service, graph):
+        from repro.graphs.perturbations import (
+            sample_absent_edge,
+            sample_present_edge,
+        )
+        u, v = sample_absent_edge(graph, rng=2)
+        result = service.apply_graph_update(inserts=[(u, v)])
+        assert result["epoch"] == 1
+        assert sorted(result["endpoints"]) == sorted((u, v))
+
+        # A bad batch (phantom delete) leaves the epoch and counters alone.
+        a, b = sample_absent_edge(service._resolve_store(None).current()[1],
+                                  rng=4)
+        with pytest.raises(GraphDataError):
+            service.apply_graph_update(deletes=[(a, b)])
+        assert service.graph_epochs() == {"default": 1}
+        assert service.stats()["graph"]["updates"] == 1
+        present = sample_present_edge(graph, rng=2)
+        with pytest.raises(GraphDataError, match="both insert and delete"):
+            service.apply_graph_update(inserts=[present], deletes=[present])
+
+    def test_first_query_after_update_full_rebuilds(self, service):
+        """With no cached base session, the new epoch is built from scratch
+        (counted as a full rebuild, not an incremental one)."""
+        service.apply_graph_update(sample_insert=1, seed=0)
+        service.predict_scores("demo", [0, 1])
+        stats = service.stats()["graph"]
+        assert stats["sessions_rebuilt_full"] == 1
+        assert stats["sessions_rebuilt_incremental"] == 0
+
+    def test_update_without_any_graph_is_rejected(self, registry):
+        bare = InferenceService(registry)
+        with pytest.raises(ConfigurationError, match="no serving graph"):
+            bare.apply_graph_update(sample_insert=1)
+
+    def test_unknown_graph_key_is_rejected(self, service):
+        with pytest.raises(ConfigurationError, match="unknown graph"):
+            service.apply_graph_update(sample_insert=1, graph="nope")
+
+    def test_update_hook_fires_with_the_result(self, service):
+        seen = []
+        service.on_graph_update = seen.append
+        service.apply_graph_update(sample_insert=1, seed=1)
+        assert [event["epoch"] for event in seen] == [1]
+
+    def test_graph_status_and_health_expose_epochs(self, service, graph):
+        service.predict_scores("demo", [0])
+        service.apply_graph_update(sample_insert=1, seed=2)
+        status = service.graph_status()
+        assert status["graphs"]["default"]["epoch"] == 1
+        assert status["graphs"]["default"]["nodes"] == graph.num_nodes
+        assert status["stats"]["updates"] == 1
+        assert service.health()["graph_epochs"] == {"default": 1}
+
+    def test_session_labels_carry_the_epoch(self, service):
+        service.predict_scores("demo", [0])
+        service.apply_graph_update(sample_insert=1, seed=7)
+        service.predict_scores("demo", [0])
+        labels = set(service.stats()["models"])
+        assert any(label.endswith(":g0:private") for label in labels)
+        assert any(label.endswith(":g1:private") for label in labels)
+
+
+class TestParsePayload:
+    def test_valid_payload_maps_to_kwargs(self):
+        kwargs = parse_graph_update_payload(
+            {"insert": [[0, 1]], "delete": [], "sample_delete": 2,
+             "seed": 9, "graph": "default"})
+        assert kwargs == {"inserts": [[0, 1]], "deletes": [],
+                          "sample_insert": 0, "sample_delete": 2,
+                          "seed": 9, "graph": "default"}
+
+    @pytest.mark.parametrize("payload", [
+        [],
+        {"insert": "0:1"},
+        {"sample_insert": -1},
+        {"sample_insert": True},
+        {"sample_insert": 1, "seed": "x"},
+        {"sample_insert": 1, "graph": 3},
+        {},
+        {"insert": [], "delete": []},
+    ])
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(ConfigurationError):
+            parse_graph_update_payload(payload)
+
+
+class TestHttpSurface:
+    def test_update_and_status_round_trip(self, server, service, model):
+        status, body = _http(server, "/v1/predict",
+                             {"model": "demo", "nodes": [0, 3]})
+        assert status == 200
+
+        status, body = _http(server, "/v1/graph/update",
+                             {"sample_insert": 2, "sample_delete": 1,
+                              "seed": 5})
+        assert status == 200
+        assert body["epoch"] == 1
+        assert body["previous_epoch"] == 0
+        assert body["sessions_refreshed"] == 1
+        assert set(body["timings_ms"]) == {"apply", "repropagate"}
+        assert "timings_ns" not in body
+
+        status, body = _http(server, "/v1/graph/status")
+        assert status == 200
+        assert body["graphs"]["default"]["epoch"] == 1
+        assert body["stats"]["updates"] == 1
+
+        # The served scores on the new epoch are still bitwise offline.
+        _epoch, new_graph = service._resolve_store(None).current()
+        status, body = _http(server, "/v1/predict",
+                             {"model": "demo", "nodes": [0, 3]})
+        assert status == 200
+        offline = model.decision_scores(new_graph)[[0, 3]]
+        assert np.array_equal(np.asarray(body["scores"]), offline)
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({}, "must name edges"),
+        ({"insert": "0:1"}, "list of"),
+        ({"sample_insert": -2}, "non-negative"),
+        ({"sample_insert": 1, "graph": "nope"}, "unknown graph"),
+        ({"insert": [[4, 4]]}, "self-loop"),
+    ])
+    def test_bad_updates_are_400(self, server, payload, fragment):
+        status, body = _http(server, "/v1/graph/update", payload)
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_second_concurrent_update_is_shed_with_429(self, server):
+        class _Stuck:
+            def done(self):
+                return False
+
+        server._graph_update = _Stuck()
+        try:
+            status, body = _http(server, "/v1/graph/update",
+                                 {"sample_insert": 1})
+        finally:
+            server._graph_update = None
+        assert status == 429
+        assert "already in flight" in body["error"]
+
+    def test_metrics_expose_epoch_and_cache_gauges(self, server, service):
+        service.predict_scores("demo", [0])
+        service.apply_graph_update(sample_insert=1, seed=1)
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                                    timeout=10.0) as response:
+            text = response.read().decode()
+        assert 'repro_graph_epoch{graph="default"} 1' in text
+        assert "repro_graph_updates_total 1" in text
+        assert 'repro_graph_session_rebuilds_total{strategy="incremental"}' \
+            in text
+        assert "repro_graph_rows_recomputed_total" in text
+        assert "repro_graph_rows_reused_total" in text
+        assert "repro_propagation_cache_hits_total" in text
+        assert "repro_propagation_cache_entries" in text
+
+
+class TestFleetEpochAgreement:
+    def test_lease_carries_graph_epochs(self, tmp_path):
+        fleet_dir = tmp_path / "fleet"
+        member = FleetMember(fleet_dir, "r0", "127.0.0.1", 8100, ttl=30.0)
+        member.join(["d" * 64], graph_epochs={"default": 2})
+        replica = FleetView(fleet_dir).replicas()[0]
+        assert replica.graph_epochs == (("default", 2),)
+        assert replica.as_dict()["graph_epochs"] == {"default": 2}
+        member.advertise(["d" * 64], graph_epochs={"default": 3})
+        replica = FleetView(fleet_dir).replicas()[0]
+        assert replica.graph_epochs == (("default", 3),)
+
+    def test_view_and_summary_report_agreement(self, tmp_path):
+        fleet_dir = tmp_path / "fleet"
+        first = FleetMember(fleet_dir, "r0", "127.0.0.1", 8100, ttl=30.0)
+        first.join([], graph_epochs={"default": 4})
+        second = FleetMember(fleet_dir, "r1", "127.0.0.1", 8200, ttl=30.0)
+        second.join([], graph_epochs={"default": 4})
+        view = FleetView(fleet_dir)
+        agreement = view.as_dict()["graph_epochs"]
+        assert agreement["default"] == {"epochs": [4], "agreed": True}
+        summary = view.status().summary()
+        assert "agreed @e4" in summary
+
+        second.advertise([], graph_epochs={"default": 5})
+        view = FleetView(fleet_dir)
+        agreement = view.as_dict()["graph_epochs"]
+        assert agreement["default"]["agreed"] is False
+        assert sorted(agreement["default"]["epochs"]) == [4, 5]
+        assert "DISAGREE" in view.status().summary()
